@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Benchmarks default to the ``smoke`` scale so that ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_SCALE=bench`` or
+``REPRO_SCALE=full`` to regenerate the tables and figures at the scales
+recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+#: The scale every benchmark runs at.
+SCALE = os.environ.get("REPRO_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def scale_name() -> str:
+    return SCALE

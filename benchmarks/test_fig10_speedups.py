@@ -1,0 +1,33 @@
+"""Figure 10: the speedup-technique ablation.
+
+Paper shape targets: runtime compilation is the largest single factor,
+the techniques compose, and the all-on configuration is the fastest
+(607x on the authors' C++ system; the Python substrate yields smaller
+but like-shaped factors).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10 import COMBINATIONS, run_fig10
+
+
+def test_fig10_regenerates(benchmark, scale_name):
+    result = benchmark.pedantic(
+        run_fig10, args=(scale_name,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    labels = [label for label, *__ in COMBINATIONS]
+    assert set(result.mean_runtime) == set(labels)
+
+    speedup = result.speedup
+    # Every technique on its own is at least break-even vs. none.
+    assert speedup["RC"] > 1.0
+    assert speedup["ES"] > 0.9
+    assert speedup["TC"] > 0.9
+    # Runtime compilation is the largest single factor.
+    assert speedup["RC"] >= max(speedup["TC"], speedup["ES"]) * 0.9
+    # The all-on configuration beats every single technique.
+    assert speedup["TC+ES+RC"] >= max(
+        speedup["TC"], speedup["ES"], speedup["RC"]
+    ) * 0.9

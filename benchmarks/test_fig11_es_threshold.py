@@ -1,0 +1,38 @@
+"""Figure 11: the evaluation short-circuiting threshold sweep.
+
+Paper shape targets: eager thresholds evaluate fewer time steps; accuracy
+degrades as the threshold gets more eager; disabling ES evaluates every
+step.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11_regenerates(benchmark, scale_name):
+    result = benchmark.pedantic(
+        run_fig11, args=(scale_name,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    by_label = {setting.label: setting for setting in result.settings}
+
+    # More eager thresholds evaluate fewer steps.
+    assert (
+        by_label["ES TH-0.7"].steps_evaluated
+        <= by_label["ES TH-1.0"].steps_evaluated
+        <= by_label["ES TH-1.3"].steps_evaluated
+        <= by_label["No ES"].steps_evaluated
+    )
+    # Short-circuiting saves real work vs. full evaluation.
+    assert (
+        by_label["ES TH-1.0"].steps_evaluated
+        < by_label["No ES"].steps_evaluated
+    )
+    # The least eager setting should be at least as accurate as the most
+    # eager one (the paper saw ~5% RMSE degradation at TH-0.7).
+    assert (
+        by_label["ES TH-1.3"].train_rmse
+        <= by_label["ES TH-0.7"].train_rmse * 1.25
+    )

@@ -1,0 +1,41 @@
+"""Figure 8 / 12: river-system topology and hydrological routing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig8 import run_fig8
+from repro.river.hydrology import HydrologicalProcess
+from repro.river.network import nakdong_network
+
+
+def test_fig8_renders(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    network = result.network
+    assert len(network.measuring_stations()) == 9
+    assert network.outlet() == "S1"
+
+
+def test_hydrological_routing_through_nakdong(benchmark):
+    """Flows routed from the four headwaters reach S1 amplified by the
+    tributaries, with every virtual station conserving mass."""
+
+    def route():
+        network = nakdong_network()
+        hydrology = HydrologicalProcess(network)
+        horizon = 120
+        headwaters = {
+            "S6": np.full(horizon, 80.0),
+            "T3": np.full(horizon, 18.0),
+            "T2": np.full(horizon, 22.0),
+            "T1": np.full(horizon, 16.0),
+        }
+        return hydrology.route_flows(headwaters)
+
+    flows = benchmark.pedantic(route, rounds=1, iterations=1)
+    # Downstream flow exceeds the main-channel headwater alone (the
+    # tributaries contribute) and is bounded by total inflow.
+    assert flows["S1"][-1] > flows["S6"][-1]
+    assert flows["S1"][-1] <= 80.0 + 18.0 + 22.0 + 16.0 + 1e-6

@@ -1,0 +1,31 @@
+"""Figure 9: variable selectivity among the best revised models."""
+
+from __future__ import annotations
+
+from repro.experiments.fig9 import REVISION_VARIABLES, run_fig9
+
+
+def test_fig9_regenerates(benchmark, scale_name):
+    result = benchmark.pedantic(
+        run_fig9, args=(scale_name,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Every Table II variable is reported with a valid percentage.
+    for variable in REVISION_VARIABLES:
+        assert 0.0 <= result.selectivity[variable] <= 100.0
+    # At least one variable is actually being selected by evolution.
+    assert max(result.selectivity.values()) > 0.0
+    # Correlation labels come from the controlled vocabulary.
+    assert set(result.correlation.values()) <= {
+        "correlated",
+        "inversely correlated",
+        "uncorrelated",
+    }
+    # Temperature is available at five of the eight extension points and
+    # is a limiting factor of the hidden truth, so it should be among the
+    # most-selected variables (paper: Vtmp is one of the top factors).
+    top = sorted(
+        result.selectivity, key=result.selectivity.get, reverse=True
+    )[:3]
+    assert "Vtmp" in top

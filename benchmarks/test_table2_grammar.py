@@ -1,0 +1,55 @@
+"""Table II: the revision vocabulary, checked against the paper's rows."""
+
+from __future__ import annotations
+
+from repro.experiments.config_tables import run_table2
+from repro.gp.knowledge import build_grammar
+from repro.river.grammar_def import EXTENSION_SPECS, river_knowledge
+
+#: Paper Table II, row by row: extension -> (variables..., R implied).
+PAPER_TABLE_II = {
+    "Ext1": ("Vcd", "Vph", "Valk"),
+    "Ext2": ("Vsd",),
+    "Ext3": ("Vdo", "Vph", "Valk"),
+    "Ext5": ("Vtmp",),
+    "Ext6": ("Vtmp",),
+    "Ext7": ("Vtmp",),
+    "Ext8": ("Vtmp",),
+    "Ext9": ("Vtmp",),
+}
+
+
+def test_table2_renders(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert "Ext1" in result.text
+    assert "Vcd" in result.text
+
+
+def test_specs_match_paper(benchmark):
+    specs = benchmark.pedantic(
+        lambda: {s.name: s for s in EXTENSION_SPECS}, rounds=1, iterations=1
+    )
+    assert set(specs) == set(PAPER_TABLE_II)
+    for name, variables in PAPER_TABLE_II.items():
+        assert specs[name].variables == variables
+        assert specs[name].include_random
+        # Connector: + for extensions 1-3, * for extensions 5-9.
+        expected_connector = ("+",) if name in ("Ext1", "Ext2", "Ext3") else ("*",)
+        assert specs[name].connector_ops == expected_connector
+        # Extenders: +, -, *, /, log, exp everywhere.
+        assert set(specs[name].extender_ops) == {"+", "-", "*", "/"}
+        assert set(specs[name].unary_extender_ops) == {"log", "exp"}
+
+
+def test_grammar_compiles_every_row(benchmark):
+    grammar = benchmark.pedantic(
+        lambda: build_grammar(river_knowledge()), rounds=1, iterations=1
+    )
+    for name, variables in PAPER_TABLE_II.items():
+        for variable in variables + ("R",):
+            connector_op = "+" if name in ("Ext1", "Ext2", "Ext3") else "*"
+            assert f"conn:{name}:{connector_op}:{variable}" in grammar.betas
+    # No Ext4 anywhere (the paper's numbering skips it).
+    assert not any(":Ext4:" in name for name in grammar.betas)

@@ -1,0 +1,47 @@
+"""Table III: constant-parameter priors, value-for-value."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config_tables import run_table3
+from repro.river.parameters import CONSTANT_PRIORS
+
+#: Paper Table III: name -> (mean, min, max).
+PAPER_TABLE_III = {
+    "CUA": (1.89, 0.1, 4.0),
+    "CUZ": (0.15, 0.0, 0.3),
+    "CBRA": (0.021, 0.0, 0.17),
+    "CBRZ": (0.05, 0.0, 0.2),
+    "CMFR": (0.19, 0.01, 0.8),
+    "CDZ": (0.04, 0.01, 0.1),
+    "CFS": (5.0, 4.0, 6.0),
+    "CBTP1": (27.0, 20.0, 34.0),
+    "CBTP2": (5.0, 1.0, 20.0),
+    "CFmin": (1.0, 0.1, 1.9),
+    "CBL": (26.78, 24.0, 30.0),
+    "CN": (0.0351, 0.02, 0.05),
+    "CP": (0.00167, 0.001, 0.02),
+    "CSI": (0.00467, 0.001, 0.2),
+    "CBMT": (0.04, 0.01, 0.07),
+    "CPT": (0.005, 0.003, 0.2),
+}
+
+
+def test_table3_renders(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert "CUA" in result.text
+
+
+def test_priors_match_paper(benchmark):
+    priors = benchmark.pedantic(
+        lambda: dict(CONSTANT_PRIORS), rounds=1, iterations=1
+    )
+    assert set(priors) == set(PAPER_TABLE_III)
+    for name, (mean, minimum, maximum) in PAPER_TABLE_III.items():
+        prior = priors[name]
+        assert prior.mean == pytest.approx(mean), name
+        assert prior.minimum == pytest.approx(minimum), name
+        assert prior.maximum == pytest.approx(maximum), name

@@ -1,0 +1,37 @@
+"""Table IV: the temporal variable parameters."""
+
+from __future__ import annotations
+
+from repro.experiments.config_tables import run_table4
+from repro.river.parameters import TEMPORAL_VARIABLES, VARIABLE_ORDER
+
+#: Paper Table IV (both columns flattened).
+PAPER_TABLE_IV = {
+    "Vlgt": "irradiance",
+    "Vn": "nitrogen",
+    "Vp": "phosphorus",
+    "Vsi": "silica",
+    "Vtmp": "temperature",
+    "Vdo": "oxygen",
+    "Vcd": "conductivity",
+    "Vph": "ph",
+    "Valk": "alkalinity",
+    "Vsd": "transparency",
+}
+
+
+def test_table4_renders(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert "Vlgt" in result.text
+
+
+def test_variables_match_paper(benchmark):
+    variables = benchmark.pedantic(
+        lambda: dict(TEMPORAL_VARIABLES), rounds=1, iterations=1
+    )
+    assert set(variables) == set(PAPER_TABLE_IV)
+    for name, keyword in PAPER_TABLE_IV.items():
+        assert keyword.lower() in variables[name].lower(), name
+    assert VARIABLE_ORDER == tuple(variables)

@@ -1,0 +1,65 @@
+"""Table V / Figure 1: forecasting accuracy of all sixteen methods.
+
+Shape targets from the paper (absolute numbers differ -- the substrate is
+a synthetic catchment):
+
+* MANUAL is catastrophically worse than everything else;
+* model revision (GMR) beats the best model calibration result;
+* ARIMAX's dynamic multi-year forecast is the weakest data-driven entry,
+  and the ``-All`` variant does not improve on ``-S1``.
+
+The ordering assertions need a real search budget, so they are enforced
+at ``bench``/``full`` scale only; ``smoke`` checks structure and the
+MANUAL gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table5 import run_table5
+
+
+@pytest.fixture(scope="module")
+def table5(scale_name):
+    return run_table5(scale_name)
+
+
+def test_table5_regenerates(benchmark, scale_name):
+    result = benchmark.pedantic(
+        run_table5, args=(scale_name,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    print()
+    print(result.render_figure1())
+    assert len(result.results) == 16  # the Table V row count
+
+
+def test_manual_is_orders_of_magnitude_worse(table5, benchmark):
+    result = benchmark.pedantic(lambda: table5, rounds=1, iterations=1)
+    manual = result.by_method("Manual")
+    others = [r.test_rmse for r in result.results if r.method != "Manual"]
+    assert manual.test_rmse > 10 * max(others)
+
+
+def test_revision_beats_best_calibration(table5, benchmark, scale_name):
+    result = benchmark.pedantic(lambda: table5, rounds=1, iterations=1)
+    calibration = [
+        r.test_rmse
+        for r in result.results
+        if r.method_class == "Model calibration"
+    ]
+    gmr = result.by_method("GMR")
+    if scale_name == "smoke":
+        # Too little search budget for the ordering; just sanity-check.
+        assert gmr.test_rmse < result.by_method("Manual").test_rmse
+        pytest.skip("ordering assertion requires REPRO_SCALE=bench or full")
+    assert gmr.test_rmse <= min(calibration) * 1.10
+
+
+def test_arimax_all_does_not_beat_s1(table5, benchmark):
+    result = benchmark.pedantic(lambda: table5, rounds=1, iterations=1)
+    s1 = result.by_method("ARIMAX-S1")
+    all_stations = result.by_method("ARIMAX-All")
+    assert all_stations.test_rmse >= s1.test_rmse * 0.9

@@ -1,0 +1,24 @@
+"""Reproduce the efficiency results: Figures 10 and 11.
+
+Times the evaluation of a realistic GP population under all combinations
+of tree caching / evaluation short-circuiting / runtime compilation
+(Figure 10), then sweeps the short-circuiting threshold (Figure 11).
+
+Run:  python examples/speedup_study.py             (a few minutes)
+      REPRO_SCALE=smoke python examples/speedup_study.py
+"""
+
+import os
+
+from repro.experiments import run_fig10, run_fig11
+
+
+def main() -> None:
+    scale = os.environ.get("REPRO_SCALE", "bench")
+    print(run_fig10(scale).render())
+    print()
+    print(run_fig11(scale).render())
+
+
+if __name__ == "__main__":
+    main()

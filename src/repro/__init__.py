@@ -1,0 +1,41 @@
+"""Knowledge-guided dynamic systems modeling (GMR), reproduced in Python.
+
+A from-scratch reproduction of *Knowledge-Guided Dynamic Systems
+Modeling: A Case Study on Modeling River Water Quality* (Park, Kim,
+Hoai, McKay, Kim; arXiv:2103.00792):
+
+* :mod:`repro.tag` -- the tree-adjoining-grammar formalism (elementary
+  trees, adjunction/substitution, derivation trees);
+* :mod:`repro.expr` -- the expression engine (AST, interpreter,
+  simplifier, runtime compiler, parser);
+* :mod:`repro.gp` -- TAG3P-based genetic model revision: prior-knowledge
+  encoding, genetic operators, local search, fitness evaluation with
+  tree caching and evaluation short-circuiting;
+* :mod:`repro.dynamics` -- driver tables, process models, integration;
+* :mod:`repro.river` -- the river water-quality case study: the expert
+  biological process, the Nakdong network, the hydrological mass
+  balance, and a synthetic 13-year dataset;
+* :mod:`repro.baselines` -- all comparators of the paper's Table V;
+* :mod:`repro.analysis` -- selectivity / perturbation / model reports;
+* :mod:`repro.experiments` -- one runner per table and figure
+  (``python -m repro.experiments run table5``).
+"""
+
+__version__ = "1.0.0"
+
+from repro.gp import (
+    ExtensionSpec,
+    GMRConfig,
+    GMREngine,
+    ParameterPrior,
+    PriorKnowledge,
+)
+
+__all__ = [
+    "ExtensionSpec",
+    "GMRConfig",
+    "GMREngine",
+    "ParameterPrior",
+    "PriorKnowledge",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Analysis tools: selectivity, perturbation correlation, model reports."""
+
+from repro.analysis.metrics import (
+    SkillReport,
+    kge,
+    mae,
+    nse,
+    pbias,
+    rmse,
+    skill_report,
+)
+from repro.analysis.model_report import report, revision_counts, revision_summary
+from repro.analysis.perturbation import (
+    PerturbationResult,
+    UNCORRELATED_BAND,
+    correlation_labels,
+    perturbation_response,
+)
+from repro.analysis.selectivity import (
+    RevisionUse,
+    extension_usage,
+    revision_uses,
+    revision_variables,
+    variable_selectivity,
+)
+
+__all__ = [
+    "PerturbationResult",
+    "SkillReport",
+    "kge",
+    "mae",
+    "nse",
+    "pbias",
+    "rmse",
+    "skill_report",
+    "RevisionUse",
+    "UNCORRELATED_BAND",
+    "correlation_labels",
+    "extension_usage",
+    "perturbation_response",
+    "report",
+    "revision_counts",
+    "revision_summary",
+    "revision_uses",
+    "revision_variables",
+    "variable_selectivity",
+]

@@ -1,0 +1,112 @@
+"""Forecast-skill metrics for water-quality model evaluation.
+
+RMSE and MAE are the paper's two criteria (Section IV-C); the
+hydrology-standard skill scores -- Nash-Sutcliffe efficiency (NSE),
+Kling-Gupta efficiency (KGE), and percent bias (PBIAS) -- are provided
+for downstream users, since they are the lingua franca for judging
+river-model fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _aligned(observed, predicted) -> tuple[np.ndarray, np.ndarray]:
+    observed = np.asarray(observed, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if observed.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: observed {observed.shape}, "
+            f"predicted {predicted.shape}"
+        )
+    if observed.size == 0:
+        raise ValueError("empty series")
+    return observed, predicted
+
+
+def rmse(observed, predicted) -> float:
+    """Root mean square error (the paper's fitness function)."""
+    observed, predicted = _aligned(observed, predicted)
+    return float(np.sqrt(np.mean((predicted - observed) ** 2)))
+
+
+def mae(observed, predicted) -> float:
+    """Mean absolute error."""
+    observed, predicted = _aligned(observed, predicted)
+    return float(np.mean(np.abs(predicted - observed)))
+
+
+def nse(observed, predicted) -> float:
+    """Nash-Sutcliffe efficiency: 1 is perfect, 0 matches the mean
+    predictor, negative is worse than predicting the mean."""
+    observed, predicted = _aligned(observed, predicted)
+    denominator = np.sum((observed - observed.mean()) ** 2)
+    if denominator == 0:
+        raise ValueError("NSE undefined for a constant observed series")
+    return float(1.0 - np.sum((predicted - observed) ** 2) / denominator)
+
+
+def pbias(observed, predicted) -> float:
+    """Percent bias: positive = underprediction of total mass."""
+    observed, predicted = _aligned(observed, predicted)
+    total = np.sum(observed)
+    if total == 0:
+        raise ValueError("PBIAS undefined when observations sum to zero")
+    return float(100.0 * np.sum(observed - predicted) / total)
+
+
+def kge(observed, predicted) -> float:
+    """Kling-Gupta efficiency (Gupta et al., 2009): 1 is perfect.
+
+    Decomposes skill into correlation, bias ratio, and variability ratio.
+    """
+    observed, predicted = _aligned(observed, predicted)
+    observed_std = observed.std()
+    predicted_std = predicted.std()
+    observed_mean = observed.mean()
+    if observed_std == 0 or observed_mean == 0:
+        raise ValueError("KGE undefined for constant/zero-mean observations")
+    if predicted_std == 0:
+        correlation = 0.0
+    else:
+        correlation = float(np.corrcoef(observed, predicted)[0, 1])
+    beta = float(predicted.mean() / observed_mean)
+    gamma = float(predicted_std / observed_std)
+    return float(
+        1.0
+        - np.sqrt(
+            (correlation - 1.0) ** 2 + (beta - 1.0) ** 2 + (gamma - 1.0) ** 2
+        )
+    )
+
+
+@dataclass(frozen=True)
+class SkillReport:
+    """All skill scores of one prediction series."""
+
+    rmse: float
+    mae: float
+    nse: float
+    kge: float
+    pbias: float
+
+    def render(self) -> str:
+        return (
+            f"RMSE {self.rmse:.3f}  MAE {self.mae:.3f}  "
+            f"NSE {self.nse:.3f}  KGE {self.kge:.3f}  "
+            f"PBIAS {self.pbias:+.1f}%"
+        )
+
+
+def skill_report(observed, predicted) -> SkillReport:
+    """Compute every skill score at once."""
+    return SkillReport(
+        rmse=rmse(observed, predicted),
+        mae=mae(observed, predicted),
+        nse=nse(observed, predicted),
+        kge=kge(observed, predicted),
+        pbias=pbias(observed, predicted),
+    )

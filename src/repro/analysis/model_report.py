@@ -1,0 +1,55 @@
+"""Human-readable reports of revised models (the Section IV-E case study).
+
+Interpretability is a headline property of model revision: unlike
+black-box baselines, a revised model is a readable system of equations
+whose changes against the expert seed can be enumerated.  This module
+renders both views.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.selectivity import revision_uses
+from repro.expr.ast import strip_ext
+from repro.gp.individual import Individual
+
+
+def revision_summary(individual: Individual) -> dict[str, list[str]]:
+    """Revisions per extension point, e.g. ``{"Ext5": ["* Vtmp", "* R"]}``."""
+    summary: dict[str, list[str]] = {}
+    for use in revision_uses(individual):
+        operand = use.operand if use.operand else "(wrap)"
+        summary.setdefault(use.extension, []).append(f"{use.operator} {operand}")
+    return {ext: sorted(parts) for ext, parts in sorted(summary.items())}
+
+
+def revision_counts(individual: Individual) -> Counter:
+    """How many revisions target each extension point."""
+    return Counter(use.extension for use in revision_uses(individual))
+
+
+def report(individual: Individual, state_names: tuple[str, ...]) -> str:
+    """A full report: equations, parameters, and the revision diff."""
+    expressions, rvalues = individual.expressions()
+    assignment = {**individual.params, **rvalues}
+    lines = ["Revised model", "============="]
+    for state, expression in zip(state_names, expressions):
+        rendered = str(strip_ext(expression))
+        for name, value in sorted(rvalues.items(), reverse=True):
+            rendered = rendered.replace(name, format(value, ".4g"))
+        lines.append(f"d{state}/dt = {rendered}")
+    lines.append("")
+    lines.append("Revisions (vs. expert seed)")
+    lines.append("---------------------------")
+    summary = revision_summary(individual)
+    if not summary:
+        lines.append("(none -- pure parameter calibration)")
+    for extension, parts in summary.items():
+        lines.append(f"{extension}: {', '.join(parts)}")
+    lines.append("")
+    lines.append("Constant parameters")
+    lines.append("-------------------")
+    for name, value in sorted(individual.params.items()):
+        lines.append(f"{name} = {value:.4g}")
+    return "\n".join(lines)

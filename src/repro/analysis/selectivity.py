@@ -1,0 +1,92 @@
+"""Variable selectivity among the best revised models (paper Figure 9).
+
+Selectivity of a variable is the percentage of the k best models whose
+*revisions* introduce that variable.  For GMR individuals the revisions
+are read directly off the derivation tree: every beta-tree name encodes
+its extension point, operator, and operand
+(``conn:Ext5:*:Vtmp``, ``ext:Ext1:/:Valk``, ...).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.gp.individual import Individual
+from repro.gp.knowledge import RANDOM_OPERAND
+
+
+@dataclass(frozen=True)
+class RevisionUse:
+    """One revision ingredient used by an individual."""
+
+    extension: str
+    operator: str
+    operand: str
+
+
+def revision_uses(individual: Individual) -> list[RevisionUse]:
+    """All (extension, operator, operand) triples in the derivation tree."""
+    uses: list[RevisionUse] = []
+    for node in individual.derivation.walk():
+        name = node.tree.name
+        parts = name.split(":")
+        if parts[0] in ("conn", "ext") and len(parts) == 4:
+            uses.append(RevisionUse(parts[1], parts[2], parts[3]))
+        elif parts[0] == "extu" and len(parts) == 3:
+            uses.append(RevisionUse(parts[1], parts[2], ""))
+    return uses
+
+
+def revision_variables(individual: Individual) -> set[str]:
+    """Variables introduced by the individual's revisions (``R`` excluded)."""
+    return {
+        use.operand
+        for use in revision_uses(individual)
+        if use.operand and use.operand != RANDOM_OPERAND
+    }
+
+
+def variable_selectivity(
+    individuals: Sequence[Individual],
+    variables: Iterable[str],
+) -> dict[str, float]:
+    """Selectivity (%) of each variable among the given best models.
+
+    Args:
+        individuals: The best models (e.g. the 50 best of Figure 9).
+        variables: Variables to report, e.g. the Table II operand set.
+
+    Returns:
+        Mapping variable -> percentage of models whose revisions use it.
+    """
+    if not individuals:
+        raise ValueError("selectivity needs at least one model")
+    counts: Counter[str] = Counter()
+    for individual in individuals:
+        for variable in revision_variables(individual):
+            counts[variable] += 1
+    total = len(individuals)
+    return {
+        variable: 100.0 * counts.get(variable, 0) / total
+        for variable in variables
+    }
+
+
+def extension_usage(
+    individuals: Sequence[Individual],
+) -> dict[str, float]:
+    """Percentage of models revising each extension point."""
+    if not individuals:
+        raise ValueError("usage needs at least one model")
+    counts: Counter[str] = Counter()
+    for individual in individuals:
+        extensions = {use.extension for use in revision_uses(individual)}
+        for extension in extensions:
+            counts[extension] += 1
+    total = len(individuals)
+    return {
+        extension: 100.0 * count / total
+        for extension, count in sorted(counts.items())
+    }

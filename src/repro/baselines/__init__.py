@@ -1,0 +1,48 @@
+"""Comparator methods for the Table V evaluation."""
+
+from repro.baselines.arimax import ArimaxError, ArimaxModel, auto_arimax, fit_arimax
+from repro.baselines.calibration import (
+    CalibrationProblem,
+    CalibrationResult,
+    Calibrator,
+    all_calibrators,
+)
+from repro.baselines.common import (
+    MethodResult,
+    all_measuring_stations,
+    errors,
+    station_features,
+    target_series,
+)
+from repro.baselines.gggp import (
+    GGGPEngine,
+    GGGPError,
+    GGGPIndividual,
+    GGGPResult,
+)
+from repro.baselines.manual import manual_result
+from repro.baselines.rnn import LstmLayer, LstmRegressor, RnnError
+
+__all__ = [
+    "ArimaxError",
+    "ArimaxModel",
+    "CalibrationProblem",
+    "CalibrationResult",
+    "Calibrator",
+    "GGGPEngine",
+    "GGGPError",
+    "GGGPIndividual",
+    "GGGPResult",
+    "LstmLayer",
+    "LstmRegressor",
+    "MethodResult",
+    "RnnError",
+    "all_calibrators",
+    "all_measuring_stations",
+    "auto_arimax",
+    "errors",
+    "fit_arimax",
+    "manual_result",
+    "station_features",
+    "target_series",
+]

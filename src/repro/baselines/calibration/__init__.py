@@ -1,0 +1,56 @@
+"""Model-calibration baselines: the nine algorithms of Table V."""
+
+from repro.baselines.calibration.annealing import (
+    MaximumLikelihoodCalibrator,
+    SimulatedAnnealingCalibrator,
+)
+from repro.baselines.calibration.base import (
+    CalibrationError,
+    CalibrationProblem,
+    CalibrationResult,
+    Calibrator,
+)
+from repro.baselines.calibration.ga import GeneticAlgorithmCalibrator
+from repro.baselines.calibration.mcmc import (
+    DeMczCalibrator,
+    DreamCalibrator,
+    MetropolisCalibrator,
+)
+from repro.baselines.calibration.samplers import (
+    LatinHypercubeCalibrator,
+    MonteCarloCalibrator,
+)
+from repro.baselines.calibration.sceua import SceUaCalibrator
+
+
+def all_calibrators() -> list[Calibrator]:
+    """One instance of each of the paper's nine calibration methods."""
+    return [
+        GeneticAlgorithmCalibrator(),
+        MonteCarloCalibrator(),
+        LatinHypercubeCalibrator(),
+        MaximumLikelihoodCalibrator(),
+        MetropolisCalibrator(),
+        SimulatedAnnealingCalibrator(),
+        DreamCalibrator(),
+        SceUaCalibrator(),
+        DeMczCalibrator(),
+    ]
+
+
+__all__ = [
+    "CalibrationError",
+    "CalibrationProblem",
+    "CalibrationResult",
+    "Calibrator",
+    "DeMczCalibrator",
+    "DreamCalibrator",
+    "GeneticAlgorithmCalibrator",
+    "LatinHypercubeCalibrator",
+    "MaximumLikelihoodCalibrator",
+    "MetropolisCalibrator",
+    "MonteCarloCalibrator",
+    "SceUaCalibrator",
+    "SimulatedAnnealingCalibrator",
+    "all_calibrators",
+]

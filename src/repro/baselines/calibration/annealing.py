@@ -1,0 +1,120 @@
+"""Simulated annealing and maximum-likelihood calibrators."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.baselines.calibration.base import (
+    CalibrationProblem,
+    CalibrationResult,
+    Calibrator,
+    track_best,
+)
+
+
+class SimulatedAnnealingCalibrator(Calibrator):
+    """Gaussian-proposal simulated annealing (the paper's SA).
+
+    The proposal scale and temperature both decay geometrically over the
+    budget; worse moves are accepted with the Metropolis criterion on the
+    RMSE difference.
+    """
+
+    name = "SA"
+
+    def __init__(
+        self,
+        initial_temperature: float = 5.0,
+        final_temperature: float = 0.01,
+        initial_step: float = 0.2,
+        final_step: float = 0.02,
+    ) -> None:
+        self.initial_temperature = initial_temperature
+        self.final_temperature = final_temperature
+        self.initial_step = initial_step
+        self.final_step = final_step
+
+    def calibrate(
+        self, problem: CalibrationProblem, budget: int, seed: int = 0
+    ) -> CalibrationResult:
+        rng = random.Random(seed)
+        span = problem.upper - problem.lower
+        current = problem.means.copy()
+        current_fitness = problem.evaluate(current)
+        best = (current_fitness, current.copy())
+        history = [best[0]]
+        for iteration in range(1, budget):
+            progress = iteration / max(budget - 1, 1)
+            temperature = self.initial_temperature * (
+                (self.final_temperature / self.initial_temperature) ** progress
+            )
+            step = self.initial_step * (
+                (self.final_step / self.initial_step) ** progress
+            )
+            candidate = current + np.array(
+                [rng.gauss(0.0, step * s) for s in span]
+            )
+            candidate = problem.clip(candidate)
+            fitness = problem.evaluate(candidate)
+            best = track_best(best, fitness, candidate)
+            history.append(best[0])
+            delta = fitness - current_fitness
+            if delta <= 0 or rng.random() < math.exp(
+                -delta / max(temperature, 1e-12)
+            ):
+                current, current_fitness = candidate, fitness
+        return self._result(problem, best[1], best[0], history)
+
+
+class MaximumLikelihoodCalibrator(Calibrator):
+    """Maximum likelihood estimation (the paper's MLE).
+
+    Under i.i.d. Gaussian errors the likelihood is maximised by minimising
+    the RMSE, so MLE reduces to multi-start Nelder-Mead simplex descent on
+    the objective, with out-of-bounds vectors clipped.
+    """
+
+    name = "MLE"
+
+    def __init__(self, restarts: int = 4) -> None:
+        self.restarts = max(1, restarts)
+
+    def calibrate(
+        self, problem: CalibrationProblem, budget: int, seed: int = 0
+    ) -> CalibrationResult:
+        from scipy import optimize
+
+        rng = random.Random(seed)
+        best: tuple[float, np.ndarray] = (math.inf, problem.means)
+        history: list[float] = []
+        per_start = max(budget // self.restarts, problem.dimension + 2)
+
+        def objective(vector: np.ndarray) -> float:
+            if problem.evaluations >= budget:
+                return math.inf
+            fitness = problem.evaluate(vector)
+            nonlocal best
+            best = track_best(best, fitness, problem.clip(vector))
+            history.append(best[0])
+            return fitness
+
+        starts = [problem.means.copy()] + [
+            problem.random_vector(rng) for __ in range(self.restarts - 1)
+        ]
+        for start in starts:
+            if problem.evaluations >= budget:
+                break
+            optimize.minimize(
+                objective,
+                start,
+                method="Nelder-Mead",
+                options={
+                    "maxfev": per_start,
+                    "xatol": 1e-6,
+                    "fatol": 1e-8,
+                },
+            )
+        return self._result(problem, best[1], best[0], history)

@@ -1,0 +1,74 @@
+"""Sampling-based calibrators: Monte Carlo and Latin hypercube sampling."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.baselines.calibration.base import (
+    CalibrationProblem,
+    CalibrationResult,
+    Calibrator,
+    track_best,
+)
+
+
+class MonteCarloCalibrator(Calibrator):
+    """Uniform random sampling of the parameter box (the paper's MC)."""
+
+    name = "MC"
+
+    def calibrate(
+        self, problem: CalibrationProblem, budget: int, seed: int = 0
+    ) -> CalibrationResult:
+        rng = random.Random(seed)
+        best = (math.inf, problem.means)
+        history: list[float] = []
+        for __ in range(budget):
+            vector = problem.random_vector(rng)
+            fitness = problem.evaluate(vector)
+            best = track_best(best, fitness, vector)
+            history.append(best[0])
+        return self._result(problem, best[1], best[0], history)
+
+
+class LatinHypercubeCalibrator(Calibrator):
+    """Latin hypercube sampling (the paper's LHS).
+
+    The budget is spent in rounds; each round stratifies every dimension
+    into as many intervals as remaining samples and draws one value per
+    interval, with the interval order shuffled independently per
+    dimension.
+    """
+
+    name = "LHS"
+
+    def __init__(self, round_size: int = 50) -> None:
+        self.round_size = max(2, round_size)
+
+    def calibrate(
+        self, problem: CalibrationProblem, budget: int, seed: int = 0
+    ) -> CalibrationResult:
+        rng = np.random.default_rng(seed)
+        lower, upper = problem.lower, problem.upper
+        dimension = problem.dimension
+        best: tuple[float, np.ndarray] = (math.inf, problem.means)
+        history: list[float] = []
+        remaining = budget
+        while remaining > 0:
+            n = min(self.round_size, remaining)
+            remaining -= n
+            # One stratified sample per interval per dimension.
+            samples = np.empty((n, dimension))
+            for d in range(dimension):
+                edges = np.linspace(0.0, 1.0, n + 1)
+                points = edges[:-1] + rng.random(n) * (1.0 / n)
+                rng.shuffle(points)
+                samples[:, d] = lower[d] + points * (upper[d] - lower[d])
+            for row in samples:
+                fitness = problem.evaluate(row)
+                best = track_best(best, fitness, row)
+                history.append(best[0])
+        return self._result(problem, best[1], best[0], history)

@@ -1,0 +1,127 @@
+"""Shuffled complex evolution (SCE-UA, Duan et al. 1994).
+
+The population is partitioned into complexes; each complex evolves by
+the competitive complex evolution (CCE) step -- a simplex of points is
+drawn with a triangular probability favouring fitter members, its worst
+point is reflected through the centroid, contracted on failure, and
+replaced randomly as a last resort -- after which complexes are shuffled
+back together.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.baselines.calibration.base import (
+    CalibrationProblem,
+    CalibrationResult,
+    Calibrator,
+    track_best,
+)
+
+
+class SceUaCalibrator(Calibrator):
+    """SCE-UA global optimisation (the paper's SCE-UA)."""
+
+    name = "SCE-UA"
+
+    def __init__(
+        self,
+        n_complexes: int = 4,
+        evolutions_per_complex: int = 5,
+    ) -> None:
+        self.n_complexes = max(2, n_complexes)
+        self.evolutions_per_complex = max(1, evolutions_per_complex)
+
+    def calibrate(
+        self, problem: CalibrationProblem, budget: int, seed: int = 0
+    ) -> CalibrationResult:
+        rng = random.Random(seed)
+        dimension = problem.dimension
+        points_per_complex = 2 * dimension + 1
+        population_size = self.n_complexes * points_per_complex
+        simplex_size = dimension + 1
+
+        best: tuple[float, np.ndarray] = (math.inf, problem.means)
+        history: list[float] = []
+        used = 0
+
+        population: list[np.ndarray] = [problem.means.copy()]
+        population += [
+            problem.random_vector(rng) for __ in range(population_size - 1)
+        ]
+        fitnesses: list[float] = []
+        for vector in population:
+            fitness = problem.evaluate(vector)
+            used += 1
+            fitnesses.append(fitness)
+            best = track_best(best, fitness, vector)
+            history.append(best[0])
+
+        def evaluate(vector: np.ndarray) -> float:
+            nonlocal used, best
+            fitness = problem.evaluate(vector)
+            used += 1
+            best = track_best(best, fitness, vector)
+            history.append(best[0])
+            return fitness
+
+        while used < budget:
+            order = sorted(range(population_size), key=lambda i: fitnesses[i])
+            population = [population[i] for i in order]
+            fitnesses = [fitnesses[i] for i in order]
+            complexes: list[list[int]] = [
+                list(range(c, population_size, self.n_complexes))
+                for c in range(self.n_complexes)
+            ]
+            for members in complexes:
+                if used >= budget:
+                    break
+                for __ in range(self.evolutions_per_complex):
+                    if used >= budget:
+                        break
+                    simplex = self._draw_simplex(members, simplex_size, rng)
+                    simplex.sort(key=lambda i: fitnesses[i])
+                    worst = simplex[-1]
+                    others = simplex[:-1]
+                    centroid = np.mean([population[i] for i in others], axis=0)
+                    reflected = problem.clip(
+                        centroid + (centroid - population[worst])
+                    )
+                    fitness = evaluate(reflected)
+                    if fitness < fitnesses[worst]:
+                        population[worst], fitnesses[worst] = reflected, fitness
+                        continue
+                    if used >= budget:
+                        break
+                    contracted = problem.clip(
+                        (centroid + population[worst]) / 2.0
+                    )
+                    fitness = evaluate(contracted)
+                    if fitness < fitnesses[worst]:
+                        population[worst], fitnesses[worst] = contracted, fitness
+                        continue
+                    if used >= budget:
+                        break
+                    mutant = problem.random_vector(rng)
+                    fitnesses[worst] = evaluate(mutant)
+                    population[worst] = mutant
+        return self._result(problem, best[1], best[0], history)
+
+    @staticmethod
+    def _draw_simplex(
+        members: list[int], simplex_size: int, rng: random.Random
+    ) -> list[int]:
+        """Triangular-probability draw favouring fitter complex members."""
+        size = min(simplex_size, len(members))
+        chosen: set[int] = set()
+        n = len(members)
+        while len(chosen) < size:
+            # P(rank k) proportional to (n - k): fitter members more likely.
+            u = rng.random()
+            rank = int(n * (1.0 - math.sqrt(1.0 - u)))
+            chosen.add(members[min(rank, n - 1)])
+        return list(chosen)

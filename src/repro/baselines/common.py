@@ -1,0 +1,81 @@
+"""Shared result records and data preparation for the Table V comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.river.dataset import RiverDataset
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One row of Table V."""
+
+    method: str
+    method_class: str
+    train_rmse: float
+    train_mae: float
+    test_rmse: float
+    test_mae: float
+
+    def row(self) -> tuple[str, str, str, str, str, str]:
+        def fmt(value: float) -> str:
+            if value >= 1e4:
+                return f"{value:.2e}"
+            return f"{value:.3f}"
+
+        return (
+            self.method_class,
+            self.method,
+            fmt(self.train_rmse),
+            fmt(self.train_mae),
+            fmt(self.test_rmse),
+            fmt(self.test_mae),
+        )
+
+
+def errors(observed: np.ndarray, predicted: np.ndarray) -> tuple[float, float]:
+    """(RMSE, MAE) of a prediction series."""
+    observed = np.asarray(observed, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if observed.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: {observed.shape} vs {predicted.shape}"
+        )
+    residuals = predicted - observed
+    rmse = float(np.sqrt(np.mean(residuals**2)))
+    mae = float(np.mean(np.abs(residuals)))
+    return rmse, mae
+
+
+def station_features(
+    dataset: RiverDataset, stations: list[str] | None = None
+) -> np.ndarray:
+    """Driver-variable feature matrix for the data-driven baselines.
+
+    ``stations=None`` (the ``-S1`` variants) uses S1's ten Table IV
+    variables; a station list (the ``-All`` variants) concatenates the
+    variables of every listed station, mirroring the paper's RNN-All /
+    ARIMAX-All inputs.
+    """
+    if stations is None:
+        stations = ["S1"]
+    columns = [
+        dataset.station(name).drivers.values for name in stations
+    ]
+    return np.concatenate(columns, axis=1)
+
+
+def all_measuring_stations(dataset: RiverDataset) -> list[str]:
+    """All nine measuring stations, main channel first."""
+    return [
+        station.name
+        for station in dataset.network.measuring_stations()
+    ]
+
+
+def target_series(dataset: RiverDataset, station: str = "S1") -> np.ndarray:
+    """The observed chlorophyll-a series at a station."""
+    return dataset.station(station).chlorophyll

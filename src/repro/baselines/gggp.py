@@ -1,0 +1,479 @@
+"""Grammar-guided GP (GGGP) model-revision baseline.
+
+The paper's strongest comparator: like GMR, GGGP receives the expert
+process as input and revises both structure and parameters, but the
+grammar formalism is a context-free grammar (Whigham-style GGGP) rather
+than a TAG, and there is no local search.  Each extension point of the
+prior knowledge becomes a pair of CFG non-terminals::
+
+    Rev_E   ->  EMPTY  |  CONNECT(op_conn, Oper_E, Rev_E)
+    Oper_E  ->  VAR    |  RCONST  |  BIN(op, Oper_E, Oper_E)
+            |   UNARY(op, Oper_E)
+
+An individual is one derivation tree per extension point plus the expert
+constant parameters; its phenotype substitutes each revision chain into
+the corresponding ``Ext`` marker of the seed equations.  Genetic
+operators are classic GGGP: same-non-terminal subtree crossover, subtree
+regrow mutation, and the same truncated-Gaussian parameter mutation GMR
+uses.  Individuals duck-type :class:`repro.gp.individual.Individual`
+(``phenotype``/``fitness``/``fully_evaluated``/``copy``), so the GMR
+fitness evaluator -- including evaluation short-circuiting and tree
+caching -- is reused unchanged, keeping the comparison about the search
+mechanism rather than the evaluation machinery.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.dynamics.system import ProcessModel
+from repro.expr import ast
+from repro.expr.ast import Const, Expr, Ext, Var
+from repro.gp.config import GMRConfig
+from repro.gp.fitness import EvaluationStats, GMRFitnessEvaluator
+from repro.gp.knowledge import (
+    ExtensionSpec,
+    PriorKnowledge,
+    RANDOM_OPERAND,
+)
+
+
+class GGGPError(ValueError):
+    """Raised for invalid GGGP genomes."""
+
+
+@dataclass
+class CfgNode:
+    """A node of a CFG derivation tree.
+
+    Attributes:
+        kind: One of ``"empty"``, ``"connect"``, ``"var"``, ``"rconst"``,
+            ``"bin"``, ``"unary"``.
+        symbol: The non-terminal this node derives (``"rev"`` / ``"oper"``).
+        op: Operator name for ``connect``/``bin``/``unary`` nodes.
+        name: Variable name for ``var`` nodes.
+        value: Constant value for ``rconst`` nodes (Gaussian-mutable).
+        children: Child derivation nodes.
+    """
+
+    kind: str
+    symbol: str
+    op: str = ""
+    name: str = ""
+    value: float = 0.0
+    children: list["CfgNode"] = field(default_factory=list)
+
+    def copy(self) -> "CfgNode":
+        return CfgNode(
+            kind=self.kind,
+            symbol=self.symbol,
+            op=self.op,
+            name=self.name,
+            value=self.value,
+            children=[child.copy() for child in self.children],
+        )
+
+    def walk(self) -> list["CfgNode"]:
+        nodes = [self]
+        for child in self.children:
+            nodes.extend(child.walk())
+        return nodes
+
+    @property
+    def size(self) -> int:
+        return len(self.walk())
+
+
+def random_oper(
+    spec: ExtensionSpec,
+    rng: random.Random,
+    depth: int,
+    max_depth: int,
+    levels: dict[str, float] | None = None,
+) -> CfgNode:
+    """Randomly derive an operand expression for one extension point."""
+    operands = spec.operands()
+    levels = levels or {}
+    choices = ["leaf"]
+    if depth < max_depth:
+        choices += ["bin", "unary"]
+    kind = rng.choice(choices)
+    if kind == "leaf":
+        operand = rng.choice(operands)
+        if operand == RANDOM_OPERAND:
+            return CfgNode("rconst", "oper", value=rng.uniform(0.0, 1.0))
+        # Variables enter as tunable perturbations, matching the GMR
+        # grammar: anomalies around the expert level when known, scaled
+        # otherwise (raw driver magnitudes would be instantly lethal).
+        scale = CfgNode("rconst", "oper", value=rng.uniform(0.0, 1.0))
+        if operand in levels:
+            level = levels[operand]
+            spread = 0.05 * max(abs(level), 1.0)
+            center = CfgNode(
+                "rconst",
+                "oper",
+                value=rng.uniform(level - spread, level + spread),
+            )
+            anomaly = CfgNode(
+                "bin",
+                "oper",
+                op="-",
+                children=[CfgNode("var", "oper", name=operand), center],
+            )
+            return CfgNode("bin", "oper", op="*", children=[anomaly, scale])
+        return CfgNode(
+            "bin",
+            "oper",
+            op="*",
+            children=[CfgNode("var", "oper", name=operand), scale],
+        )
+    if kind == "bin":
+        op = rng.choice(spec.extender_ops)
+        return CfgNode(
+            "bin",
+            "oper",
+            op=op,
+            children=[
+                random_oper(spec, rng, depth + 1, max_depth, levels),
+                random_oper(spec, rng, depth + 1, max_depth, levels),
+            ],
+        )
+    op = rng.choice(spec.unary_extender_ops)
+    return CfgNode(
+        "unary",
+        "oper",
+        op=op,
+        children=[random_oper(spec, rng, depth + 1, max_depth, levels)],
+    )
+
+
+def random_rev(
+    spec: ExtensionSpec,
+    rng: random.Random,
+    depth: int = 0,
+    max_depth: int = 3,
+    levels: dict[str, float] | None = None,
+) -> CfgNode:
+    """Randomly derive a (possibly empty) chain of connector revisions."""
+    if depth >= max_depth or rng.random() < 0.5:
+        return CfgNode("empty", "rev")
+    op = rng.choice(spec.connector_ops)
+    return CfgNode(
+        "connect",
+        "rev",
+        op=op,
+        children=[
+            random_oper(spec, rng, 0, max_depth, levels),
+            random_rev(spec, rng, depth + 1, max_depth, levels),
+        ],
+    )
+
+
+def oper_to_expr(node: CfgNode) -> Expr:
+    if node.kind == "var":
+        return Var(node.name)
+    if node.kind == "rconst":
+        return Const(node.value)
+    if node.kind == "bin":
+        return ast.BinOp(node.op, oper_to_expr(node.children[0]), oper_to_expr(node.children[1]))
+    if node.kind == "unary":
+        return ast.UnOp(node.op, oper_to_expr(node.children[0]))
+    raise GGGPError(f"operand tree contains a {node.kind!r} node")
+
+
+def apply_revision(seed: Expr, rev: CfgNode) -> Expr:
+    """Fold a revision chain onto a seed subexpression."""
+    result = seed
+    node = rev
+    while node.kind == "connect":
+        operand = oper_to_expr(node.children[0])
+        result = ast.BinOp(node.op, result, operand)
+        node = node.children[1]
+    if node.kind != "empty":
+        raise GGGPError("revision chain does not terminate in EMPTY")
+    return result
+
+
+@dataclass
+class GGGPIndividual:
+    """A CFG-derivation genome: one revision tree per extension point."""
+
+    knowledge: PriorKnowledge
+    revisions: dict[str, CfgNode]
+    params: dict[str, float]
+    fitness: float | None = None
+    fully_evaluated: bool = False
+
+    def copy(self) -> "GGGPIndividual":
+        return GGGPIndividual(
+            knowledge=self.knowledge,
+            revisions={name: tree.copy() for name, tree in self.revisions.items()},
+            params=dict(self.params),
+        )
+
+    def invalidate(self) -> None:
+        self.fitness = None
+        self.fully_evaluated = False
+
+    @property
+    def size(self) -> int:
+        return sum(tree.size for tree in self.revisions.values())
+
+    def revised_equations(self) -> dict[str, Expr]:
+        """Substitute every revision chain into its ``Ext`` marker."""
+
+        def rewrite(expr: Expr) -> Expr:
+            if isinstance(expr, Ext):
+                inner = rewrite(expr.operand)
+                revision = self.revisions.get(expr.name)
+                if revision is None:
+                    return inner
+                return apply_revision(inner, revision)
+            kids = expr.children()
+            if not kids:
+                return expr
+            return expr.with_children(tuple(rewrite(child) for child in kids))
+
+        return {
+            state: rewrite(expr)
+            for state, expr in self.knowledge.seed_equations.items()
+        }
+
+    def phenotype(
+        self,
+        state_names: tuple[str, ...],
+        var_order: tuple[str, ...],
+    ) -> tuple[ProcessModel, tuple[float, ...]]:
+        equations = self.revised_equations()
+        model = ProcessModel.from_equations(
+            equations, var_order=var_order, extra_params=tuple(self.params)
+        )
+        values = tuple(self.params[name] for name in model.param_order)
+        return model, values
+
+
+@dataclass
+class GGGPResult:
+    """Outcome of one GGGP run."""
+
+    best: GGGPIndividual
+    stats: EvaluationStats
+    seed: int
+    elapsed: float
+    history: list[float] = field(default_factory=list)
+
+
+@dataclass
+class GGGPEngine:
+    """Generational GGGP with the Appendix-B configuration.
+
+    Because GMR spends extra evaluations on local search, the paper runs
+    GGGP with a proportionally larger population so that both methods use
+    the same number of fitness evaluations; callers control that via
+    ``config.population_size``.
+    """
+
+    knowledge: PriorKnowledge
+    task: object
+    config: GMRConfig = field(default_factory=GMRConfig)
+    max_depth: int = 3
+
+    def run(self, seed: int = 0) -> GGGPResult:
+        config = self.config
+        rng = random.Random(seed)
+        evaluator = GMRFitnessEvaluator(task=self.task, config=config)
+        started = time.perf_counter()
+
+        population = [self._random_individual(rng) for __ in range(config.population_size)]
+        for individual in population:
+            evaluator.evaluate(individual)
+        best = self._best_of(population).copy()
+        best.fitness = self._best_of(population).fitness
+        history = [best.fitness]
+
+        for generation in range(1, config.max_generations + 1):
+            sigma_scale = config.sigma_scale(generation)
+            population = self._next_generation(
+                population, evaluator, rng, sigma_scale
+            )
+            champion = self._best_of(population)
+            if champion.fitness is not None and champion.fitness < (
+                best.fitness or float("inf")
+            ):
+                best = champion.copy()
+                best.fitness = champion.fitness
+                best.fully_evaluated = champion.fully_evaluated
+            history.append(best.fitness)
+        return GGGPResult(
+            best=best,
+            stats=evaluator.stats,
+            seed=seed,
+            elapsed=time.perf_counter() - started,
+            history=history,
+        )
+
+    def _random_individual(self, rng: random.Random) -> GGGPIndividual:
+        levels = self.knowledge.variable_levels
+        revisions = {
+            spec.name: random_rev(
+                spec, rng, max_depth=self.max_depth, levels=levels
+            )
+            for spec in self.knowledge.extensions
+        }
+        return GGGPIndividual(
+            knowledge=self.knowledge,
+            revisions=revisions,
+            params=self.knowledge.initial_parameters(),
+        )
+
+    @staticmethod
+    def _best_of(population: list[GGGPIndividual]) -> GGGPIndividual:
+        return min(
+            population,
+            key=lambda ind: ind.fitness if ind.fitness is not None else float("inf"),
+        )
+
+    def _tournament(
+        self, population: list[GGGPIndividual], rng: random.Random
+    ) -> GGGPIndividual:
+        entrants = [
+            rng.choice(population) for __ in range(self.config.tournament_size)
+        ]
+        return self._best_of(entrants)
+
+    def _next_generation(
+        self,
+        population: list[GGGPIndividual],
+        evaluator: GMRFitnessEvaluator,
+        rng: random.Random,
+        sigma_scale: float,
+    ) -> list[GGGPIndividual]:
+        config = self.config
+        ops = config.operators
+        ranked = sorted(
+            population,
+            key=lambda ind: ind.fitness if ind.fitness is not None else float("inf"),
+        )
+        next_population: list[GGGPIndividual] = []
+        for elite in ranked[: config.elite_size]:
+            clone = elite.copy()
+            clone.fitness = elite.fitness
+            clone.fully_evaluated = elite.fully_evaluated
+            next_population.append(clone)
+
+        while len(next_population) < config.population_size:
+            roll = rng.random()
+            if roll < ops.crossover:
+                children = self._crossover(
+                    self._tournament(population, rng),
+                    self._tournament(population, rng),
+                    rng,
+                )
+            elif roll < ops.crossover + ops.subtree_mutation:
+                children = [
+                    self._subtree_mutation(self._tournament(population, rng), rng)
+                ]
+            elif roll < ops.crossover + ops.subtree_mutation + ops.gaussian_mutation:
+                children = [
+                    self._gaussian_mutation(
+                        self._tournament(population, rng), rng, sigma_scale
+                    )
+                ]
+            else:
+                parent = self._tournament(population, rng)
+                clone = parent.copy()
+                clone.fitness = parent.fitness
+                clone.fully_evaluated = parent.fully_evaluated
+                children = [clone]
+            for child in children:
+                if len(next_population) >= config.population_size:
+                    break
+                if child.fitness is None:
+                    evaluator.evaluate(child)
+                next_population.append(child)
+        return next_population
+
+    def _crossover(
+        self,
+        left: GGGPIndividual,
+        right: GGGPIndividual,
+        rng: random.Random,
+    ) -> list[GGGPIndividual]:
+        """Swap subtrees with matching non-terminals within one extension
+        point (different points have incompatible operand alphabets)."""
+        child_a, child_b = left.copy(), right.copy()
+        ext = rng.choice([spec.name for spec in self.knowledge.extensions])
+        tree_a, tree_b = child_a.revisions[ext], child_b.revisions[ext]
+        for __ in range(self.config.crossover_retries):
+            node_a = rng.choice(tree_a.walk())
+            candidates = [
+                node for node in tree_b.walk() if node.symbol == node_a.symbol
+            ]
+            if not candidates:
+                continue
+            node_b = rng.choice(candidates)
+            node_a_copy = node_a.copy()
+            self._replace(tree_a, node_a, node_b.copy(), child_a, ext)
+            self._replace(tree_b, node_b, node_a_copy, child_b, ext)
+            child_a.invalidate()
+            child_b.invalidate()
+            return [child_a, child_b]
+        return [child_a]
+
+    def _replace(
+        self,
+        root: CfgNode,
+        target: CfgNode,
+        replacement: CfgNode,
+        individual: GGGPIndividual,
+        ext: str,
+    ) -> None:
+        if root is target:
+            individual.revisions[ext] = replacement
+            return
+        for node in root.walk():
+            for index, child in enumerate(node.children):
+                if child is target:
+                    node.children[index] = replacement
+                    return
+
+    def _subtree_mutation(
+        self, parent: GGGPIndividual, rng: random.Random
+    ) -> GGGPIndividual:
+        child = parent.copy()
+        spec = rng.choice(self.knowledge.extensions)
+        tree = child.revisions[spec.name]
+        levels = self.knowledge.variable_levels
+        node = rng.choice(tree.walk())
+        if node.symbol == "rev":
+            replacement = random_rev(
+                spec, rng, max_depth=self.max_depth, levels=levels
+            )
+        else:
+            replacement = random_oper(spec, rng, 0, self.max_depth, levels)
+        self._replace(tree, node, replacement, child, spec.name)
+        child.invalidate()
+        return child
+
+    def _gaussian_mutation(
+        self,
+        parent: GGGPIndividual,
+        rng: random.Random,
+        sigma_scale: float,
+    ) -> GGGPIndividual:
+        child = parent.copy()
+        factor = self.config.gaussian_sigma_factor * sigma_scale
+        for name, prior in self.knowledge.priors.items():
+            current = child.params.get(name, prior.mean)
+            sigma = factor * max(abs(prior.mean), 1e-12)
+            child.params[name] = prior.clip(rng.gauss(current, sigma))
+        low, high = self.knowledge.rconst_bounds
+        for tree in child.revisions.values():
+            for node in tree.walk():
+                if node.kind == "rconst":
+                    sigma = factor * max(abs(node.value), 1.0)
+                    node.value = min(max(rng.gauss(node.value, sigma), low), high)
+        child.invalidate()
+        return child

@@ -1,0 +1,27 @@
+"""The MANUAL baseline: the unrevised, uncalibrated expert model."""
+
+from __future__ import annotations
+
+from repro.baselines.common import MethodResult
+from repro.river.biology import manual_model
+from repro.river.parameters import initial_constants
+
+
+def manual_result(train_task, test_task) -> MethodResult:
+    """Evaluate the expert process at its Table III expected values.
+
+    This is knowledge-driven modeling without any data assistance -- the
+    paper's worst performer by many orders of magnitude, because the
+    hand-picked parameters leave the process dynamically unstable.
+    """
+    model = manual_model()
+    constants = initial_constants()
+    params = tuple(constants[name] for name in model.param_order)
+    return MethodResult(
+        method="Manual",
+        method_class="Knowledge-driven",
+        train_rmse=train_task.rmse(model, params),
+        train_mae=train_task.mae(model, params),
+        test_rmse=test_task.rmse(model, params),
+        test_mae=test_task.mae(model, params),
+    )

@@ -1,0 +1,292 @@
+"""LSTM recurrent-network baseline, implemented in NumPy.
+
+Substitutes the paper's PyTorch model (Appendix B): a two-layer LSTM
+whose hidden size equals the number of input features, followed by a
+two-layer dense head, trained with Adam on MSE loss.  The network
+predicts the phytoplankton biomass at S1 at the next time step from the
+driver variables observed at the current step (``RNN-S1`` uses S1's
+drivers; ``RNN-All`` concatenates all nine stations' drivers).
+
+Training uses truncated back-propagation through time over randomly
+sampled windows; forecasting runs the network statefully across the
+whole evaluation period.  Everything -- gates, BPTT, Adam -- is written
+against plain NumPy so the baseline runs in this offline environment.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class RnnError(ValueError):
+    """Raised for invalid network or data configurations."""
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+@dataclass
+class LstmLayer:
+    """One LSTM layer with combined gate weights.
+
+    Weight layout: ``W`` has shape ``(input + hidden, 4 * hidden)`` with
+    gate order (input, forget, cell, output); forget-gate biases start
+    at 1.0, the standard trick for gradient flow on long sequences.
+    """
+
+    input_size: int
+    hidden_size: int
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        scale = 1.0 / np.sqrt(self.input_size + self.hidden_size)
+        self.W = self.rng.normal(
+            0.0, scale, size=(self.input_size + self.hidden_size, 4 * self.hidden_size)
+        )
+        self.b = np.zeros(4 * self.hidden_size)
+        self.b[self.hidden_size : 2 * self.hidden_size] = 1.0
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def forward(
+        self,
+        inputs: np.ndarray,
+        h0: np.ndarray | None = None,
+        c0: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list]:
+        """Run over a batch of sequences.
+
+        Args:
+            inputs: Array of shape ``(T, B, input_size)``.
+
+        Returns:
+            (hidden sequence ``(T, B, H)``, final h, final c, cache).
+        """
+        T, B, __ = inputs.shape
+        H = self.hidden_size
+        h = np.zeros((B, H)) if h0 is None else h0
+        c = np.zeros((B, H)) if c0 is None else c0
+        hs = np.empty((T, B, H))
+        cache = []
+        for t in range(T):
+            zcat = np.concatenate([inputs[t], h], axis=1)
+            gates = zcat @ self.W + self.b
+            i = _sigmoid(gates[:, :H])
+            f = _sigmoid(gates[:, H : 2 * H])
+            g = np.tanh(gates[:, 2 * H : 3 * H])
+            o = _sigmoid(gates[:, 3 * H :])
+            c = f * c + i * g
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
+            hs[t] = h
+            cache.append((zcat, i, f, g, o, c, tanh_c))
+        return hs, h, c, cache
+
+    def backward(
+        self,
+        d_hs: np.ndarray,
+        cache: list,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """BPTT given upstream gradients on every hidden output.
+
+        Returns (gradient on inputs, dW, db).
+        """
+        T = len(cache)
+        B, H = d_hs.shape[1], self.hidden_size
+        dW = np.zeros_like(self.W)
+        db = np.zeros_like(self.b)
+        d_inputs = np.empty((T, B, self.input_size))
+        dh_next = np.zeros((B, H))
+        dc_next = np.zeros((B, H))
+        for t in reversed(range(T)):
+            zcat, i, f, g, o, c, tanh_c = cache[t]
+            dh = d_hs[t] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c**2) + dc_next
+            c_prev = cache[t - 1][5] if t > 0 else np.zeros_like(c)
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dc_next = dc * f
+            d_gates = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g**2),
+                    do * o * (1.0 - o),
+                ],
+                axis=1,
+            )
+            dW += zcat.T @ d_gates
+            db += d_gates.sum(axis=0)
+            d_zcat = d_gates @ self.W.T
+            d_inputs[t] = d_zcat[:, : self.input_size]
+            dh_next = d_zcat[:, self.input_size :]
+        return d_inputs, dW, db
+
+
+@dataclass
+class AdamState:
+    """Adam optimiser state over a flat list of parameter arrays."""
+
+    parameters: list[np.ndarray]
+    learning_rate: float = 0.01
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    weight_decay: float = 0.0005
+
+    def __post_init__(self) -> None:
+        self._m = [np.zeros_like(p) for p in self.parameters]
+        self._v = [np.zeros_like(p) for p in self.parameters]
+        self._t = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        self._t += 1
+        for index, (param, grad) in enumerate(zip(self.parameters, gradients)):
+            grad = grad + self.weight_decay * param
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad**2
+            m_hat = self._m[index] / (1 - self.beta1**self._t)
+            v_hat = self._v[index] / (1 - self.beta2**self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+@dataclass
+class LstmRegressor:
+    """Two-layer LSTM + two-layer dense head (Appendix B architecture)."""
+
+    n_features: int
+    hidden_size: int | None = None
+    seed: int = 0
+    learning_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        H = self.hidden_size or self.n_features
+        self.H = H
+        self.layer1 = LstmLayer(self.n_features, H, rng)
+        self.layer2 = LstmLayer(H, H, rng)
+        scale = 1.0 / np.sqrt(H)
+        self.W_dense = rng.normal(0.0, scale, size=(H, H))
+        self.b_dense = np.zeros(H)
+        self.W_out = rng.normal(0.0, scale, size=(H, 1))
+        self.b_out = np.zeros(1)
+        self._params = (
+            self.layer1.parameters()
+            + self.layer2.parameters()
+            + [self.W_dense, self.b_dense, self.W_out, self.b_out]
+        )
+        self._adam = AdamState(self._params, learning_rate=self.learning_rate)
+        self._feature_mean: np.ndarray | None = None
+        self._feature_std: np.ndarray | None = None
+        self._target_mean = 0.0
+        self._target_std = 1.0
+
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        return (features - self._feature_mean) / self._feature_std
+
+    def _forward_window(
+        self, window: np.ndarray
+    ) -> tuple[np.ndarray, tuple]:
+        """Forward a batch of windows ``(T, B, D)`` -> predictions ``(T, B)``."""
+        hs1, __, __, cache1 = self.layer1.forward(window)
+        hs2, __, __, cache2 = self.layer2.forward(hs1)
+        T, B, H = hs2.shape
+        flat = hs2.reshape(T * B, H)
+        dense = np.tanh(flat @ self.W_dense + self.b_dense)
+        out = dense @ self.W_out + self.b_out
+        cache = (cache1, cache2, hs2, flat, dense)
+        return out.reshape(T, B), cache
+
+    def _backward_window(
+        self, d_out: np.ndarray, cache: tuple
+    ) -> list[np.ndarray]:
+        cache1, cache2, hs2, flat, dense = cache
+        T, B, H = hs2.shape
+        d_flat_out = d_out.reshape(T * B, 1)
+        dW_out = dense.T @ d_flat_out
+        db_out = d_flat_out.sum(axis=0)
+        d_dense = (d_flat_out @ self.W_out.T) * (1.0 - dense**2)
+        dW_dense = flat.T @ d_dense
+        db_dense = d_dense.sum(axis=0)
+        d_hs2 = (d_dense @ self.W_dense.T).reshape(T, B, H)
+        d_hs1, dW2, db2 = self.layer2.backward(d_hs2, cache2)
+        __, dW1, db1 = self.layer1.backward(d_hs1, cache1)
+        return [dW1, db1, dW2, db2, dW_dense, db_dense, dW_out, db_out]
+
+    def fit(
+        self,
+        features: np.ndarray,
+        target: np.ndarray,
+        epochs: int = 60,
+        window: int = 60,
+        batch_size: int = 16,
+        verbose: bool = False,
+    ) -> list[float]:
+        """Train on (features[t] -> target[t+1]) with truncated BPTT.
+
+        Returns the per-epoch training losses (standardised units).
+        """
+        features = np.asarray(features, dtype=float)
+        target = np.asarray(target, dtype=float)
+        if len(features) != len(target):
+            raise RnnError("features and target must have the same length")
+        if len(features) < window + 2:
+            raise RnnError("series shorter than one training window")
+        self._feature_mean = features.mean(axis=0)
+        self._feature_std = np.where(features.std(axis=0) < 1e-9, 1.0, features.std(axis=0))
+        self._target_mean = float(target.mean())
+        self._target_std = float(max(target.std(), 1e-9))
+        x = self._standardize(features)
+        y = (target - self._target_mean) / self._target_std
+
+        rng = np.random.default_rng(self.seed + 1)
+        n = len(x) - 1  # predict y[t+1] from x[t]
+        losses: list[float] = []
+        n_batches = max(1, n // (window * batch_size))
+        for __ in range(epochs):
+            epoch_loss = 0.0
+            for __batch in range(n_batches):
+                starts = rng.integers(0, n - window, size=batch_size)
+                batch_x = np.stack(
+                    [x[s : s + window] for s in starts], axis=1
+                )  # (T, B, D)
+                batch_y = np.stack(
+                    [y[s + 1 : s + window + 1] for s in starts], axis=1
+                )  # (T, B)
+                predictions, cache = self._forward_window(batch_x)
+                error = predictions - batch_y
+                loss = float(np.mean(error**2))
+                epoch_loss += loss
+                d_out = 2.0 * error / error.size
+                gradients = self._backward_window(d_out, cache)
+                for grad in gradients:
+                    np.clip(grad, -5.0, 5.0, out=grad)
+                self._adam.step(gradients)
+            losses.append(epoch_loss / n_batches)
+            if verbose:
+                print(f"epoch loss {losses[-1]:.4f}")
+        return losses
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Stateful next-step predictions for each time step.
+
+        ``predictions[t]`` estimates the target at ``t + 1`` given
+        features up to ``t``; the array is shifted so that
+        ``predictions[t]`` aligns with ``target[t]`` (the first step
+        falls back to the training mean).
+        """
+        features = np.asarray(features, dtype=float)
+        x = self._standardize(features)[:, None, :]  # (T, 1, D)
+        out, __ = self._forward_window(x)
+        raw = out[:, 0] * self._target_std + self._target_mean
+        aligned = np.empty(len(raw))
+        aligned[0] = self._target_mean
+        aligned[1:] = raw[:-1]
+        return aligned

@@ -1,0 +1,59 @@
+"""Command-line interface for the experiment runners.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run table5 [--scale bench|full|smoke]
+    python -m repro.experiments run all --scale bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import REGISTRY
+
+#: Experiments whose runners accept a scale argument.
+_SCALED = {"table5", "fig9", "fig10", "fig11", "case-study"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    runner = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment id, or 'all'")
+    runner.add_argument(
+        "--scale",
+        default=None,
+        help="compute scale: smoke, bench (default), or full",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(key) for key in REGISTRY)
+        for key, (description, __) in REGISTRY.items():
+            print(f"{key.ljust(width)}  {description}")
+        return 0
+
+    targets = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        if target not in REGISTRY:
+            print(f"unknown experiment {target!r}; try 'list'", file=sys.stderr)
+            return 2
+        __, run = REGISTRY[target]
+        if target in _SCALED:
+            result = run(args.scale)
+        else:
+            result = run()
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

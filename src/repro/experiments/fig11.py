@@ -1,0 +1,156 @@
+"""Figure 11: effect of the evaluation short-circuiting threshold.
+
+Runs GMR under four ES settings (disabled, and thresholds 0.7 / 1.0 /
+1.3) and reports, relative to the threshold-1.0 run as in the paper:
+
+* the number of evaluated time steps;
+* train RMSE and test RMSE of the best model;
+* the percentage of per-generation champions that were fully evaluated.
+
+The paper's qualitative findings -- eager thresholds cut evaluated steps
+at some accuracy cost, and nearly all best models are fully evaluated --
+are the reproduction targets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.experiments.scale import Scale, get_scale
+from repro.experiments.tables import render_table
+from repro.gp import GMRConfig, GMREngine
+from repro.river import load_dataset, river_knowledge
+
+#: ES settings in display order; None = short-circuiting disabled.
+THRESHOLDS: tuple[tuple[str, float | None], ...] = (
+    ("No ES", None),
+    ("ES TH-0.7", 0.7),
+    ("ES TH-1.0", 1.0),
+    ("ES TH-1.3", 1.3),
+)
+
+
+@dataclass
+class Fig11Setting:
+    label: str
+    threshold: float | None
+    steps_evaluated: int
+    train_rmse: float
+    test_rmse: float
+    fully_evaluated_best_pct: float
+    wall_time: float
+
+
+@dataclass
+class Fig11Result:
+    settings: list[Fig11Setting]
+    scale: str
+    elapsed: float
+
+    def _reference(self) -> Fig11Setting:
+        for setting in self.settings:
+            if setting.threshold == 1.0:
+                return setting
+        return self.settings[0]
+
+    def relative(self) -> dict[str, dict[str, float]]:
+        """Per-setting values relative to ES TH-1.0 (the paper's axes)."""
+        ref = self._reference()
+        out = {}
+        for setting in self.settings:
+            out[setting.label] = {
+                "steps": setting.steps_evaluated / max(ref.steps_evaluated, 1),
+                "train_rmse": setting.train_rmse / max(ref.train_rmse, 1e-12),
+                "test_rmse": setting.test_rmse / max(ref.test_rmse, 1e-12),
+                "full_best": (
+                    setting.fully_evaluated_best_pct
+                    / max(ref.fully_evaluated_best_pct, 1e-12)
+                ),
+            }
+        return out
+
+    def render(self) -> str:
+        relative = self.relative()
+        rows = []
+        for setting in self.settings:
+            rel = relative[setting.label]
+            rows.append(
+                (
+                    setting.label,
+                    f"{setting.steps_evaluated} ({rel['steps']:.2f})",
+                    f"{setting.train_rmse:.2f} ({rel['train_rmse']:.2f})",
+                    f"{setting.test_rmse:.2f} ({rel['test_rmse']:.2f})",
+                    f"{setting.fully_evaluated_best_pct:.0f}%",
+                    f"{setting.wall_time:.0f}s",
+                )
+            )
+        return render_table(
+            (
+                "Setting",
+                "# evaluated steps (rel.)",
+                "Train RMSE (rel.)",
+                "Test RMSE (rel.)",
+                "% fully eval. among best",
+                "Wall time",
+            ),
+            rows,
+            title=f"Figure 11: ES threshold sweep (scale={self.scale})",
+        )
+
+
+def _config(scale: Scale, threshold: float | None) -> GMRConfig:
+    return GMRConfig(
+        population_size=max(10, scale.population_size // 2),
+        max_generations=max(3, scale.max_generations // 2),
+        max_size=scale.max_size,
+        init_max_size=scale.init_max_size,
+        local_search_steps=scale.local_search_steps,
+        es_threshold=threshold,
+        sigma_rampdown_generations=max(2, scale.max_generations // 4),
+    )
+
+
+def run_fig11(scale_name: str | None = None, seed: int = 3) -> Fig11Result:
+    """Regenerate the Figure 11 sweep at the requested scale."""
+    scale = get_scale(scale_name)
+    started = time.perf_counter()
+    dataset = load_dataset(
+        n_years=scale.n_years, seed=7, train_years=scale.train_years
+    )
+    train = dataset.river_task("train")
+    test = dataset.river_task("test")
+    knowledge = river_knowledge()
+
+    settings: list[Fig11Setting] = []
+    for label, threshold in THRESHOLDS:
+        engine = GMREngine(knowledge, train, _config(scale, threshold))
+        outcome = engine.run(seed=seed)
+        model, params = outcome.best.phenotype(
+            train.state_names, train.var_order
+        )
+        champions_full = [
+            record.best_fully_evaluated for record in outcome.history
+        ]
+        settings.append(
+            Fig11Setting(
+                label=label,
+                threshold=threshold,
+                steps_evaluated=outcome.stats.steps_evaluated,
+                train_rmse=train.rmse(model, params),
+                test_rmse=test.rmse(model, params),
+                fully_evaluated_best_pct=(
+                    100.0 * sum(champions_full) / len(champions_full)
+                ),
+                wall_time=outcome.elapsed,
+            )
+        )
+    return Fig11Result(
+        settings=settings,
+        scale=scale.name,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+if __name__ == "__main__":
+    print(run_fig11().render())

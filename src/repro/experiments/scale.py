@@ -1,0 +1,98 @@
+"""Experiment scales: how much compute each reproduction run spends.
+
+The paper ran on an 80-core server (100 generations x population 200 x 60
+runs for the GP methods).  This reproduction exposes three scales:
+
+* ``smoke``  -- seconds; used by the unit/integration test suite.
+* ``bench``  -- minutes; the default for ``pytest benchmarks/``.
+* ``full``   -- tens of minutes; closest to the paper, used to produce the
+  numbers recorded in EXPERIMENTS.md.
+
+Select via the ``REPRO_SCALE`` environment variable or pass explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Budget knobs for one experiment scale."""
+
+    name: str
+    #: Synthetic dataset horizon.
+    n_years: int
+    train_years: int
+    #: Calibration baselines: objective evaluations per method.
+    calibration_budget: int
+    #: GP methods: population, generations, independent runs.
+    population_size: int
+    max_generations: int
+    n_runs: int
+    local_search_steps: int
+    max_size: int
+    init_max_size: int
+    #: RNN training epochs.
+    rnn_epochs: int
+    #: Figure 9: number of best models analysed.
+    n_best_models: int
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        n_years=3,
+        train_years=2,
+        calibration_budget=30,
+        population_size=10,
+        max_generations=3,
+        n_runs=1,
+        local_search_steps=1,
+        max_size=12,
+        init_max_size=6,
+        rnn_epochs=3,
+        n_best_models=5,
+    ),
+    "bench": Scale(
+        name="bench",
+        n_years=8,
+        train_years=6,
+        calibration_budget=300,
+        population_size=40,
+        max_generations=15,
+        n_runs=2,
+        local_search_steps=3,
+        max_size=20,
+        init_max_size=8,
+        rnn_epochs=30,
+        n_best_models=20,
+    ),
+    "full": Scale(
+        name="full",
+        n_years=13,
+        train_years=10,
+        calibration_budget=1000,
+        population_size=60,
+        max_generations=40,
+        n_runs=4,
+        local_search_steps=4,
+        max_size=20,
+        init_max_size=8,
+        rnn_epochs=120,
+        n_best_models=50,
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Resolve a scale by name, the ``REPRO_SCALE`` env var, or default."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "bench")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,64 @@
+"""Table I: properties of the modeling-approach classes.
+
+The paper's Table I is a qualitative matrix.  This runner reproduces the
+matrix and, for the properties that are *mechanically checkable* in this
+library, verifies them programmatically (see
+``benchmarks/test_table1_properties.py``):
+
+* knowledge-based model specification -- GMR consumes seed equations;
+* structural model update -- the engine's operators change structure;
+* automatic parameter tuning -- Gaussian mutation moves constants;
+* knowledge consistency -- revisions only occur at declared extension
+  points with declared variables/operators;
+* interpretability -- revised models render as readable equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.tables import render_table
+
+#: The paper's property matrix.  Cell values: "yes", "no", "depends".
+PROPERTIES: tuple[str, ...] = (
+    "Learning models consistent with prior knowledge",
+    "Knowledge-based model specification",
+    "Structural model update",
+    "Automatic tuning of model parameters",
+    "Capacity to model complex systems",
+    "Interpretable",
+)
+
+APPROACHES: dict[str, tuple[str, ...]] = {
+    "Knowledge-driven": ("yes", "yes", "no", "no", "no", "yes"),
+    "Data-driven": ("no", "no", "yes", "yes", "yes", "depends"),
+    "Model calibration": ("depends", "yes", "no", "yes", "no", "yes"),
+    "Model revision": ("depends", "yes", "yes", "yes", "yes", "yes"),
+    "Knowledge-guided model revision": ("yes",) * 6,
+}
+
+
+@dataclass
+class Table1Result:
+    matrix: dict[str, tuple[str, ...]]
+
+    def render(self) -> str:
+        headers = ("Property",) + tuple(self.matrix)
+        rows = []
+        for index, prop in enumerate(PROPERTIES):
+            rows.append(
+                (prop,) + tuple(self.matrix[a][index] for a in self.matrix)
+            )
+        return render_table(headers, rows, title="Table I")
+
+    def satisfies_all(self, approach: str) -> bool:
+        return all(value == "yes" for value in self.matrix[approach])
+
+
+def run_table1() -> Table1Result:
+    """The (static) property matrix; capability checks live in the bench."""
+    return Table1Result(matrix=dict(APPROACHES))
+
+
+if __name__ == "__main__":
+    print(run_table1().render())

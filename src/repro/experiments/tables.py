@@ -1,0 +1,68 @@
+"""Plain-text table rendering shared by all experiment runners."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {columns}"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(str(row[c])) for row in rows))
+        if rows
+        else len(str(headers[c]))
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        "  ".join(str(headers[c]).ljust(widths[c]) for c in range(columns))
+    )
+    lines.append("  ".join("-" * widths[c] for c in range(columns)))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[c]).ljust(widths[c]) for c in range(columns))
+        )
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: dict[str, float],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render a horizontal text bar chart (for the figure reproductions)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    label_width = max(len(label) for label in values)
+    peak = max(abs(v) for v in values.values()) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in values.items():
+        bar = "#" * max(1, round(width * abs(value) / peak))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def format_number(value: float) -> str:
+    """Paper-style number formatting: scientific for huge magnitudes."""
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1e4:
+        return f"{value:.2e}"
+    return f"{value:.3f}"

@@ -1,0 +1,134 @@
+"""Reference tree-walking interpreter for expression ASTs.
+
+This module defines the *protected* operator semantics that the whole
+library relies on; :mod:`repro.expr.compile` generates code that is
+behaviourally identical (a property verified by the test suite).
+
+Protected semantics
+-------------------
+* ``a / b`` returns ``0.0`` when ``|b| < DIV_EPS`` (avoids division blow-ups
+  inside evolved models).
+* ``log(x)`` returns ``log(|x|)`` and ``0.0`` when ``|x| < LOG_EPS``.
+* ``exp(x)`` clamps its argument to ``EXP_MAX`` to avoid overflow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.expr.ast import BinOp, Const, Expr, Ext, Param, State, UnOp, Var
+
+#: Divisor magnitudes below this evaluate protected division to zero.
+DIV_EPS = 1e-12
+
+#: Argument magnitudes below this evaluate protected log to zero.
+LOG_EPS = 1e-12
+
+#: Upper clamp on the argument of the protected exponential.
+EXP_MAX = 60.0
+
+
+class EvaluationError(KeyError):
+    """Raised when an expression references an unbound name."""
+
+
+def protected_div(numerator: float, denominator: float) -> float:
+    """Protected division: zero when the denominator is (near) zero."""
+    if abs(denominator) < DIV_EPS:
+        return 0.0
+    return numerator / denominator
+
+
+def protected_log(value: float) -> float:
+    """Protected natural log: ``log(|x|)``, zero near zero."""
+    magnitude = abs(value)
+    if magnitude < LOG_EPS:
+        return 0.0
+    return math.log(magnitude)
+
+
+def protected_exp(value: float) -> float:
+    """Protected exponential with a clamped argument."""
+    if value > EXP_MAX:
+        value = EXP_MAX
+    return math.exp(value)
+
+
+def evaluate(
+    expr: Expr,
+    params: Mapping[str, float] | None = None,
+    variables: Mapping[str, float] | None = None,
+    states: Mapping[str, float] | None = None,
+) -> float:
+    """Evaluate ``expr`` under the given bindings.
+
+    Args:
+        expr: Expression to evaluate.
+        params: Values for :class:`~repro.expr.ast.Param` nodes.
+        variables: Values for :class:`~repro.expr.ast.Var` nodes.
+        states: Values for :class:`~repro.expr.ast.State` nodes.
+
+    Returns:
+        The evaluated value as a float.
+
+    Raises:
+        EvaluationError: If a referenced name has no binding.
+    """
+    params = params or {}
+    variables = variables or {}
+    states = states or {}
+    return _eval(expr, params, variables, states)
+
+
+def _eval(
+    expr: Expr,
+    params: Mapping[str, float],
+    variables: Mapping[str, float],
+    states: Mapping[str, float],
+) -> float:
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Param):
+        try:
+            return float(params[expr.name])
+        except KeyError:
+            raise EvaluationError(f"unbound parameter {expr.name!r}") from None
+    if isinstance(expr, Var):
+        try:
+            return float(variables[expr.name])
+        except KeyError:
+            raise EvaluationError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, State):
+        try:
+            return float(states[expr.name])
+        except KeyError:
+            raise EvaluationError(f"unbound state {expr.name!r}") from None
+    if isinstance(expr, Ext):
+        return _eval(expr.operand, params, variables, states)
+    if isinstance(expr, UnOp):
+        value = _eval(expr.operand, params, variables, states)
+        if expr.op == "neg":
+            return -value
+        if expr.op == "log":
+            return protected_log(value)
+        if expr.op == "exp":
+            return protected_exp(value)
+        raise AssertionError(f"unreachable unary op {expr.op!r}")
+    if isinstance(expr, BinOp):
+        lhs = _eval(expr.lhs, params, variables, states)
+        rhs = _eval(expr.rhs, params, variables, states)
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            return lhs * rhs
+        if expr.op == "/":
+            return protected_div(lhs, rhs)
+        if expr.op == "min":
+            return min(lhs, rhs)
+        if expr.op == "max":
+            return max(lhs, rhs)
+        raise AssertionError(f"unreachable binary op {expr.op!r}")
+    raise TypeError(f"cannot evaluate node of type {type(expr).__name__}")

@@ -1,0 +1,181 @@
+"""A small infix parser for writing process equations as strings.
+
+The concrete syntax mirrors how the paper writes processes:
+
+* ``+ - * /`` with usual precedence, parentheses, unary minus;
+* function calls ``min(a, b, ...)``, ``max(a, b, ...)``, ``log(x)``,
+  ``exp(x)``;
+* extension-point markers ``{expr}@Ext1`` (the paper's ``{...} Ext1``);
+* numbers become :class:`~repro.expr.ast.Const` nodes;
+* identifiers are classified by the caller-provided name sets: members of
+  ``variables`` become :class:`Var`, members of ``states`` become
+  :class:`State`, everything else becomes :class:`Param`.
+
+Example::
+
+    parse("BPhy * (CUA * Vlgt - {CBRA}@Ext5)",
+          variables={"Vlgt"}, states={"BPhy"})
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.expr import ast
+from repro.expr.ast import Const, Expr, Ext, Param, State, Var
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+(?:[eE][-+]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<symbol>[-+*/(),{}@]))"
+)
+
+_FUNCTIONS = {"min", "max", "log", "exp"}
+
+
+class ParseError(ValueError):
+    """Raised on malformed input strings."""
+
+
+def tokenize(text: str) -> list[tuple[str, str]]:
+    """Split ``text`` into ``(kind, value)`` tokens."""
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].lstrip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected character {remainder[0]!r} in {text!r}")
+        position = match.end()
+        if match.group("number") is not None:
+            tokens.append(("number", match.group("number")))
+        elif match.group("name") is not None:
+            tokens.append(("name", match.group("name")))
+        else:
+            tokens.append(("symbol", match.group("symbol")))
+    return tokens
+
+
+class _Parser:
+    def __init__(
+        self,
+        tokens: list[tuple[str, str]],
+        variables: frozenset[str],
+        states: frozenset[str],
+    ) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._variables = variables
+        self._states = states
+
+    def _peek(self) -> tuple[str, str] | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, symbol: str) -> None:
+        token = self._advance()
+        if token != ("symbol", symbol):
+            raise ParseError(f"expected {symbol!r}, found {token[1]!r}")
+
+    def parse(self) -> Expr:
+        expr = self._expr()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(f"trailing input starting at {leftover[1]!r}")
+        return expr
+
+    def _expr(self) -> Expr:
+        node = self._term()
+        while self._peek() in (("symbol", "+"), ("symbol", "-")):
+            __, op = self._advance()
+            rhs = self._term()
+            node = ast.BinOp(op, node, rhs)
+        return node
+
+    def _term(self) -> Expr:
+        node = self._factor()
+        while self._peek() in (("symbol", "*"), ("symbol", "/")):
+            __, op = self._advance()
+            rhs = self._factor()
+            node = ast.BinOp(op, node, rhs)
+        return node
+
+    def _factor(self) -> Expr:
+        token = self._peek()
+        if token == ("symbol", "-"):
+            self._advance()
+            return ast.neg(self._factor())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        kind, value = self._advance()
+        if kind == "number":
+            return Const(float(value))
+        if kind == "name":
+            if value in _FUNCTIONS:
+                return self._call(value)
+            return self._identifier(value)
+        if (kind, value) == ("symbol", "("):
+            node = self._expr()
+            self._expect(")")
+            return node
+        if (kind, value) == ("symbol", "{"):
+            node = self._expr()
+            self._expect("}")
+            self._expect("@")
+            name_kind, name = self._advance()
+            if name_kind != "name":
+                raise ParseError(f"expected extension name after '@', found {name!r}")
+            return Ext(name, node)
+        raise ParseError(f"unexpected token {value!r}")
+
+    def _call(self, function: str) -> Expr:
+        self._expect("(")
+        arguments = [self._expr()]
+        while self._peek() == ("symbol", ","):
+            self._advance()
+            arguments.append(self._expr())
+        self._expect(")")
+        if function == "min":
+            return ast.minimum(*arguments)
+        if function == "max":
+            return ast.maximum(*arguments)
+        if len(arguments) != 1:
+            raise ParseError(f"{function} takes exactly one argument")
+        if function == "log":
+            return ast.log(arguments[0])
+        return ast.exp(arguments[0])
+
+    def _identifier(self, name: str) -> Expr:
+        if name in self._variables:
+            return Var(name)
+        if name in self._states:
+            return State(name)
+        return Param(name)
+
+
+def parse(
+    text: str,
+    variables: Iterable[str] = (),
+    states: Iterable[str] = (),
+) -> Expr:
+    """Parse ``text`` into an expression AST.
+
+    Args:
+        text: The equation in infix syntax.
+        variables: Identifiers to classify as driver variables.
+        states: Identifiers to classify as state variables.
+    """
+    parser = _Parser(tokenize(text), frozenset(variables), frozenset(states))
+    return parser.parse()

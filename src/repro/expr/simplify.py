@@ -1,0 +1,163 @@
+"""Algebraic simplification and canonicalisation of expression ASTs.
+
+The GP tree cache (:mod:`repro.gp.cache`) keys evaluations on a *canonical*
+form of the expression, so that algebraically identical individuals share a
+cache slot.  The paper (Section III-D) notes that simplifying trees before
+evaluation raises the cache hit rate; this module provides both the
+semantics-preserving rewriter (:func:`simplify`) and the order-insensitive
+key (:func:`canonical_key`).
+
+Simplification is conservative: every rewrite preserves the protected
+operator semantics of :mod:`repro.expr.evaluate` exactly (verified by
+property-based tests), so a simplified tree can be evaluated in place of the
+original.
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import (
+    COMMUTATIVE_OPS,
+    BinOp,
+    Const,
+    Expr,
+    Ext,
+    UnOp,
+)
+from repro.expr.evaluate import (
+    protected_div,
+    protected_exp,
+    protected_log,
+)
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return a semantics-preserving simplified form of ``expr``.
+
+    Applied rewrites: constant folding, additive/multiplicative identity
+    elimination, multiplication by zero, ``x - x -> 0``, double negation,
+    and ``Ext`` markers are stripped (they are identities).
+    """
+    if isinstance(expr, Ext):
+        return simplify(expr.operand)
+
+    kids = expr.children()
+    if not kids:
+        return expr
+
+    simplified = tuple(simplify(child) for child in kids)
+    node = expr.with_children(simplified)
+
+    if isinstance(node, UnOp):
+        return _simplify_unary(node)
+    if isinstance(node, BinOp):
+        return _simplify_binary(node)
+    return node
+
+
+def _simplify_unary(node: UnOp) -> Expr:
+    operand = node.operand
+    if isinstance(operand, Const):
+        if node.op == "neg":
+            return Const(-operand.value)
+        if node.op == "log":
+            return Const(protected_log(operand.value))
+        if node.op == "exp":
+            return Const(protected_exp(operand.value))
+    if node.op == "neg" and isinstance(operand, UnOp) and operand.op == "neg":
+        return operand.operand
+    return node
+
+
+def _simplify_binary(node: BinOp) -> Expr:
+    lhs, rhs = node.lhs, node.rhs
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        return Const(_fold_const(node.op, lhs.value, rhs.value))
+
+    if node.op == "+":
+        if _is_const(lhs, 0.0):
+            return rhs
+        if _is_const(rhs, 0.0):
+            return lhs
+    elif node.op == "-":
+        if _is_const(rhs, 0.0):
+            return lhs
+        if lhs == rhs:
+            return Const(0.0)
+    elif node.op == "*":
+        if _is_const(lhs, 1.0):
+            return rhs
+        if _is_const(rhs, 1.0):
+            return lhs
+        if _is_const(lhs, 0.0) or _is_const(rhs, 0.0):
+            return Const(0.0)
+    elif node.op == "/":
+        if _is_const(rhs, 1.0):
+            return lhs
+        if _is_const(lhs, 0.0):
+            return Const(0.0)
+    elif node.op in ("min", "max"):
+        if lhs == rhs:
+            return lhs
+    return node
+
+
+def _fold_const(op: str, lhs: float, rhs: float) -> float:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        return protected_div(lhs, rhs)
+    if op == "min":
+        return min(lhs, rhs)
+    if op == "max":
+        return max(lhs, rhs)
+    raise AssertionError(f"unreachable binary op {op!r}")
+
+
+def _is_const(expr: Expr, value: float) -> bool:
+    return isinstance(expr, Const) and expr.value == value
+
+
+def canonical_key(expr: Expr) -> str:
+    """Return a canonical string key for ``expr``.
+
+    The key is invariant under operand order of commutative operators and
+    under ``Ext`` markers, and is computed on the simplified tree, so that
+    algebraically equal-by-rewrite expressions map to the same key.  It is
+    *not* a full decision procedure for algebraic equality -- it only needs
+    to be sound (equal keys imply equal semantics), which it is because each
+    step preserves semantics.
+    """
+    return _key(simplify(expr))
+
+
+def _key(expr: Expr) -> str:
+    if isinstance(expr, Ext):
+        return _key(expr.operand)
+    if isinstance(expr, BinOp):
+        if expr.op in COMMUTATIVE_OPS:
+            operands = sorted(_flatten(expr, expr.op))
+            return f"({expr.op} {' '.join(operands)})"
+        return f"({expr.op} {_key(expr.lhs)} {_key(expr.rhs)})"
+    if isinstance(expr, UnOp):
+        return f"({expr.op} {_key(expr.operand)})"
+    if isinstance(expr, Const):
+        return format(expr.value, ".12g")
+    return f"{type(expr).__name__}:{expr}"
+
+
+def _flatten(expr: BinOp, op: str) -> list[str]:
+    """Collect keys of a maximal same-operator commutative subtree."""
+    keys: list[str] = []
+    for side in (expr.lhs, expr.rhs):
+        inner = side
+        while isinstance(inner, Ext):
+            inner = inner.operand
+        if isinstance(inner, BinOp) and inner.op == op:
+            keys.extend(_flatten(inner, op))
+        else:
+            keys.append(_key(inner))
+    return keys

@@ -1,0 +1,78 @@
+"""Genetic model revision: the TAG3P-based GMR engine."""
+
+from repro.gp.cache import CacheStats, TreeCache
+from repro.gp.config import ConfigError, GMRConfig, OperatorProbabilities
+from repro.gp.engine import (
+    GenerationRecord,
+    GMREngine,
+    RunResult,
+    run_many,
+)
+from repro.gp.fitness import (
+    EvaluationStats,
+    GMRFitnessEvaluator,
+    linear_extrapolation,
+    pessimistic_extrapolation,
+)
+from repro.gp.individual import Individual
+from repro.gp.init import (
+    InitialisationError,
+    initial_population,
+    random_individual,
+)
+from repro.gp.knowledge import (
+    BINARY_REVISION_OPS,
+    RANDOM_OPERAND,
+    UNARY_REVISION_OPS,
+    ExtensionSpec,
+    KnowledgeError,
+    ParameterPrior,
+    PriorKnowledge,
+    build_grammar,
+)
+from repro.gp.local_search import deletion, hill_climb, insertion
+from repro.gp.operators import (
+    crossover,
+    gaussian_mutation,
+    replication,
+    subtree_mutation,
+)
+from repro.gp.selection import best_of, elites, tournament_select
+
+__all__ = [
+    "BINARY_REVISION_OPS",
+    "CacheStats",
+    "ConfigError",
+    "EvaluationStats",
+    "ExtensionSpec",
+    "GMRConfig",
+    "GMREngine",
+    "GMRFitnessEvaluator",
+    "GenerationRecord",
+    "Individual",
+    "InitialisationError",
+    "KnowledgeError",
+    "OperatorProbabilities",
+    "ParameterPrior",
+    "PriorKnowledge",
+    "RANDOM_OPERAND",
+    "RunResult",
+    "TreeCache",
+    "UNARY_REVISION_OPS",
+    "best_of",
+    "build_grammar",
+    "crossover",
+    "deletion",
+    "elites",
+    "gaussian_mutation",
+    "hill_climb",
+    "initial_population",
+    "insertion",
+    "linear_extrapolation",
+    "pessimistic_extrapolation",
+    "random_individual",
+    "replication",
+    "run_many",
+    "subtree_mutation",
+    "tournament_select",
+]

@@ -1,0 +1,81 @@
+"""Tree caching of fitness evaluations (Section III-D).
+
+Evaluation results are cached keyed on the *canonical* model structure
+plus the (rounded) parameter values, so re-evaluating an algebraically
+identical individual is a dictionary lookup.  Canonicalising the structure
+first -- the paper's "algebraically simplifying the trees before they are
+evaluated" -- is what lifts the hit rate above exact-duplicate matching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+#: Cache keys round parameter values to this many significant digits, so
+#: float noise below evaluation precision does not fragment entries.
+PARAM_KEY_DIGITS = 12
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for a tree cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class TreeCache:
+    """A bounded FIFO cache from evaluation keys to fitness values."""
+
+    max_entries: int = 200_000
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._entries: OrderedDict[Hashable, float] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def make_key(structure_key: str, params: Sequence[float]) -> Hashable:
+        """Build a cache key from a structure key and parameter values."""
+        rounded = tuple(
+            float(format(value, f".{PARAM_KEY_DIGITS}g")) for value in params
+        )
+        return (structure_key, rounded)
+
+    def get(self, key: Hashable) -> float | None:
+        """Look up a fitness; updates hit/miss statistics."""
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, fitness: float) -> None:
+        """Store a fitness, evicting the oldest entry when full."""
+        if key in self._entries:
+            self._entries[key] = fitness
+            return
+        if len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = fitness
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,126 @@
+"""Configuration for the GMR engine.
+
+Defaults follow Appendix B of the paper (population 200, 100 generations,
+elite 2, tournament 5, chromosome size 2..50, operator probabilities
+crossover/subtree/Gaussian/replication = 0.3/0.3/0.3/0.1, five local-search
+steps).  Experiments in this reproduction typically scale the population
+and generation counts down; the dataclass keeps every knob explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ConfigError(ValueError):
+    """Raised for inconsistent engine configurations."""
+
+
+@dataclass(frozen=True)
+class OperatorProbabilities:
+    """Probabilities with which reproduction operators are chosen."""
+
+    crossover: float = 0.3
+    subtree_mutation: float = 0.3
+    gaussian_mutation: float = 0.3
+    replication: float = 0.1
+
+    def __post_init__(self) -> None:
+        total = (
+            self.crossover
+            + self.subtree_mutation
+            + self.gaussian_mutation
+            + self.replication
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"operator probabilities sum to {total}, not 1")
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ConfigError(f"negative probability for {name}")
+
+
+@dataclass(frozen=True)
+class GMRConfig:
+    """All knobs of a genetic-model-revision run.
+
+    Attributes:
+        population_size: Number of individuals per generation (POPSIZE).
+        max_generations: Number of generations (MAXGEN).
+        min_size: Minimum chromosome size (derivation nodes, MINSIZE).
+        max_size: Maximum chromosome size (MAXSIZE).
+        init_max_size: Cap on the *initial* individual size (None grows up
+            to ``max_size``, the paper's behaviour).  Starting small and
+            letting insertion/crossover grow structure tends to co-adapt
+            constants better under tight evaluation budgets.
+        elite_size: Individuals copied unchanged each generation.
+        tournament_size: Tournament selection pressure.
+        operators: Reproduction-operator probabilities.
+        local_search_steps: Hill-climbing steps per offspring (0 disables).
+        gaussian_sigma_factor: Mutation sigma as a fraction of the prior
+            mean (the paper uses 1/4).
+        sigma_rampdown_generations: Over how many final generations the
+            sigma is ramped down linearly (the paper's ``k``).
+        es_threshold: Evaluation short-circuiting threshold; None disables
+            short-circuiting entirely.  Lower values are more eager; like
+            the paper's Figure 11, eager thresholds trade accuracy for
+            fewer evaluated time steps, and 1.3 matches full evaluation
+            quality at a fraction of the cost on the river task.
+        use_tree_cache: Enable fitness caching on canonical structure.
+        use_compilation: Evaluate through runtime-compiled step functions
+            (False falls back to the tree-walking interpreter).
+        crossover_retries: Attempts to find compatible crossover subtrees
+            before giving up (the paper's retry limit).
+        local_search_gaussian: Mix a Gaussian parameter tweak into the
+            local-search moves (memetic extension; the paper's local
+            search uses insertion/deletion only -- set False for the
+            strictly-paper behaviour).
+    """
+
+    population_size: int = 200
+    max_generations: int = 100
+    min_size: int = 2
+    max_size: int = 50
+    init_max_size: int | None = None
+    elite_size: int = 2
+    tournament_size: int = 5
+    operators: OperatorProbabilities = field(default_factory=OperatorProbabilities)
+    local_search_steps: int = 5
+    gaussian_sigma_factor: float = 0.25
+    sigma_rampdown_generations: int = 10
+    es_threshold: float | None = 1.3
+    local_search_gaussian: bool = True
+    use_tree_cache: bool = True
+    use_compilation: bool = True
+    crossover_retries: int = 10
+
+    def __post_init__(self) -> None:
+        if self.population_size < 1:
+            raise ConfigError("population_size must be positive")
+        if self.max_generations < 1:
+            raise ConfigError("max_generations must be positive")
+        if not 1 <= self.min_size <= self.max_size:
+            raise ConfigError("need 1 <= min_size <= max_size")
+        if self.init_max_size is not None and not (
+            self.min_size <= self.init_max_size <= self.max_size
+        ):
+            raise ConfigError("init_max_size must lie in [min_size, max_size]")
+        if self.elite_size < 0 or self.elite_size > self.population_size:
+            raise ConfigError("elite_size must be in [0, population_size]")
+        if self.tournament_size < 1:
+            raise ConfigError("tournament_size must be positive")
+        if self.es_threshold is not None and self.es_threshold <= 0:
+            raise ConfigError("es_threshold must be positive or None")
+        if self.gaussian_sigma_factor <= 0:
+            raise ConfigError("gaussian_sigma_factor must be positive")
+
+    def sigma_scale(self, generation: int) -> float:
+        """Linear ramp-down of the Gaussian-mutation sigma (Section III-B3).
+
+        Returns 1.0 until the final ``sigma_rampdown_generations``
+        generations, then decays linearly towards (but never reaching) 0.
+        """
+        remaining = self.max_generations - generation
+        k = self.sigma_rampdown_generations
+        if k <= 0 or remaining >= k:
+            return 1.0
+        return max(remaining, 1) / k

@@ -1,0 +1,246 @@
+"""The generational model-revision loop (paper Figure 5).
+
+Each generation: elites are preserved; the rest of the next population is
+produced by tournament selection plus one of the four reproduction
+operators (crossover, subtree mutation, Gaussian mutation, replication);
+offspring then undergo stochastic hill-climbing local search.  Prior
+knowledge flows through every stage -- the seed alpha-tree anchors
+initialisation, beta-trees constrain structural revisions, and parameter
+priors govern Gaussian mutation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dynamics.task import ModelingTask
+from repro.gp.config import GMRConfig
+from repro.gp.fitness import EvaluationStats, GMRFitnessEvaluator
+from repro.gp.individual import Individual
+from repro.gp.init import initial_population
+from repro.gp.knowledge import PriorKnowledge, build_grammar
+from repro.gp.local_search import hill_climb
+from repro.gp.operators import (
+    crossover,
+    gaussian_mutation,
+    replication,
+    subtree_mutation,
+)
+from repro.gp.selection import best_of, elites, tournament_select
+from repro.tag.grammar import TagGrammar
+
+#: Optional per-generation progress callback ``(generation, record)``.
+ProgressFn = Callable[[int, "GenerationRecord"], None]
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """Statistics of one generation."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    best_size: int
+    best_fully_evaluated: bool
+    evaluations_so_far: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of one GMR run."""
+
+    best: Individual
+    history: list[GenerationRecord]
+    stats: EvaluationStats
+    seed: int
+    elapsed: float
+
+    @property
+    def best_fitness(self) -> float:
+        if self.best.fitness is None:
+            return float("inf")
+        return self.best.fitness
+
+
+@dataclass
+class GMREngine:
+    """Knowledge-guided genetic model revision.
+
+    Attributes:
+        knowledge: Prior knowledge (seed process, revisions, priors).
+        task: The modeling task to fit.
+        config: Engine configuration.
+        grammar: The TAG compiled from ``knowledge`` (built if omitted).
+    """
+
+    knowledge: PriorKnowledge
+    task: ModelingTask
+    config: GMRConfig = field(default_factory=GMRConfig)
+    grammar: TagGrammar | None = None
+    use_local_search: bool = True
+
+    def __post_init__(self) -> None:
+        if self.grammar is None:
+            self.grammar = build_grammar(self.knowledge)
+        if tuple(self.knowledge.state_names) != tuple(self.task.state_names):
+            raise ValueError(
+                "knowledge and task disagree on state names: "
+                f"{self.knowledge.state_names} vs {self.task.state_names}"
+            )
+
+    def make_evaluator(self) -> GMRFitnessEvaluator:
+        return GMRFitnessEvaluator(task=self.task, config=self.config)
+
+    def run(
+        self,
+        seed: int = 0,
+        progress: ProgressFn | None = None,
+        evaluator: GMRFitnessEvaluator | None = None,
+    ) -> RunResult:
+        """Execute one full evolutionary run.
+
+        Args:
+            seed: RNG seed (runs are deterministic given a seed).
+            progress: Optional callback invoked after each generation.
+            evaluator: Custom evaluator (e.g. with different ES settings);
+                a fresh one is created when omitted.
+        """
+        config = self.config
+        rng = random.Random(seed)
+        if evaluator is None:
+            evaluator = self.make_evaluator()
+        started = time.perf_counter()
+
+        population = initial_population(
+            self.grammar, self.knowledge, config, rng
+        )
+        for individual in population:
+            evaluator.evaluate(individual)
+
+        best = self._track_best(None, population)
+        history: list[GenerationRecord] = []
+        record = self._record(0, population, evaluator)
+        history.append(record)
+        if progress is not None:
+            progress(0, record)
+
+        for generation in range(1, config.max_generations + 1):
+            sigma_scale = config.sigma_scale(generation)
+            population = self._next_generation(
+                population, evaluator, rng, sigma_scale
+            )
+            best = self._track_best(best, population)
+            record = self._record(generation, population, evaluator)
+            history.append(record)
+            if progress is not None:
+                progress(generation, record)
+
+        elapsed = time.perf_counter() - started
+        return RunResult(
+            best=best,
+            history=history,
+            stats=evaluator.stats,
+            seed=seed,
+            elapsed=elapsed,
+        )
+
+    def _next_generation(
+        self,
+        population: list[Individual],
+        evaluator: GMRFitnessEvaluator,
+        rng: random.Random,
+        sigma_scale: float,
+    ) -> list[Individual]:
+        config = self.config
+        ops = config.operators
+        next_population: list[Individual] = elites(population, config.elite_size)
+
+        def select() -> Individual:
+            return tournament_select(population, config.tournament_size, rng)
+
+        while len(next_population) < config.population_size:
+            roll = rng.random()
+            offspring: list[Individual] = []
+            if roll < ops.crossover:
+                pair = crossover(select(), select(), self.grammar, config, rng)
+                if pair is None:
+                    offspring = [replication(select())]
+                else:
+                    offspring = list(pair)
+            elif roll < ops.crossover + ops.subtree_mutation:
+                child = subtree_mutation(select(), self.grammar, config, rng)
+                offspring = [child if child is not None else replication(select())]
+            elif roll < ops.crossover + ops.subtree_mutation + ops.gaussian_mutation:
+                offspring = [
+                    gaussian_mutation(
+                        select(), self.knowledge, config, rng, sigma_scale
+                    )
+                ]
+            else:
+                offspring = [replication(select())]
+
+            for child in offspring:
+                if len(next_population) >= config.population_size:
+                    break
+                if child.fitness is None:
+                    evaluator.evaluate(child)
+                if self.use_local_search and config.local_search_steps > 0:
+                    child = hill_climb(
+                        child,
+                        self.grammar,
+                        config,
+                        evaluator.evaluate,
+                        rng,
+                        knowledge=self.knowledge,
+                        sigma_scale=sigma_scale,
+                    )
+                next_population.append(child)
+        return next_population
+
+    @staticmethod
+    def _track_best(
+        best: Individual | None, population: list[Individual]
+    ) -> Individual:
+        candidate = best_of(population)
+        if best is None or (
+            candidate.fitness is not None
+            and candidate.fitness < (best.fitness or float("inf"))
+        ):
+            clone = candidate.copy()
+            clone.fitness = candidate.fitness
+            clone.fully_evaluated = candidate.fully_evaluated
+            return clone
+        return best
+
+    @staticmethod
+    def _record(
+        generation: int,
+        population: list[Individual],
+        evaluator: GMRFitnessEvaluator,
+    ) -> GenerationRecord:
+        fitnesses = [
+            individual.fitness
+            for individual in population
+            if individual.fitness is not None
+        ]
+        champion = best_of(population)
+        return GenerationRecord(
+            generation=generation,
+            best_fitness=champion.fitness if champion.fitness is not None else float("inf"),
+            mean_fitness=sum(fitnesses) / len(fitnesses) if fitnesses else float("inf"),
+            best_size=champion.size,
+            best_fully_evaluated=champion.fully_evaluated,
+            evaluations_so_far=evaluator.stats.evaluations,
+        )
+
+
+def run_many(
+    engine: GMREngine,
+    n_runs: int,
+    base_seed: int = 0,
+) -> list[RunResult]:
+    """Execute several independent runs with consecutive seeds."""
+    return [engine.run(seed=base_seed + index) for index in range(n_runs)]

@@ -1,0 +1,203 @@
+"""Fitness evaluation with evaluation short-circuiting (Algorithm 1).
+
+The evaluator combines the three speedup techniques of Section III-D, each
+independently switchable for the Figure 10 ablation:
+
+* **Tree caching (TC)** -- fitness results are cached on the canonical
+  simplified structure plus parameter values (:mod:`repro.gp.cache`).
+* **Evaluation short-circuiting (ES)** -- Algorithm 1: evaluation over the
+  fitness cases is stopped as soon as the extrapolated fitness cannot beat
+  the best previously *fully evaluated* fitness, controlled by the
+  ``threshold`` eagerness parameter.
+* **Runtime compilation (RC)** -- models are evaluated through compiled
+  step functions rather than the tree-walking interpreter
+  (:mod:`repro.expr.compile`); compiled functions are shared between
+  structurally identical individuals.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dynamics.integrate import SimulationDiverged
+from repro.dynamics.task import BAD_FITNESS, ModelingTask
+from repro.expr.compile import CompiledModel
+from repro.gp.cache import TreeCache
+from repro.gp.config import GMRConfig
+from repro.gp.individual import Individual
+
+#: Extrapolates a final fitness from a partial one:
+#: ``extrapolate(partial_fitness, cases_done, total_cases)``.
+ExtrapolationFn = Callable[[float, int, int], float]
+
+
+def linear_extrapolation(fitness: float, cases_done: int, total_cases: int) -> float:
+    """Linear extrapolation of the accumulated squared error.
+
+    With RMSE as fitness, scaling the partial SSE linearly to the full
+    horizon leaves the RMSE unchanged, so the partial RMSE *is* the linear
+    estimate of the final fitness.
+    """
+    return fitness
+
+
+def pessimistic_extrapolation(
+    fitness: float, cases_done: int, total_cases: int
+) -> float:
+    """Assume the per-case error keeps growing at the observed rate.
+
+    A stricter alternative extrapolation: errors of dynamic models tend to
+    accumulate, so weight the partial RMSE up by the remaining fraction.
+    """
+    if cases_done <= 0:
+        return fitness
+    remaining = (total_cases - cases_done) / total_cases
+    return fitness * (1.0 + 0.5 * remaining)
+
+
+@dataclass
+class EvaluationStats:
+    """Bookkeeping across all evaluations performed by an evaluator."""
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    short_circuits: int = 0
+    full_evaluations: int = 0
+    divergences: int = 0
+    steps_evaluated: int = 0
+    steps_possible: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def mean_time_per_individual(self) -> float:
+        if self.evaluations == 0:
+            return 0.0
+        return self.wall_time / self.evaluations
+
+    @property
+    def step_fraction(self) -> float:
+        """Fraction of fitness cases actually evaluated."""
+        if self.steps_possible == 0:
+            return 0.0
+        return self.steps_evaluated / self.steps_possible
+
+
+@dataclass
+class GMRFitnessEvaluator:
+    """Evaluates individuals on a modeling task with TC/ES/RC switches.
+
+    Attributes:
+        task: The modeling task (drivers, observations, target state).
+        config: Engine configuration supplying the TC/ES/RC switches.
+        extrapolate: Extrapolation used by short-circuiting.
+    """
+
+    task: ModelingTask
+    config: GMRConfig
+    extrapolate: ExtrapolationFn = linear_extrapolation
+    stats: EvaluationStats = field(default_factory=EvaluationStats)
+
+    def __post_init__(self) -> None:
+        self._cache = TreeCache()
+        self._compiled: dict[tuple, CompiledModel] = {}
+        #: Best fitness seen among *full* evaluations (Algorithm 1's
+        #: ``bestPrevFull``).
+        self.best_prev_full: float = math.inf
+
+    @property
+    def cache(self) -> TreeCache:
+        return self._cache
+
+    def reset(self) -> None:
+        """Clear caches and the best-previous-full marker (new run)."""
+        self._cache.clear()
+        self._compiled.clear()
+        self.best_prev_full = math.inf
+        self.stats = EvaluationStats()
+
+    def __call__(self, individual: Individual) -> float:
+        return self.evaluate(individual)
+
+    def evaluate(self, individual: Individual) -> float:
+        """Evaluate one individual, honouring the configured speedups.
+
+        Sets ``individual.fitness`` and ``individual.fully_evaluated``.
+        """
+        started = time.perf_counter()
+        fitness, fully = self._evaluate_inner(individual)
+        individual.fitness = fitness
+        individual.fully_evaluated = fully
+        self.stats.evaluations += 1
+        self.stats.wall_time += time.perf_counter() - started
+        return fitness
+
+    def _evaluate_inner(self, individual: Individual) -> tuple[float, bool]:
+        config = self.config
+        model, params = individual.phenotype(
+            self.task.state_names, self.task.var_order
+        )
+        structure_key = model.structure_key()
+
+        cache_key = None
+        if config.use_tree_cache:
+            cache_key = TreeCache.make_key(structure_key, params)
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached, True
+
+        if config.use_compilation:
+            # Sharing must key on the parameter order too: simplification can
+            # collapse structurally different models (with different raw
+            # parameter vectors) onto one canonical key, but a compiled step
+            # function indexes parameters positionally.
+            share_key = (structure_key, model.param_order)
+            shared = self._compiled.get(share_key)
+            if shared is not None:
+                model._compiled = shared
+            else:
+                self._compiled[share_key] = model.compiled()
+
+        total_cases = self.task.n_cases
+        self.stats.steps_possible += total_cases
+        threshold = config.es_threshold
+
+        sse = 0.0
+        cases_done = 0
+        try:
+            for squared_error in self.task.error_stream(
+                model, params, use_compiled=config.use_compilation
+            ):
+                sse += squared_error
+                cases_done += 1
+                if threshold is not None and cases_done < total_cases:
+                    fitness = math.sqrt(sse / cases_done)
+                    if fitness > self.best_prev_full * threshold:
+                        estimate = self.extrapolate(
+                            fitness, cases_done, total_cases
+                        )
+                        if estimate > self.best_prev_full:
+                            self.stats.short_circuits += 1
+                            self.stats.steps_evaluated += cases_done
+                            return estimate, False
+        except (SimulationDiverged, OverflowError):
+            self.stats.divergences += 1
+            self.stats.steps_evaluated += cases_done
+            if cache_key is not None:
+                self._cache.put(cache_key, BAD_FITNESS)
+            return BAD_FITNESS, True
+
+        self.stats.steps_evaluated += cases_done
+        if cases_done == 0 or not math.isfinite(sse):
+            self.stats.divergences += 1
+            return BAD_FITNESS, True
+        fitness = math.sqrt(sse / cases_done)
+        self.stats.full_evaluations += 1
+        if fitness < self.best_prev_full:
+            self.best_prev_full = fitness
+        if cache_key is not None:
+            self._cache.put(cache_key, fitness)
+        return fitness, True

@@ -1,0 +1,95 @@
+"""Individuals: derivation-tree genomes plus constant parameters.
+
+An individual couples the structural genome (a TAG derivation tree) with
+the values of the expert model's constant parameters (Table III).  Random
+constants introduced by revisions (``R`` lexemes) live inside the
+derivation tree itself so they travel with subtrees under crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dynamics.system import ProcessModel
+from repro.expr.ast import Expr
+from repro.tag.derivation import DerivationTree
+from repro.tag.derive import expressions_of
+
+
+@dataclass
+class Individual:
+    """One candidate revised model.
+
+    Attributes:
+        derivation: The TAG derivation tree (structure genome).
+        params: Values of the expert constant parameters, keyed by name.
+        fitness: Last evaluated fitness (lower is better); None if stale.
+        fully_evaluated: Whether the last evaluation ran all fitness cases
+            (False when evaluation short-circuiting returned an estimate).
+    """
+
+    derivation: DerivationTree
+    params: dict[str, float]
+    fitness: float | None = field(default=None, compare=False)
+    fully_evaluated: bool = field(default=False, compare=False)
+
+    def copy(self) -> "Individual":
+        """Deep copy; the copy's fitness is invalidated."""
+        return Individual(
+            derivation=self.derivation.copy(),
+            params=dict(self.params),
+        )
+
+    def invalidate(self) -> None:
+        """Mark cached fitness stale after a structural/parameter change."""
+        self.fitness = None
+        self.fully_evaluated = False
+
+    @property
+    def size(self) -> int:
+        """Chromosome size (number of derivation nodes)."""
+        return self.derivation.size
+
+    def expressions(self) -> tuple[list[Expr], dict[str, float]]:
+        """Derive the phenotype expressions and random-constant values."""
+        return expressions_of(self.derivation)
+
+    def phenotype(
+        self,
+        state_names: tuple[str, ...],
+        var_order: tuple[str, ...],
+    ) -> tuple[ProcessModel, tuple[float, ...]]:
+        """Materialise the individual as a process model plus parameters.
+
+        Returns the model and a parameter tuple following the model's
+        ``param_order`` (expert parameters first, then ``_Rk`` constants).
+        """
+        expressions, rvalues = self.expressions()
+        if len(expressions) != len(state_names):
+            raise ValueError(
+                f"derived {len(expressions)} equations for "
+                f"{len(state_names)} states"
+            )
+        equations = dict(zip(state_names, expressions))
+        model = ProcessModel.from_equations(
+            equations,
+            var_order=var_order,
+            extra_params=tuple(self.params),
+        )
+        assignment = {**self.params, **rvalues}
+        values = tuple(assignment[name] for name in model.param_order)
+        return model, values
+
+    def describe(self, state_names: tuple[str, ...]) -> str:
+        """Render the revised equations with parameter values substituted."""
+        expressions, rvalues = self.expressions()
+        assignment = {**self.params, **rvalues}
+        lines = [
+            f"d{name}/dt = {expr}"
+            for name, expr in zip(state_names, expressions)
+        ]
+        lines.append(
+            "params: "
+            + ", ".join(f"{k}={v:.4g}" for k, v in sorted(assignment.items()))
+        )
+        return "\n".join(lines)

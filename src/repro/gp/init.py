@@ -1,0 +1,117 @@
+"""Population initialisation for TAG3P-based model revision.
+
+Following Section III-B2, an individual is created by selecting a size
+between MINSIZE and MAXSIZE, starting from the seed alpha-tree (the expert
+process -- the paper's "significant knowledge transfer at the starting
+point"), and repeatedly adjoining randomly chosen compatible beta-trees at
+randomly chosen open addresses until the target size is reached.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.gp.config import GMRConfig
+from repro.gp.individual import Individual
+from repro.gp.knowledge import PriorKnowledge
+from repro.tag.derivation import DerivationNode, DerivationTree
+from repro.tag.grammar import TagGrammar
+
+
+class InitialisationError(RuntimeError):
+    """Raised when no valid individual can be grown."""
+
+
+def grow_node(
+    grammar: TagGrammar,
+    root: DerivationNode,
+    target_size: int,
+    rng: random.Random,
+) -> None:
+    """Grow the subtree under ``root`` by random adjunctions.
+
+    Adjunction sites are drawn only from ``root`` and its descendants, so
+    callers can grow a replacement subtree without touching the rest of
+    the individual.  Growth stops at ``target_size`` nodes (measured on
+    ``root``'s subtree) or when no open site remains.
+    """
+    while root.size < target_size:
+        sites = [
+            (node, address)
+            for node in root.walk()
+            for address in node.open_adjunction_addresses(grammar)
+        ]
+        if not sites:
+            return
+        node, address = rng.choice(sites)
+        symbol = node.tree.node_at(address).symbol
+        candidates = grammar.betas_for(symbol)
+        if not candidates:
+            return
+        beta = rng.choice(candidates)
+        attach(grammar, node, address, beta, rng)
+
+
+def grow_subtree(
+    grammar: TagGrammar,
+    derivation: DerivationTree,
+    target_size: int,
+    rng: random.Random,
+) -> None:
+    """Grow ``derivation`` in place by random adjunctions up to ``target_size``."""
+    grow_node(grammar, derivation.root, target_size, rng)
+
+
+def attach(
+    grammar: TagGrammar,
+    parent: DerivationNode,
+    address: tuple[int, ...],
+    beta,
+    rng: random.Random,
+) -> DerivationNode:
+    """Adjoin ``beta`` under ``parent`` at ``address``, filling lexemes."""
+    child = DerivationNode(tree=beta)
+    child.fill_lexemes(grammar, rng)
+    parent.children[address] = child
+    return child
+
+
+def random_individual(
+    grammar: TagGrammar,
+    knowledge: PriorKnowledge,
+    config: GMRConfig,
+    rng: random.Random,
+) -> Individual:
+    """Create one random individual seeded with the expert process.
+
+    The expert constant parameters start at their expected values
+    (Section III-B3); structure is grown to a random size in
+    ``[min_size, max_size]``.
+    """
+    roots = grammar.start_alphas()
+    if not roots:
+        raise InitialisationError("grammar has no start-symbol alpha-trees")
+    alpha = rng.choice(roots)
+    root = DerivationNode(tree=alpha)
+    root.fill_lexemes(grammar, rng)
+    derivation = DerivationTree(root)
+    upper = config.init_max_size or config.max_size
+    target_size = rng.randint(config.min_size, upper)
+    grow_subtree(grammar, derivation, target_size, rng)
+    return Individual(
+        derivation=derivation,
+        params=knowledge.initial_parameters(),
+    )
+
+
+def initial_population(
+    grammar: TagGrammar,
+    knowledge: PriorKnowledge,
+    config: GMRConfig,
+    rng: random.Random,
+) -> list[Individual]:
+    """Create the first generation (Section III-B2, Population Initialization)."""
+    return [
+        random_individual(grammar, knowledge, config, rng)
+        for __ in range(config.population_size)
+    ]

@@ -1,0 +1,336 @@
+"""Prior-knowledge encoding for genetic model revision.
+
+Section III-B3 of the paper distinguishes three kinds of prior knowledge,
+all of which are represented here and turned into TAG machinery by
+:func:`build_grammar`:
+
+1. **Plausible processes** -- the expert-written differential equations,
+   written as expression ASTs whose revisable subprocesses are wrapped in
+   ``Ext`` markers (the paper's ``{f(.)}_Ext`` notation).  They become the
+   seed alpha-tree.
+2. **Plausible revisions** -- for each extension point, which variables may
+   be introduced and through which operators.  *Connectors* attach directly
+   to the initial process (a deliberately limited set), while *extenders*
+   operate on material added by earlier revisions (a richer set).  Each
+   combination becomes one beta-tree, and the connector/extender symbol
+   split guarantees connector trees can never adjoin into extender
+   positions and vice versa.
+3. **Parameter priors** -- expected value and allowed range per constant
+   parameter, used to initialise parameters and to drive truncated-Gaussian
+   mutation (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.expr.ast import Expr, ext_points, free_params
+from repro.tag.derive import lift_model, op_leaf
+from repro.tag.grammar import TagGrammar, random_value_lexeme_factory
+from repro.tag.symbols import MODEL, VALUE, connector_symbol, extender_symbol
+from repro.tag.trees import AlphaTree, BetaTree, TreeNode
+from repro.tag.symbols import terminal
+
+#: Binary operators usable in revisions.
+BINARY_REVISION_OPS = ("+", "-", "*", "/")
+
+#: Unary operators usable in revisions (extenders only, per Table II).
+UNARY_REVISION_OPS = ("log", "exp")
+
+#: Sentinel operand standing for the paper's random variable ``R``.
+RANDOM_OPERAND = "R"
+
+
+class KnowledgeError(ValueError):
+    """Raised for inconsistent prior-knowledge specifications."""
+
+
+@dataclass(frozen=True)
+class ParameterPrior:
+    """Expected value and allowed range of one constant parameter."""
+
+    name: str
+    mean: float
+    minimum: float
+    maximum: float
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.minimum <= self.mean <= self.maximum:
+            raise KnowledgeError(
+                f"prior for {self.name}: mean {self.mean} outside "
+                f"[{self.minimum}, {self.maximum}]"
+            )
+
+    def clip(self, value: float) -> float:
+        """Clamp ``value`` to the allowed range (boundary rule of III-B3)."""
+        if value < self.minimum:
+            return self.minimum
+        if value > self.maximum:
+            return self.maximum
+        return value
+
+
+@dataclass(frozen=True)
+class ExtensionSpec:
+    """Plausible revisions for one extension point (one row of Table II).
+
+    Attributes:
+        name: Extension-point name, matching an ``Ext`` marker in the seed.
+        variables: Driver variables that may be introduced here.
+        include_random: Whether the random operand ``R`` is allowed.
+        connector_ops: Binary operators allowed for connector revisions.
+        extender_ops: Binary operators allowed for extender revisions.
+        unary_extender_ops: Unary operators allowed for extender revisions.
+    """
+
+    name: str
+    variables: tuple[str, ...]
+    include_random: bool = True
+    connector_ops: tuple[str, ...] = ("+",)
+    extender_ops: tuple[str, ...] = BINARY_REVISION_OPS
+    unary_extender_ops: tuple[str, ...] = UNARY_REVISION_OPS
+
+    def operands(self) -> tuple[str, ...]:
+        """All operand names, with ``R`` appended when allowed."""
+        if self.include_random:
+            return self.variables + (RANDOM_OPERAND,)
+        return self.variables
+
+
+@dataclass
+class PriorKnowledge:
+    """The complete prior-knowledge input to genetic model revision.
+
+    Attributes:
+        seed_equations: Expert-written ``dX/dt`` expressions keyed by state
+            name, with ``Ext`` markers at revisable subprocesses.
+        priors: Per-parameter priors, keyed by parameter name.
+        extensions: Revision specs, one per extension point.
+        rconst_bounds: Mutation range for random constants ``R``.
+        rconst_init: Initialisation range for ``R`` (paper: [0, 1]).
+        variable_levels: Expert knowledge of each driver variable's typical
+            level.  When a variable has a level, revisions introduce it as
+            an *anomaly*, ``(var - center) * scale`` with the centre
+            initialised at the level -- a language bias that makes a fresh
+            revision a small perturbation instead of a raw-magnitude shock
+            (pH ~ 8 or conductivity ~ 300 added to a rate of order 1/day
+            would be instantly lethal).  Variables without a level enter
+            as ``var * scale``.
+    """
+
+    seed_equations: dict[str, Expr]
+    priors: dict[str, ParameterPrior]
+    extensions: list[ExtensionSpec] = field(default_factory=list)
+    rconst_bounds: tuple[float, float] = (-1000.0, 1000.0)
+    rconst_init: tuple[float, float] = (0.0, 1.0)
+    variable_levels: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        declared = {spec.name for spec in self.extensions}
+        if len(declared) != len(self.extensions):
+            raise KnowledgeError("duplicate extension-point names")
+        marked: set[str] = set()
+        for state, expr in self.seed_equations.items():
+            marked |= set(ext_points(expr))
+        missing = declared - marked
+        if missing:
+            raise KnowledgeError(
+                f"extension specs with no matching Ext marker in the seed: "
+                f"{sorted(missing)}"
+            )
+        unspecified = marked - declared
+        if unspecified:
+            raise KnowledgeError(
+                f"Ext markers without revision specs: {sorted(unspecified)}"
+            )
+        used_params: set[str] = set()
+        for expr in self.seed_equations.values():
+            used_params |= free_params(expr)
+        unbound = used_params - set(self.priors)
+        if unbound:
+            raise KnowledgeError(
+                f"seed parameters without priors: {sorted(unbound)}"
+            )
+
+    @property
+    def state_names(self) -> tuple[str, ...]:
+        return tuple(self.seed_equations)
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(self.priors)
+
+    def initial_parameters(self) -> dict[str, float]:
+        """Parameters at their expected values (the paper's initial point)."""
+        return {name: prior.mean for name, prior in self.priors.items()}
+
+
+def _variable_leaf(name: str) -> TreeNode:
+    return TreeNode(terminal(f"var:{name}"), payload=("var", name))
+
+
+def center_symbol(variable: str):
+    """Substitution-slot symbol for a variable's anomaly centre."""
+    from repro.tag.symbols import nonterminal
+
+    return nonterminal(f"Ctr_{variable}")
+
+
+def _operand_subtree(
+    spec_name: str,
+    operand: str,
+    levels: dict[str, float] | None = None,
+) -> TreeNode:
+    """The operand side of a revision beta-tree.
+
+    The operand is wrapped in an extender extension point so later
+    extender revisions can elaborate it (paper Figure 7(c): the new
+    material carries ``ExtE`` nodes).  Variables enter as tunable
+    perturbations rather than raw magnitudes:
+
+    * with expert knowledge of the variable's typical level, as an
+      anomaly ``(var - center) * scale`` (centre initialised at the
+      level, scale in [0, 1]);
+    * otherwise pre-scaled, ``var * scale``.
+
+    Either way a fresh revision starts as a small, survivable influence
+    that Gaussian mutation can tune -- adding raw alkalinity (~50) or
+    conductivity (~300) to a rate of order 1/day would make every such
+    revision immediately lethal and the corresponding beta-trees dead
+    weight in the grammar.
+    """
+    from repro.tag.derive import op_leaf as _op_leaf
+    from repro.tag.symbols import EXP
+
+    levels = levels or {}
+    if operand == RANDOM_OPERAND:
+        leaf: TreeNode = TreeNode(VALUE, is_subst=True)
+    elif operand in levels:
+        anomaly = TreeNode(
+            EXP,
+            (
+                _variable_leaf(operand),
+                _op_leaf("-"),
+                TreeNode(center_symbol(operand), is_subst=True),
+            ),
+        )
+        leaf = TreeNode(
+            EXP,
+            (anomaly, _op_leaf("*"), TreeNode(VALUE, is_subst=True)),
+        )
+    else:
+        leaf = TreeNode(
+            EXP,
+            (
+                _variable_leaf(operand),
+                _op_leaf("*"),
+                TreeNode(VALUE, is_subst=True),
+            ),
+        )
+    return TreeNode(extender_symbol(spec_name), (leaf,))
+
+
+def connector_beta(
+    spec_name: str,
+    op: str,
+    operand: str,
+    levels: dict[str, float] | None = None,
+) -> BetaTree:
+    """A connector beta-tree: ``existing  ->  existing <op> operand``."""
+    symbol = connector_symbol(spec_name)
+    root = TreeNode(
+        symbol,
+        (
+            TreeNode(symbol, is_foot=True),
+            op_leaf(op),
+            _operand_subtree(spec_name, operand, levels),
+        ),
+    )
+    return BetaTree(f"conn:{spec_name}:{op}:{operand}", root)
+
+
+def extender_beta(
+    spec_name: str,
+    op: str,
+    operand: str,
+    levels: dict[str, float] | None = None,
+) -> BetaTree:
+    """An extender beta-tree: ``added  ->  added <op> operand``."""
+    symbol = extender_symbol(spec_name)
+    root = TreeNode(
+        symbol,
+        (
+            TreeNode(symbol, is_foot=True),
+            op_leaf(op),
+            _operand_subtree(spec_name, operand, levels),
+        ),
+    )
+    return BetaTree(f"ext:{spec_name}:{op}:{operand}", root)
+
+
+def unary_extender_beta(spec_name: str, op: str) -> BetaTree:
+    """A unary extender beta-tree: ``added  ->  op(added)``."""
+    symbol = extender_symbol(spec_name)
+    root = TreeNode(
+        symbol,
+        (op_leaf(op), TreeNode(symbol, is_foot=True)),
+    )
+    return BetaTree(f"extu:{spec_name}:{op}", root)
+
+
+def build_grammar(knowledge: PriorKnowledge, seed_name: str = "seed") -> TagGrammar:
+    """Compile prior knowledge into the TAG used by model revision.
+
+    The seed equations are lifted into a single alpha-tree under a common
+    ``Model`` root; each (extension point, operator, operand) combination
+    from the revision specs becomes a beta-tree; and the random-operand
+    slots are wired to a lexeme factory honouring the ``R`` prior.
+    """
+    seed_root = lift_model(knowledge.seed_equations)
+    alpha = AlphaTree(seed_name, seed_root)
+    levels = dict(knowledge.variable_levels)
+
+    betas: dict[str, BetaTree] = {}
+    for spec in knowledge.extensions:
+        for op in spec.connector_ops:
+            for operand in spec.operands():
+                beta = connector_beta(spec.name, op, operand, levels)
+                betas[beta.name] = beta
+        for op in spec.extender_ops:
+            for operand in spec.operands():
+                beta = extender_beta(spec.name, op, operand, levels)
+                betas[beta.name] = beta
+        for op in spec.unary_extender_ops:
+            beta = unary_extender_beta(spec.name, op)
+            betas[beta.name] = beta
+
+    low, high = knowledge.rconst_bounds
+    init_low, init_high = knowledge.rconst_init
+    factories = {
+        VALUE: random_value_lexeme_factory(
+            mean=(init_low + init_high) / 2.0,
+            minimum=low,
+            maximum=high,
+            init_low=init_low,
+            init_high=init_high,
+        )
+    }
+    for variable, level in levels.items():
+        spread = 0.05 * max(abs(level), 1.0)
+        factories[center_symbol(variable)] = random_value_lexeme_factory(
+            mean=level,
+            minimum=low,
+            maximum=high,
+            init_low=level - spread,
+            init_high=level + spread,
+            sigma_hint=0.2 * max(abs(level), 1.0),
+            symbol=center_symbol(variable),
+        )
+    return TagGrammar(
+        start=MODEL,
+        alphas={seed_name: alpha},
+        betas=betas,
+        lexeme_factories=factories,
+    )

@@ -1,0 +1,52 @@
+"""Selection mechanisms: tournament selection and elitism."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.gp.individual import Individual
+
+
+class SelectionError(ValueError):
+    """Raised when selection is asked to act on an empty population."""
+
+
+def _fitness_or_worst(individual: Individual) -> float:
+    if individual.fitness is None:
+        return float("inf")
+    return individual.fitness
+
+
+def tournament_select(
+    population: Sequence[Individual],
+    tournament_size: int,
+    rng: random.Random,
+) -> Individual:
+    """Pick the fittest of ``tournament_size`` uniform random entrants."""
+    if not population:
+        raise SelectionError("cannot select from an empty population")
+    entrants = [rng.choice(population) for __ in range(max(1, tournament_size))]
+    return min(entrants, key=_fitness_or_worst)
+
+
+def elites(
+    population: Sequence[Individual],
+    elite_size: int,
+) -> list[Individual]:
+    """The ``elite_size`` fittest individuals (copies, fitness preserved)."""
+    ranked = sorted(population, key=_fitness_or_worst)
+    chosen = []
+    for individual in ranked[: max(0, elite_size)]:
+        clone = individual.copy()
+        clone.fitness = individual.fitness
+        clone.fully_evaluated = individual.fully_evaluated
+        chosen.append(clone)
+    return chosen
+
+
+def best_of(population: Sequence[Individual]) -> Individual:
+    """The fittest individual of a population."""
+    if not population:
+        raise SelectionError("empty population has no best individual")
+    return min(population, key=_fitness_or_worst)

@@ -1,0 +1,68 @@
+"""River water-quality modeling domain: the paper's case study."""
+
+from repro.river.biology import (
+    manual_equations,
+    manual_model,
+    seed_equations,
+)
+from repro.river.dataset import (
+    DatasetConfig,
+    HIDDEN_CONSTANTS,
+    RiverDataset,
+    StationData,
+    generate,
+    hidden_equations,
+    hidden_model,
+    load_dataset,
+)
+from repro.river.grammar_def import (
+    CONNECTOR_SUMMARY,
+    EXTENDER_SUMMARY,
+    EXTENSION_SPECS,
+    river_knowledge,
+)
+from repro.river.hydrology import HydrologicalProcess, HydrologyError
+from repro.river.network import (
+    NAKDONG_SEGMENTS_KM,
+    NetworkError,
+    RiverNetwork,
+    Station,
+    nakdong_network,
+)
+from repro.river.parameters import (
+    CONSTANT_PRIORS,
+    STATE_NAMES,
+    TEMPORAL_VARIABLES,
+    VARIABLE_ORDER,
+    initial_constants,
+)
+
+__all__ = [
+    "CONNECTOR_SUMMARY",
+    "CONSTANT_PRIORS",
+    "DatasetConfig",
+    "EXTENDER_SUMMARY",
+    "EXTENSION_SPECS",
+    "HIDDEN_CONSTANTS",
+    "HydrologicalProcess",
+    "HydrologyError",
+    "NAKDONG_SEGMENTS_KM",
+    "NetworkError",
+    "RiverDataset",
+    "RiverNetwork",
+    "STATE_NAMES",
+    "Station",
+    "StationData",
+    "TEMPORAL_VARIABLES",
+    "VARIABLE_ORDER",
+    "generate",
+    "hidden_equations",
+    "hidden_model",
+    "initial_constants",
+    "load_dataset",
+    "manual_equations",
+    "manual_model",
+    "nakdong_network",
+    "river_knowledge",
+    "seed_equations",
+]

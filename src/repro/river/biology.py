@@ -1,0 +1,146 @@
+"""The expert-written biological process (paper equations (1)-(2), (5)-(6)).
+
+Models the change of phytoplankton biomass over time through the interplay
+of phytoplankton (``BPhy``) and zooplankton (``BZoo``):
+
+* phytoplankton: photosynthetic productivity ``mu_Phy`` (light, nutrient
+  and temperature limited), metabolic degradation ``gamma_Phy``, and
+  zooplankton grazing pressure ``phi``;
+* zooplankton: growth ``mu_Zoo``, respiration ``gamma_Zoo`` and death
+  ``delta_Zoo``.
+
+:func:`seed_equations` returns the equations with the paper's nine
+extension points marked (``Ext1``-``Ext3``, ``Ext5``-``Ext9``; the paper's
+numbering skips 4), which is the "plausible processes" prior-knowledge
+input to GMR.  :func:`manual_model` returns the plain expert model (the
+MANUAL baseline and the substrate for model calibration).
+"""
+
+from __future__ import annotations
+
+from repro.dynamics.system import ProcessModel
+from repro.expr import ast
+from repro.expr.ast import Const, Expr, Ext, Param, State, Var
+from repro.river.parameters import STATE_NAMES, VARIABLE_ORDER
+
+_BPHY = State("BPhy")
+_BZOO = State("BZoo")
+
+
+def light_limitation() -> Expr:
+    """``f(Vlgt) = (Vlgt/CBL) * e^(1 - Vlgt/CBL)`` -- Steele's light curve."""
+    ratio = ast.div(Var("Vlgt"), Param("CBL"))
+    return ast.mul(ratio, ast.exp(ast.sub(Const(1.0), ratio)))
+
+
+def nutrient_limitation() -> Expr:
+    """``g(Vn, Vp, Vsi)`` -- Liebig minimum of Monod terms."""
+    terms = []
+    for var_name, param_name in (("Vn", "CN"), ("Vp", "CP"), ("Vsi", "CSI")):
+        variable = Var(var_name)
+        terms.append(ast.div(variable, ast.add(Param(param_name), variable)))
+    return ast.minimum(*terms)
+
+
+def temperature_limitation() -> Expr:
+    """``h(Vtmp)`` -- double optimum for summer cyanobacteria (CBTP1) and
+    winter diatom (CBTP2) blooms."""
+    temperature = Var("Vtmp")
+
+    def bell(optimum_param: str) -> Expr:
+        offset = ast.sub(temperature, Param(optimum_param))
+        return ast.exp(ast.neg(ast.mul(Param("CPT"), ast.mul(offset, offset))))
+
+    return ast.maximum(bell("CBTP1"), bell("CBTP2"))
+
+
+def food_saturation() -> Expr:
+    """``lambda_Phy = (BPhy - CFmin) / (CFS + BPhy - CFmin)``."""
+    available = ast.sub(_BPHY, Param("CFmin"))
+    return ast.div(available, ast.add(Param("CFS"), available))
+
+
+def photosynthetic_productivity() -> Expr:
+    """``mu_Phy = CUA * f(Vlgt) * g(Vn,Vp,Vsi) * h(Vtmp)``."""
+    return ast.mul(
+        ast.mul(
+            ast.mul(Param("CUA"), light_limitation()), nutrient_limitation()
+        ),
+        temperature_limitation(),
+    )
+
+
+def grazing_pressure() -> Expr:
+    """``phi = CMFR * lambda_Phy``."""
+    return ast.mul(Param("CMFR"), food_saturation())
+
+
+def zooplankton_growth() -> Expr:
+    """``mu_Zoo = CUZ * lambda_Phy``."""
+    return ast.mul(Param("CUZ"), food_saturation())
+
+
+def zooplankton_respiration(phi: Expr) -> Expr:
+    """``gamma_Zoo = CBRZ + CBMT * phi`` (CBRZ part is extensible)."""
+    return ast.add(Param("CBRZ"), ast.mul(Param("CBMT"), phi))
+
+
+def _phyto_equation(with_ext: bool) -> Expr:
+    mu_phy = photosynthetic_productivity()
+    gamma_phy: Expr = Param("CBRA")
+    phi = grazing_pressure()
+    if with_ext:
+        mu_phy = Ext("Ext3", mu_phy)
+        gamma_phy = Ext("Ext5", gamma_phy)
+        phi = Ext("Ext6", phi)
+    growth = ast.mul(_BPHY, ast.sub(mu_phy, gamma_phy))
+    equation = ast.sub(growth, ast.mul(_BZOO, phi))
+    if with_ext:
+        equation = Ext("Ext1", equation)
+    return equation
+
+
+def _zoo_equation(with_ext: bool) -> Expr:
+    mu_zoo = zooplankton_growth()
+    phi = grazing_pressure()
+    delta_zoo: Expr = Param("CDZ")
+    if with_ext:
+        mu_zoo = Ext("Ext7", mu_zoo)
+        delta_zoo = Ext("Ext9", delta_zoo)
+        gamma_zoo = ast.add(
+            Ext("Ext8", Param("CBRZ")), ast.mul(Param("CBMT"), phi)
+        )
+    else:
+        gamma_zoo = zooplankton_respiration(phi)
+    balance = ast.sub(ast.sub(mu_zoo, gamma_zoo), delta_zoo)
+    equation = ast.mul(_BZOO, balance)
+    if with_ext:
+        equation = Ext("Ext2", equation)
+    return equation
+
+
+def seed_equations() -> dict[str, Expr]:
+    """The expert process with extension points marked (eqs. (5)-(6))."""
+    return {
+        "BPhy": _phyto_equation(with_ext=True),
+        "BZoo": _zoo_equation(with_ext=True),
+    }
+
+
+def manual_equations() -> dict[str, Expr]:
+    """The plain expert process, no extension markers (eqs. (1)-(2))."""
+    return {
+        "BPhy": _phyto_equation(with_ext=False),
+        "BZoo": _zoo_equation(with_ext=False),
+    }
+
+
+def manual_model() -> ProcessModel:
+    """The MANUAL baseline as a ready-to-simulate process model."""
+    return ProcessModel.from_equations(
+        manual_equations(), var_order=VARIABLE_ORDER
+    )
+
+
+def state_names() -> tuple[str, ...]:
+    return STATE_NAMES

@@ -1,0 +1,724 @@
+"""Synthetic Nakdong-like dataset (the paper's Section IV-A, substituted).
+
+The original study uses 13 years (1996-2008) of measurements at nine
+stations of the Nakdong River catchment.  That dataset is not publicly
+redistributable, so this module synthesises a statistically similar one:
+
+1. **Climate** -- seasonal irradiance and water temperature with AR(1)
+   weather noise; a summer (July-August) monsoon drives rainfall storms.
+2. **Hydrology** -- headwater base flows plus storm runoff are routed
+   through the Nakdong network with the mass-balance process of
+   Appendix A (:mod:`repro.river.hydrology`).
+3. **Water chemistry** -- nutrient, pH, alkalinity and conductivity series
+   per station, with dilution/concentration effects of flow, a slow
+   eutrophication trend across years, and flow-weighted mixing at
+   confluences.
+4. **Biology** -- a *hidden* ecological truth, richer than the expert
+   seed, produces the plankton fields:
+
+   * at headwater stations a free-running hidden model (with light
+     self-shading and hydraulic washout for self-limitation) generates
+     the boundary plankton;
+   * at downstream stations a hidden *local* model -- the expert process
+     plus a pH/alkalinity input flux, a pH-dependent growth modifier and
+     a temperature-dependent zooplankton mortality (the kinds of revision
+     the paper reports GMR discovering, eqs. (7)-(8)) -- is advected
+     through the network by the river-system simulator
+     (:mod:`repro.river.simulator`), exactly the harness later used to
+     evaluate candidate models.
+
+5. **Sampling** -- chlorophyll-a and nutrients are "measured" weekly at S1
+   and bi-weekly elsewhere with multiplicative noise, then linearly
+   interpolated back to daily values, exactly as the paper describes
+   preprocessing its field data.
+
+Because the data-generating process is known, the reproduction can ask a
+crisp question: does knowledge-guided revision recover structure that
+calibration of the seed model cannot?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.dynamics.drivers import DriverTable
+from repro.dynamics.integrate import ClampSpec, simulate
+from repro.dynamics.system import ProcessModel
+from repro.dynamics.task import ModelingTask
+from repro.expr import ast
+from repro.expr.ast import Expr, Param, State, Var
+from repro.river import biology
+from repro.river.hydrology import HydrologicalProcess
+from repro.river.network import RiverNetwork, nakdong_network
+from repro.river.parameters import STATE_NAMES, VARIABLE_ORDER
+from repro.river.simulator import (
+    RiverSystemSimulator,
+    RiverTask,
+    build_mixing_schedules,
+)
+
+DAYS_PER_YEAR = 365
+
+#: Hidden-truth parameter values.  Deliberately *different* from the
+#: Table III expected values (within their bounds), so that parameter
+#: calibration has real work to do.
+HIDDEN_CONSTANTS: dict[str, float] = {
+    "CUA": 0.9,
+    "CUZ": 0.25,
+    "CBRA": 0.04,
+    "CBRZ": 0.06,
+    "CMFR": 0.30,
+    "CDZ": 0.05,
+    "CFS": 5.5,
+    "CBTP1": 26.0,
+    "CBTP2": 7.0,
+    "CFmin": 0.8,
+    "CBL": 27.5,
+    "CN": 0.03,
+    "CP": 0.002,
+    "CSI": 0.005,
+    "CBMT": 0.05,
+    "CPT": 0.006,
+    # Hidden-only structure coefficients (not part of Table III).
+    "HALK": 0.06,  # alkalinity/pH input-flux scale
+    "HPH0": 6.5,  # pH offset in the input-flux denominator
+    "HPHG": 0.45,  # pH growth-modifier slope
+    "HPHC": 8.1,  # pH growth-modifier centre
+    "HTZ1": 0.08,  # zooplankton-mortality temperature slope
+    "HTZ0": 0.1,  # zooplankton-mortality temperature intercept
+    "HCD": 0.015,  # conductivity (pollution/storm proxy) loss-flux scale
+    "HCD0": 280.0,  # conductivity baseline
+    "HSH": 25.0,  # headwater light self-shading half-saturation (ug/L)
+    "KFL": 0.20,  # headwater phytoplankton washout rate (day^-1)
+    "KFLZ": 0.05,  # headwater zooplankton washout rate (day^-1)
+}
+
+#: Per-station mean nutrient levels (tributaries are more agricultural).
+_STATION_NUTRIENTS: dict[str, tuple[float, float, float]] = {
+    # (nitrogen mg/L, phosphorus mg/L, silica mg/L)
+    "S6": (1.8, 0.050, 3.0),
+    "S5": (2.0, 0.060, 3.2),
+    "S4": (2.2, 0.070, 3.4),
+    "S3": (2.4, 0.080, 3.6),
+    "S2": (2.6, 0.090, 3.8),
+    "S1": (2.8, 0.100, 4.0),
+    "T1": (3.4, 0.140, 4.5),
+    "T2": (3.2, 0.120, 4.2),
+    "T3": (3.0, 0.110, 4.0),
+}
+
+#: Headwater base flows (m^3/s-ish arbitrary units).
+_HEADWATER_BASE_FLOW: dict[str, float] = {
+    "S6": 80.0,
+    "T3": 18.0,
+    "T2": 22.0,
+    "T1": 16.0,
+}
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Knobs of the synthetic dataset generator."""
+
+    n_years: int = 13
+    start_year: int = 1996
+    train_years: int = 10
+    seed: int = 7
+    sampling_noise: float = 0.05
+    eutrophication_trend: float = 0.015
+    s1_sampling_days: int = 7
+    other_sampling_days: int = 14
+    initial_bphy: float = 5.0
+    initial_bzoo: float = 2.0
+    retention: float = 0.25
+
+    @property
+    def n_days(self) -> int:
+        return self.n_years * DAYS_PER_YEAR
+
+    @property
+    def train_days(self) -> int:
+        return self.train_years * DAYS_PER_YEAR
+
+
+@dataclass
+class StationData:
+    """All synthesised series of one measuring station."""
+
+    name: str
+    drivers: DriverTable
+    flow: np.ndarray
+    chlorophyll: np.ndarray
+    true_bphy: np.ndarray
+    true_bzoo: np.ndarray
+    zoo_observed: np.ndarray | None = None
+
+
+@dataclass
+class RiverDataset:
+    """The full synthetic catchment dataset."""
+
+    config: DatasetConfig
+    network: RiverNetwork
+    stations: dict[str, StationData]
+    flows: dict[str, np.ndarray] = field(default_factory=dict)
+    runoff: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_days(self) -> int:
+        return self.config.n_days
+
+    def station(self, name: str) -> StationData:
+        try:
+            return self.stations[name]
+        except KeyError:
+            raise KeyError(f"no data for station {name!r}") from None
+
+    def split_indices(self) -> tuple[slice, slice]:
+        """(train, test) day slices: first ``train_years``, then the rest."""
+        train_days = self.config.train_days
+        return slice(0, train_days), slice(train_days, self.n_days)
+
+    def _window(self, period: str) -> slice:
+        train_slice, test_slice = self.split_indices()
+        if period == "train":
+            return train_slice
+        if period == "test":
+            return test_slice
+        if period == "all":
+            return slice(0, self.n_days)
+        raise ValueError(f"unknown period {period!r}")
+
+    def river_task(self, period: str = "train", station: str = "S1") -> RiverTask:
+        """The paper's forecasting task: the network-coupled evaluation.
+
+        Candidate biological models run at every non-headwater station,
+        advected by the known hydrological process (Appendix A), with
+        observed plankton at the headwaters as boundary conditions; the
+        fitness target is the observed chlorophyll-a at ``station``.
+        """
+        window = self._window(period)
+        start = window.start or 0
+        headwaters = {s.name for s in self.network.headwaters()}
+        schedules = build_mixing_schedules(self.network, self.flows, self.runoff)
+        sliced_schedules = {}
+        for name, schedule in schedules.items():
+            sliced_schedules[name] = type(schedule)(
+                station=schedule.station,
+                sources=schedule.sources,
+                retained_frac=schedule.retained_frac[window],
+                source_frac=[frac[window] for frac in schedule.source_frac],
+                runoff_frac=schedule.runoff_frac[window],
+            )
+        drivers = {
+            name: DriverTable(
+                data.drivers.names, data.drivers.values[window]
+            )
+            for name, data in self.stations.items()
+            if name not in headwaters
+        }
+        boundary = {}
+        for name in headwaters:
+            data = self.stations[name]
+            boundary[name] = {
+                "BPhy": data.chlorophyll[window],
+                "BZoo": data.zoo_observed[window],
+            }
+        initial_states = {}
+        for name in drivers:
+            data = self.stations[name]
+            initial_states[name] = (
+                float(data.chlorophyll[start]),
+                float(data.true_bzoo[start]),
+            )
+        simulator = RiverSystemSimulator(
+            network=self.network,
+            schedules=sliced_schedules,
+            drivers=drivers,
+            boundary=boundary,
+            initial_states=initial_states,
+            clamp=ClampSpec(minimum=1e-3, maximum=1e7),
+        )
+        return RiverTask(
+            simulator=simulator,
+            observed=self.station(station).chlorophyll[window],
+            target_station=station,
+            target_state="BPhy",
+            state_names=STATE_NAMES,
+            var_order=VARIABLE_ORDER,
+        )
+
+    def task(self, period: str = "train", station: str = "S1") -> ModelingTask:
+        """A simplified *isolated-station* task (no network coupling).
+
+        The biological model free-runs at one station.  This variant is
+        used by unit tests and the quickstart example; the paper's actual
+        evaluation is :meth:`river_task`.
+        """
+        data = self.station(station)
+        window = self._window(period)
+        drivers = DriverTable(data.drivers.names, data.drivers.values[window])
+        observed = data.chlorophyll[window]
+        start = window.start or 0
+        if start == 0:
+            initial = (self.config.initial_bphy, self.config.initial_bzoo)
+        else:
+            initial = (
+                float(data.chlorophyll[start]),
+                float(data.true_bzoo[start]),
+            )
+        return ModelingTask(
+            drivers=drivers,
+            observed=observed,
+            target_state="BPhy",
+            state_names=STATE_NAMES,
+            initial_state=initial,
+            clamp=ClampSpec(minimum=1e-3, maximum=1e7),
+        )
+
+
+def hidden_local_equations() -> dict[str, Expr]:
+    """The hidden local biology advected through the network.
+
+    The expert process plus three structural extras, *all reachable by the
+    revision grammar*: an alkalinity/pH input flux (Ext1-style), a pH
+    growth modifier (Ext3-style), and a temperature-dependent zooplankton
+    mortality (Ext9-style).  These mirror the revisions reported in the
+    paper's ecological analysis (eqs. (7)-(8)).
+    """
+    bphy, bzoo = State("BPhy"), State("BZoo")
+    mu = ast.add(
+        biology.photosynthetic_productivity(),
+        ast.mul(Param("HPHG"), ast.sub(Var("Vph"), Param("HPHC"))),
+    )
+    phi = biology.grazing_pressure()
+    growth = ast.mul(bphy, ast.sub(mu, Param("CBRA")))
+    ph_flux = ast.div(
+        ast.mul(Param("HALK"), Var("Valk")),
+        ast.sub(Var("Vph"), Param("HPH0")),
+    )
+    cd_flux = ast.mul(
+        Param("HCD"), ast.sub(Var("Vcd"), Param("HCD0"))
+    )
+    eq_p = ast.sub(
+        ast.add(ast.sub(growth, ast.mul(bzoo, phi)), ph_flux), cd_flux
+    )
+
+    mu_z = biology.zooplankton_growth()
+    gamma_z = biology.zooplankton_respiration(phi)
+    delta_z = ast.mul(
+        Param("CDZ"),
+        ast.add(ast.mul(Param("HTZ1"), Var("Vtmp")), Param("HTZ0")),
+    )
+    eq_z = ast.mul(bzoo, ast.sub(ast.sub(mu_z, gamma_z), delta_z))
+    return {"BPhy": eq_p, "BZoo": eq_z}
+
+
+def hidden_local_model() -> ProcessModel:
+    """The hidden local process model (standard Table IV drivers)."""
+    return ProcessModel.from_equations(
+        hidden_local_equations(), var_order=VARIABLE_ORDER
+    )
+
+
+def hidden_headwater_equations() -> dict[str, Expr]:
+    """The free-running hidden model generating headwater boundaries.
+
+    Same structure as :func:`hidden_local_equations` plus light
+    self-shading (``HSH``) and flow-driven washout (``KFL``/``KFLZ``,
+    using the extra ``Vflw`` driver) so a decade-long standalone
+    simulation stays on a realistic attractor.  These two extras are
+    *outside* the revision grammar, but candidate models never have to
+    reproduce them: headwater plankton enters evaluation as observed
+    boundary data.
+    """
+    bphy, bzoo = State("BPhy"), State("BZoo")
+    mu = ast.add(
+        biology.photosynthetic_productivity(),
+        ast.mul(Param("HPHG"), ast.sub(Var("Vph"), Param("HPHC"))),
+    )
+    shading = ast.div(Param("HSH"), ast.add(Param("HSH"), bphy))
+    mu = ast.mul(mu, shading)
+    phi = biology.grazing_pressure()
+    growth = ast.mul(bphy, ast.sub(mu, Param("CBRA")))
+    ph_flux = ast.div(
+        ast.mul(Param("HALK"), Var("Valk")),
+        ast.sub(Var("Vph"), Param("HPH0")),
+    )
+    washout_p = ast.mul(ast.mul(Param("KFL"), Var("Vflw")), bphy)
+    eq_p = ast.sub(
+        ast.add(ast.sub(growth, ast.mul(bzoo, phi)), ph_flux), washout_p
+    )
+
+    mu_z = biology.zooplankton_growth()
+    gamma_z = biology.zooplankton_respiration(phi)
+    delta_z = ast.mul(
+        Param("CDZ"),
+        ast.add(ast.mul(Param("HTZ1"), Var("Vtmp")), Param("HTZ0")),
+    )
+    washout_z = ast.mul(ast.mul(Param("KFLZ"), Var("Vflw")), bzoo)
+    eq_z = ast.sub(
+        ast.mul(bzoo, ast.sub(ast.sub(mu_z, gamma_z), delta_z)), washout_z
+    )
+    return {"BPhy": eq_p, "BZoo": eq_z}
+
+
+def hidden_headwater_model() -> ProcessModel:
+    """The headwater hidden model (extra driver: normalised flow)."""
+    return ProcessModel.from_equations(
+        hidden_headwater_equations(), var_order=VARIABLE_ORDER + ("Vflw",)
+    )
+
+
+#: Backwards-compatible aliases: the "hidden model" of the dataset is the
+#: headwater (free-running) variant.
+hidden_equations = hidden_headwater_equations
+hidden_model = hidden_headwater_model
+
+
+def _seasonal(day: np.ndarray, amplitude: float, phase_day: float) -> np.ndarray:
+    return amplitude * np.sin(2.0 * np.pi * (day - phase_day) / DAYS_PER_YEAR)
+
+
+def _ar1(
+    rng: np.random.Generator, n: int, sigma: float, rho: float
+) -> np.ndarray:
+    noise = rng.normal(0.0, sigma, size=n)
+    series = np.empty(n)
+    value = 0.0
+    scale = np.sqrt(max(1.0 - rho * rho, 1e-9))
+    for index in range(n):
+        value = rho * value + scale * noise[index]
+        series[index] = value
+    return series
+
+
+def _sample_and_interpolate(
+    rng: np.random.Generator,
+    series: np.ndarray,
+    interval_days: int,
+    relative_noise: float,
+) -> np.ndarray:
+    """Measure every ``interval_days`` with noise; linearly interpolate.
+
+    Mirrors the paper's preprocessing: weekly / bi-weekly measurements are
+    linearly interpolated to daily values.
+    """
+    n = len(series)
+    sample_days = np.arange(0, n, interval_days)
+    factors = np.exp(rng.normal(0.0, relative_noise, size=len(sample_days)))
+    samples = series[sample_days] * factors
+    return np.interp(np.arange(n), sample_days, samples)
+
+
+def _climate(
+    rng: np.random.Generator, n_days: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Irradiance, water temperature, and rainfall for the whole basin."""
+    day = np.arange(n_days, dtype=float)
+    light = 16.0 + _seasonal(day, 10.0, 110.0) + _ar1(rng, n_days, 2.5, 0.7)
+    light = np.clip(light, 1.0, 32.0)
+    temperature = (
+        14.0 + _seasonal(day, 11.0, 120.0) + _ar1(rng, n_days, 1.3, 0.85)
+    )
+    temperature = np.clip(temperature, 0.5, 33.0)
+    doy = day % DAYS_PER_YEAR
+    monsoon = np.where((doy > 180) & (doy < 250), 6.0, 1.0)
+    storms = rng.exponential(1.0, size=n_days) * (
+        rng.random(n_days) < 0.08 * monsoon
+    )
+    rainfall = monsoon * 0.8 + 12.0 * storms
+    return light, temperature, rainfall
+
+
+def generate(config: DatasetConfig = DatasetConfig()) -> RiverDataset:
+    """Synthesise the full 13-year, nine-station dataset."""
+    rng = np.random.default_rng(config.seed)
+    network = nakdong_network()
+    for station in network.stations():
+        if not station.is_virtual:
+            object.__setattr__(station, "retention", config.retention)
+    hydrology = HydrologicalProcess(network)
+    n_days = config.n_days
+    day = np.arange(n_days, dtype=float)
+    year = day / DAYS_PER_YEAR
+
+    light, temperature, rainfall = _climate(rng, n_days)
+
+    measuring = [station.name for station in network.measuring_stations()]
+    headwaters = {station.name for station in network.headwaters()}
+
+    # --- hydrology ------------------------------------------------------
+    headwater_flows = {}
+    runoff = {}
+    for name in measuring:
+        coefficient = 2.5 if name.startswith("S") else 0.8
+        runoff[name] = coefficient * rainfall * np.exp(
+            _ar1(rng, n_days, 0.2, 0.5)
+        )
+        if name in headwaters:
+            base = _HEADWATER_BASE_FLOW[name]
+            headwater_flows[name] = np.clip(
+                base
+                * (1.0 + 0.35 * np.sin(2.0 * np.pi * (day - 200.0) / DAYS_PER_YEAR))
+                * np.exp(_ar1(rng, n_days, 0.25, 0.9)),
+                base * 0.2,
+                base * 6.0,
+            )
+    flows = hydrology.route_flows(headwater_flows, runoff)
+
+    # --- per-station physicochemical series ------------------------------
+    local: dict[str, dict[str, np.ndarray]] = {}
+    for name in measuring:
+        base_n, base_p, base_si = _STATION_NUTRIENTS[name]
+        flow = flows[name]
+        dilution = np.clip(
+            (np.median(flow) / np.maximum(flow, 1e-6)) ** 0.3, 0.5, 2.0
+        )
+        trend = 1.0 + config.eutrophication_trend * year
+        season_n = 1.0 + 0.3 * np.sin(2.0 * np.pi * (day - 60.0) / DAYS_PER_YEAR)
+        station_temperature = np.clip(
+            temperature + rng.normal(0.0, 0.4, n_days), 0.5, 33.0
+        )
+        station_light = np.clip(light + rng.normal(0.0, 0.8, n_days), 1.0, 32.0)
+        vn = np.clip(
+            base_n * trend * season_n * dilution
+            * np.exp(_ar1(rng, n_days, 0.10, 0.8)),
+            0.05,
+            8.0,
+        )
+        vp = np.clip(
+            base_p * trend * season_n * dilution
+            * np.exp(_ar1(rng, n_days, 0.15, 0.8)),
+            0.002,
+            0.5,
+        )
+        vsi = np.clip(
+            base_si * trend * dilution * np.exp(_ar1(rng, n_days, 0.12, 0.8)),
+            0.1,
+            12.0,
+        )
+        light_anomaly = (station_light - np.mean(station_light)) / np.std(
+            station_light
+        )
+        vph = np.clip(
+            7.9
+            + 0.45 * np.sin(2.0 * np.pi * (day - 150.0) / DAYS_PER_YEAR)
+            + 0.10 * light_anomaly
+            + _ar1(rng, n_days, 0.35, 0.92),
+            6.8,
+            9.8,
+        )
+        valk = np.clip(
+            45.0
+            + 10.0 * np.sin(2.0 * np.pi * (day - 330.0) / DAYS_PER_YEAR)
+            + _ar1(rng, n_days, 1.2, 0.98) * 6.0,
+            20.0,
+            90.0,
+        )
+        vcd = np.clip(
+            280.0
+            + 120.0 * (vn / base_n - 1.0)
+            + 80.0 * (1.0 / dilution - 1.0)
+            + _ar1(rng, n_days, 18.0, 0.8),
+            150.0,
+            800.0,
+        )
+        local[name] = {
+            "Vlgt": station_light,
+            "Vn": vn,
+            "Vp": vp,
+            "Vsi": vsi,
+            "Vtmp": station_temperature,
+            "Vph": vph,
+            "Valk": valk,
+            "Vcd": vcd,
+        }
+
+    # Blend routed upstream water with local sources for mixable chemistry.
+    mixable = ("Vn", "Vp", "Vsi", "Vtmp", "Vph", "Valk", "Vcd")
+    routed: dict[str, dict[str, np.ndarray]] = {name: {} for name in network.graph}
+    for variable in mixable:
+        values: dict[str, np.ndarray] = {}
+        for name in network.topological_order():
+            station = network.station(name)
+            if station.is_virtual:
+                values[name] = hydrology.mixed_attribute_at(
+                    name, flows, values, retention_mixing=False
+                )
+            elif name in headwaters:
+                values[name] = local[name][variable]
+            else:
+                arriving = hydrology.mixed_attribute_at(
+                    name, flows, values, retention_mixing=True
+                )
+                values[name] = 0.6 * arriving + 0.4 * local[name][variable]
+        for name, series in values.items():
+            routed[name][variable] = series
+
+    def station_columns(name: str) -> dict[str, np.ndarray]:
+        source = routed[name] if name not in headwaters else local[name]
+        return {
+            "Vlgt": local[name]["Vlgt"],
+            "Vn": source["Vn"],
+            "Vp": source["Vp"],
+            "Vsi": source["Vsi"],
+            "Vtmp": source["Vtmp"] if name not in headwaters else local[name]["Vtmp"],
+            "Vdo": np.zeros(n_days),
+            "Vcd": source["Vcd"],
+            "Vph": source["Vph"],
+            "Valk": source["Valk"],
+            "Vsd": np.zeros(n_days),
+        }
+
+    # --- hidden biology ---------------------------------------------------
+    # Headwaters: free-running hidden model with self-limitation.
+    truth_head = hidden_headwater_model()
+    head_params = tuple(
+        HIDDEN_CONSTANTS[key] for key in truth_head.param_order
+    )
+    bphy: dict[str, np.ndarray] = {}
+    bzoo: dict[str, np.ndarray] = {}
+    for name in sorted(headwaters):
+        columns = station_columns(name)
+        columns["Vflw"] = flows[name] / np.median(flows[name])
+        table = DriverTable.from_mapping(
+            {key: columns[key] for key in VARIABLE_ORDER + ("Vflw",)}
+        )
+        trajectory = simulate(
+            truth_head,
+            head_params,
+            table,
+            (config.initial_bphy, config.initial_bzoo),
+            clamp=ClampSpec(minimum=1e-3, maximum=5e3),
+        )
+        bphy[name] = trajectory[:, 0]
+        bzoo[name] = trajectory[:, 1]
+
+    # Downstream: hidden local model advected by the river simulator.
+    truth_local = hidden_local_model()
+    local_params = tuple(
+        HIDDEN_CONSTANTS[key] for key in truth_local.param_order
+    )
+    schedules = build_mixing_schedules(network, flows, runoff)
+    downstream = [name for name in measuring if name not in headwaters]
+    driver_tables = {
+        name: DriverTable.from_mapping(
+            {key: station_columns(name)[key] for key in VARIABLE_ORDER}
+        )
+        for name in downstream
+    }
+    simulator = RiverSystemSimulator(
+        network=network,
+        schedules=schedules,
+        drivers=driver_tables,
+        boundary={
+            name: {"BPhy": bphy[name], "BZoo": bzoo[name]}
+            for name in headwaters
+        },
+        initial_states={
+            name: (config.initial_bphy, config.initial_bzoo)
+            for name in downstream
+        },
+        clamp=ClampSpec(minimum=1e-3, maximum=5e3),
+    )
+    trajectories = simulator.run(truth_local, local_params)
+    for name in downstream:
+        bphy[name] = trajectories[name][:, 0]
+        bzoo[name] = trajectories[name][:, 1]
+
+    # --- algae-dependent physics (DO, transparency) -----------------------
+    stations: dict[str, StationData] = {}
+    for name in measuring:
+        temperature_series = (
+            routed[name]["Vtmp"] if name not in headwaters else local[name]["Vtmp"]
+        )
+        saturation = 14.6 - 0.38 * temperature_series + 0.006 * temperature_series**2
+        vdo = np.clip(
+            saturation - 0.008 * bphy[name] + _ar1(rng, n_days, 0.5, 0.7),
+            3.0,
+            16.0,
+        )
+        flow = flows[name]
+        vsd = np.clip(
+            2.2
+            - 0.004 * bphy[name]
+            - 0.35 * np.log(np.maximum(flow / np.median(flow), 1e-3))
+            + _ar1(rng, n_days, 0.15, 0.8),
+            0.2,
+            3.5,
+        )
+
+        interval = (
+            config.s1_sampling_days if name == "S1" else config.other_sampling_days
+        )
+        chlorophyll = _sample_and_interpolate(
+            rng, bphy[name], interval, config.sampling_noise
+        )
+        zoo_observed = None
+        if name in headwaters:
+            zoo_observed = np.clip(
+                _sample_and_interpolate(
+                    rng, bzoo[name], interval, config.sampling_noise
+                ),
+                0.0,
+                None,
+            )
+        source = routed[name] if name not in headwaters else local[name]
+        sampled_nutrients = {
+            variable: _sample_and_interpolate(
+                rng, source[variable], interval, config.sampling_noise * 0.5
+            )
+            for variable in ("Vn", "Vp", "Vsi")
+        }
+        series = {
+            "Vlgt": local[name]["Vlgt"],
+            "Vn": sampled_nutrients["Vn"],
+            "Vp": sampled_nutrients["Vp"],
+            "Vsi": sampled_nutrients["Vsi"],
+            "Vtmp": source["Vtmp"] if name not in headwaters else local[name]["Vtmp"],
+            "Vdo": vdo,
+            "Vcd": source["Vcd"],
+            "Vph": source["Vph"],
+            "Valk": source["Valk"],
+            "Vsd": vsd,
+        }
+        drivers = DriverTable.from_mapping(
+            {variable: series[variable] for variable in VARIABLE_ORDER}
+        )
+        stations[name] = StationData(
+            name=name,
+            drivers=drivers,
+            flow=flow,
+            chlorophyll=np.clip(chlorophyll, 0.0, None),
+            true_bphy=bphy[name],
+            true_bzoo=bzoo[name],
+            zoo_observed=zoo_observed,
+        )
+
+    return RiverDataset(
+        config=config,
+        network=network,
+        stations=stations,
+        flows=flows,
+        runoff=runoff,
+    )
+
+
+@lru_cache(maxsize=4)
+def _cached_generate(
+    n_years: int, seed: int, train_years: int
+) -> RiverDataset:
+    return generate(
+        DatasetConfig(n_years=n_years, seed=seed, train_years=train_years)
+    )
+
+
+def load_dataset(
+    n_years: int = 13, seed: int = 7, train_years: int = 10
+) -> RiverDataset:
+    """Generate (or fetch from the in-process cache) a standard dataset."""
+    return _cached_generate(n_years, seed, train_years)

@@ -1,0 +1,82 @@
+"""The river revision grammar (paper Table II) and prior knowledge bundle.
+
+Table II fixes, for every extension point, the variables that may be
+introduced and the operators allowed: ``+`` is the connector for
+extensions 1-3 (whole-equation level), ``*`` for extensions 5-9
+(rate subprocesses), and the full ``+ - * / log exp`` set is available to
+extenders everywhere.  These reflect the freshwater ecologist's judgement
+of which influences are plausible where -- e.g. electric conductivity
+(``Vcd``) may enter the phytoplankton dynamics (Ext1) but not the
+zooplankton dynamics (Ext2).
+"""
+
+from __future__ import annotations
+
+from repro.gp.knowledge import (
+    BINARY_REVISION_OPS,
+    ExtensionSpec,
+    PriorKnowledge,
+    UNARY_REVISION_OPS,
+)
+from repro.river.biology import seed_equations
+from repro.river.parameters import CONSTANT_PRIORS
+
+#: Table II, row by row.  The paper's numbering has no Ext4.
+EXTENSION_SPECS: tuple[ExtensionSpec, ...] = (
+    ExtensionSpec(
+        "Ext1",
+        variables=("Vcd", "Vph", "Valk"),
+        connector_ops=("+",),
+    ),
+    ExtensionSpec(
+        "Ext2",
+        variables=("Vsd",),
+        connector_ops=("+",),
+    ),
+    ExtensionSpec(
+        "Ext3",
+        variables=("Vdo", "Vph", "Valk"),
+        connector_ops=("+",),
+    ),
+    ExtensionSpec("Ext5", variables=("Vtmp",), connector_ops=("*",)),
+    ExtensionSpec("Ext6", variables=("Vtmp",), connector_ops=("*",)),
+    ExtensionSpec("Ext7", variables=("Vtmp",), connector_ops=("*",)),
+    ExtensionSpec("Ext8", variables=("Vtmp",), connector_ops=("*",)),
+    ExtensionSpec("Ext9", variables=("Vtmp",), connector_ops=("*",)),
+)
+
+#: Summary used when reprinting Table II.
+CONNECTOR_SUMMARY = "+ for extensions 1-3, * for extensions 5-9"
+EXTENDER_SUMMARY = ", ".join(BINARY_REVISION_OPS + UNARY_REVISION_OPS)
+
+
+#: Expert knowledge of typical levels of the revision variables; new
+#: influences enter as anomalies around these (see
+#: :class:`repro.gp.knowledge.PriorKnowledge.variable_levels`).
+VARIABLE_LEVELS: dict[str, float] = {
+    "Vtmp": 14.0,
+    "Vph": 7.9,
+    "Valk": 45.0,
+    "Vcd": 300.0,
+    "Vdo": 10.0,
+    "Vsd": 1.8,
+}
+
+
+def river_knowledge(
+    rconst_bounds: tuple[float, float] = (-1000.0, 1000.0),
+) -> PriorKnowledge:
+    """The complete prior-knowledge input for river water-quality modeling.
+
+    Combines the expert process (:func:`repro.river.biology.seed_equations`),
+    the Table II revision specs, the Table III parameter priors, and the
+    typical levels of the revision variables.
+    """
+    return PriorKnowledge(
+        seed_equations=seed_equations(),
+        priors=dict(CONSTANT_PRIORS),
+        extensions=list(EXTENSION_SPECS),
+        rconst_bounds=rconst_bounds,
+        rconst_init=(0.0, 1.0),
+        variable_levels=dict(VARIABLE_LEVELS),
+    )

@@ -1,0 +1,178 @@
+"""The river system as a directed acyclic graph (paper Figures 8 and 12).
+
+A river system is modelled as a DAG whose nodes are measuring stations and
+whose edges are river segments.  Confluences -- where a tributary meets the
+main channel -- are represented by *virtual stations* (Appendix A).  The
+Nakdong catchment of the case study has six main-channel stations
+(S1 downstream ... S6 upstream), three tributary stations (T1-T3), and
+three virtual stations at the confluences S6*T3, S4*T2 and S3*T1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+
+class NetworkError(ValueError):
+    """Raised for invalid river-network topologies."""
+
+
+@dataclass(frozen=True)
+class Station:
+    """One monitoring point on the river.
+
+    Attributes:
+        name: Station identifier (e.g. ``"S1"``).
+        is_virtual: True for confluence (virtual) stations, which carry no
+            measurements of their own -- their water attributes come from
+            flow-weighted merging of the upstream water bodies.
+        retention: Fraction of the water body retained at the station per
+            day (the ``r_S`` of equation (9)).
+        headwater: True for stations with no upstream station; their flow
+            is a boundary condition.
+    """
+
+    name: str
+    is_virtual: bool = False
+    retention: float = 0.1
+    headwater: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.retention < 1.0:
+            raise NetworkError(
+                f"retention of {self.name} must be in [0, 1), "
+                f"got {self.retention}"
+            )
+
+
+@dataclass
+class RiverNetwork:
+    """A DAG of stations with per-segment distances and travel times.
+
+    Attributes:
+        graph: ``networkx.DiGraph`` with ``Station`` objects as node data
+            (key ``station``) and ``distance_km`` / ``lag_days`` edge data.
+        flow_velocity_km_per_day: Used to convert segment distance into the
+            integer travel lag ``Delta`` of equation (9).
+    """
+
+    flow_velocity_km_per_day: float = 25.0
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    def add_station(self, station: Station) -> None:
+        if station.name in self.graph:
+            raise NetworkError(f"duplicate station {station.name!r}")
+        self.graph.add_node(station.name, station=station)
+
+    def add_segment(self, upstream: str, downstream: str, distance_km: float) -> None:
+        """Connect two stations with a river segment of the given length."""
+        for name in (upstream, downstream):
+            if name not in self.graph:
+                raise NetworkError(f"unknown station {name!r}")
+        if distance_km < 0:
+            raise NetworkError("segment distance must be non-negative")
+        lag = max(1, round(distance_km / self.flow_velocity_km_per_day))
+        self.graph.add_edge(
+            upstream, downstream, distance_km=distance_km, lag_days=lag
+        )
+        if not nx.is_directed_acyclic_graph(self.graph):
+            self.graph.remove_edge(upstream, downstream)
+            raise NetworkError(
+                f"segment {upstream}->{downstream} would create a cycle"
+            )
+
+    def station(self, name: str) -> Station:
+        try:
+            return self.graph.nodes[name]["station"]
+        except KeyError:
+            raise NetworkError(f"unknown station {name!r}") from None
+
+    def stations(self) -> list[Station]:
+        return [self.station(name) for name in self.graph.nodes]
+
+    def measuring_stations(self) -> list[Station]:
+        return [station for station in self.stations() if not station.is_virtual]
+
+    def headwaters(self) -> list[Station]:
+        return [station for station in self.stations() if station.headwater]
+
+    def upstream_of(self, name: str) -> list[tuple[str, int]]:
+        """(upstream station, lag in days) pairs feeding ``name``."""
+        return [
+            (upstream, self.graph.edges[upstream, name]["lag_days"])
+            for upstream in self.graph.predecessors(name)
+        ]
+
+    def topological_order(self) -> list[str]:
+        """Stations ordered so every upstream precedes its downstream."""
+        return list(nx.topological_sort(self.graph))
+
+    def outlet(self) -> str:
+        """The unique most-downstream station."""
+        sinks = [name for name in self.graph.nodes if self.graph.out_degree(name) == 0]
+        if len(sinks) != 1:
+            raise NetworkError(f"expected one outlet, found {sinks}")
+        return sinks[0]
+
+    def validate(self) -> None:
+        """Check Appendix A invariants.
+
+        Every virtual station must merge at least two water bodies; every
+        non-headwater station must have an upstream; the graph must be a
+        DAG with a single outlet.
+        """
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise NetworkError("river network must be acyclic")
+        self.outlet()
+        for station in self.stations():
+            in_degree = self.graph.in_degree(station.name)
+            if station.is_virtual and in_degree < 2:
+                raise NetworkError(
+                    f"virtual station {station.name} merges {in_degree} < 2 bodies"
+                )
+            if station.headwater and in_degree != 0:
+                raise NetworkError(
+                    f"headwater {station.name} has upstream stations"
+                )
+            if not station.headwater and in_degree == 0:
+                raise NetworkError(
+                    f"station {station.name} has no upstream and is not a headwater"
+                )
+
+
+#: Paper Figure 8 distances, in km.
+NAKDONG_SEGMENTS_KM = {
+    ("S6", "VS3"): 1.0,  # S6 to the S6*T3 confluence (upstream of S5)
+    ("T3", "VS3"): 3.0,  # "T3 (To joint: 3 km)"
+    ("VS3", "S5"): 26.5,  # remainder of the 27.5 km S6-S5 reach
+    ("S5", "VS2"): 34.9,  # S5 towards the S4*T2 confluence
+    ("T2", "VS2"): 7.1,  # "T2 (To joint: 7.1 km)"
+    ("VS2", "S4"): 7.1,  # remainder of the 42 km S5-S4 reach
+    ("S4", "VS1"): 23.0,  # S4 towards the S3*T1 confluence
+    ("T1", "VS1"): 5.5,  # "T1 (To joint: 5.5 km)"
+    ("VS1", "S3"): 5.5,  # remainder of the 28.5 km S4-S3 reach
+    ("S3", "S2"): 22.3,
+    ("S2", "S1"): 32.8,
+}
+
+
+def nakdong_network(flow_velocity_km_per_day: float = 25.0) -> RiverNetwork:
+    """Build the Nakdong study-site network (Figure 8 + Appendix A).
+
+    Six main-channel stations (S1-S6), three tributaries (T1-T3), and
+    three virtual stations at the confluences S6*T3 (VS3), S4*T2 (VS2)
+    and S3*T1 (VS1).
+    """
+    network = RiverNetwork(flow_velocity_km_per_day=flow_velocity_km_per_day)
+    for name in ("S6", "T3", "T2", "T1"):
+        network.add_station(Station(name, retention=0.12, headwater=True))
+    for name in ("S5", "S4", "S3", "S2", "S1"):
+        network.add_station(Station(name, retention=0.12))
+    for name in ("VS3", "VS2", "VS1"):
+        network.add_station(Station(name, is_virtual=True, retention=0.0))
+    for (upstream, downstream), distance in NAKDONG_SEGMENTS_KM.items():
+        network.add_segment(upstream, downstream, distance)
+    network.validate()
+    return network

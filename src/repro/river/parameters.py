@@ -1,0 +1,102 @@
+"""Constant and variable parameters of the river process (Tables III, IV).
+
+Constant parameters (``C``-prefixed) represent physiological rates; their
+priors -- expected value plus exploration bounds -- are prior knowledge
+driving Gaussian mutation.  Variable parameters (``V``-prefixed) are
+external conditions imported from observed data at each evaluation time.
+"""
+
+from __future__ import annotations
+
+from repro.gp.knowledge import ParameterPrior
+
+#: Table III: constant parameters updated via Gaussian mutation.
+CONSTANT_PRIORS: dict[str, ParameterPrior] = {
+    prior.name: prior
+    for prior in (
+        ParameterPrior(
+            "CUA", 1.89, 0.1, 4.0, "day^-1", "Max growth rate of phytoplankton"
+        ),
+        ParameterPrior(
+            "CUZ", 0.15, 0.0, 0.3, "day^-1", "Max growth rate of zooplankton"
+        ),
+        ParameterPrior(
+            "CBRA", 0.021, 0.0, 0.17, "day^-1", "Breath rate of phytoplankton"
+        ),
+        ParameterPrior(
+            "CBRZ", 0.05, 0.0, 0.2, "day^-1", "Breath rate of zooplankton"
+        ),
+        ParameterPrior(
+            "CMFR", 0.19, 0.01, 0.8, "day^-1", "Maximum feeding rate"
+        ),
+        ParameterPrior(
+            "CDZ", 0.04, 0.01, 0.1, "day^-1", "Death rate of zooplankton"
+        ),
+        ParameterPrior(
+            "CFS", 5.0, 4.0, 6.0, "ug L^-1", "Half-saturation constant of food"
+        ),
+        ParameterPrior(
+            "CBTP1", 27.0, 20.0, 34.0, "degC", "Blue-green optimal temperature"
+        ),
+        ParameterPrior(
+            "CBTP2", 5.0, 1.0, 20.0, "degC", "Diatom optimal temperature"
+        ),
+        ParameterPrior(
+            "CFmin", 1.0, 0.1, 1.9, "ug L^-1", "Minimum food concentration"
+        ),
+        ParameterPrior(
+            "CBL", 26.78, 24.0, 30.0, "MJ m^-2 d^-1", "Best light for phytoplankton"
+        ),
+        ParameterPrior(
+            "CN", 0.0351, 0.02, 0.05, "mg L^-1", "Half-saturation constant of nitrogen"
+        ),
+        ParameterPrior(
+            "CP",
+            0.00167,
+            0.001,
+            0.02,
+            "mg L^-1",
+            "Half-saturation constant of phosphorus",
+        ),
+        ParameterPrior(
+            "CSI", 0.00467, 0.001, 0.2, "mg L^-1", "Half-saturation constant of silica"
+        ),
+        ParameterPrior(
+            "CBMT", 0.04, 0.01, 0.07, "", "Breath multiplier on grazing"
+        ),
+        ParameterPrior(
+            "CPT",
+            0.005,
+            0.003,
+            0.2,
+            "degC^-2",
+            "Temperature coefficient for phytoplankton growth",
+        ),
+    )
+}
+
+#: Table IV: temporal variable parameters, in the canonical driver order
+#: used by every river driver table in this package.
+TEMPORAL_VARIABLES: dict[str, str] = {
+    "Vlgt": "Irradiance (light intensity)",
+    "Vn": "Nitrogen concentration",
+    "Vp": "Phosphorus concentration",
+    "Vsi": "Silica concentration",
+    "Vtmp": "Water temperature",
+    "Vdo": "Dissolved oxygen",
+    "Vcd": "Electric conductivity",
+    "Vph": "pH",
+    "Valk": "Alkalinity",
+    "Vsd": "Water transparency",
+}
+
+#: The canonical driver-column order for river tasks.
+VARIABLE_ORDER: tuple[str, ...] = tuple(TEMPORAL_VARIABLES)
+
+#: The biological state variables, in equation order.
+STATE_NAMES: tuple[str, ...] = ("BPhy", "BZoo")
+
+
+def initial_constants() -> dict[str, float]:
+    """Constant parameters at their Table III expected values."""
+    return {name: prior.mean for name, prior in CONSTANT_PRIORS.items()}

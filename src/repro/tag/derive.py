@@ -1,0 +1,253 @@
+"""Deriving trees: adjunction, substitution, and translation to ASTs.
+
+This module implements the two TAG composition operations of Section
+III-A (Figure 2) and applies them to a derivation tree to produce the
+*derived tree*, then translates completed derived trees into expression
+ASTs (:mod:`repro.expr.ast`) that can be simplified, compiled, and
+simulated.
+
+It also provides the reverse *lifting* direction used when encoding prior
+knowledge: an expert process written as an expression AST (possibly with
+``Ext`` markers) is lifted into an alpha-tree template (paper Figure 7(a)).
+"""
+
+from __future__ import annotations
+
+from repro.expr import ast
+from repro.expr.ast import BinOp, Const, Expr, Ext, Param, State, UnOp, Var
+from repro.tag.derivation import DerivationNode, DerivationTree
+from repro.tag.symbols import EXP, MODEL, Symbol, connector_symbol, terminal
+from repro.tag.trees import Address, TreeError, TreeNode
+
+
+class DeriveError(ValueError):
+    """Raised when a derivation cannot produce a completed tree."""
+
+
+def adjoin(target: TreeNode, address: Address, auxiliary: TreeNode) -> TreeNode:
+    """Adjoin ``auxiliary`` (a derived beta-tree) into ``target`` at ``address``.
+
+    Implements the three steps of Figure 2(a): the subtree at ``address``
+    is disconnected, the auxiliary tree is planted in its place, and the
+    disconnected subtree is re-attached at the auxiliary tree's foot node.
+    """
+    site = target.node_at(address)
+    if site.symbol != auxiliary.symbol:
+        raise DeriveError(
+            f"cannot adjoin: site labelled {site.symbol}, auxiliary root "
+            f"labelled {auxiliary.symbol}"
+        )
+    planted = _replace_foot(auxiliary, site)
+    return target.replace_at(address, planted)
+
+
+def _replace_foot(tree: TreeNode, replacement: TreeNode) -> TreeNode:
+    """Replace the unique foot node of ``tree`` with ``replacement``."""
+    foot_address = None
+    for address, node in tree.walk():
+        if node.is_foot:
+            foot_address = address
+            break
+    if foot_address is None:
+        raise DeriveError("auxiliary tree has no foot node")
+    return tree.replace_at(foot_address, replacement)
+
+
+def substitute_node(target: TreeNode, address: Address, leaf: TreeNode) -> TreeNode:
+    """Substitute ``leaf`` for the substitution slot at ``address``
+    (Figure 2(b), restricted to childless alpha-trees)."""
+    slot = target.node_at(address)
+    if not slot.is_subst:
+        raise DeriveError(f"node at {address} is not a substitution slot")
+    if slot.symbol != leaf.symbol:
+        raise DeriveError(
+            f"cannot substitute: slot labelled {slot.symbol}, lexeme "
+            f"labelled {leaf.symbol}"
+        )
+    return target.replace_at(address, leaf)
+
+
+def derive(derivation: DerivationTree) -> TreeNode:
+    """Produce the derived tree encoded by ``derivation``.
+
+    Adjunctions are applied bottom-up over each elementary tree's template
+    so that recorded Gorn addresses always refer to elementary-tree nodes,
+    independent of the order in which siblings were adjoined.
+    """
+    derived = _build(derivation.root)
+    for __, node in derived.walk():
+        if node.is_subst:
+            raise DeriveError("derived tree is not completed: open slot remains")
+        if node.is_foot:
+            raise DeriveError("derived tree retains a foot node")
+    return derived
+
+
+def _build(deriv_node: DerivationNode) -> TreeNode:
+    template = deriv_node.tree.root
+
+    def rebuild(node: TreeNode, address: Address) -> TreeNode:
+        if node.is_subst:
+            lexeme = deriv_node.lexemes.get(address)
+            if lexeme is None:
+                raise DeriveError(
+                    f"unfilled substitution slot at {address} in "
+                    f"{deriv_node.tree.name!r}"
+                )
+            return lexeme.instantiate()
+        children = tuple(
+            rebuild(child, address + (index,))
+            for index, child in enumerate(node.children)
+        )
+        rebuilt = TreeNode(
+            node.symbol,
+            children,
+            is_foot=node.is_foot,
+            is_subst=False,
+            payload=node.payload,
+        )
+        child_derivation = deriv_node.children.get(address)
+        if child_derivation is not None:
+            auxiliary = _build(child_derivation)
+            if auxiliary.symbol != rebuilt.symbol:
+                raise DeriveError(
+                    f"beta {child_derivation.tree.name!r} incompatible at "
+                    f"{address} of {deriv_node.tree.name!r}"
+                )
+            rebuilt = _replace_foot(auxiliary, rebuilt)
+        return rebuilt
+
+    return rebuild(template, ())
+
+
+def to_expressions(derived: TreeNode) -> tuple[list[Expr], dict[str, float]]:
+    """Translate a completed derived tree into expression ASTs.
+
+    Returns one expression per top-level equation (children of a ``Model``
+    root, or a single expression otherwise) together with the values of
+    the random constants collected from ``rconst`` payloads, named
+    ``_R0``, ``_R1``, ... in traversal order.
+    """
+    rvalues: dict[str, float] = {}
+
+    def translate(node: TreeNode) -> Expr:
+        if node.payload is not None:
+            kind, value = node.payload
+            if kind == "const":
+                return Const(value)
+            if kind == "param":
+                return Param(value)
+            if kind == "var":
+                return Var(value)
+            if kind == "state":
+                return State(value)
+            if kind == "rconst":
+                name = f"_R{len(rvalues)}"
+                rvalues[name] = value.value
+                return Param(name)
+            if kind == "op":
+                raise DeriveError("operator terminal encountered out of context")
+            raise DeriveError(f"unknown payload kind {kind!r}")
+        kids = node.children
+        if len(kids) == 1:
+            return translate(kids[0])
+        if len(kids) == 2 and _op_of(kids[0]) is not None:
+            return UnOp(_op_of(kids[0]), translate(kids[1]))
+        if len(kids) == 3 and _op_of(kids[1]) is not None:
+            return BinOp(_op_of(kids[1]), translate(kids[0]), translate(kids[2]))
+        raise DeriveError(
+            f"untranslatable node {node.symbol} with {len(kids)} children"
+        )
+
+    if node_is_model(derived):
+        expressions = [translate(child) for child in derived.children]
+    else:
+        expressions = [translate(derived)]
+    return expressions, rvalues
+
+
+def node_is_model(node: TreeNode) -> bool:
+    """True if ``node`` is a combined multi-equation root (Section III-C)."""
+    return node.symbol == MODEL
+
+
+def _op_of(node: TreeNode) -> str | None:
+    if node.payload is not None and node.payload[0] == "op":
+        return node.payload[1]
+    return None
+
+
+def lift(expr: Expr, exp_symbol: Symbol = EXP) -> TreeNode:
+    """Lift an expression AST into an elementary-tree template.
+
+    ``Ext`` markers become connector extension-point nodes (adjunction
+    sites); all other interior structure is labelled with ``exp_symbol``.
+    This is how the expert-written processes of Section III-C are encoded
+    as the seed alpha-tree.
+    """
+    if isinstance(expr, Const):
+        return _leaf(f"const:{expr.value:g}", ("const", expr.value))
+    if isinstance(expr, Param):
+        return _leaf(f"param:{expr.name}", ("param", expr.name))
+    if isinstance(expr, Var):
+        return _leaf(f"var:{expr.name}", ("var", expr.name))
+    if isinstance(expr, State):
+        return _leaf(f"state:{expr.name}", ("state", expr.name))
+    if isinstance(expr, Ext):
+        return TreeNode(
+            connector_symbol(expr.name),
+            (lift(expr.operand, exp_symbol),),
+        )
+    if isinstance(expr, UnOp):
+        return TreeNode(
+            exp_symbol,
+            (op_leaf(expr.op), lift(expr.operand, exp_symbol)),
+        )
+    if isinstance(expr, BinOp):
+        return TreeNode(
+            exp_symbol,
+            (
+                lift(expr.lhs, exp_symbol),
+                op_leaf(expr.op),
+                lift(expr.rhs, exp_symbol),
+            ),
+        )
+    raise TreeError(f"cannot lift node of type {type(expr).__name__}")
+
+
+def lift_model(equations: dict[str, Expr]) -> TreeNode:
+    """Lift several equations into a single tree under a ``Model`` root.
+
+    Multiple intertwined processes (e.g. dBPhy/dt and dBZoo/dt) are encoded
+    as one alpha-tree by combining the per-equation trees under a common
+    root (Section III-C, "Revising Multiple Processes").  The equation
+    order fixes which derived child maps to which state variable.
+    """
+    children = tuple(lift(expr) for expr in equations.values())
+    return TreeNode(MODEL, children)
+
+
+def op_leaf(op: str) -> TreeNode:
+    """A terminal leaf carrying an operator payload."""
+    return _leaf(f"op:{op}", ("op", op))
+
+
+def _leaf(symbol_name: str, payload: tuple) -> TreeNode:
+    return TreeNode(terminal(symbol_name), payload=payload)
+
+
+def expressions_of(
+    derivation: DerivationTree,
+) -> tuple[list[Expr], dict[str, float]]:
+    """Convenience: derive and translate in one call."""
+    if not isinstance(derivation, DerivationTree):
+        raise TypeError("expressions_of expects a DerivationTree")
+    return to_expressions(derive(derivation))
+
+
+def render_equations(expressions: list[Expr], state_names: list[str]) -> str:
+    """Pretty-print derived equations in the paper's dX/dt notation."""
+    lines = []
+    for state_name, expression in zip(state_names, expressions):
+        lines.append(f"d{state_name}/dt = {ast.strip_ext(expression)}")
+    return "\n".join(lines)

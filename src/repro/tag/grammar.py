@@ -1,0 +1,153 @@
+"""The TAG quintuple and lexeme factories.
+
+A :class:`TagGrammar` bundles the paper's quintuple ``(T, N, I, A, S)``:
+terminals and non-terminals are collected from the supplied trees, ``I`` is
+the set of alpha-trees, ``A`` the set of beta-trees, and ``S`` the start
+symbol.  On top of the formal definition the grammar provides the queries
+the GP engine needs: which beta-trees may adjoin at a symbol, and how to
+create lexemes for substitution slots.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.tag.symbols import Symbol
+from repro.tag.trees import AlphaTree, BetaTree, Lexeme, RConst, TreeError
+from repro.tag.symbols import VALUE
+
+#: A factory producing a fresh lexeme for a substitution-slot symbol.
+LexemeFactory = Callable[[random.Random], Lexeme]
+
+
+class GrammarError(ValueError):
+    """Raised for ill-formed grammars."""
+
+
+def random_value_lexeme_factory(
+    mean: float = 0.5,
+    minimum: float = -1000.0,
+    maximum: float = 1000.0,
+    init_low: float = 0.0,
+    init_high: float = 1.0,
+    sigma_hint: float | None = None,
+    symbol: Symbol = VALUE,
+) -> LexemeFactory:
+    """Factory for the paper's ``R`` lexemes (Table II).
+
+    ``R`` is initialised uniformly in ``[init_low, init_high]`` (the paper
+    initialises in [0, 1]) and subsequently tuned by Gaussian mutation
+    within ``[minimum, maximum]``.  The wide default mutation range lets
+    revised constants drift to the magnitudes seen in the paper's
+    discovered models (e.g. eq. (7)'s 253.4).
+    """
+
+    def factory(rng: random.Random) -> Lexeme:
+        value = rng.uniform(init_low, init_high)
+        rconst = RConst(
+            value,
+            mean=mean,
+            minimum=minimum,
+            maximum=maximum,
+            sigma_hint=sigma_hint,
+        )
+        return Lexeme(symbol, payload=("rconst", rconst))
+
+    return factory
+
+
+@dataclass
+class TagGrammar:
+    """A tree-adjoining grammar: ``(T, N, I, A, S)`` plus lexeme factories.
+
+    Attributes:
+        start: The start symbol ``S``.
+        alphas: Initial trees ``I``, keyed by name.
+        betas: Auxiliary trees ``A``, keyed by name.
+        lexeme_factories: For each substitution-slot symbol, a factory
+            creating fresh lexemes (restricted substitution).
+    """
+
+    start: Symbol
+    alphas: dict[str, AlphaTree] = field(default_factory=dict)
+    betas: dict[str, BetaTree] = field(default_factory=dict)
+    lexeme_factories: dict[Symbol, LexemeFactory] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._betas_by_root: dict[Symbol, list[BetaTree]] = {}
+        for beta in self.betas.values():
+            self._betas_by_root.setdefault(beta.root.symbol, []).append(beta)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.start.is_nonterminal:
+            raise GrammarError("start symbol must be a non-terminal")
+        if not self.alphas:
+            raise GrammarError("a grammar needs at least one initial tree")
+        names = set(self.alphas) & set(self.betas)
+        if names:
+            raise GrammarError(f"tree names shared by I and A: {sorted(names)}")
+        for tree in list(self.alphas.values()) + list(self.betas.values()):
+            for __, node in tree.walk():
+                if node.is_subst and node.symbol not in self.lexeme_factories:
+                    raise GrammarError(
+                        f"tree {tree.name!r} has substitution slot "
+                        f"{node.symbol} with no lexeme factory"
+                    )
+
+    @property
+    def terminals(self) -> frozenset[Symbol]:
+        """The terminal alphabet ``T`` collected from all trees."""
+        return frozenset(
+            node.symbol
+            for tree in self._all_trees()
+            for __, node in tree.walk()
+            if node.symbol.is_terminal
+        )
+
+    @property
+    def nonterminals(self) -> frozenset[Symbol]:
+        """The non-terminal alphabet ``N`` collected from all trees."""
+        symbols = {
+            node.symbol
+            for tree in self._all_trees()
+            for __, node in tree.walk()
+            if node.symbol.is_nonterminal
+        }
+        symbols.add(self.start)
+        return frozenset(symbols)
+
+    @property
+    def adjoinable_symbols(self) -> frozenset[Symbol]:
+        """Symbols at which some beta-tree can adjoin."""
+        return frozenset(self._betas_by_root)
+
+    def _all_trees(self) -> Iterable[AlphaTree | BetaTree]:
+        yield from self.alphas.values()
+        yield from self.betas.values()
+
+    def start_alphas(self) -> list[AlphaTree]:
+        """Initial trees rooted at the start symbol (derivation roots)."""
+        return [
+            alpha
+            for alpha in self.alphas.values()
+            if alpha.root.symbol == self.start
+        ]
+
+    def betas_for(self, symbol: Symbol) -> list[BetaTree]:
+        """Beta-trees whose root (and foot) label is ``symbol``."""
+        return list(self._betas_by_root.get(symbol, ()))
+
+    def can_adjoin(self, beta: BetaTree, symbol: Symbol) -> bool:
+        """True if ``beta`` may adjoin at a node labelled ``symbol``."""
+        return beta.root.symbol == symbol
+
+    def make_lexeme(self, symbol: Symbol, rng: random.Random) -> Lexeme:
+        """Create a fresh lexeme for a substitution slot labelled ``symbol``."""
+        try:
+            factory = self.lexeme_factories[symbol]
+        except KeyError:
+            raise TreeError(f"no lexeme factory for slot symbol {symbol}") from None
+        return factory(rng)

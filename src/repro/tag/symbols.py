@@ -1,0 +1,99 @@
+"""Symbols for tree-adjoining grammars.
+
+A TAG is defined over finite sets of terminal and non-terminal symbols
+(Section III-A of the paper).  In GMR two families of non-terminals play a
+special role: *connector* symbols (``ExtC``) label extension points on the
+expert-written initial process, and *extender* symbols (``ExtE``) label
+extension points introduced by revisions.  Because connector and extender
+beta-trees are rooted at different symbols, connector revisions can never
+adjoin into extender positions and vice versa -- this is the mechanism
+through which the grammar enforces the paper's "limited operations on the
+initial process, greater freedom for extenders" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class SymbolKind(Enum):
+    """Whether a symbol is a terminal or a non-terminal."""
+
+    TERMINAL = "terminal"
+    NONTERMINAL = "nonterminal"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A grammar symbol with a name and a kind."""
+
+    name: str
+    kind: SymbolKind
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.kind is SymbolKind.TERMINAL
+
+    @property
+    def is_nonterminal(self) -> bool:
+        return self.kind is SymbolKind.NONTERMINAL
+
+
+def terminal(name: str) -> Symbol:
+    """Create a terminal symbol."""
+    return Symbol(name, SymbolKind.TERMINAL)
+
+
+def nonterminal(name: str) -> Symbol:
+    """Create a non-terminal symbol."""
+    return Symbol(name, SymbolKind.NONTERMINAL)
+
+
+#: The generic expression non-terminal used throughout the river grammar.
+EXP = nonterminal("Exp")
+
+#: The start symbol used for combined multi-equation models (Section III-C).
+MODEL = nonterminal("Model")
+
+#: The non-terminal labelling substitution slots for random constants (the
+#: paper's ``R`` variable; Table II).
+VALUE = nonterminal("Val")
+
+
+def connector_symbol(ext_name: str) -> Symbol:
+    """Non-terminal for the connector extension point ``ext_name``.
+
+    Connector beta-trees attach directly to the expert-written initial
+    process (paper Figure 7, the ``ExtC`` symbol).
+    """
+    return nonterminal(f"ExtC_{ext_name}")
+
+
+def extender_symbol(ext_name: str) -> Symbol:
+    """Non-terminal for the extender extension point ``ext_name``.
+
+    Extender beta-trees attach only to material added by earlier revisions
+    (paper Figure 7, the ``ExtE`` symbol).
+    """
+    return nonterminal(f"ExtE_{ext_name}")
+
+
+def is_connector(symbol: Symbol) -> bool:
+    """True if ``symbol`` labels a connector extension point."""
+    return symbol.is_nonterminal and symbol.name.startswith("ExtC_")
+
+
+def is_extender(symbol: Symbol) -> bool:
+    """True if ``symbol`` labels an extender extension point."""
+    return symbol.is_nonterminal and symbol.name.startswith("ExtE_")
+
+
+def ext_name(symbol: Symbol) -> str:
+    """Extract the extension-point name from a connector/extender symbol."""
+    if not (is_connector(symbol) or is_extender(symbol)):
+        raise ValueError(f"{symbol} is not an extension symbol")
+    return symbol.name.split("_", 1)[1]

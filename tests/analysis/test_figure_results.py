@@ -1,0 +1,84 @@
+"""Figure result containers: relative computations and rendering."""
+
+import pytest
+
+from repro.experiments.fig9 import Fig9Result, REVISION_VARIABLES
+from repro.experiments.fig10 import COMBINATIONS, Fig10Result
+from repro.experiments.fig11 import Fig11Result, Fig11Setting, THRESHOLDS
+
+
+class TestFig10Result:
+    def _result(self):
+        runtimes = {
+            "None": 1.0,
+            "TC": 0.8,
+            "ES": 0.25,
+            "RC": 0.05,
+            "TC+ES": 0.2,
+            "TC+RC": 0.04,
+            "ES+RC": 0.02,
+            "TC+ES+RC": 0.01,
+        }
+        speedup = {k: 1.0 / v for k, v in runtimes.items()}
+        return Fig10Result(
+            mean_runtime=runtimes,
+            speedup=speedup,
+            population_size=30,
+            scale="test",
+            elapsed=0.0,
+        )
+
+    def test_combinations_cover_paper_rows(self):
+        labels = [label for label, *__ in COMBINATIONS]
+        assert labels == [
+            "None", "TC", "ES", "RC", "TC+ES", "TC+RC", "ES+RC", "TC+ES+RC",
+        ]
+
+    def test_render_includes_every_row(self):
+        text = self._result().render()
+        for label, *__ in COMBINATIONS:
+            assert label in text
+        assert "100.0x" in text  # the all-on speedup
+
+
+class TestFig11Result:
+    def _settings(self):
+        return [
+            Fig11Setting("No ES", None, 1000, 10.0, 11.0, 100.0, 60.0),
+            Fig11Setting("ES TH-0.7", 0.7, 100, 10.5, 11.5, 95.0, 8.0),
+            Fig11Setting("ES TH-1.0", 1.0, 200, 10.0, 11.0, 100.0, 10.0),
+            Fig11Setting("ES TH-1.3", 1.3, 400, 9.8, 10.8, 100.0, 15.0),
+        ]
+
+    def test_thresholds_match_paper_sweep(self):
+        values = [threshold for __, threshold in THRESHOLDS]
+        assert values == [None, 0.7, 1.0, 1.3]
+
+    def test_relative_normalised_to_th_one(self):
+        result = Fig11Result(settings=self._settings(), scale="t", elapsed=0.0)
+        relative = result.relative()
+        assert relative["ES TH-1.0"]["steps"] == pytest.approx(1.0)
+        assert relative["No ES"]["steps"] == pytest.approx(5.0)
+        assert relative["ES TH-0.7"]["steps"] == pytest.approx(0.5)
+
+    def test_render(self):
+        result = Fig11Result(settings=self._settings(), scale="t", elapsed=0.0)
+        text = result.render()
+        assert "ES TH-0.7" in text
+        assert "Wall time" in text
+
+
+class TestFig9Result:
+    def test_render_lists_all_variables(self):
+        result = Fig9Result(
+            selectivity={v: 10.0 for v in REVISION_VARIABLES},
+            correlation={v: "correlated" for v in REVISION_VARIABLES},
+            extension_usage={"Ext1": 50.0},
+            n_models=10,
+            scale="t",
+            elapsed=0.0,
+        )
+        text = result.render()
+        for variable in REVISION_VARIABLES:
+            assert variable in text
+        assert "Ext1" in text

@@ -1,0 +1,92 @@
+"""Skill metrics: exact values, invariants, and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.metrics import kge, mae, nse, pbias, rmse, skill_report
+
+OBSERVED = np.array([1.0, 2.0, 3.0, 4.0])
+
+
+class TestExactValues:
+    def test_perfect_prediction(self):
+        report = skill_report(OBSERVED, OBSERVED)
+        assert report.rmse == 0.0
+        assert report.mae == 0.0
+        assert report.nse == 1.0
+        assert report.kge == pytest.approx(1.0)
+        assert report.pbias == 0.0
+
+    def test_rmse_known_value(self):
+        predicted = OBSERVED + 2.0
+        assert rmse(OBSERVED, predicted) == pytest.approx(2.0)
+        assert mae(OBSERVED, predicted) == pytest.approx(2.0)
+
+    def test_mean_predictor_has_zero_nse(self):
+        predicted = np.full_like(OBSERVED, OBSERVED.mean())
+        assert nse(OBSERVED, predicted) == pytest.approx(0.0)
+
+    def test_pbias_sign_convention(self):
+        # Underprediction -> positive PBIAS.
+        assert pbias(OBSERVED, OBSERVED * 0.9) > 0
+        assert pbias(OBSERVED, OBSERVED * 1.1) < 0
+
+    def test_kge_penalises_scaled_predictions(self):
+        assert kge(OBSERVED, OBSERVED * 2.0) < 1.0
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(OBSERVED, OBSERVED[:2])
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            mae(np.array([]), np.array([]))
+
+    def test_nse_constant_observed(self):
+        with pytest.raises(ValueError):
+            nse(np.ones(5), np.ones(5))
+
+    def test_pbias_zero_sum(self):
+        with pytest.raises(ValueError):
+            pbias(np.array([-1.0, 1.0]), np.array([0.0, 0.0]))
+
+
+finite = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        arrays(float, st.integers(2, 30), elements=finite),
+        arrays(float, st.integers(2, 30), elements=finite),
+    )
+    def test_rmse_dominates_mae(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert rmse(a, b) >= mae(a, b) - 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(arrays(float, st.integers(3, 30), elements=finite))
+    def test_rmse_is_symmetric(self, a):
+        b = a[::-1].copy()
+        assert rmse(a, b) == pytest.approx(rmse(b, a))
+
+    @settings(max_examples=100, deadline=None)
+    @given(arrays(float, st.integers(3, 30), elements=finite))
+    def test_nse_of_self_is_one(self, a):
+        if a.std() == 0:
+            return
+        assert nse(a, a.copy()) == pytest.approx(1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        arrays(float, 20, elements=finite),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    def test_rmse_of_constant_shift(self, a, shift):
+        assert rmse(a, a + shift) == pytest.approx(abs(shift), abs=1e-6)

@@ -1,0 +1,92 @@
+"""Selectivity and model-report analyses."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    extension_usage,
+    report,
+    revision_counts,
+    revision_summary,
+    revision_uses,
+    revision_variables,
+    variable_selectivity,
+)
+from repro.gp import GMRConfig, build_grammar, random_individual
+from repro.river import STATE_NAMES, river_knowledge
+
+KNOWLEDGE = river_knowledge()
+GRAMMAR = build_grammar(KNOWLEDGE)
+CONFIG = GMRConfig(
+    population_size=4, max_generations=1, max_size=15, init_max_size=8
+)
+
+
+def individuals(n: int, seed: int = 0):
+    rng = random.Random(seed)
+    return [
+        random_individual(GRAMMAR, KNOWLEDGE, CONFIG, rng) for __ in range(n)
+    ]
+
+
+class TestRevisionUses:
+    def test_uses_reference_known_extensions(self):
+        for individual in individuals(10):
+            for use in revision_uses(individual):
+                assert use.extension in {
+                    "Ext1", "Ext2", "Ext3", "Ext5",
+                    "Ext6", "Ext7", "Ext8", "Ext9",
+                }
+
+    def test_variables_exclude_random_operand(self):
+        for individual in individuals(10, seed=3):
+            assert "R" not in revision_variables(individual)
+
+    def test_seed_only_individual_has_no_uses(self):
+        from repro.gp import Individual
+        from repro.tag import DerivationNode, DerivationTree
+
+        seed_only = Individual(
+            derivation=DerivationTree(
+                DerivationNode(tree=GRAMMAR.alphas["seed"])
+            ),
+            params=KNOWLEDGE.initial_parameters(),
+        )
+        assert revision_uses(seed_only) == []
+        assert revision_summary(seed_only) == {}
+
+
+class TestSelectivity:
+    def test_percentages_bounded(self):
+        population = individuals(20, seed=1)
+        selectivity = variable_selectivity(
+            population, ("Vtmp", "Vph", "Valk", "Vcd", "Vdo", "Vsd")
+        )
+        for value in selectivity.values():
+            assert 0.0 <= value <= 100.0
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            variable_selectivity([], ("Vtmp",))
+
+    def test_extension_usage_sums_sensibly(self):
+        population = individuals(20, seed=2)
+        usage = extension_usage(population)
+        for value in usage.values():
+            assert 0.0 < value <= 100.0
+
+
+class TestReport:
+    def test_report_contains_equations_and_revisions(self):
+        individual = individuals(1, seed=5)[0]
+        text = report(individual, STATE_NAMES)
+        assert "dBPhy/dt" in text
+        assert "dBZoo/dt" in text
+        assert "Revisions" in text
+        assert "CUA" in text
+
+    def test_revision_counts_match_uses(self):
+        individual = individuals(1, seed=6)[0]
+        counts = revision_counts(individual)
+        assert sum(counts.values()) == len(revision_uses(individual))

@@ -1,0 +1,64 @@
+"""Table V result container: rendering and lookups (no computation)."""
+
+import pytest
+
+from repro.baselines.common import MethodResult, errors
+from repro.experiments.table5 import Table5Result
+
+
+def rows():
+    return [
+        MethodResult("Manual", "Knowledge-driven", 2.79e9, 2.15e8, 2.23e6, 7.93e5),
+        MethodResult("GMR", "Model revision", 21.4, 12.0, 12.36, 7.94),
+        MethodResult("GGGP", "Model revision", 20.7, 11.3, 13.25, 9.16),
+    ]
+
+
+class TestTable5Result:
+    def test_by_method(self):
+        result = Table5Result(results=rows(), scale="test", elapsed=0.0)
+        assert result.by_method("GMR").test_rmse == 12.36
+
+    def test_unknown_method(self):
+        result = Table5Result(results=rows(), scale="test", elapsed=0.0)
+        with pytest.raises(KeyError):
+            result.by_method("SVM")
+
+    def test_render_contains_all_methods(self):
+        result = Table5Result(results=rows(), scale="test", elapsed=0.0)
+        text = result.render()
+        for row in rows():
+            assert row.method in text
+
+    def test_render_uses_scientific_notation_for_huge(self):
+        result = Table5Result(results=rows(), scale="test", elapsed=0.0)
+        assert "2.79e+09" in result.render()
+
+    def test_figure1_caps_manual(self):
+        result = Table5Result(results=rows(), scale="test", elapsed=0.0)
+        text = result.render_figure1()
+        assert "Figure 1 (left)" in text
+        assert "Figure 1 (right)" in text
+        # Manual's bar is capped, so the rendered value is far below 2e6.
+        assert "2.23e+06" not in text
+
+
+class TestMethodResult:
+    def test_row_formatting(self):
+        row = MethodResult("X", "C", 1.5, 2.5, 3.5, 4.5).row()
+        assert row == ("C", "X", "1.500", "2.500", "3.500", "4.500")
+
+    def test_errors_helper(self):
+        import numpy as np
+
+        rmse_value, mae_value = errors(
+            np.array([1.0, 2.0]), np.array([2.0, 4.0])
+        )
+        assert mae_value == pytest.approx(1.5)
+        assert rmse_value == pytest.approx(np.sqrt((1 + 4) / 2))
+
+    def test_errors_shape_mismatch(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            errors(np.zeros(3), np.zeros(4))

@@ -1,0 +1,83 @@
+"""ARIMAX: recovery of known processes and forecasting behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.arimax import ArimaxError, auto_arimax, fit_arimax
+
+
+def ar1_series(n=400, phi=0.7, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.zeros(n)
+    for t in range(1, n):
+        y[t] = phi * y[t - 1] + rng.normal(0, 0.5)
+    return y
+
+
+class TestFit:
+    def test_recovers_ar1_coefficient(self):
+        y = ar1_series()
+        exog = np.zeros((len(y), 1))
+        model = fit_arimax(y, exog, p=1, d=0, q=0)
+        assert model.ar_coefficients[0] == pytest.approx(0.7, abs=0.1)
+
+    def test_recovers_exogenous_coefficient(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 400)
+        y = ar1_series(seed=2) + 2.0 * x
+        model = fit_arimax(y, x[:, None], p=1, d=0, q=0)
+        assert model.exog_coefficients[0] == pytest.approx(2.0, abs=0.2)
+
+    def test_too_short_series_returns_none(self):
+        assert fit_arimax(np.zeros(10), np.zeros((10, 1)), 3, 0, 2) is None
+
+    def test_exog_length_mismatch_rejected(self):
+        with pytest.raises(ArimaxError):
+            fit_arimax(np.zeros(50), np.zeros((20, 1)), 1, 0, 0)
+
+    def test_fitted_values_align_with_series(self):
+        y = ar1_series()
+        model = fit_arimax(y, np.zeros((len(y), 1)), p=2, d=0, q=1)
+        assert model.fitted_values().shape == y.shape
+
+
+class TestAutoArimax:
+    def test_selects_reasonable_order(self):
+        y = ar1_series()
+        model = auto_arimax(y, np.zeros((len(y), 1)), max_p=3, max_q=1)
+        assert 1 <= model.p <= 3
+        assert model.aic == pytest.approx(model.aic)
+
+    def test_in_sample_fit_beats_mean_predictor(self):
+        y = ar1_series()
+        model = auto_arimax(y, np.zeros((len(y), 1)))
+        residual = y - model.fitted_values()
+        assert np.sqrt(np.mean(residual[20:] ** 2)) < np.std(y)
+
+    def test_raises_when_nothing_fits(self):
+        with pytest.raises(ArimaxError):
+            auto_arimax(np.zeros(8), np.zeros((8, 1)))
+
+
+class TestForecast:
+    def test_dynamic_forecast_of_ar1_decays_to_mean(self):
+        y = ar1_series(phi=0.9)
+        model = fit_arimax(y, np.zeros((len(y), 1)), p=1, d=0, q=0)
+        forecast = model.forecast(np.zeros((200, 1)))
+        # Multi-step AR(1) forecasts decay geometrically towards the mean,
+        # so the tail is closer to 0 than the first step.
+        assert abs(forecast[-1]) <= abs(forecast[0]) + 1e-9
+
+    def test_differenced_forecast_integrates_from_last_level(self):
+        trend = np.linspace(0.0, 50.0, 300)
+        noise = np.random.default_rng(0).normal(0, 0.1, 300)
+        y = trend + noise
+        model = fit_arimax(y, np.zeros((300, 1)), p=1, d=1, q=0)
+        forecast = model.forecast(np.zeros((10, 1)))
+        # A differenced model of a linear trend keeps climbing.
+        assert forecast[-1] > y[-1]
+
+    def test_forecast_horizon_matches_exog(self):
+        y = ar1_series()
+        model = fit_arimax(y, np.zeros((len(y), 1)), p=1, d=0, q=1)
+        assert model.forecast(np.zeros((37, 1))).shape == (37,)

@@ -1,0 +1,106 @@
+"""Calibration framework and all nine algorithms on a known optimum."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.calibration import (
+    CalibrationProblem,
+    all_calibrators,
+)
+from repro.baselines.calibration.base import CalibrationError
+from repro.dynamics import ClampSpec, DriverTable, ModelingTask, ProcessModel, simulate
+from repro.expr import parse
+from repro.gp import ParameterPrior
+
+
+def make_problem(n_days: int = 60) -> CalibrationProblem:
+    """Calibrate dB/dt = B * (mu - loss) against truth mu=.2, loss=.1."""
+    drivers = DriverTable.from_mapping({"Vx": np.zeros(n_days)})
+    model = ProcessModel.from_equations(
+        {"B": parse("B * (mu - loss)", states={"B"})}, var_order=("Vx",)
+    )
+    truth = {"mu": 0.2, "loss": 0.1}
+    observed = simulate(
+        model,
+        tuple(truth[name] for name in model.param_order),
+        drivers,
+        (1.0,),
+        clamp=ClampSpec(1e-9, 1e9),
+    )[:, 0]
+    task = ModelingTask(
+        drivers=drivers,
+        observed=observed,
+        target_state="B",
+        state_names=("B",),
+        initial_state=(1.0,),
+    )
+    priors = {
+        "mu": ParameterPrior("mu", 0.3, 0.0, 0.6),
+        "loss": ParameterPrior("loss", 0.15, 0.0, 0.4),
+    }
+    return CalibrationProblem(model, task, priors)
+
+
+class TestProblem:
+    def test_dimension_and_bounds(self):
+        problem = make_problem()
+        assert problem.dimension == 2
+        bounds = dict(zip(problem.names, zip(problem.lower, problem.upper)))
+        assert bounds["mu"] == (0.0, 0.6)
+        assert bounds["loss"] == (0.0, 0.4)
+
+    def test_missing_prior_rejected(self):
+        problem = make_problem()
+        with pytest.raises(CalibrationError):
+            CalibrationProblem(problem.model, problem.task, {})
+
+    def test_evaluate_counts(self):
+        problem = make_problem()
+        problem.evaluate(problem.means)
+        problem.evaluate(problem.means)
+        assert problem.evaluations == 2
+
+    def test_clip(self):
+        problem = make_problem()
+        clipped = problem.clip(np.array([9.0, -9.0]))
+        assert clipped.tolist() == [problem.upper[0], problem.lower[1]]
+
+    def test_true_parameters_score_zero(self):
+        problem = make_problem()
+        truth = {"mu": 0.2, "loss": 0.1}
+        vector = np.array([truth[name] for name in problem.names])
+        assert problem.evaluate(vector) == pytest.approx(0.0, abs=1e-9)
+
+
+@pytest.mark.parametrize(
+    "calibrator", all_calibrators(), ids=lambda c: c.name
+)
+class TestAllCalibrators:
+    def test_respects_budget(self, calibrator):
+        problem = make_problem()
+        result = calibrator.calibrate(problem, budget=60, seed=0)
+        # A small tolerance: population algorithms may finish a batch.
+        assert problem.evaluations <= 60 * 1.5
+
+    def test_improves_on_prior_mean(self, calibrator):
+        problem = make_problem()
+        start = problem.task.rmse(
+            problem.model, tuple(problem.means)
+        )
+        result = calibrator.calibrate(problem, budget=80, seed=1)
+        assert result.best_fitness <= start + 1e-12
+
+    def test_best_vector_in_bounds(self, calibrator):
+        problem = make_problem()
+        result = calibrator.calibrate(problem, budget=60, seed=2)
+        assert np.all(result.best_vector >= problem.lower - 1e-12)
+        assert np.all(result.best_vector <= problem.upper + 1e-12)
+
+    def test_history_is_monotone_best(self, calibrator):
+        problem = make_problem()
+        result = calibrator.calibrate(problem, budget=60, seed=3)
+        history = result.history
+        assert all(
+            later <= earlier + 1e-12
+            for earlier, later in zip(history, history[1:])
+        )

@@ -1,0 +1,173 @@
+"""GGGP baseline: genome validity, operators, and end-to-end revision."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.gggp import (
+    GGGPEngine,
+    GGGPIndividual,
+    apply_revision,
+    oper_to_expr,
+    random_oper,
+    random_rev,
+)
+from repro.dynamics import ClampSpec, DriverTable, ModelingTask, ProcessModel, simulate
+from repro.expr import parse
+from repro.expr.ast import Const, free_vars
+from repro.gp import ExtensionSpec, GMRConfig, ParameterPrior, PriorKnowledge
+
+SPEC = ExtensionSpec("Ext1", ("Vx", "Vy"))
+
+
+def make_knowledge() -> PriorKnowledge:
+    seed = {
+        "B": parse(
+            "{B * (mu - loss)}@Ext1", variables={"Vx", "Vy"}, states={"B"}
+        )
+    }
+    return PriorKnowledge(
+        seed_equations=seed,
+        priors={
+            "mu": ParameterPrior("mu", 0.1, 0.0, 0.5),
+            "loss": ParameterPrior("loss", 0.12, 0.0, 0.5),
+        },
+        extensions=[ExtensionSpec("Ext1", ("Vx", "Vy"))],
+        rconst_bounds=(-10.0, 10.0),
+        variable_levels={"Vx": 1.0},
+    )
+
+
+def make_task(n: int = 120) -> ModelingTask:
+    rng = np.random.default_rng(0)
+    vx = 1.0 + 0.5 * np.sin(np.arange(n) / 8.0)
+    vy = rng.normal(0, 0.1, n)
+    drivers = DriverTable.from_mapping({"Vx": vx, "Vy": vy})
+    truth = ProcessModel.from_equations(
+        {"B": parse("B * (mu - loss) + 0.4 * Vx", variables={"Vx", "Vy"}, states={"B"})},
+        var_order=("Vx", "Vy"),
+    )
+    observed = simulate(
+        truth, (0.15, 0.1), drivers, (2.0,), clamp=ClampSpec(1e-6, 1e6)
+    )[:, 0]
+    return ModelingTask(
+        drivers=drivers,
+        observed=observed,
+        target_state="B",
+        state_names=("B",),
+        initial_state=(2.0,),
+    )
+
+
+class TestGenome:
+    def test_random_rev_terminates_in_empty(self):
+        rng = random.Random(0)
+        for __ in range(20):
+            tree = random_rev(SPEC, rng)
+            node = tree
+            while node.kind == "connect":
+                node = node.children[1]
+            assert node.kind == "empty"
+
+    def test_random_oper_respects_depth(self):
+        rng = random.Random(1)
+        for __ in range(20):
+            tree = random_oper(SPEC, rng, 0, max_depth=2)
+            # Depth bound implies bounded node count for binary trees.
+            assert tree.size <= 2 ** 5
+
+    def test_oper_to_expr_uses_only_spec_variables(self):
+        rng = random.Random(2)
+        for __ in range(20):
+            expr = oper_to_expr(random_oper(SPEC, rng, 0, 3))
+            assert free_vars(expr) <= {"Vx", "Vy"}
+
+    def test_apply_revision_folds_chain(self):
+        rng = random.Random(3)
+        tree = random_rev(SPEC, rng, max_depth=2)
+        revised = apply_revision(Const(1.0), tree)
+        assert revised.size >= 1
+
+    def test_copy_is_deep(self):
+        knowledge = make_knowledge()
+        engine = GGGPEngine(knowledge, make_task(), GMRConfig(
+            population_size=4, max_generations=1, max_size=12))
+        individual = engine._random_individual(random.Random(0))
+        clone = individual.copy()
+        for tree in clone.revisions.values():
+            for node in tree.walk():
+                if node.kind == "rconst":
+                    node.value = -99.0
+        for tree in individual.revisions.values():
+            for node in tree.walk():
+                assert node.value != -99.0
+
+
+class TestPhenotype:
+    def test_empty_revision_reproduces_seed(self):
+        knowledge = make_knowledge()
+        from repro.baselines.gggp import CfgNode
+
+        individual = GGGPIndividual(
+            knowledge=knowledge,
+            revisions={"Ext1": CfgNode("empty", "rev")},
+            params=knowledge.initial_parameters(),
+        )
+        model, params = individual.phenotype(("B",), ("Vx", "Vy"))
+        task = make_task()
+        # Seed structure: pure exponential decay dynamics.
+        assert task.rmse(model, params) > 0
+
+    def test_phenotype_parameters_follow_order(self):
+        knowledge = make_knowledge()
+        from repro.baselines.gggp import CfgNode
+
+        individual = GGGPIndividual(
+            knowledge=knowledge,
+            revisions={"Ext1": CfgNode("empty", "rev")},
+            params=knowledge.initial_parameters(),
+        )
+        model, params = individual.phenotype(("B",), ("Vx", "Vy"))
+        assert len(params) == len(model.param_order)
+
+
+class TestEngine:
+    def test_run_improves_and_is_deterministic(self):
+        knowledge = make_knowledge()
+        task = make_task()
+        config = GMRConfig(
+            population_size=16,
+            max_generations=6,
+            max_size=20,
+            elite_size=2,
+            local_search_steps=0,
+            es_threshold=None,
+        )
+        engine = GGGPEngine(knowledge, task, config)
+        first = engine.run(seed=4)
+        second = engine.run(seed=4)
+        assert first.best.fitness == second.best.fitness
+        assert first.best.fitness <= first.history[0]
+
+    def test_revision_beats_pure_seed(self):
+        knowledge = make_knowledge()
+        task = make_task()
+        config = GMRConfig(
+            population_size=20,
+            max_generations=8,
+            max_size=20,
+            es_threshold=None,
+            local_search_steps=0,
+        )
+        engine = GGGPEngine(knowledge, task, config)
+        outcome = engine.run(seed=0)
+        from repro.baselines.gggp import CfgNode
+
+        seed_only = GGGPIndividual(
+            knowledge=knowledge,
+            revisions={"Ext1": CfgNode("empty", "rev")},
+            params=knowledge.initial_parameters(),
+        )
+        model, params = seed_only.phenotype(("B",), ("Vx", "Vy"))
+        assert outcome.best.fitness < task.rmse(model, params)

@@ -1,0 +1,99 @@
+"""NumPy LSTM: gradients, training, and prediction behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rnn import AdamState, LstmLayer, LstmRegressor, RnnError
+
+
+class TestLstmLayer:
+    def test_forward_shapes(self):
+        rng = np.random.default_rng(0)
+        layer = LstmLayer(3, 5, rng)
+        inputs = rng.normal(0, 1, (7, 2, 3))
+        hs, h, c, cache = layer.forward(inputs)
+        assert hs.shape == (7, 2, 5)
+        assert h.shape == (2, 5)
+        assert c.shape == (2, 5)
+        assert len(cache) == 7
+
+    def test_backward_numerical_gradient(self):
+        """BPTT gradients match central finite differences."""
+        rng = np.random.default_rng(1)
+        layer = LstmLayer(2, 3, rng)
+        inputs = rng.normal(0, 1, (4, 1, 2))
+        target = rng.normal(0, 1, (4, 1, 3))
+
+        def loss() -> float:
+            hs, *__ = layer.forward(inputs)
+            return float(np.sum((hs - target) ** 2))
+
+        hs, __, __, cache = layer.forward(inputs)
+        d_hs = 2.0 * (hs - target)
+        __, dW, db = layer.backward(d_hs, cache)
+
+        epsilon = 1e-6
+        for index in [(0, 0), (1, 4), (4, 2)]:
+            original = layer.W[index]
+            layer.W[index] = original + epsilon
+            up = loss()
+            layer.W[index] = original - epsilon
+            down = loss()
+            layer.W[index] = original
+            numeric = (up - down) / (2 * epsilon)
+            assert dW[index] == pytest.approx(numeric, rel=1e-3, abs=1e-5)
+
+    def test_forget_bias_initialised_to_one(self):
+        layer = LstmLayer(2, 4, np.random.default_rng(0))
+        assert np.all(layer.b[4:8] == 1.0)
+
+
+class TestAdam:
+    def test_step_moves_towards_negative_gradient(self):
+        param = np.array([1.0, -1.0])
+        adam = AdamState([param], learning_rate=0.1, weight_decay=0.0)
+        adam.step([np.array([1.0, -1.0])])
+        assert param[0] < 1.0
+        assert param[1] > -1.0
+
+
+class TestRegressor:
+    def _series(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        day = np.arange(n, dtype=float)
+        x1 = np.sin(2 * np.pi * day / 40.0)
+        x2 = rng.normal(0, 0.3, n)
+        features = np.column_stack([x1, x2])
+        target = 5.0 + 3.0 * np.roll(x1, -1)  # next-step dependence on x1
+        return features, target
+
+    def test_training_reduces_loss(self):
+        features, target = self._series()
+        model = LstmRegressor(n_features=2, seed=0)
+        losses = model.fit(features, target, epochs=15, window=40)
+        assert losses[-1] < losses[0]
+
+    def test_learns_sinusoidal_target(self):
+        features, target = self._series()
+        model = LstmRegressor(n_features=2, seed=0)
+        model.fit(features, target, epochs=40, window=40)
+        predictions = model.predict(features)
+        residual = predictions[20:] - target[20:]
+        assert np.sqrt(np.mean(residual**2)) < np.std(target)
+
+    def test_prediction_alignment(self):
+        features, target = self._series()
+        model = LstmRegressor(n_features=2, seed=0)
+        model.fit(features, target, epochs=2, window=40)
+        predictions = model.predict(features)
+        assert predictions.shape == target.shape
+
+    def test_length_mismatch_rejected(self):
+        model = LstmRegressor(n_features=2)
+        with pytest.raises(RnnError):
+            model.fit(np.zeros((10, 2)), np.zeros(9))
+
+    def test_short_series_rejected(self):
+        model = LstmRegressor(n_features=2)
+        with pytest.raises(RnnError):
+            model.fit(np.zeros((5, 2)), np.zeros(5), window=60)

@@ -1,0 +1,86 @@
+"""Additional process-model behaviours: compilation reuse, dt, clamps."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import ClampSpec, DriverTable, ProcessModel, simulate
+from repro.expr import parse
+from repro.expr.ast import strip_ext
+
+
+def decay() -> ProcessModel:
+    return ProcessModel.from_equations(
+        {"B": parse("0 - k * B", states={"B"})}, var_order=("Vx",)
+    )
+
+
+def drivers(n=20):
+    return DriverTable.from_mapping({"Vx": np.zeros(n)})
+
+
+class TestCompilationCaching:
+    def test_compiled_is_cached_per_model(self):
+        model = decay()
+        assert model.compiled() is model.compiled()
+
+    def test_ext_markers_do_not_change_compiled_semantics(self):
+        marked = ProcessModel.from_equations(
+            {"B": parse("{0 - k * B}@Ext1", states={"B"})}, var_order=("Vx",)
+        )
+        plain = decay()
+        args = ((0.2,), (0.0,), (3.0,))
+        assert marked.compiled()(*args) == plain.compiled()(*args)
+
+    def test_structure_key_is_ext_invariant(self):
+        marked = ProcessModel.from_equations(
+            {"B": parse("{0 - k * B}@Ext1", states={"B"})}, var_order=("Vx",)
+        )
+        assert marked.structure_key() == decay().structure_key()
+
+
+class TestStepSize:
+    def test_half_step_decays_less_per_row(self):
+        model = decay()
+        full = simulate(model, (0.2,), drivers(10), (1.0,), dt=1.0)
+        half = simulate(model, (0.2,), drivers(10), (1.0,), dt=0.5)
+        assert half[-1, 0] > full[-1, 0]
+
+    def test_dt_scaling_matches_euler_formula(self):
+        model = decay()
+        trajectory = simulate(model, (0.1,), drivers(5), (1.0,), dt=0.5)
+        assert trajectory[-1, 0] == pytest.approx((1 - 0.05) ** 5)
+
+
+class TestColumnReordering:
+    def test_simulation_reorders_driver_columns(self):
+        """A driver table in a different column order is auto-aligned."""
+        model = ProcessModel.from_equations(
+            {"B": parse("Va - Vb", variables={"Va", "Vb"}, states={"B"})},
+            var_order=("Va", "Vb"),
+        )
+        n = 5
+        table = DriverTable.from_mapping(
+            {"Vb": np.full(n, 1.0), "Va": np.full(n, 3.0)}
+        )
+        trajectory = simulate(
+            model, (), table, (0.0,), clamp=ClampSpec(-100, 100)
+        )
+        # dB/dt = Va - Vb = 2 each day.
+        assert trajectory[-1, 0] == pytest.approx(2.0 * n)
+
+
+class TestClampInteraction:
+    def test_floor_prevents_extinction(self):
+        model = decay()
+        trajectory = simulate(
+            model,
+            (0.9,),
+            drivers(50),
+            (1.0,),
+            clamp=ClampSpec(minimum=0.25, maximum=10.0),
+        )
+        assert trajectory.min() == pytest.approx(0.25)
+
+    def test_strip_ext_is_applied_before_compiling(self):
+        expr = parse("{1 + 1}@Ext1")
+        assert strip_ext(expr) == parse("1 + 1")

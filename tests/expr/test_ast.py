@@ -1,0 +1,128 @@
+"""Unit tests for the expression AST."""
+
+import pytest
+
+from repro.expr import ast
+from repro.expr.ast import (
+    BinOp,
+    Const,
+    Expr,
+    ExprError,
+    Ext,
+    Param,
+    State,
+    UnOp,
+    Var,
+    ext_points,
+    free_params,
+    free_states,
+    free_vars,
+    strip_ext,
+    substitute,
+)
+
+
+def sample_expr() -> Expr:
+    return ast.mul(
+        State("BPhy"),
+        ast.sub(ast.mul(Param("CUA"), Var("Vlgt")), Param("CBRA")),
+    )
+
+
+class TestNodes:
+    def test_const_coerces_to_float(self):
+        assert Const(3).value == 3.0
+        assert isinstance(Const(3).value, float)
+
+    def test_unknown_binary_operator_rejected(self):
+        with pytest.raises(ExprError):
+            BinOp("pow", Const(1), Const(2))
+
+    def test_unknown_unary_operator_rejected(self):
+        with pytest.raises(ExprError):
+            UnOp("sin", Const(1))
+
+    def test_leaf_nodes_have_no_children(self):
+        for leaf in (Const(1.0), Param("a"), Var("v"), State("s")):
+            assert leaf.children() == ()
+
+    def test_with_children_replaces_operands(self):
+        node = ast.add(Const(1), Const(2))
+        replaced = node.with_children((Const(3), Const(4)))
+        assert replaced == ast.add(Const(3), Const(4))
+
+    def test_with_children_on_leaf_rejects_children(self):
+        with pytest.raises(ExprError):
+            Const(1).with_children((Const(2),))
+
+    def test_size_and_depth(self):
+        expr = sample_expr()
+        assert expr.size == 7
+        assert expr.depth == 4
+        assert Const(1).size == 1
+        assert Const(1).depth == 1
+
+    def test_walk_is_preorder(self):
+        expr = ast.add(Const(1), Const(2))
+        nodes = list(expr.walk())
+        assert nodes[0] is expr
+        assert nodes[1] == Const(1.0)
+        assert nodes[2] == Const(2.0)
+
+
+class TestBuilders:
+    def test_minimum_folds_to_binary_chain(self):
+        expr = ast.minimum(Const(1), Const(2), Const(3))
+        assert isinstance(expr, BinOp)
+        assert expr.op == "min"
+        assert isinstance(expr.lhs, BinOp)
+
+    def test_minimum_requires_operands(self):
+        with pytest.raises(ExprError):
+            ast.minimum()
+
+    def test_single_operand_minimum_is_identity(self):
+        assert ast.minimum(Const(5)) == Const(5.0)
+
+
+class TestQueries:
+    def test_free_names(self):
+        expr = sample_expr()
+        assert free_params(expr) == {"CUA", "CBRA"}
+        assert free_vars(expr) == {"Vlgt"}
+        assert free_states(expr) == {"BPhy"}
+
+    def test_ext_points_collects_markers(self):
+        expr = Ext("Ext1", ast.add(Ext("Ext2", Const(1)), Const(2)))
+        points = ext_points(expr)
+        assert set(points) == {"Ext1", "Ext2"}
+
+    def test_duplicate_ext_points_rejected(self):
+        expr = ast.add(Ext("Ext1", Const(1)), Ext("Ext1", Const(2)))
+        with pytest.raises(ExprError):
+            ext_points(expr)
+
+    def test_strip_ext_removes_markers(self):
+        expr = Ext("Ext1", ast.add(Ext("Ext2", Const(1)), Var("v")))
+        assert strip_ext(expr) == ast.add(Const(1.0), Var("v"))
+
+    def test_strip_ext_no_markers_returns_same_tree(self):
+        expr = sample_expr()
+        assert strip_ext(expr) is expr
+
+    def test_substitute_replaces_named_params(self):
+        expr = ast.add(Param("mu"), Param("other"))
+        result = substitute(expr, {"mu": Const(7)})
+        assert result == ast.add(Const(7.0), Param("other"))
+
+
+class TestRendering:
+    def test_str_round_trips_structure(self):
+        expr = sample_expr()
+        assert str(expr) == "(BPhy * ((CUA * Vlgt) - CBRA))"
+
+    def test_min_renders_as_call(self):
+        assert str(BinOp("min", Var("a"), Var("b"))) == "min(a, b)"
+
+    def test_ext_renders_marker(self):
+        assert str(Ext("Ext5", Param("CBRA"))) == "{CBRA}@Ext5"

@@ -1,0 +1,73 @@
+"""Generated-source inspection: the runtime compiler's lowering rules."""
+
+import pytest
+
+from repro.expr import ast
+from repro.expr.ast import Const, Param, State, Var
+from repro.expr.compile import generate_source
+
+
+class TestLowering:
+    def test_positional_indices_are_baked(self):
+        expr = ast.add(Param("b"), ast.add(Var("y"), State("s")))
+        source = generate_source(
+            [expr], ["a", "b"], ["x", "y"], ["s"]
+        )
+        assert "P[1]" in source
+        assert "V[1]" in source
+        assert "S[0]" in source
+        assert "P[0]" not in source  # unused parameter never read
+
+    def test_one_assignment_per_node(self):
+        expr = ast.mul(ast.add(Const(1), Const(2)), Const(3))
+        source = generate_source([expr], [], [], [])
+        # 3 constants + 1 add + 1 mul = 5 assignments.
+        body = [line for line in source.splitlines() if "=" in line and "return" not in line]
+        assert len(body) == 5
+
+    def test_division_guard_structure(self):
+        expr = ast.div(Var("a"), Var("b"))
+        source = generate_source([expr], [], ["a", "b"], [])
+        assert "else 0.0" in source
+        # Magnitude temp for the guard.
+        assert ">= 0.0 else -" in source
+
+    def test_exp_clamp_constant_present(self):
+        source = generate_source([ast.exp(Var("x"))], [], ["x"], [])
+        assert "60.0" in source
+
+    def test_min_lowered_to_conditional(self):
+        source = generate_source(
+            [ast.minimum(Var("x"), Var("y"))], [], ["x", "y"], []
+        )
+        assert " < " in source
+
+    def test_multiple_outputs_share_subtrees(self):
+        shared = ast.mul(Var("x"), Var("x"))
+        source = generate_source(
+            [shared, ast.add(shared, Const(1))], [], ["x"], []
+        )
+        assert source.count("*") == 1  # the shared product emitted once
+
+    def test_return_is_tuple(self):
+        source = generate_source([Const(1), Const(2)], [], [], [])
+        assert source.strip().endswith(")")
+        assert "return (" in source
+
+    def test_single_output_trailing_comma(self):
+        source = generate_source([Const(1)], [], [], [])
+        assert ",)" in source
+
+
+class TestErrorPaths:
+    def test_unbound_variable(self):
+        from repro.expr.compile import CompilationError
+
+        with pytest.raises(CompilationError, match="variable"):
+            generate_source([Var("nope")], [], [], [])
+
+    def test_unbound_state(self):
+        from repro.expr.compile import CompilationError
+
+        with pytest.raises(CompilationError, match="state"):
+            generate_source([State("nope")], [], [], [])

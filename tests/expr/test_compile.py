@@ -1,0 +1,100 @@
+"""Runtime compilation: correctness and equivalence with the interpreter."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.expr import ast
+from repro.expr.ast import Const, Param, State, Var
+from repro.expr.compile import (
+    CompilationError,
+    compile_expr,
+    compile_model,
+    generate_source,
+)
+from repro.expr.evaluate import evaluate
+from tests.expr.strategies import (
+    PARAM_NAMES,
+    STATE_NAMES,
+    VAR_NAMES,
+    bindings,
+    expressions,
+)
+
+
+class TestCompileExpr:
+    def test_simple_expression(self):
+        expr = ast.add(ast.mul(Param("a"), Var("x")), Const(1))
+        func = compile_expr(expr, ["a"], ["x"])
+        assert func((2.0,), (3.0,)) == 7.0
+
+    def test_source_is_attached(self):
+        expr = ast.add(Const(1), Const(2))
+        func = compile_expr(expr, [])
+        assert "def _compiled" in func.source
+
+    def test_unbound_name_raises_at_compile_time(self):
+        with pytest.raises(CompilationError, match="parameter"):
+            compile_expr(Param("nope"), [])
+
+    def test_protected_division_in_compiled_code(self):
+        expr = ast.div(Const(1), Var("x"))
+        func = compile_expr(expr, [], ["x"])
+        assert func((), (0.0,)) == 0.0
+        assert func((), (4.0,)) == 0.25
+
+    def test_protected_log_in_compiled_code(self):
+        expr = ast.log(Var("x"))
+        func = compile_expr(expr, [], ["x"])
+        assert func((), (0.0,)) == 0.0
+        assert func((), (-math.e,)) == pytest.approx(1.0)
+
+    def test_exp_clamp_in_compiled_code(self):
+        expr = ast.exp(Var("x"))
+        func = compile_expr(expr, [], ["x"])
+        assert math.isfinite(func((), (1e9,)))
+
+    def test_shared_subtrees_emitted_once(self):
+        shared = ast.mul(Var("x"), Var("x"))
+        expr = ast.add(shared, shared)
+        source = generate_source([expr], [], ["x"], [])
+        # The shared node is memoised: only one multiplication line.
+        assert source.count("*") == 1
+
+
+class TestCompileModel:
+    def test_multiple_outputs(self):
+        model = compile_model(
+            [ast.add(State("a"), Const(1)), ast.mul(State("a"), Const(2))],
+            [],
+            [],
+            ["a"],
+        )
+        assert model((), (), (3.0,)) == (4.0, 6.0)
+
+    def test_single_output_is_one_tuple(self):
+        model = compile_model([Const(5)], [], [], [])
+        assert model((), (), ()) == (5.0,)
+
+
+class TestEquivalenceWithInterpreter:
+    @settings(max_examples=200, deadline=None)
+    @given(expressions(), bindings())
+    def test_compiled_matches_interpreted(self, expr, binds):
+        params, variables, states = binds
+        interpreted = evaluate(expr, params, variables, states)
+        func = compile_expr(
+            expr, PARAM_NAMES, VAR_NAMES, STATE_NAMES
+        )
+        compiled = func(
+            tuple(params[n] for n in PARAM_NAMES),
+            tuple(variables[n] for n in VAR_NAMES),
+            tuple(states[n] for n in STATE_NAMES),
+        )
+        if math.isnan(interpreted):
+            assert math.isnan(compiled)
+        elif math.isinf(interpreted):
+            assert compiled == interpreted
+        else:
+            assert compiled == pytest.approx(interpreted, rel=1e-12, abs=1e-12)

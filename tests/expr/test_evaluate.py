@@ -1,0 +1,80 @@
+"""Unit tests for the reference interpreter's protected semantics."""
+
+import math
+
+import pytest
+
+from repro.expr import ast
+from repro.expr.ast import BinOp, Const, Ext, Param, State, UnOp, Var
+from repro.expr.evaluate import (
+    EvaluationError,
+    evaluate,
+    protected_div,
+    protected_exp,
+    protected_log,
+)
+
+
+class TestProtectedOperators:
+    def test_div_by_zero_is_zero(self):
+        assert protected_div(3.0, 0.0) == 0.0
+
+    def test_div_near_zero_is_zero(self):
+        assert protected_div(1.0, 1e-15) == 0.0
+
+    def test_div_normal(self):
+        assert protected_div(6.0, 3.0) == 2.0
+
+    def test_log_of_negative_uses_magnitude(self):
+        assert protected_log(-math.e) == pytest.approx(1.0)
+
+    def test_log_near_zero_is_zero(self):
+        assert protected_log(0.0) == 0.0
+        assert protected_log(1e-15) == 0.0
+
+    def test_exp_clamps_large_arguments(self):
+        assert protected_exp(1000.0) == protected_exp(60.0)
+        assert math.isfinite(protected_exp(1e9))
+
+    def test_exp_normal(self):
+        assert protected_exp(1.0) == pytest.approx(math.e)
+
+
+class TestEvaluate:
+    def test_constants_and_bindings(self):
+        expr = ast.add(Const(1), ast.mul(Param("p"), Var("v")))
+        value = evaluate(expr, {"p": 2.0}, {"v": 3.0})
+        assert value == 7.0
+
+    def test_state_binding(self):
+        assert evaluate(State("B"), states={"B": 4.5}) == 4.5
+
+    def test_ext_marker_is_identity(self):
+        assert evaluate(Ext("Ext1", Const(9))) == 9.0
+
+    def test_min_max(self):
+        assert evaluate(BinOp("min", Const(2), Const(5))) == 2.0
+        assert evaluate(BinOp("max", Const(2), Const(5))) == 5.0
+
+    def test_neg(self):
+        assert evaluate(UnOp("neg", Const(3))) == -3.0
+
+    def test_subtraction(self):
+        assert evaluate(ast.sub(Const(2), Const(5))) == -3.0
+
+    def test_unbound_parameter_raises(self):
+        with pytest.raises(EvaluationError, match="parameter"):
+            evaluate(Param("missing"))
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError, match="variable"):
+            evaluate(Var("missing"))
+
+    def test_unbound_state_raises(self):
+        with pytest.raises(EvaluationError, match="state"):
+            evaluate(State("missing"))
+
+    def test_nested_protected_semantics(self):
+        # log(exp(x) / 0) -> log(0) -> 0
+        expr = ast.log(ast.div(ast.exp(Const(1)), Const(0)))
+        assert evaluate(expr) == 0.0

@@ -1,0 +1,92 @@
+"""Parser tests: syntax, precedence, classification, errors."""
+
+import pytest
+
+from repro.expr import ast
+from repro.expr.ast import BinOp, Const, Ext, Param, State, Var
+from repro.expr.evaluate import evaluate
+from repro.expr.parse import ParseError, parse, tokenize
+
+
+class TestTokenize:
+    def test_numbers_names_symbols(self):
+        tokens = tokenize("1.5 * CUA + Vlgt")
+        assert tokens == [
+            ("number", "1.5"),
+            ("symbol", "*"),
+            ("name", "CUA"),
+            ("symbol", "+"),
+            ("name", "Vlgt"),
+        ]
+
+    def test_scientific_notation(self):
+        assert tokenize("1e-3")[0] == ("number", "1e-3")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+
+class TestParse:
+    def test_precedence(self):
+        expr = parse("1 + 2 * 3")
+        assert evaluate(expr) == 7.0
+
+    def test_parentheses(self):
+        assert evaluate(parse("(1 + 2) * 3")) == 9.0
+
+    def test_left_associativity(self):
+        assert evaluate(parse("8 - 3 - 2")) == 3.0
+        assert evaluate(parse("16 / 4 / 2")) == 2.0
+
+    def test_unary_minus(self):
+        assert evaluate(parse("-3 + 5")) == 2.0
+        assert evaluate(parse("2 * -3")) == -6.0
+
+    def test_name_classification(self):
+        expr = parse("B * V + C", variables={"V"}, states={"B"})
+        assert isinstance(expr, BinOp)
+        assert expr.lhs == ast.mul(State("B"), Var("V"))
+        assert expr.rhs == Param("C")
+
+    def test_functions(self):
+        assert evaluate(parse("min(3, 1, 2)")) == 1.0
+        assert evaluate(parse("max(3, 1, 2)")) == 3.0
+        assert evaluate(parse("exp(0)")) == 1.0
+        assert evaluate(parse("log(1)")) == 0.0
+
+    def test_ext_marker_syntax(self):
+        expr = parse("{C}@Ext5")
+        assert expr == Ext("Ext5", Param("C"))
+
+    def test_nested_ext_marker(self):
+        expr = parse("{1 + {C}@Ext2}@Ext1")
+        assert isinstance(expr, Ext)
+        assert expr.name == "Ext1"
+
+    def test_log_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse("log(1, 2)")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("1 + 2 3")
+
+    def test_unclosed_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse("(1 + 2")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_river_equation_round_trip(self):
+        text = "BPhy * (CUA * Vlgt - {CBRA}@Ext5) - BZoo * CMFR"
+        expr = parse(text, variables={"Vlgt"}, states={"BPhy", "BZoo"})
+        value = evaluate(
+            expr,
+            {"CUA": 1.0, "CBRA": 0.5, "CMFR": 0.1},
+            {"Vlgt": 2.0},
+            {"BPhy": 3.0, "BZoo": 1.0},
+        )
+        assert value == pytest.approx(3.0 * (2.0 - 0.5) - 0.1)

@@ -1,0 +1,189 @@
+"""Engine behaviour: determinism, improvement, elitism, local search."""
+
+import random
+
+import pytest
+
+from repro.gp.config import ConfigError, GMRConfig, OperatorProbabilities
+from repro.gp.engine import GMREngine, run_many
+from repro.gp.individual import Individual
+from repro.gp.init import random_individual
+from repro.gp.local_search import deletion, hill_climb, insertion
+from repro.gp.selection import best_of, elites, tournament_select
+
+
+class TestConfig:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            OperatorProbabilities(0.5, 0.5, 0.5, 0.5)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            GMRConfig(min_size=10, max_size=2)
+
+    def test_sigma_scale_ramp(self):
+        config = GMRConfig(max_generations=10, sigma_rampdown_generations=4)
+        assert config.sigma_scale(1) == 1.0
+        assert config.sigma_scale(6) == 1.0
+        assert config.sigma_scale(8) == pytest.approx(0.5)
+        assert config.sigma_scale(10) == pytest.approx(0.25)
+
+
+class TestSelection:
+    def _population(self, toy_grammar, toy_knowledge, fitnesses):
+        config = GMRConfig(population_size=4, max_generations=1, max_size=8)
+        population = []
+        for index, fitness in enumerate(fitnesses):
+            individual = random_individual(
+                toy_grammar, toy_knowledge, config, random.Random(index)
+            )
+            individual.fitness = fitness
+            population.append(individual)
+        return population
+
+    def test_tournament_prefers_fitter(self, toy_grammar, toy_knowledge):
+        population = self._population(toy_grammar, toy_knowledge, [5.0, 1.0, 9.0])
+        winner = tournament_select(population, len(population) * 4, random.Random(0))
+        assert winner.fitness == 1.0
+
+    def test_elites_are_copies(self, toy_grammar, toy_knowledge):
+        population = self._population(toy_grammar, toy_knowledge, [3.0, 1.0, 2.0])
+        chosen = elites(population, 2)
+        assert [e.fitness for e in chosen] == [1.0, 2.0]
+        assert all(e is not p for e in chosen for p in population)
+
+    def test_best_of(self, toy_grammar, toy_knowledge):
+        population = self._population(toy_grammar, toy_knowledge, [3.0, 0.5, 2.0])
+        assert best_of(population).fitness == 0.5
+
+    def test_unevaluated_treated_as_worst(self, toy_grammar, toy_knowledge):
+        population = self._population(toy_grammar, toy_knowledge, [3.0, 1.0])
+        population[1].fitness = None
+        assert best_of(population).fitness == 3.0
+
+
+class TestLocalSearch:
+    def test_insertion_adds_one_node(self, toy_grammar, toy_knowledge):
+        config = GMRConfig(population_size=4, max_generations=1, max_size=10)
+        parent = random_individual(
+            toy_grammar, toy_knowledge, config, random.Random(0)
+        )
+        child = insertion(parent, toy_grammar, config, random.Random(1))
+        if child is not None:
+            assert child.size == parent.size + 1
+            child.derivation.validate(toy_grammar)
+
+    def test_insertion_respects_max_size(self, toy_grammar, toy_knowledge):
+        config = GMRConfig(
+            population_size=4, max_generations=1, min_size=2, max_size=3
+        )
+        parent = random_individual(
+            toy_grammar, toy_knowledge, config, random.Random(0)
+        )
+        while parent.size < config.max_size:
+            grown = insertion(parent, toy_grammar, config, random.Random(parent.size))
+            if grown is None:
+                break
+            parent = grown
+        assert insertion(parent, toy_grammar, config, random.Random(9)) is None
+
+    def test_deletion_removes_one_node(self, toy_grammar, toy_knowledge):
+        config = GMRConfig(population_size=4, max_generations=1, max_size=10)
+        parent = random_individual(
+            toy_grammar, toy_knowledge, config, random.Random(5)
+        )
+        child = deletion(parent, config, random.Random(1))
+        if child is not None:
+            assert child.size == parent.size - 1
+            child.derivation.validate(toy_grammar)
+
+    def test_hill_climb_never_worsens(
+        self, toy_grammar, toy_knowledge, toy_task
+    ):
+        from repro.gp.fitness import GMRFitnessEvaluator
+
+        config = GMRConfig(
+            population_size=4,
+            max_generations=1,
+            max_size=10,
+            local_search_steps=5,
+            es_threshold=None,
+        )
+        evaluator = GMRFitnessEvaluator(task=toy_task, config=config)
+        parent = random_individual(
+            toy_grammar, toy_knowledge, config, random.Random(2)
+        )
+        start = evaluator.evaluate(parent)
+        improved = hill_climb(
+            parent, toy_grammar, config, evaluator.evaluate, random.Random(3)
+        )
+        assert improved.fitness <= start
+
+
+class TestEngine:
+    def _engine(self, toy_knowledge, toy_task, **overrides) -> GMREngine:
+        defaults = dict(
+            population_size=12,
+            max_generations=4,
+            max_size=10,
+            elite_size=2,
+            local_search_steps=1,
+            es_threshold=None,
+        )
+        defaults.update(overrides)
+        return GMREngine(toy_knowledge, toy_task, GMRConfig(**defaults))
+
+    def test_run_is_deterministic(self, toy_knowledge, toy_task):
+        engine = self._engine(toy_knowledge, toy_task)
+        first = engine.run(seed=42)
+        second = engine.run(seed=42)
+        assert first.best_fitness == second.best_fitness
+        assert [r.best_fitness for r in first.history] == [
+            r.best_fitness for r in second.history
+        ]
+
+    def test_best_fitness_never_increases(self, toy_knowledge, toy_task):
+        engine = self._engine(toy_knowledge, toy_task)
+        result = engine.run(seed=0)
+        champions = []
+        best = float("inf")
+        for record in result.history:
+            best = min(best, record.best_fitness)
+            champions.append(best)
+        assert result.best_fitness <= champions[0]
+
+    def test_revision_beats_initial_seed_population(
+        self, toy_knowledge, toy_task
+    ):
+        engine = self._engine(
+            toy_knowledge, toy_task, max_generations=8, population_size=16
+        )
+        result = engine.run(seed=1)
+        assert result.best_fitness < result.history[0].best_fitness
+
+    def test_progress_callback_invoked(self, toy_knowledge, toy_task):
+        engine = self._engine(toy_knowledge, toy_task, max_generations=2)
+        seen = []
+        engine.run(seed=0, progress=lambda g, r: seen.append(g))
+        assert seen == [0, 1, 2]
+
+    def test_run_many_uses_distinct_seeds(self, toy_knowledge, toy_task):
+        engine = self._engine(toy_knowledge, toy_task, max_generations=2)
+        results = run_many(engine, 3, base_seed=5)
+        assert [r.seed for r in results] == [5, 6, 7]
+
+    def test_state_name_mismatch_rejected(self, toy_knowledge, toy_task):
+        bad_task = toy_task.with_initial_state(toy_task.initial_state)
+        bad_task.state_names = ("Other",)
+        with pytest.raises(ValueError):
+            GMREngine(toy_knowledge, bad_task, GMRConfig(population_size=4, max_generations=1))
+
+    def test_best_individual_is_usable(self, toy_knowledge, toy_task):
+        engine = self._engine(toy_knowledge, toy_task)
+        result = engine.run(seed=3)
+        model, params = result.best.phenotype(
+            toy_task.state_names, toy_task.var_order
+        )
+        assert toy_task.rmse(model, params) == pytest.approx(
+            result.best_fitness, rel=1e-9
+        )

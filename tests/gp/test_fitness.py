@@ -1,0 +1,153 @@
+"""Fitness evaluation: Algorithm 1, caching, and speedup switches."""
+
+import math
+import random
+
+import pytest
+
+from repro.dynamics.task import BAD_FITNESS
+from repro.gp.config import GMRConfig
+from repro.gp.fitness import (
+    GMRFitnessEvaluator,
+    linear_extrapolation,
+    pessimistic_extrapolation,
+)
+from repro.gp.init import random_individual
+
+
+def make_evaluator(toy_task, **overrides) -> GMRFitnessEvaluator:
+    defaults = dict(
+        population_size=4,
+        max_generations=1,
+        max_size=10,
+    )
+    defaults.update(overrides)
+    return GMRFitnessEvaluator(task=toy_task, config=GMRConfig(**defaults))
+
+
+def make_individual(toy_grammar, toy_knowledge, seed=0):
+    config = GMRConfig(population_size=4, max_generations=1, max_size=8)
+    return random_individual(
+        toy_grammar, toy_knowledge, config, random.Random(seed)
+    )
+
+
+class TestEvaluation:
+    def test_fitness_is_rmse(self, toy_task, toy_grammar, toy_knowledge):
+        evaluator = make_evaluator(toy_task, es_threshold=None)
+        individual = make_individual(toy_grammar, toy_knowledge)
+        fitness = evaluator.evaluate(individual)
+        model, params = individual.phenotype(
+            toy_task.state_names, toy_task.var_order
+        )
+        assert fitness == pytest.approx(toy_task.rmse(model, params))
+        assert individual.fitness == fitness
+        assert individual.fully_evaluated
+
+    def test_interpreted_matches_compiled(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        individual = make_individual(toy_grammar, toy_knowledge, seed=1)
+        compiled = make_evaluator(
+            toy_task, es_threshold=None, use_compilation=True
+        ).evaluate(individual.copy())
+        interpreted = make_evaluator(
+            toy_task, es_threshold=None, use_compilation=False
+        ).evaluate(individual.copy())
+        assert compiled == pytest.approx(interpreted, rel=1e-9)
+
+    def test_best_prev_full_tracks_minimum(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        evaluator = make_evaluator(toy_task, es_threshold=None)
+        fitnesses = [
+            evaluator.evaluate(make_individual(toy_grammar, toy_knowledge, s))
+            for s in range(5)
+        ]
+        assert evaluator.best_prev_full == pytest.approx(min(fitnesses))
+
+
+class TestShortCircuiting:
+    def test_bad_individuals_short_circuit(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        evaluator = make_evaluator(toy_task, es_threshold=1.0)
+        # Establish a good bestPrevFull first.
+        fits = [
+            (s, evaluator.evaluate(make_individual(toy_grammar, toy_knowledge, s)))
+            for s in range(8)
+        ]
+        assert evaluator.stats.short_circuits > 0
+        # Short-circuited evaluations evaluate fewer steps than possible.
+        assert evaluator.stats.steps_evaluated < evaluator.stats.steps_possible
+
+    def test_short_circuit_estimate_never_beats_best(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        evaluator = make_evaluator(toy_task, es_threshold=1.0)
+        for s in range(10):
+            individual = make_individual(toy_grammar, toy_knowledge, s)
+            fitness = evaluator.evaluate(individual)
+            if not individual.fully_evaluated:
+                assert fitness > evaluator.best_prev_full
+
+    def test_disabled_es_always_fully_evaluates(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        evaluator = make_evaluator(toy_task, es_threshold=None)
+        for s in range(5):
+            evaluator.evaluate(make_individual(toy_grammar, toy_knowledge, s))
+        assert evaluator.stats.short_circuits == 0
+        assert evaluator.stats.steps_evaluated == evaluator.stats.steps_possible
+
+
+class TestTreeCache:
+    def test_repeat_evaluation_hits_cache(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        evaluator = make_evaluator(toy_task, es_threshold=None)
+        individual = make_individual(toy_grammar, toy_knowledge)
+        first = evaluator.evaluate(individual)
+        second = evaluator.evaluate(individual.copy())
+        assert second == first
+        assert evaluator.stats.cache_hits == 1
+
+    def test_cache_disabled(self, toy_task, toy_grammar, toy_knowledge):
+        evaluator = make_evaluator(
+            toy_task, es_threshold=None, use_tree_cache=False
+        )
+        individual = make_individual(toy_grammar, toy_knowledge)
+        evaluator.evaluate(individual)
+        evaluator.evaluate(individual.copy())
+        assert evaluator.stats.cache_hits == 0
+
+    def test_reset_clears_state(self, toy_task, toy_grammar, toy_knowledge):
+        evaluator = make_evaluator(toy_task)
+        evaluator.evaluate(make_individual(toy_grammar, toy_knowledge))
+        evaluator.reset()
+        assert evaluator.stats.evaluations == 0
+        assert math.isinf(evaluator.best_prev_full)
+        assert len(evaluator.cache) == 0
+
+
+class TestExtrapolation:
+    def test_linear_is_identity(self):
+        assert linear_extrapolation(3.0, 10, 100) == 3.0
+
+    def test_pessimistic_inflates_early_estimates(self):
+        early = pessimistic_extrapolation(3.0, 10, 100)
+        late = pessimistic_extrapolation(3.0, 90, 100)
+        assert early > late > 3.0 * 0.99
+
+
+class TestDivergence:
+    def test_divergent_individual_gets_bad_fitness(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        individual = make_individual(toy_grammar, toy_knowledge)
+        # Force an explosive growth rate far outside the prior (bypassing
+        # the prior clip) to provoke an overflow.
+        individual.params["mu"] = 1e6
+        evaluator = make_evaluator(toy_task, es_threshold=None)
+        fitness = evaluator.evaluate(individual)
+        assert fitness >= BAD_FITNESS or math.isfinite(fitness)

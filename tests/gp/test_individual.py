@@ -1,0 +1,89 @@
+"""Individual genotype->phenotype behaviour."""
+
+import random
+
+import pytest
+
+from repro.gp.config import GMRConfig
+from repro.gp.init import random_individual
+from repro.gp.knowledge import build_grammar
+
+
+def make(toy_grammar, toy_knowledge, seed=0, max_size=10):
+    config = GMRConfig(population_size=4, max_generations=1, max_size=max_size)
+    return random_individual(
+        toy_grammar, toy_knowledge, config, random.Random(seed)
+    )
+
+
+class TestPhenotype:
+    def test_model_has_expected_states(self, toy_grammar, toy_knowledge):
+        individual = make(toy_grammar, toy_knowledge)
+        model, params = individual.phenotype(("B",), ("Vx",))
+        assert model.state_names == ("B",)
+        assert len(params) == len(model.param_order)
+
+    def test_expert_params_lead_the_order(self, toy_grammar, toy_knowledge):
+        individual = make(toy_grammar, toy_knowledge)
+        model, __ = individual.phenotype(("B",), ("Vx",))
+        expert = tuple(individual.params)
+        assert model.param_order[: len(expert)] == expert
+
+    def test_rconsts_become_params(self, toy_grammar, toy_knowledge):
+        individual = make(toy_grammar, toy_knowledge, seed=3, max_size=10)
+        __, rvalues = individual.expressions()
+        model, params = individual.phenotype(("B",), ("Vx",))
+        for name, value in rvalues.items():
+            index = model.param_order.index(name)
+            assert params[index] == value
+
+    def test_wrong_state_count_rejected(self, toy_grammar, toy_knowledge):
+        individual = make(toy_grammar, toy_knowledge)
+        with pytest.raises(ValueError):
+            individual.phenotype(("B", "Extra"), ("Vx",))
+
+    def test_describe_substitutes_values(self, toy_grammar, toy_knowledge):
+        individual = make(toy_grammar, toy_knowledge, seed=5)
+        text = individual.describe(("B",))
+        assert "dB/dt" in text
+        assert "params:" in text
+
+
+class TestCopySemantics:
+    def test_copy_invalidates_fitness(self, toy_grammar, toy_knowledge):
+        individual = make(toy_grammar, toy_knowledge)
+        individual.fitness = 1.0
+        individual.fully_evaluated = True
+        clone = individual.copy()
+        assert clone.fitness is None
+        assert not clone.fully_evaluated
+
+    def test_copy_params_are_independent(self, toy_grammar, toy_knowledge):
+        individual = make(toy_grammar, toy_knowledge)
+        clone = individual.copy()
+        clone.params["mu"] = 999.0
+        assert individual.params["mu"] != 999.0
+
+    def test_invalidate(self, toy_grammar, toy_knowledge):
+        individual = make(toy_grammar, toy_knowledge)
+        individual.fitness = 2.0
+        individual.invalidate()
+        assert individual.fitness is None
+
+
+class TestStructureKeyStability:
+    def test_gaussian_mutation_preserves_structure_key(
+        self, toy_grammar, toy_knowledge
+    ):
+        """Parameter-only mutation must not change the canonical structure
+        (this is what makes compiled-function sharing effective)."""
+        from repro.gp.operators import gaussian_mutation
+
+        config = GMRConfig(population_size=4, max_generations=1, max_size=10)
+        individual = make(toy_grammar, toy_knowledge, seed=7)
+        model, __ = individual.phenotype(("B",), ("Vx",))
+        mutated = gaussian_mutation(
+            individual, toy_knowledge, config, random.Random(0)
+        )
+        mutated_model, __ = mutated.phenotype(("B",), ("Vx",))
+        assert model.structure_key() == mutated_model.structure_key()

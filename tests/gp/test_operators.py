@@ -1,0 +1,132 @@
+"""Genetic operators: validity, bounds, and knowledge compliance."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.config import GMRConfig
+from repro.gp.init import initial_population, random_individual
+from repro.gp.operators import (
+    crossover,
+    gaussian_mutation,
+    replication,
+    subtree_mutation,
+)
+
+
+def make(config, grammar, knowledge, seed):
+    return random_individual(grammar, knowledge, config, random.Random(seed))
+
+
+class TestCrossover:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_children_are_valid_and_bounded(
+        self, toy_grammar, toy_knowledge, seed
+    ):
+        config = GMRConfig(
+            population_size=4, max_generations=1, min_size=2, max_size=12
+        )
+        rng = random.Random(seed)
+        left = make(config, toy_grammar, toy_knowledge, seed)
+        right = make(config, toy_grammar, toy_knowledge, seed + 1)
+        pair = crossover(left, right, toy_grammar, config, rng)
+        if pair is None:
+            return
+        for child in pair:
+            child.derivation.validate(toy_grammar)
+            assert config.min_size <= child.size <= config.max_size
+            assert child.fitness is None
+
+    def test_parents_unchanged(self, toy_grammar, toy_knowledge):
+        config = GMRConfig(
+            population_size=4, max_generations=1, min_size=2, max_size=12
+        )
+        left = make(config, toy_grammar, toy_knowledge, 0)
+        right = make(config, toy_grammar, toy_knowledge, 1)
+        left_size, right_size = left.size, right.size
+        crossover(left, right, toy_grammar, config, random.Random(2))
+        assert left.size == left_size
+        assert right.size == right_size
+
+
+class TestSubtreeMutation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_child_valid_and_bounded(self, toy_grammar, toy_knowledge, seed):
+        config = GMRConfig(
+            population_size=4, max_generations=1, min_size=2, max_size=12
+        )
+        rng = random.Random(seed)
+        parent = make(config, toy_grammar, toy_knowledge, seed)
+        child = subtree_mutation(parent, toy_grammar, config, rng)
+        if child is None:
+            return
+        child.derivation.validate(toy_grammar)
+        assert child.size <= config.max_size
+
+
+class TestGaussianMutation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_parameters_stay_within_prior_bounds(
+        self, toy_grammar, toy_knowledge, seed
+    ):
+        config = GMRConfig(population_size=4, max_generations=1, max_size=12)
+        rng = random.Random(seed)
+        parent = make(config, toy_grammar, toy_knowledge, seed)
+        child = gaussian_mutation(parent, toy_knowledge, config, rng)
+        for name, prior in toy_knowledge.priors.items():
+            assert prior.minimum <= child.params[name] <= prior.maximum
+        low, high = toy_knowledge.rconst_bounds
+        for rconst in child.derivation.rconsts():
+            assert low <= rconst.value <= high
+
+    def test_structure_is_preserved(self, toy_grammar, toy_knowledge):
+        config = GMRConfig(population_size=4, max_generations=1, max_size=12)
+        parent = make(config, toy_grammar, toy_knowledge, 3)
+        child = gaussian_mutation(parent, toy_knowledge, config, random.Random(0))
+        assert child.size == parent.size
+
+    def test_sigma_scale_shrinks_steps(self, toy_grammar, toy_knowledge):
+        config = GMRConfig(population_size=4, max_generations=1, max_size=12)
+        parent = make(config, toy_grammar, toy_knowledge, 3)
+        moves_small = []
+        moves_large = []
+        for seed in range(40):
+            tiny = gaussian_mutation(
+                parent, toy_knowledge, config, random.Random(seed), sigma_scale=1e-4
+            )
+            big = gaussian_mutation(
+                parent, toy_knowledge, config, random.Random(seed), sigma_scale=1.0
+            )
+            moves_small.append(abs(tiny.params["mu"] - parent.params["mu"]))
+            moves_large.append(abs(big.params["mu"] - parent.params["mu"]))
+        assert sum(moves_small) < sum(moves_large)
+
+
+class TestReplication:
+    def test_preserves_fitness(self, toy_grammar, toy_knowledge):
+        config = GMRConfig(population_size=4, max_generations=1, max_size=12)
+        parent = make(config, toy_grammar, toy_knowledge, 4)
+        parent.fitness = 1.5
+        parent.fully_evaluated = True
+        clone = replication(parent)
+        assert clone.fitness == 1.5
+        assert clone.fully_evaluated
+        assert clone is not parent
+
+
+class TestInitialPopulation:
+    def test_population_size_and_validity(self, toy_grammar, toy_knowledge):
+        config = GMRConfig(
+            population_size=15, max_generations=1, min_size=2, max_size=10
+        )
+        population = initial_population(
+            toy_grammar, toy_knowledge, config, random.Random(0)
+        )
+        assert len(population) == 15
+        for individual in population:
+            individual.derivation.validate(toy_grammar)
+            assert individual.params == toy_knowledge.initial_parameters()

@@ -1,0 +1,62 @@
+"""Run records and evaluation statistics bookkeeping."""
+
+import pytest
+
+from repro.gp.config import GMRConfig
+from repro.gp.engine import GMREngine
+from repro.gp.fitness import EvaluationStats
+
+
+class TestEvaluationStats:
+    def test_mean_time_with_no_evaluations(self):
+        stats = EvaluationStats()
+        assert stats.mean_time_per_individual == 0.0
+        assert stats.step_fraction == 0.0
+
+    def test_step_fraction(self):
+        stats = EvaluationStats(steps_evaluated=25, steps_possible=100)
+        assert stats.step_fraction == 0.25
+
+
+class TestRunHistory:
+    @pytest.fixture()
+    def result(self, toy_knowledge, toy_task):
+        engine = GMREngine(
+            toy_knowledge,
+            toy_task,
+            GMRConfig(
+                population_size=10,
+                max_generations=3,
+                max_size=8,
+                local_search_steps=1,
+                es_threshold=None,
+            ),
+        )
+        return engine.run(seed=2)
+
+    def test_history_length(self, result):
+        # Generation 0 (initial population) plus max_generations.
+        assert len(result.history) == 4
+
+    def test_generations_are_sequential(self, result):
+        assert [r.generation for r in result.history] == [0, 1, 2, 3]
+
+    def test_evaluation_counter_is_monotone(self, result):
+        counts = [r.evaluations_so_far for r in result.history]
+        assert counts == sorted(counts)
+        assert counts[0] == 10  # the initial population
+
+    def test_mean_at_least_best(self, result):
+        for record in result.history:
+            assert record.mean_fitness >= record.best_fitness - 1e-12
+
+    def test_stats_totals_consistent(self, result):
+        stats = result.stats
+        assert stats.evaluations >= stats.full_evaluations
+        assert stats.steps_evaluated <= stats.steps_possible
+        assert stats.wall_time > 0.0
+        assert result.elapsed >= stats.wall_time * 0.5
+
+    def test_best_size_positive(self, result):
+        for record in result.history:
+            assert record.best_size >= 1

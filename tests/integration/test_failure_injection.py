@@ -1,0 +1,129 @@
+"""Failure injection: the library degrades gracefully on bad inputs."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.dynamics import (
+    ClampSpec,
+    DriverTable,
+    ModelingTask,
+    ProcessModel,
+)
+from repro.dynamics.task import BAD_FITNESS
+from repro.expr import parse
+from repro.gp import (
+    ExtensionSpec,
+    GMRConfig,
+    GMRFitnessEvaluator,
+    Individual,
+    ParameterPrior,
+    PriorKnowledge,
+    build_grammar,
+    random_individual,
+)
+from repro.tag import DerivationNode, DerivationTree
+
+
+def knowledge():
+    return PriorKnowledge(
+        seed_equations={
+            "B": parse("{B * mu}@Ext1", variables={"Vx"}, states={"B"})
+        },
+        priors={"mu": ParameterPrior("mu", 0.1, 0.0, 1.0)},
+        extensions=[ExtensionSpec("Ext1", ("Vx",))],
+    )
+
+
+def task_with(values):
+    n = len(values)
+    drivers = DriverTable.from_mapping({"Vx": values})
+    return ModelingTask(
+        drivers=drivers,
+        observed=np.ones(n),
+        target_state="B",
+        state_names=("B",),
+        initial_state=(1.0,),
+    )
+
+
+class TestNanAndInf:
+    def test_nan_driver_yields_bad_fitness_not_crash(self):
+        model = ProcessModel.from_equations(
+            {"B": parse("B * mu + Vx", variables={"Vx"}, states={"B"})},
+            var_order=("Vx",),
+        )
+        task = task_with([1.0, float("nan"), 1.0])
+        assert task.rmse(model, (0.1,)) == BAD_FITNESS
+
+    def test_exploding_model_yields_bad_or_huge_fitness(self):
+        know = knowledge()
+        grammar = build_grammar(know)
+        config = GMRConfig(
+            population_size=4, max_generations=1, max_size=6, es_threshold=None
+        )
+        individual = random_individual(grammar, know, config, random.Random(0))
+        individual.params["mu"] = 50.0  # bypasses prior clipping on purpose
+        evaluator = GMRFitnessEvaluator(
+            task=task_with(np.ones(50)), config=config
+        )
+        fitness = evaluator.evaluate(individual)
+        assert fitness > 1e3 or fitness == BAD_FITNESS
+
+    def test_inf_observations_rejected_via_bad_fitness(self):
+        model = ProcessModel.from_equations(
+            {"B": parse("B * 0.1", states={"B"})}, var_order=("Vx",)
+        )
+        n = 10
+        drivers = DriverTable.from_mapping({"Vx": np.zeros(n)})
+        observed = np.full(n, np.inf)
+        task = ModelingTask(
+            drivers=drivers,
+            observed=observed,
+            target_state="B",
+            state_names=("B",),
+            initial_state=(1.0,),
+        )
+        assert task.rmse(model, ()) == BAD_FITNESS
+
+
+class TestDegenerateGenomes:
+    def test_seed_only_individual_evaluates(self):
+        know = knowledge()
+        grammar = build_grammar(know)
+        config = GMRConfig(
+            population_size=4, max_generations=1, min_size=1, max_size=6
+        )
+        individual = Individual(
+            derivation=DerivationTree(
+                DerivationNode(tree=grammar.alphas["seed"])
+            ),
+            params=know.initial_parameters(),
+        )
+        evaluator = GMRFitnessEvaluator(
+            task=task_with(np.ones(20)), config=config
+        )
+        assert math.isfinite(evaluator.evaluate(individual))
+
+    def test_empty_population_selection_raises_cleanly(self):
+        from repro.gp.selection import SelectionError, best_of
+
+        with pytest.raises(SelectionError):
+            best_of([])
+
+
+class TestClampSpec:
+    def test_clamp_catches_nan(self):
+        clamp = ClampSpec()
+        from repro.dynamics.integrate import SimulationDiverged
+
+        with pytest.raises(SimulationDiverged):
+            clamp.apply(float("nan"))
+
+    def test_clamp_bounds(self):
+        clamp = ClampSpec(minimum=0.0, maximum=10.0)
+        assert clamp.apply(-5.0) == 0.0
+        assert clamp.apply(50.0) == 10.0
+        assert clamp.apply(math.inf) == 10.0

@@ -1,0 +1,69 @@
+"""Table V component runners at smoke scale (without the GP methods)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import manual_result
+from repro.experiments.scale import get_scale
+from repro.experiments.table5 import run_calibrations, run_data_driven
+from repro.river import load_dataset
+
+
+@pytest.fixture(scope="module")
+def smoke_dataset():
+    scale = get_scale("smoke")
+    return load_dataset(
+        n_years=scale.n_years, seed=7, train_years=scale.train_years
+    )
+
+
+class TestManualRow:
+    def test_manual_is_terrible(self, smoke_dataset):
+        train = smoke_dataset.river_task("train")
+        test = smoke_dataset.river_task("test")
+        row = manual_result(train, test)
+        assert row.method_class == "Knowledge-driven"
+        assert row.test_rmse > 100.0  # divergent expert parameters
+
+
+class TestDataDrivenRows:
+    def test_four_rows_with_finite_errors(self, smoke_dataset):
+        scale = get_scale("smoke")
+        rows = run_data_driven(smoke_dataset, scale, seed=0)
+        assert [r.method for r in rows] == [
+            "RNN-S1",
+            "RNN-All",
+            "ARIMAX-S1",
+            "ARIMAX-All",
+        ]
+        for row in rows:
+            assert np.isfinite(row.train_rmse)
+            assert np.isfinite(row.test_rmse)
+            assert row.method_class == "Data-driven"
+
+    def test_arimax_one_step_train_is_tight(self, smoke_dataset):
+        scale = get_scale("smoke")
+        rows = {r.method: r for r in run_data_driven(smoke_dataset, scale)}
+        observed_std = smoke_dataset.station("S1").chlorophyll.std()
+        # One-step-ahead in-sample fit on interpolated weekly data is
+        # much tighter than the observed spread (the paper's pattern).
+        assert rows["ARIMAX-S1"].train_rmse < observed_std / 2
+        # ...while the dynamic multi-year forecast is much looser.
+        assert rows["ARIMAX-S1"].test_rmse > rows["ARIMAX-S1"].train_rmse
+
+
+class TestCalibrationRows:
+    def test_nine_rows_all_far_better_than_manual(self, smoke_dataset):
+        scale = get_scale("smoke")
+        rows = run_calibrations(smoke_dataset, scale, seed=1)
+        assert len(rows) == 9
+        names = {r.method for r in rows}
+        assert names == {
+            "GA", "MC", "LHS", "MLE", "MCMC", "SA", "DREAM", "SCE-UA",
+            "DE-MCz",
+        }
+        train = smoke_dataset.river_task("train")
+        test = smoke_dataset.river_task("test")
+        manual = manual_result(train, test)
+        for row in rows:
+            assert row.test_rmse < manual.test_rmse / 2

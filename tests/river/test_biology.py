@@ -1,0 +1,138 @@
+"""The expert biological process: structure, units, extension points."""
+
+import math
+
+import pytest
+
+from repro.expr.ast import ext_points, free_params, free_states, free_vars
+from repro.expr.evaluate import evaluate
+from repro.river.biology import (
+    light_limitation,
+    manual_equations,
+    manual_model,
+    nutrient_limitation,
+    seed_equations,
+    temperature_limitation,
+)
+from repro.river.parameters import (
+    CONSTANT_PRIORS,
+    STATE_NAMES,
+    VARIABLE_ORDER,
+    initial_constants,
+)
+
+
+class TestLimitationFunctions:
+    def test_light_limitation_peaks_at_optimum(self):
+        params = {"CBL": 26.78}
+        at_optimum = evaluate(light_limitation(), params, {"Vlgt": 26.78})
+        below = evaluate(light_limitation(), params, {"Vlgt": 10.0})
+        above = evaluate(light_limitation(), params, {"Vlgt": 40.0})
+        assert at_optimum == pytest.approx(1.0)
+        assert below < at_optimum
+        assert above < at_optimum
+
+    def test_nutrient_limitation_is_liebig_minimum(self):
+        params = {"CN": 0.0351, "CP": 0.00167, "CSI": 0.00467}
+        # Phosphorus is the scarcest nutrient here.
+        value = evaluate(
+            nutrient_limitation(),
+            params,
+            {"Vn": 1.0, "Vp": 0.001, "Vsi": 1.0},
+        )
+        expected = 0.001 / (0.00167 + 0.001)
+        assert value == pytest.approx(expected)
+
+    def test_nutrient_limitation_in_unit_interval(self):
+        params = {"CN": 0.0351, "CP": 0.00167, "CSI": 0.00467}
+        for vp in (0.001, 0.01, 0.1):
+            value = evaluate(
+                nutrient_limitation(),
+                params,
+                {"Vn": 2.0, "Vp": vp, "Vsi": 3.0},
+            )
+            assert 0.0 < value < 1.0
+
+    def test_temperature_has_two_optima(self):
+        params = {"CPT": 0.005, "CBTP1": 27.0, "CBTP2": 5.0}
+        blue_green = evaluate(temperature_limitation(), params, {"Vtmp": 27.0})
+        diatom = evaluate(temperature_limitation(), params, {"Vtmp": 5.0})
+        between = evaluate(temperature_limitation(), params, {"Vtmp": 16.0})
+        assert blue_green == pytest.approx(1.0)
+        assert diatom == pytest.approx(1.0)
+        assert between < 1.0
+
+
+class TestSeedEquations:
+    def test_extension_points_match_paper(self):
+        equations = seed_equations()
+        points = set()
+        for expr in equations.values():
+            points |= set(ext_points(expr))
+        # The paper defines Ext1-Ext9 with no Ext4.
+        assert points == {
+            "Ext1", "Ext2", "Ext3", "Ext5", "Ext6", "Ext7", "Ext8", "Ext9",
+        }
+
+    def test_phyto_equation_references_zooplankton(self):
+        equations = seed_equations()
+        assert free_states(equations["BPhy"]) == {"BPhy", "BZoo"}
+
+    def test_all_parameters_have_priors(self):
+        for expr in seed_equations().values():
+            assert free_params(expr) <= set(CONSTANT_PRIORS)
+
+    def test_variables_are_table_iv_subset(self):
+        for expr in seed_equations().values():
+            assert free_vars(expr) <= set(VARIABLE_ORDER)
+
+    def test_manual_equals_seed_without_markers(self):
+        from repro.expr.ast import strip_ext
+
+        seed = seed_equations()
+        manual = manual_equations()
+        for state in STATE_NAMES:
+            assert strip_ext(seed[state]) == manual[state]
+
+
+class TestManualModel:
+    def test_state_order(self):
+        assert manual_model().state_names == ("BPhy", "BZoo")
+
+    def test_growth_sign_in_good_conditions(self):
+        """Under near-optimal summer conditions the expert model predicts
+        positive phytoplankton growth."""
+        model = manual_model()
+        constants = initial_constants()
+        params = tuple(constants[name] for name in model.param_order)
+        variables = dict.fromkeys(VARIABLE_ORDER, 0.0)
+        variables.update(
+            {"Vlgt": 26.78, "Vn": 2.0, "Vp": 0.1, "Vsi": 3.0, "Vtmp": 27.0}
+        )
+        row = tuple(variables[name] for name in VARIABLE_ORDER)
+        derivative = model.compiled()(params, row, (10.0, 0.5))
+        assert derivative[0] > 0
+
+    def test_deep_winter_growth_is_negative_or_tiny(self):
+        model = manual_model()
+        constants = initial_constants()
+        params = tuple(constants[name] for name in model.param_order)
+        variables = dict.fromkeys(VARIABLE_ORDER, 0.0)
+        variables.update(
+            {"Vlgt": 2.0, "Vn": 2.0, "Vp": 0.1, "Vsi": 3.0, "Vtmp": 16.0}
+        )
+        row = tuple(variables[name] for name in VARIABLE_ORDER)
+        derivative = model.compiled()(params, row, (10.0, 5.0))
+        assert derivative[0] < 2.0  # far below summer growth
+
+    def test_parameter_table_iii_values(self):
+        priors = CONSTANT_PRIORS
+        assert priors["CUA"].mean == 1.89
+        assert priors["CUA"].minimum == 0.1
+        assert priors["CUA"].maximum == 4.0
+        assert priors["CBTP1"].mean == 27.0
+        assert priors["CP"].mean == pytest.approx(0.00167)
+        assert len(priors) == 16
+
+    def test_table_iv_has_ten_variables(self):
+        assert len(VARIABLE_ORDER) == 10

@@ -1,0 +1,129 @@
+"""The synthetic dataset generator: realism and protocol invariants."""
+
+import numpy as np
+import pytest
+
+from repro.river.dataset import (
+    DatasetConfig,
+    generate,
+    hidden_local_model,
+    hidden_headwater_model,
+    HIDDEN_CONSTANTS,
+)
+from repro.river.parameters import VARIABLE_ORDER
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(DatasetConfig(n_years=3, train_years=2, seed=7))
+
+
+class TestStructure:
+    def test_nine_measuring_stations(self, dataset):
+        assert len(dataset.stations) == 9
+
+    def test_driver_columns_follow_table_iv(self, dataset):
+        for data in dataset.stations.values():
+            assert data.drivers.names == VARIABLE_ORDER
+
+    def test_horizon(self, dataset):
+        assert dataset.n_days == 3 * 365
+        for data in dataset.stations.values():
+            assert len(data.drivers) == dataset.n_days
+            assert len(data.chlorophyll) == dataset.n_days
+
+    def test_headwaters_have_observed_zooplankton(self, dataset):
+        headwaters = {s.name for s in dataset.network.headwaters()}
+        for name, data in dataset.stations.items():
+            if name in headwaters:
+                assert data.zoo_observed is not None
+            else:
+                assert data.zoo_observed is None
+
+    def test_split_indices(self, dataset):
+        train, test = dataset.split_indices()
+        assert train == slice(0, 2 * 365)
+        assert test == slice(2 * 365, 3 * 365)
+
+
+class TestRealism:
+    def test_plankton_in_plausible_band(self, dataset):
+        for data in dataset.stations.values():
+            assert data.true_bphy.min() >= 0.0
+            assert data.true_bphy.max() < 1000.0
+            assert np.median(data.true_bphy) > 1.0
+
+    def test_drivers_in_physical_ranges(self, dataset):
+        s1 = dataset.station("S1").drivers
+        assert 0.5 <= s1.column("Vtmp").min() <= 10.0
+        assert s1.column("Vtmp").max() <= 33.0
+        assert 6.5 <= s1.column("Vph").min()
+        assert s1.column("Vph").max() <= 10.0
+        assert s1.column("Vdo").min() >= 3.0
+        assert s1.column("Vn").min() > 0.0
+
+    def test_summer_blooms_exceed_winter(self, dataset):
+        s1 = dataset.station("S1").true_bphy
+        doy = np.arange(len(s1)) % 365
+        summer = s1[(doy > 150) & (doy < 270)].mean()
+        winter = s1[(doy < 60) | (doy > 330)].mean()
+        assert summer > winter
+
+    def test_observed_chlorophyll_tracks_truth(self, dataset):
+        s1 = dataset.station("S1")
+        correlation = np.corrcoef(s1.chlorophyll, s1.true_bphy)[0, 1]
+        assert correlation > 0.9
+
+    def test_downstream_flow_exceeds_headwater(self, dataset):
+        assert dataset.flows["S1"].mean() > dataset.flows["S6"].mean()
+
+
+class TestSampling:
+    def test_s1_sampled_weekly_others_biweekly(self, dataset):
+        """Interpolated series are exactly piecewise-linear between
+        sampling days: the second difference at non-sample days is ~0."""
+        s1 = dataset.station("S1").chlorophyll
+        s2 = dataset.station("S2").chlorophyll
+        # Kinks (nonzero second difference) occur only at sample days.
+        def kink_days(series):
+            second = np.abs(np.diff(series, 2))
+            return {int(i) + 1 for i in np.flatnonzero(second > 1e-9)}
+
+        assert kink_days(s1) <= set(range(0, len(s1), 7))
+        assert kink_days(s2) <= set(range(0, len(s2), 14))
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(DatasetConfig(n_years=2, train_years=1, seed=3))
+        b = generate(DatasetConfig(n_years=2, train_years=1, seed=3))
+        assert np.array_equal(
+            a.station("S1").chlorophyll, b.station("S1").chlorophyll
+        )
+
+    def test_different_seed_different_data(self):
+        a = generate(DatasetConfig(n_years=2, train_years=1, seed=3))
+        b = generate(DatasetConfig(n_years=2, train_years=1, seed=4))
+        assert not np.array_equal(
+            a.station("S1").chlorophyll, b.station("S1").chlorophyll
+        )
+
+
+class TestHiddenModels:
+    def test_local_model_uses_table_iv_drivers_only(self):
+        assert hidden_local_model().var_order == VARIABLE_ORDER
+
+    def test_headwater_model_adds_flow_driver(self):
+        assert hidden_headwater_model().var_order == VARIABLE_ORDER + ("Vflw",)
+
+    def test_hidden_constants_cover_both_models(self):
+        for model in (hidden_local_model(), hidden_headwater_model()):
+            for name in model.param_order:
+                assert name in HIDDEN_CONSTANTS
+
+    def test_river_task_matches_isolated_task_interface(self, dataset):
+        river = dataset.river_task("train")
+        isolated = dataset.task("train")
+        assert river.state_names == isolated.state_names
+        assert river.var_order == isolated.drivers.names
+        assert river.n_cases == isolated.n_cases

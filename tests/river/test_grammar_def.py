@@ -1,0 +1,80 @@
+"""The river revision grammar: Table II encoding and anomaly operands."""
+
+import random
+
+import pytest
+
+from repro.gp.knowledge import build_grammar, center_symbol
+from repro.river.grammar_def import (
+    EXTENSION_SPECS,
+    VARIABLE_LEVELS,
+    river_knowledge,
+)
+from repro.tag.symbols import VALUE, connector_symbol, extender_symbol
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return build_grammar(river_knowledge())
+
+
+class TestSpecs:
+    def test_eight_extension_points(self):
+        assert len(EXTENSION_SPECS) == 8
+        names = [spec.name for spec in EXTENSION_SPECS]
+        assert "Ext4" not in names  # the paper's numbering skips 4
+
+    def test_connector_split(self):
+        for spec in EXTENSION_SPECS:
+            if spec.name in ("Ext1", "Ext2", "Ext3"):
+                assert spec.connector_ops == ("+",)
+            else:
+                assert spec.connector_ops == ("*",)
+
+    def test_every_revision_variable_has_a_level(self):
+        revision_variables = set()
+        for spec in EXTENSION_SPECS:
+            revision_variables |= set(spec.variables)
+        assert revision_variables <= set(VARIABLE_LEVELS)
+
+
+class TestGrammar:
+    def test_beta_inventory(self, grammar):
+        # Per spec: connectors = |ops| x (|vars|+1); extenders = 4 ops x
+        # (|vars|+1); unary extenders = 2.
+        expected = 0
+        for spec in EXTENSION_SPECS:
+            operands = len(spec.variables) + 1
+            expected += len(spec.connector_ops) * operands
+            expected += len(spec.extender_ops) * operands
+            expected += len(spec.unary_extender_ops)
+        assert len(grammar.betas) == expected
+
+    def test_variable_operands_carry_center_and_scale_slots(self, grammar):
+        beta = grammar.betas["conn:Ext1:+:Vph"]
+        slots = [beta.node_at(a).symbol for a in beta.substitution_addresses()]
+        assert center_symbol("Vph") in slots
+        assert VALUE in slots
+
+    def test_random_operand_has_single_scale_slot(self, grammar):
+        beta = grammar.betas["conn:Ext1:+:R"]
+        slots = [beta.node_at(a).symbol for a in beta.substitution_addresses()]
+        assert slots == [VALUE]
+
+    def test_center_lexemes_initialise_near_expert_level(self, grammar):
+        rng = random.Random(0)
+        for variable, level in VARIABLE_LEVELS.items():
+            for __ in range(10):
+                lexeme = grammar.make_lexeme(center_symbol(variable), rng)
+                value = lexeme.payload[1].value
+                assert abs(value - level) <= 0.05 * max(abs(level), 1.0) + 1e-9
+
+    def test_connector_and_extender_namespaces_per_point(self, grammar):
+        for spec in EXTENSION_SPECS:
+            assert grammar.betas_for(connector_symbol(spec.name))
+            assert grammar.betas_for(extender_symbol(spec.name))
+
+    def test_cross_point_adjunction_impossible(self, grammar):
+        ext1_conn = grammar.betas["conn:Ext1:+:R"]
+        assert not grammar.can_adjoin(ext1_conn, connector_symbol("Ext2"))
+        assert not grammar.can_adjoin(ext1_conn, extender_symbol("Ext1"))

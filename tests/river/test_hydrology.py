@@ -1,0 +1,128 @@
+"""Hydrological process: mass balance and attribute routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.river.hydrology import HydrologicalProcess, HydrologyError
+from repro.river.network import RiverNetwork, Station
+
+
+def chain_network(retention=0.2) -> RiverNetwork:
+    network = RiverNetwork(flow_velocity_km_per_day=25.0)
+    network.add_station(Station("A", headwater=True, retention=retention))
+    network.add_station(Station("B", retention=retention))
+    network.add_segment("A", "B", 25.0)  # lag 1 day
+    return network
+
+
+def confluence_network() -> RiverNetwork:
+    network = RiverNetwork(flow_velocity_km_per_day=25.0)
+    network.add_station(Station("A", headwater=True, retention=0.0))
+    network.add_station(Station("T", headwater=True, retention=0.0))
+    network.add_station(Station("V", is_virtual=True, retention=0.0))
+    network.add_station(Station("B", retention=0.0))
+    network.add_segment("A", "V", 25.0)
+    network.add_segment("T", "V", 25.0)
+    network.add_segment("V", "B", 25.0)
+    return network
+
+
+class TestRouteFlows:
+    def test_steady_state_mass_balance(self):
+        """With constant input, downstream flow converges to equation (9)'s
+        fixed point: F_B = r_B F_B + (1 - r_A) F_A  =>
+        F_B = (1 - r_A) F_A / (1 - r_B)."""
+        network = chain_network(retention=0.2)
+        hydrology = HydrologicalProcess(network)
+        inflow = np.full(200, 100.0)
+        flows = hydrology.route_flows({"A": inflow})
+        expected = (1 - 0.2) * 100.0 / (1 - 0.2)
+        assert flows["B"][-1] == pytest.approx(expected, rel=1e-6)
+
+    def test_runoff_adds_water(self):
+        network = chain_network()
+        hydrology = HydrologicalProcess(network)
+        base = hydrology.route_flows({"A": np.full(50, 10.0)})
+        wet = hydrology.route_flows(
+            {"A": np.full(50, 10.0)}, {"B": np.full(50, 5.0)}
+        )
+        assert np.all(wet["B"] >= base["B"])
+
+    def test_missing_headwater_rejected(self):
+        network = chain_network()
+        hydrology = HydrologicalProcess(network)
+        with pytest.raises(HydrologyError):
+            hydrology.route_flows({})
+
+    def test_lag_shifts_pulse(self):
+        network = chain_network(retention=0.0)
+        hydrology = HydrologicalProcess(network)
+        pulse = np.zeros(10)
+        pulse[3] = 50.0
+        flows = hydrology.route_flows({"A": pulse})
+        assert flows["B"][4] == pytest.approx(50.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.9))
+    def test_total_outflow_bounded_by_inflow(self, retention):
+        """No water is created: cumulative outflow <= cumulative inflow."""
+        network = chain_network(retention=retention)
+        hydrology = HydrologicalProcess(network)
+        inflow = np.full(100, 10.0)
+        flows = hydrology.route_flows({"A": inflow})
+        passed_downstream = (1 - retention) * flows["B"]
+        assert passed_downstream.sum() <= inflow.sum() + 1e-6
+
+
+class TestAttributeRouting:
+    def test_confluence_flow_weighted_average(self):
+        network = confluence_network()
+        hydrology = HydrologicalProcess(network)
+        flows = {
+            "A": np.full(10, 30.0),
+            "T": np.full(10, 10.0),
+            "V": np.full(10, 40.0),
+            "B": np.full(10, 40.0),
+        }
+        values = hydrology.route_attribute(
+            flows,
+            {"A": np.full(10, 8.0), "T": np.full(10, 4.0), "B": np.zeros(10)},
+        )
+        # V mixes 30 parts at 8.0 with 10 parts at 4.0 -> 7.0
+        assert values["V"][-1] == pytest.approx(7.0)
+
+    def test_missing_station_attribute_rejected(self):
+        network = confluence_network()
+        hydrology = HydrologicalProcess(network)
+        flows = {name: np.full(5, 1.0) for name in ("A", "T", "V", "B")}
+        with pytest.raises(HydrologyError):
+            hydrology.route_attribute(flows, {"A": np.full(5, 1.0)})
+
+    def test_mixed_attribute_conserves_range(self):
+        """A blended attribute never exits the range of its sources."""
+        network = confluence_network()
+        hydrology = HydrologicalProcess(network)
+        rng = np.random.default_rng(0)
+        flows = {
+            "A": rng.uniform(5, 50, 30),
+            "T": rng.uniform(5, 50, 30),
+            "V": np.full(30, 1.0),
+            "B": np.full(30, 1.0),
+        }
+        values = {
+            "A": rng.uniform(2.0, 4.0, 30),
+            "T": rng.uniform(2.0, 4.0, 30),
+        }
+        mixed = hydrology.mixed_attribute_at("V", flows, values)
+        assert mixed.min() >= 2.0 - 1e-9
+        assert mixed.max() <= 4.0 + 1e-9
+
+    def test_length_mismatch_rejected(self):
+        network = chain_network()
+        hydrology = HydrologicalProcess(network)
+        with pytest.raises(HydrologyError):
+            hydrology.route_flows(
+                {"A": np.full(10, 1.0)}, {"B": np.full(5, 1.0)}
+            )

@@ -1,0 +1,60 @@
+"""Dataset persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.river.dataset import DatasetConfig, generate
+from repro.river.io import (
+    DatasetIOError,
+    export_station_csv,
+    load_saved_dataset,
+    save_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(DatasetConfig(n_years=2, train_years=1, seed=5))
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_preserves_series(self, dataset, tmp_path):
+        target = tmp_path / "nakdong.npz"
+        save_dataset(dataset, target)
+        loaded = load_saved_dataset(target)
+        for name, original in dataset.stations.items():
+            restored = loaded.station(name)
+            assert np.array_equal(original.chlorophyll, restored.chlorophyll)
+            assert np.array_equal(original.drivers.values, restored.drivers.values)
+            assert original.drivers.names == restored.drivers.names
+            assert np.array_equal(original.true_bzoo, restored.true_bzoo)
+        assert loaded.config == dataset.config
+
+    def test_round_trip_preserves_headwater_zoo(self, dataset, tmp_path):
+        target = tmp_path / "d.npz"
+        save_dataset(dataset, target)
+        loaded = load_saved_dataset(target)
+        assert loaded.station("S6").zoo_observed is not None
+        assert loaded.station("S1").zoo_observed is None
+
+    def test_loaded_dataset_builds_tasks(self, dataset, tmp_path):
+        target = tmp_path / "d.npz"
+        save_dataset(dataset, target)
+        loaded = load_saved_dataset(target)
+        task = loaded.river_task("train")
+        assert task.n_cases == loaded.config.train_days
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        target = tmp_path / "other.npz"
+        np.savez(target, a=np.zeros(3))
+        with pytest.raises(DatasetIOError):
+            load_saved_dataset(target)
+
+
+class TestCsvExport:
+    def test_csv_has_expected_shape(self, dataset, tmp_path):
+        target = tmp_path / "s1.csv"
+        export_station_csv(dataset, "S1", target)
+        rows = target.read_text().strip().splitlines()
+        assert rows[0].startswith("day,Vlgt,")
+        assert len(rows) == 1 + dataset.n_days

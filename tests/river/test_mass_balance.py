@@ -1,0 +1,101 @@
+"""Cross-checks between the hydrological process and mixing schedules.
+
+The mixing schedule is derived from the same equation (9) mass balance
+that produced the flow series, so the schedule's components must
+reassemble each station's flow exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.river.hydrology import HydrologicalProcess
+from repro.river.network import RiverNetwork, Station, nakdong_network
+from repro.river.simulator import build_mixing_schedules, collapse_upstream
+
+
+def nakdong_flows(horizon=60, seed=0):
+    network = nakdong_network()
+    hydrology = HydrologicalProcess(network)
+    rng = np.random.default_rng(seed)
+    headwaters = {
+        name: base * np.exp(rng.normal(0.0, 0.2, horizon))
+        for name, base in (("S6", 80.0), ("T3", 18.0), ("T2", 22.0), ("T1", 16.0))
+    }
+    runoff = {
+        name: rng.uniform(0.0, 5.0, horizon)
+        for name in ("S5", "S4", "S3", "S2", "S1")
+    }
+    return network, hydrology.route_flows(headwaters, runoff), runoff
+
+
+class TestScheduleFlowConsistency:
+    def test_components_reassemble_the_flow(self):
+        """retained + sum(sources) + runoff == F_B(t), for t past the
+        lag warm-up window."""
+        network, flows, runoff = nakdong_flows()
+        schedules = build_mixing_schedules(network, flows, runoff)
+        max_lag = 6
+        for name, schedule in schedules.items():
+            flow = flows[name]
+            total_frac = schedule.retained_frac + schedule.runoff_frac
+            for frac in schedule.source_frac:
+                total_frac = total_frac + frac
+            reassembled = total_frac  # fractions of the true total
+            assert np.allclose(reassembled, 1.0, atol=1e-9)
+            # The absolute total behind the fractions equals the flow
+            # (eq. (9)) after the warm-up period.
+            retained = np.empty_like(flow)
+            retained[0] = network.station(name).retention * flow[0]
+            retained[1:] = network.station(name).retention * flow[:-1]
+            absolute = retained + np.asarray(runoff.get(name, 0.0))
+            for source, frac in zip(schedule.sources, schedule.source_frac):
+                upstream = network.station(source.station)
+                passed = (1.0 - upstream.retention) * flows[source.station]
+                delayed = np.empty_like(passed)
+                lag = source.lag_days
+                delayed[:lag] = passed[0]
+                delayed[lag:] = passed[:-lag] if lag else passed
+                absolute = absolute + delayed
+            assert np.allclose(
+                absolute[max_lag:], flow[max_lag:], rtol=1e-9
+            ), name
+
+    def test_every_downstream_station_has_a_schedule(self):
+        network, flows, runoff = nakdong_flows()
+        schedules = build_mixing_schedules(network, flows, runoff)
+        assert set(schedules) == {"S5", "S4", "S3", "S2", "S1"}
+
+    def test_collapse_matches_paper_topology(self):
+        network = nakdong_network()
+        assert {s.station for s in collapse_upstream(network, "S5")} == {
+            "S6",
+            "T3",
+        }
+        assert {s.station for s in collapse_upstream(network, "S4")} == {
+            "S5",
+            "T2",
+        }
+        assert {s.station for s in collapse_upstream(network, "S3")} == {
+            "S4",
+            "T1",
+        }
+        assert {s.station for s in collapse_upstream(network, "S1")} == {"S2"}
+
+
+class TestRetentionProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.8))
+    def test_higher_retention_means_longer_memory(self, retention):
+        """The retained fraction of the mixing schedule grows with the
+        station's retention ratio."""
+        network = RiverNetwork()
+        network.add_station(Station("A", headwater=True, retention=0.1))
+        network.add_station(Station("B", retention=retention))
+        network.add_segment("A", "B", 25.0)
+        hydrology = HydrologicalProcess(network)
+        flows = hydrology.route_flows({"A": np.full(50, 10.0)})
+        schedule = build_mixing_schedules(network, flows, {})["B"]
+        expected = retention * flows["B"][-2] / flows["B"][-1]
+        assert schedule.retained_frac[-1] == pytest.approx(expected, rel=1e-9)

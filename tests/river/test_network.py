@@ -1,0 +1,125 @@
+"""River network topology and validation."""
+
+import pytest
+
+from repro.river.network import (
+    NAKDONG_SEGMENTS_KM,
+    NetworkError,
+    RiverNetwork,
+    Station,
+    nakdong_network,
+)
+
+
+class TestStation:
+    def test_retention_bounds(self):
+        with pytest.raises(NetworkError):
+            Station("X", retention=1.0)
+        with pytest.raises(NetworkError):
+            Station("X", retention=-0.1)
+
+
+class TestRiverNetwork:
+    def _simple(self) -> RiverNetwork:
+        network = RiverNetwork()
+        network.add_station(Station("A", headwater=True))
+        network.add_station(Station("B"))
+        network.add_segment("A", "B", 25.0)
+        return network
+
+    def test_duplicate_station_rejected(self):
+        network = self._simple()
+        with pytest.raises(NetworkError):
+            network.add_station(Station("A"))
+
+    def test_unknown_station_in_segment(self):
+        network = self._simple()
+        with pytest.raises(NetworkError):
+            network.add_segment("A", "Z", 1.0)
+
+    def test_cycle_rejected(self):
+        network = self._simple()
+        with pytest.raises(NetworkError):
+            network.add_segment("B", "A", 1.0)
+
+    def test_lag_days_at_least_one(self):
+        network = self._simple()
+        network.add_station(Station("C"))
+        network.add_segment("B", "C", 0.5)
+        assert network.upstream_of("C") == [("B", 1)]
+
+    def test_outlet(self):
+        assert self._simple().outlet() == "B"
+
+    def test_validate_catches_orphan(self):
+        network = self._simple()
+        network.add_station(Station("L"))  # not headwater, no upstream
+        network.add_segment("L", "B", 1.0)  # keep a single outlet
+        with pytest.raises(NetworkError, match="no upstream"):
+            network.validate()
+
+    def test_validate_catches_underfed_virtual(self):
+        network = self._simple()
+        network.add_station(Station("V", is_virtual=True, retention=0.0))
+        network.add_segment("B", "V", 1.0)
+        with pytest.raises(NetworkError, match="merges"):
+            network.validate()
+
+
+class TestNakdong:
+    def test_station_inventory(self):
+        network = nakdong_network()
+        names = {station.name for station in network.stations()}
+        assert names == {
+            "S1", "S2", "S3", "S4", "S5", "S6",
+            "T1", "T2", "T3", "VS1", "VS2", "VS3",
+        }
+
+    def test_nine_measuring_stations(self):
+        network = nakdong_network()
+        assert len(network.measuring_stations()) == 9
+
+    def test_four_headwaters(self):
+        network = nakdong_network()
+        assert {s.name for s in network.headwaters()} == {"S6", "T1", "T2", "T3"}
+
+    def test_outlet_is_s1(self):
+        assert nakdong_network().outlet() == "S1"
+
+    def test_virtual_stations_merge_two_bodies(self):
+        network = nakdong_network()
+        for name in ("VS1", "VS2", "VS3"):
+            assert network.graph.in_degree(name) == 2
+
+    def test_paper_distances_preserved(self):
+        # The Figure 8 reach lengths are split around the confluences but
+        # their totals must match the paper's numbers.
+        s6_to_s5 = (
+            NAKDONG_SEGMENTS_KM[("S6", "VS3")]
+            + NAKDONG_SEGMENTS_KM[("VS3", "S5")]
+        )
+        assert s6_to_s5 == pytest.approx(27.5)
+        s5_to_s4 = (
+            NAKDONG_SEGMENTS_KM[("S5", "VS2")]
+            + NAKDONG_SEGMENTS_KM[("VS2", "S4")]
+        )
+        assert s5_to_s4 == pytest.approx(42.0)
+        s4_to_s3 = (
+            NAKDONG_SEGMENTS_KM[("S4", "VS1")]
+            + NAKDONG_SEGMENTS_KM[("VS1", "S3")]
+        )
+        assert s4_to_s3 == pytest.approx(28.5)
+        assert NAKDONG_SEGMENTS_KM[("S3", "S2")] == pytest.approx(22.3)
+        assert NAKDONG_SEGMENTS_KM[("S2", "S1")] == pytest.approx(32.8)
+        assert NAKDONG_SEGMENTS_KM[("T1", "VS1")] == pytest.approx(5.5)
+        assert NAKDONG_SEGMENTS_KM[("T2", "VS2")] == pytest.approx(7.1)
+        assert NAKDONG_SEGMENTS_KM[("T3", "VS3")] == pytest.approx(3.0)
+
+    def test_topological_order_respects_flow(self):
+        network = nakdong_network()
+        order = network.topological_order()
+        assert order.index("S6") < order.index("S5") < order.index("S1")
+        assert order.index("T3") < order.index("VS3")
+
+    def test_validates(self):
+        nakdong_network().validate()

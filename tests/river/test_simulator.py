@@ -1,0 +1,181 @@
+"""River-system simulator: mixing schedules, boundaries, and tasks."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import ClampSpec, DriverTable, ProcessModel
+from repro.dynamics.integrate import SimulationDiverged
+from repro.expr import parse
+from repro.river.hydrology import HydrologicalProcess
+from repro.river.network import RiverNetwork, Station
+from repro.river.simulator import (
+    RiverSimulationError,
+    RiverSystemSimulator,
+    RiverTask,
+    build_mixing_schedules,
+    collapse_upstream,
+)
+
+
+def tiny_network() -> RiverNetwork:
+    """A -> V <- T, V -> B (one confluence, one downstream station)."""
+    network = RiverNetwork(flow_velocity_km_per_day=25.0)
+    network.add_station(Station("A", headwater=True, retention=0.2))
+    network.add_station(Station("T", headwater=True, retention=0.2))
+    network.add_station(Station("V", is_virtual=True, retention=0.0))
+    network.add_station(Station("B", retention=0.3))
+    network.add_segment("A", "V", 25.0)
+    network.add_segment("T", "V", 25.0)
+    network.add_segment("V", "B", 25.0)
+    return network
+
+
+def constant_flows(network, horizon=40):
+    hydrology = HydrologicalProcess(network)
+    return hydrology.route_flows(
+        {"A": np.full(horizon, 30.0), "T": np.full(horizon, 10.0)}
+    )
+
+
+def decay_model() -> ProcessModel:
+    return ProcessModel.from_equations(
+        {"B1": parse("0 - k * B1", states={"B1"})}, var_order=("Vx",)
+    )
+
+
+def build_simulator(horizon=40, boundary_value=8.0):
+    network = tiny_network()
+    flows = constant_flows(network, horizon)
+    schedules = build_mixing_schedules(network, flows, {})
+    drivers = {"B": DriverTable.from_mapping({"Vx": np.zeros(horizon)})}
+    boundary = {
+        "A": {"B1": np.full(horizon, boundary_value)},
+        "T": {"B1": np.full(horizon, boundary_value)},
+    }
+    return RiverSystemSimulator(
+        network=network,
+        schedules=schedules,
+        drivers=drivers,
+        boundary=boundary,
+        initial_states={"B": (1.0,)},
+        clamp=ClampSpec(minimum=0.0, maximum=1e6),
+    )
+
+
+class TestCollapse:
+    def test_virtual_stations_are_collapsed(self):
+        network = tiny_network()
+        sources = collapse_upstream(network, "B")
+        names = {source.station for source in sources}
+        assert names == {"A", "T"}
+        for source in sources:
+            assert source.lag_days == 2  # one day per 25 km segment
+
+
+class TestMixingSchedules:
+    def test_fractions_sum_to_one(self):
+        network = tiny_network()
+        flows = constant_flows(network)
+        schedules = build_mixing_schedules(network, flows, {})
+        schedules["B"].validate()
+
+    def test_runoff_dilutes(self):
+        network = tiny_network()
+        horizon = 40
+        flows_dry = constant_flows(network, horizon)
+        hydrology = HydrologicalProcess(network)
+        runoff = {"B": np.full(horizon, 20.0)}
+        flows_wet = hydrology.route_flows(
+            {"A": np.full(horizon, 30.0), "T": np.full(horizon, 10.0)},
+            runoff,
+        )
+        dry = build_mixing_schedules(network, flows_dry, {})["B"]
+        wet = build_mixing_schedules(network, flows_wet, runoff)["B"]
+        assert wet.runoff_frac[-1] > dry.runoff_frac[-1]
+        assert wet.runoff_frac[-1] > 0.2
+
+
+class TestSimulator:
+    def test_converges_to_boundary_with_neutral_biology(self):
+        """With zero biology (k=0) the downstream state converges to the
+        advected boundary value."""
+        simulator = build_simulator(horizon=60)
+        trajectories = simulator.run(decay_model(), (0.0,))
+        assert trajectories["B"][-1, 0] == pytest.approx(8.0, rel=1e-3)
+
+    def test_decay_pulls_below_boundary(self):
+        simulator = build_simulator(horizon=60)
+        trajectories = simulator.run(decay_model(), (0.5,))
+        assert trajectories["B"][-1, 0] < 8.0
+
+    def test_interpreted_equals_compiled(self):
+        simulator = build_simulator(horizon=20)
+        compiled = simulator.run(decay_model(), (0.3,), use_compiled=True)
+        interpreted = simulator.run(decay_model(), (0.3,), use_compiled=False)
+        assert np.allclose(compiled["B"], interpreted["B"])
+
+    def test_nan_boundary_raises(self):
+        simulator = build_simulator(horizon=20, boundary_value=float("nan"))
+        with pytest.raises(SimulationDiverged):
+            simulator.run(decay_model(), (0.0,))
+
+    def test_horizon_mismatch_rejected(self):
+        network = tiny_network()
+        flows = constant_flows(network, 40)
+        schedules = build_mixing_schedules(network, flows, {})
+        with pytest.raises(RiverSimulationError):
+            RiverSystemSimulator(
+                network=network,
+                schedules=schedules,
+                drivers={"B": DriverTable.from_mapping({"Vx": np.zeros(10)})},
+                boundary={
+                    "A": {"B1": np.zeros(40)},
+                    "T": {"B1": np.zeros(40)},
+                },
+                initial_states={"B": (1.0,)},
+            )
+
+
+class TestRiverTask:
+    def test_rmse_zero_for_perfect_model(self):
+        simulator = build_simulator(horizon=60)
+        trajectories = simulator.run(decay_model(), (0.2,))
+        task = RiverTask(
+            simulator=simulator,
+            observed=trajectories["B"][:, 0],
+            target_station="B",
+            target_state="B1",
+            state_names=("B1",),
+            var_order=("Vx",),
+        )
+        assert task.rmse(decay_model(), (0.2,)) == pytest.approx(0.0, abs=1e-12)
+        assert task.mae(decay_model(), (0.2,)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_error_stream_matches_rmse(self):
+        import math
+
+        simulator = build_simulator(horizon=40)
+        observed = np.full(40, 5.0)
+        task = RiverTask(
+            simulator=simulator,
+            observed=observed,
+            target_station="B",
+            target_state="B1",
+            state_names=("B1",),
+            var_order=("Vx",),
+        )
+        errors = list(task.error_stream(decay_model(), (0.1,)))
+        rmse = math.sqrt(sum(errors) / len(errors))
+        assert rmse == pytest.approx(task.rmse(decay_model(), (0.1,)))
+
+    def test_unknown_target_station_rejected(self):
+        simulator = build_simulator(horizon=20)
+        with pytest.raises(RiverSimulationError):
+            RiverTask(
+                simulator=simulator,
+                observed=np.zeros(20),
+                target_station="A",  # headwater: not simulated
+                target_state="B1",
+                state_names=("B1",),
+                var_order=("Vx",),
+            )

@@ -1,0 +1,134 @@
+"""Derivation-tree invariants, copying, and validation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import ast
+from repro.expr.ast import Ext, Param, State
+from repro.gp.config import GMRConfig
+from repro.gp.init import random_individual
+from repro.gp.knowledge import (
+    ExtensionSpec,
+    ParameterPrior,
+    PriorKnowledge,
+    build_grammar,
+)
+from repro.tag.derivation import DerivationError, DerivationNode, DerivationTree
+from repro.tag.derive import derive, expressions_of
+
+
+def make_knowledge() -> PriorKnowledge:
+    seed = {
+        "B": Ext("Ext1", ast.mul(State("B"), Param("mu"))),
+        "Z": Ext("Ext2", ast.mul(State("Z"), Param("nu"))),
+    }
+    return PriorKnowledge(
+        seed_equations=seed,
+        priors={
+            "mu": ParameterPrior("mu", 1.0, 0.0, 2.0),
+            "nu": ParameterPrior("nu", 0.5, 0.0, 1.0),
+        },
+        extensions=[
+            ExtensionSpec("Ext1", ("Va", "Vb")),
+            ExtensionSpec("Ext2", ("Vc",)),
+        ],
+    )
+
+
+KNOWLEDGE = make_knowledge()
+GRAMMAR = build_grammar(KNOWLEDGE)
+
+
+class TestStructure:
+    def test_root_must_be_alpha(self):
+        beta = next(iter(GRAMMAR.betas.values()))
+        with pytest.raises(DerivationError):
+            DerivationTree(DerivationNode(tree=beta))
+
+    def test_size_counts_nodes(self):
+        root = DerivationNode(tree=GRAMMAR.alphas["seed"])
+        tree = DerivationTree(root)
+        assert tree.size == 1
+
+    def test_copy_is_deep(self):
+        rng = random.Random(0)
+        individual = random_individual(
+            GRAMMAR, KNOWLEDGE, GMRConfig(population_size=4, max_generations=1, max_size=8), rng
+        )
+        clone = individual.derivation.copy()
+        originals = individual.derivation.rconsts()
+        copies = clone.rconsts()
+        assert len(originals) == len(copies)
+        for rconst in copies:
+            rconst.value = -123.0
+        assert all(rconst.value != -123.0 for rconst in originals)
+
+    def test_walk_with_parents_yields_root_first(self):
+        root = DerivationNode(tree=GRAMMAR.alphas["seed"])
+        tree = DerivationTree(root)
+        triples = list(tree.walk_with_parents())
+        assert triples[0] == (None, None, root)
+
+
+class TestValidation:
+    def test_random_individuals_validate(self):
+        rng = random.Random(7)
+        config = GMRConfig(population_size=4, max_generations=1, max_size=20)
+        for __ in range(25):
+            individual = random_individual(GRAMMAR, KNOWLEDGE, config, rng)
+            individual.derivation.validate(GRAMMAR)
+
+    def test_incompatible_adjunction_detected(self):
+        root = DerivationNode(tree=GRAMMAR.alphas["seed"])
+        ext2_beta = GRAMMAR.betas["conn:Ext2:+:Vc"]
+        sites = root.open_adjunction_addresses(GRAMMAR)
+        # Attach an Ext2 connector at the Ext1 site: invalid.
+        ext1_site = None
+        for address in sites:
+            symbol = root.tree.node_at(address).symbol
+            if symbol.name.endswith("Ext1"):
+                ext1_site = address
+                break
+        assert ext1_site is not None
+        root.children[ext1_site] = DerivationNode(tree=ext2_beta)
+        with pytest.raises(DerivationError):
+            DerivationTree(root).validate(GRAMMAR)
+
+
+class TestDerivedExpressions:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_individuals_always_derive(self, seed):
+        """Property: any grown individual yields one expression per state,
+        referencing only known variables and parameters."""
+        rng = random.Random(seed)
+        config = GMRConfig(population_size=4, max_generations=1, max_size=15)
+        individual = random_individual(GRAMMAR, KNOWLEDGE, config, rng)
+        expressions, rvalues = expressions_of(individual.derivation)
+        assert len(expressions) == len(KNOWLEDGE.state_names)
+        allowed_vars = {"Va", "Vb", "Vc"}
+        allowed_params = set(KNOWLEDGE.priors) | set(rvalues)
+        for expression in expressions:
+            assert ast.free_vars(expression) <= allowed_vars
+            assert ast.free_params(expression) <= allowed_params
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_size_bounds_respected(self, seed):
+        rng = random.Random(seed)
+        config = GMRConfig(
+            population_size=4, max_generations=1, min_size=2, max_size=12
+        )
+        individual = random_individual(GRAMMAR, KNOWLEDGE, config, rng)
+        assert individual.size <= config.max_size
+
+    def test_derive_is_deterministic(self):
+        rng = random.Random(11)
+        config = GMRConfig(population_size=4, max_generations=1, max_size=10)
+        individual = random_individual(GRAMMAR, KNOWLEDGE, config, rng)
+        first = derive(individual.derivation)
+        second = derive(individual.derivation)
+        assert str(first) == str(second)

@@ -1,0 +1,113 @@
+"""TAG grammar validation and queries."""
+
+import random
+
+import pytest
+
+from repro.tag.grammar import (
+    GrammarError,
+    TagGrammar,
+    random_value_lexeme_factory,
+)
+from repro.tag.symbols import VALUE, nonterminal, terminal
+from repro.tag.trees import AlphaTree, BetaTree, TreeError, TreeNode
+
+NT_S = nonterminal("S")
+NT_X = nonterminal("X")
+T_A = terminal("a")
+
+
+def make_alpha(name="alpha") -> AlphaTree:
+    root = TreeNode(NT_S, (TreeNode(NT_X, (TreeNode(T_A),)),))
+    return AlphaTree(name, root)
+
+
+def make_beta(name="beta") -> BetaTree:
+    root = TreeNode(
+        NT_X, (TreeNode(NT_X, is_foot=True), TreeNode(T_A))
+    )
+    return BetaTree(name, root)
+
+
+def make_grammar() -> TagGrammar:
+    alpha = make_alpha()
+    beta = make_beta()
+    return TagGrammar(
+        start=NT_S,
+        alphas={alpha.name: alpha},
+        betas={beta.name: beta},
+        lexeme_factories={VALUE: random_value_lexeme_factory()},
+    )
+
+
+class TestValidation:
+    def test_requires_initial_tree(self):
+        with pytest.raises(GrammarError):
+            TagGrammar(start=NT_S, alphas={}, betas={})
+
+    def test_start_must_be_nonterminal(self):
+        alpha = make_alpha()
+        with pytest.raises(GrammarError):
+            TagGrammar(start=T_A, alphas={alpha.name: alpha}, betas={})
+
+    def test_slot_without_factory_rejected(self):
+        root = TreeNode(NT_S, (TreeNode(VALUE, is_subst=True),))
+        alpha = AlphaTree("a", root)
+        with pytest.raises(GrammarError):
+            TagGrammar(start=NT_S, alphas={"a": alpha}, betas={})
+
+    def test_shared_names_rejected(self):
+        alpha = make_alpha("same")
+        beta = make_beta("same")
+        with pytest.raises(GrammarError):
+            TagGrammar(start=NT_S, alphas={"same": alpha}, betas={"same": beta})
+
+
+class TestQueries:
+    def test_alphabets(self):
+        grammar = make_grammar()
+        assert T_A in grammar.terminals
+        assert NT_S in grammar.nonterminals
+        assert NT_X in grammar.nonterminals
+
+    def test_adjoinable_symbols(self):
+        grammar = make_grammar()
+        assert grammar.adjoinable_symbols == frozenset({NT_X})
+
+    def test_betas_for(self):
+        grammar = make_grammar()
+        assert len(grammar.betas_for(NT_X)) == 1
+        assert grammar.betas_for(NT_S) == []
+
+    def test_can_adjoin(self):
+        grammar = make_grammar()
+        beta = grammar.betas["beta"]
+        assert grammar.can_adjoin(beta, NT_X)
+        assert not grammar.can_adjoin(beta, NT_S)
+
+    def test_start_alphas(self):
+        grammar = make_grammar()
+        assert [alpha.name for alpha in grammar.start_alphas()] == ["alpha"]
+
+    def test_make_lexeme_unknown_slot(self):
+        grammar = make_grammar()
+        with pytest.raises(TreeError):
+            grammar.make_lexeme(NT_X, random.Random(0))
+
+
+class TestLexemeFactory:
+    def test_init_range_respected(self):
+        factory = random_value_lexeme_factory(init_low=0.2, init_high=0.4)
+        rng = random.Random(3)
+        for __ in range(50):
+            lexeme = factory(rng)
+            kind, rconst = lexeme.payload
+            assert kind == "rconst"
+            assert 0.2 <= rconst.value <= 0.4
+
+    def test_bounds_recorded(self):
+        factory = random_value_lexeme_factory(minimum=-5.0, maximum=5.0)
+        lexeme = factory(random.Random(0))
+        rconst = lexeme.payload[1]
+        assert rconst.minimum == -5.0
+        assert rconst.maximum == 5.0
