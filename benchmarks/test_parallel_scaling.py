@@ -1,0 +1,39 @@
+"""Parallel run scaling: speedup vs. worker count on the case-study task.
+
+Shape targets: every pool size reproduces the serial per-run
+``best_fitness`` values bit-identically, and -- given enough physical
+cores -- four workers complete four independent runs at least 1.5x
+faster than the serial baseline.  The speedup assertion is gated on the
+host actually having the cores; the determinism assertion always runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.parallel_scaling import run_parallel_scaling
+
+#: Cores needed before the 4-worker speedup target is enforceable.
+SPEEDUP_ASSERT_MIN_CPUS = 4
+
+
+def test_parallel_scaling_regenerates(benchmark, scale_name):
+    result = benchmark.pedantic(
+        run_parallel_scaling, args=(scale_name,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    assert set(result.worker_counts) == {1, 2, 4}
+    assert result.n_runs >= 4
+    # Determinism is non-negotiable: farming runs to a pool must not
+    # change a single per-run outcome.
+    assert result.matches_serial
+    # All timings recorded and positive.
+    assert all(result.elapsed[w] > 0 for w in result.worker_counts)
+
+    if (os.cpu_count() or 1) >= SPEEDUP_ASSERT_MIN_CPUS:
+        assert result.speedup[4] > 1.5, (
+            f"expected > 1.5x at 4 workers on a {os.cpu_count()}-CPU host, "
+            f"got {result.speedup[4]:.2f}x"
+        )

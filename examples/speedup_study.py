@@ -1,8 +1,10 @@
-"""Reproduce the efficiency results: Figures 10 and 11.
+"""Reproduce the efficiency results: Figures 10 and 11, plus run scaling.
 
 Times the evaluation of a realistic GP population under all combinations
 of tree caching / evaluation short-circuiting / runtime compilation
-(Figure 10), then sweeps the short-circuiting threshold (Figure 11).
+(Figure 10), sweeps the short-circuiting threshold (Figure 11), then
+measures the reproduction's own scaling axis: wall-clock speedup of
+independent runs farmed across worker processes (``run_many_parallel``).
 
 Run:  python examples/speedup_study.py             (a few minutes)
       REPRO_SCALE=smoke python examples/speedup_study.py
@@ -10,7 +12,7 @@ Run:  python examples/speedup_study.py             (a few minutes)
 
 import os
 
-from repro.experiments import run_fig10, run_fig11
+from repro.experiments import run_fig10, run_fig11, run_parallel_scaling
 
 
 def main() -> None:
@@ -18,6 +20,8 @@ def main() -> None:
     print(run_fig10(scale).render())
     print()
     print(run_fig11(scale).render())
+    print()
+    print(run_parallel_scaling(scale).render())
 
 
 if __name__ == "__main__":

@@ -67,6 +67,16 @@ class ProcessModel:
                     f"{sorted(unknown_vars)}"
                 )
 
+    def __getstate__(self) -> dict:
+        # Compiled step functions are exec-generated and unpicklable; they
+        # are rebuilt lazily (``compiled()``) after transfer to a worker.
+        state = dict(self.__dict__)
+        state["_compiled"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def state_names(self) -> tuple[str, ...]:
         return tuple(self.equations)

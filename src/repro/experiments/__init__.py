@@ -11,6 +11,10 @@ from repro.experiments.fig8 import Fig8Result, run_fig8
 from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.fig10 import Fig10Result, run_fig10
 from repro.experiments.fig11 import Fig11Result, run_fig11
+from repro.experiments.parallel_scaling import (
+    ParallelScalingResult,
+    run_parallel_scaling,
+)
 from repro.experiments.scale import SCALES, Scale, get_scale
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table5 import Table5Result, run_table5
@@ -27,6 +31,7 @@ REGISTRY = {
     "fig9": ("Variable selectivity among best models", run_fig9),
     "fig10": ("Speedup-technique ablation", run_fig10),
     "fig11": ("Evaluation short-circuiting threshold sweep", run_fig11),
+    "scaling": ("Parallel run scaling (speedup vs. workers)", run_parallel_scaling),
     "case-study": ("Discovered revisions (Section IV-E)", run_case_study),
 }
 
@@ -37,6 +42,7 @@ __all__ = [
     "Fig9Result",
     "Fig10Result",
     "Fig11Result",
+    "ParallelScalingResult",
     "REGISTRY",
     "SCALES",
     "Scale",
@@ -51,6 +57,7 @@ __all__ = [
     "run_fig9",
     "run_fig10",
     "run_fig11",
+    "run_parallel_scaling",
     "run_table1",
     "run_table2",
     "run_table3",

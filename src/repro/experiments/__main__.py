@@ -15,7 +15,7 @@ import sys
 from repro.experiments import REGISTRY
 
 #: Experiments whose runners accept a scale argument.
-_SCALED = {"table5", "fig9", "fig10", "fig11", "case-study"}
+_SCALED = {"table5", "fig9", "fig10", "fig11", "scaling", "case-study"}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,123 @@
+"""Parallel run-scaling study: wall-clock speedup vs. worker count.
+
+The paper attacked *per-individual* cost (Figure 10: tree caching,
+evaluation short-circuiting, runtime compilation); this study measures
+the orthogonal scaling axis the reproduction adds on top -- farming the
+independent evolutionary runs (the paper executed 60 per method) across
+worker processes.  It times ``run_many`` on the river case-study task at
+several worker counts, verifies that every parallel configuration
+reproduces the serial per-run ``best_fitness`` values bit-identically,
+and reports speedups.
+
+Run:  python -m repro.experiments run scaling --scale smoke
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.experiments.scale import get_scale
+from repro.experiments.tables import render_table
+from repro.gp import GMRConfig, GMREngine, run_many, run_many_parallel
+from repro.river import load_dataset, river_knowledge
+
+#: Worker counts measured, in display order (1 is the serial baseline).
+DEFAULT_WORKER_COUNTS: tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass
+class ParallelScalingResult:
+    """Timings of ``run_many`` at several pool sizes."""
+
+    n_runs: int
+    worker_counts: tuple[int, ...]
+    elapsed: dict[int, float]
+    speedup: dict[int, float]
+    matches_serial: bool
+    cpu_count: int
+    scale: str
+    total_elapsed: float
+
+    def render(self) -> str:
+        rows = [
+            (
+                "serial" if workers == 1 else f"{workers} workers",
+                f"{self.elapsed[workers]:.2f} s",
+                f"{self.speedup[workers]:.2f}x",
+            )
+            for workers in self.worker_counts
+        ]
+        determinism = "identical" if self.matches_serial else "DIVERGED"
+        return render_table(
+            ("Pool size", "Wall clock", "Speedup"),
+            rows,
+            title=(
+                f"Parallel scaling: {self.n_runs} independent runs "
+                f"(per-run results {determinism}; {self.cpu_count} CPUs, "
+                f"scale={self.scale})"
+            ),
+        )
+
+
+def run_parallel_scaling(
+    scale_name: str | None = None,
+    worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
+    base_seed: int = 0,
+) -> ParallelScalingResult:
+    """Time independent GMR runs at each worker count on the river task."""
+    scale = get_scale(scale_name)
+    started = time.perf_counter()
+    dataset = load_dataset(
+        n_years=scale.n_years, seed=7, train_years=scale.train_years
+    )
+    train = dataset.river_task("train")
+    knowledge = river_knowledge()
+    config = GMRConfig(
+        population_size=scale.population_size,
+        max_generations=scale.max_generations,
+        max_size=scale.max_size,
+        init_max_size=scale.init_max_size,
+        local_search_steps=scale.local_search_steps,
+    )
+    engine = GMREngine(knowledge, train, config)
+    n_runs = max(scale.n_runs, 4)
+
+    elapsed: dict[int, float] = {}
+    fingerprints: dict[int, list[float]] = {}
+    for workers in worker_counts:
+        clock = time.perf_counter()
+        if workers == 1:
+            results = run_many(engine, n_runs, base_seed=base_seed)
+        else:
+            results = run_many_parallel(
+                engine, n_runs, base_seed=base_seed, max_workers=workers
+            )
+        elapsed[workers] = time.perf_counter() - clock
+        fingerprints[workers] = [result.best_fitness for result in results]
+
+    baseline = elapsed.get(1, max(elapsed.values()))
+    speedup = {
+        workers: baseline / seconds if seconds > 0 else float("inf")
+        for workers, seconds in elapsed.items()
+    }
+    serial_fingerprint = fingerprints.get(1)
+    matches_serial = all(
+        serial_fingerprint is None or values == serial_fingerprint
+        for values in fingerprints.values()
+    )
+    return ParallelScalingResult(
+        n_runs=n_runs,
+        worker_counts=tuple(worker_counts),
+        elapsed=elapsed,
+        speedup=speedup,
+        matches_serial=matches_serial,
+        cpu_count=os.cpu_count() or 1,
+        scale=scale.name,
+        total_elapsed=time.perf_counter() - started,
+    )
+
+
+if __name__ == "__main__":
+    print(run_parallel_scaling().render())

@@ -38,6 +38,9 @@ class Scale:
     rnn_epochs: int
     #: Figure 9: number of best models analysed.
     n_best_models: int
+    #: Worker processes for independent GP runs (1 = serial; results are
+    #: identical either way, only wall-clock changes).
+    n_workers: int = 1
 
 
 SCALES: dict[str, Scale] = {
@@ -68,6 +71,7 @@ SCALES: dict[str, Scale] = {
         init_max_size=8,
         rnn_epochs=30,
         n_best_models=20,
+        n_workers=2,
     ),
     "full": Scale(
         name="full",
@@ -82,6 +86,7 @@ SCALES: dict[str, Scale] = {
         init_max_size=8,
         rnn_epochs=120,
         n_best_models=50,
+        n_workers=4,
     ),
 }
 

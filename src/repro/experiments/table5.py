@@ -34,7 +34,7 @@ from repro.baselines import (
 )
 from repro.experiments.scale import Scale, get_scale
 from repro.experiments.tables import render_table
-from repro.gp import GMRConfig, GMREngine
+from repro.gp import GMRConfig, GMREngine, run_many
 from repro.river import (
     CONSTANT_PRIORS,
     load_dataset,
@@ -99,6 +99,7 @@ def _gp_config(scale: Scale, population_multiplier: float = 1.0) -> GMRConfig:
         init_max_size=scale.init_max_size,
         local_search_steps=scale.local_search_steps,
         sigma_rampdown_generations=max(2, scale.max_generations // 3),
+        n_workers=scale.n_workers,
     )
 
 
@@ -110,8 +111,9 @@ def run_gmr(dataset, scale: Scale, base_seed: int = 0):
     engine = GMREngine(knowledge, train, _gp_config(scale))
     best_row = None
     best_individual = None
-    for run_index in range(scale.n_runs):
-        outcome = engine.run(seed=base_seed + run_index)
+    # run_many farms the independent runs to a process pool when the
+    # scale's n_workers > 1; per-run results are identical to serial.
+    for outcome in run_many(engine, scale.n_runs, base_seed=base_seed):
         model, params = outcome.best.phenotype(
             train.state_names, train.var_order
         )

@@ -31,6 +31,14 @@ from repro.gp.knowledge import (
     build_grammar,
 )
 from repro.gp.local_search import deletion, hill_climb, insertion
+from repro.gp.parallel import (
+    EvaluationBackend,
+    ParallelRunError,
+    ProcessPoolBackend,
+    SerialBackend,
+    aggregate_stats,
+    run_many_parallel,
+)
 from repro.gp.operators import (
     crossover,
     gaussian_mutation,
@@ -43,6 +51,7 @@ __all__ = [
     "BINARY_REVISION_OPS",
     "CacheStats",
     "ConfigError",
+    "EvaluationBackend",
     "EvaluationStats",
     "ExtensionSpec",
     "GMRConfig",
@@ -53,12 +62,16 @@ __all__ = [
     "InitialisationError",
     "KnowledgeError",
     "OperatorProbabilities",
+    "ParallelRunError",
     "ParameterPrior",
     "PriorKnowledge",
+    "ProcessPoolBackend",
     "RANDOM_OPERAND",
     "RunResult",
+    "SerialBackend",
     "TreeCache",
     "UNARY_REVISION_OPS",
+    "aggregate_stats",
     "best_of",
     "build_grammar",
     "crossover",
@@ -73,6 +86,7 @@ __all__ = [
     "random_individual",
     "replication",
     "run_many",
+    "run_many_parallel",
     "subtree_mutation",
     "tournament_select",
 ]

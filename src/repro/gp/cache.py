@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Hashable, Iterable, Sequence
 
 #: Cache keys round parameter values to this many significant digits, so
 #: float noise below evaluation precision does not fragment entries.
@@ -35,6 +35,22 @@ class CacheStats:
         if self.lookups == 0:
             return 0.0
         return self.hits / self.lookups
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise sum with ``other`` (fan-in of per-worker caches)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    @classmethod
+    def merge_all(cls, parts: "Iterable[CacheStats]") -> "CacheStats":
+        """Merge any number of per-worker cache statistics."""
+        total = cls()
+        for part in parts:
+            total = total.merge(part)
+        return total
 
 
 @dataclass

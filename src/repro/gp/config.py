@@ -74,6 +74,17 @@ class GMRConfig:
             local-search moves (memetic extension; the paper's local
             search uses insertion/deletion only -- set False for the
             strictly-paper behaviour).
+        n_workers: Worker processes used by the parallel execution layer
+            (:mod:`repro.gp.parallel`).  1 keeps everything in-process;
+            ``run_many`` farms independent runs out when > 1, and the
+            process-pool evaluation backend sizes its pool from it.
+        eval_batch_size: When > 0, ``GMREngine`` generates offspring in
+            unevaluated batches of this size and evaluates each batch
+            through its evaluation backend before local search.  Batched
+            evaluation synchronises the ES ``best_prev_full`` marker once
+            per batch instead of once per individual, so results can
+            differ slightly from the (default) per-individual mode; 0
+            preserves the strictly serial semantics.
     """
 
     population_size: int = 200
@@ -92,6 +103,8 @@ class GMRConfig:
     use_tree_cache: bool = True
     use_compilation: bool = True
     crossover_retries: int = 10
+    n_workers: int = 1
+    eval_batch_size: int = 0
 
     def __post_init__(self) -> None:
         if self.population_size < 1:
@@ -112,6 +125,10 @@ class GMRConfig:
             raise ConfigError("es_threshold must be positive or None")
         if self.gaussian_sigma_factor <= 0:
             raise ConfigError("gaussian_sigma_factor must be positive")
+        if self.n_workers < 1:
+            raise ConfigError("n_workers must be positive")
+        if self.eval_batch_size < 0:
+            raise ConfigError("eval_batch_size must be >= 0")
 
     def sigma_scale(self, generation: int) -> float:
         """Linear ramp-down of the Gaussian-mutation sigma (Section III-B3).

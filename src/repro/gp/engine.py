@@ -29,6 +29,11 @@ from repro.gp.operators import (
     replication,
     subtree_mutation,
 )
+from repro.gp.parallel import (
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
 from repro.gp.selection import best_of, elites, tournament_select
 from repro.tag.grammar import TagGrammar
 
@@ -81,6 +86,9 @@ class GMREngine:
     config: GMRConfig = field(default_factory=GMRConfig)
     grammar: TagGrammar | None = None
     use_local_search: bool = True
+    #: Offspring-evaluation backend for batched mode
+    #: (``config.eval_batch_size > 0``); built from the config when None.
+    eval_backend: EvaluationBackend | None = None
 
     def __post_init__(self) -> None:
         if self.grammar is None:
@@ -147,6 +155,66 @@ class GMREngine:
             elapsed=elapsed,
         )
 
+    def _spawn_offspring(
+        self,
+        population: list[Individual],
+        rng: random.Random,
+        sigma_scale: float,
+    ) -> list[Individual]:
+        """One reproduction-operator roll: select parents, produce children."""
+        config = self.config
+        ops = config.operators
+
+        def select() -> Individual:
+            return tournament_select(population, config.tournament_size, rng)
+
+        roll = rng.random()
+        if roll < ops.crossover:
+            pair = crossover(select(), select(), self.grammar, config, rng)
+            if pair is None:
+                return [replication(select())]
+            return list(pair)
+        if roll < ops.crossover + ops.subtree_mutation:
+            child = subtree_mutation(select(), self.grammar, config, rng)
+            return [child if child is not None else replication(select())]
+        if roll < ops.crossover + ops.subtree_mutation + ops.gaussian_mutation:
+            return [
+                gaussian_mutation(
+                    select(), self.knowledge, config, rng, sigma_scale
+                )
+            ]
+        return [replication(select())]
+
+    def _local_search(
+        self,
+        child: Individual,
+        evaluator: GMRFitnessEvaluator,
+        rng: random.Random,
+        sigma_scale: float,
+    ) -> Individual:
+        config = self.config
+        if self.use_local_search and config.local_search_steps > 0:
+            return hill_climb(
+                child,
+                self.grammar,
+                config,
+                evaluator.evaluate,
+                rng,
+                knowledge=self.knowledge,
+                sigma_scale=sigma_scale,
+            )
+        return child
+
+    def _ensure_backend(self) -> EvaluationBackend:
+        if self.eval_backend is None:
+            if self.config.n_workers > 1:
+                self.eval_backend = ProcessPoolBackend(
+                    max_workers=self.config.n_workers
+                )
+            else:
+                self.eval_backend = SerialBackend()
+        return self.eval_backend
+
     def _next_generation(
         self,
         population: list[Individual],
@@ -155,48 +223,57 @@ class GMREngine:
         sigma_scale: float,
     ) -> list[Individual]:
         config = self.config
-        ops = config.operators
+        if config.eval_batch_size > 0:
+            return self._next_generation_batched(
+                population, evaluator, rng, sigma_scale
+            )
         next_population: list[Individual] = elites(population, config.elite_size)
-
-        def select() -> Individual:
-            return tournament_select(population, config.tournament_size, rng)
-
         while len(next_population) < config.population_size:
-            roll = rng.random()
-            offspring: list[Individual] = []
-            if roll < ops.crossover:
-                pair = crossover(select(), select(), self.grammar, config, rng)
-                if pair is None:
-                    offspring = [replication(select())]
-                else:
-                    offspring = list(pair)
-            elif roll < ops.crossover + ops.subtree_mutation:
-                child = subtree_mutation(select(), self.grammar, config, rng)
-                offspring = [child if child is not None else replication(select())]
-            elif roll < ops.crossover + ops.subtree_mutation + ops.gaussian_mutation:
-                offspring = [
-                    gaussian_mutation(
-                        select(), self.knowledge, config, rng, sigma_scale
-                    )
-                ]
-            else:
-                offspring = [replication(select())]
-
-            for child in offspring:
+            for child in self._spawn_offspring(population, rng, sigma_scale):
                 if len(next_population) >= config.population_size:
                     break
                 if child.fitness is None:
                     evaluator.evaluate(child)
-                if self.use_local_search and config.local_search_steps > 0:
-                    child = hill_climb(
-                        child,
-                        self.grammar,
-                        config,
-                        evaluator.evaluate,
-                        rng,
-                        knowledge=self.knowledge,
-                        sigma_scale=sigma_scale,
-                    )
+                child = self._local_search(child, evaluator, rng, sigma_scale)
+                next_population.append(child)
+        return next_population
+
+    def _next_generation_batched(
+        self,
+        population: list[Individual],
+        evaluator: GMRFitnessEvaluator,
+        rng: random.Random,
+        sigma_scale: float,
+    ) -> list[Individual]:
+        """Batched offspring evaluation through the evaluation backend.
+
+        The whole offspring cohort is generated *unevaluated* first, then
+        evaluated in batches of ``config.eval_batch_size`` via the
+        backend, then local-searched.  With a process-pool backend the ES
+        ``best_prev_full`` marker synchronises once per batch rather than
+        once per individual, so results can differ slightly from the
+        serial path (see :mod:`repro.gp.parallel`); set
+        ``eval_batch_size=0`` to restore strictly serial semantics.
+        """
+        config = self.config
+        next_population: list[Individual] = elites(population, config.elite_size)
+        budget = config.population_size - len(next_population)
+        offspring: list[Individual] = []
+        while len(offspring) < budget:
+            for child in self._spawn_offspring(population, rng, sigma_scale):
+                if len(offspring) >= budget:
+                    break
+                offspring.append(child)
+
+        backend = self._ensure_backend()
+        batch_size = config.eval_batch_size
+        for start in range(0, len(offspring), batch_size):
+            batch = offspring[start : start + batch_size]
+            pending = [child for child in batch if child.fitness is None]
+            if pending:
+                backend.evaluate_batch(evaluator, pending)
+            for child in batch:
+                child = self._local_search(child, evaluator, rng, sigma_scale)
                 next_population.append(child)
         return next_population
 
@@ -242,5 +319,17 @@ def run_many(
     n_runs: int,
     base_seed: int = 0,
 ) -> list[RunResult]:
-    """Execute several independent runs with consecutive seeds."""
+    """Execute several independent runs with consecutive seeds.
+
+    When ``engine.config.n_workers > 1`` the runs are farmed to a process
+    pool via :func:`repro.gp.parallel.run_many_parallel`; per-run results
+    are identical to serial execution either way (each run owns its
+    evaluator, so seeds fully determine outcomes).
+    """
+    if engine.config.n_workers > 1 and n_runs > 1:
+        from repro.gp.parallel import run_many_parallel
+
+        return run_many_parallel(
+            engine, n_runs, base_seed, max_workers=engine.config.n_workers
+        )
     return [engine.run(seed=base_seed + index) for index in range(n_runs)]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.dynamics.integrate import SimulationDiverged
 from repro.dynamics.task import BAD_FITNESS, ModelingTask
@@ -84,6 +84,32 @@ class EvaluationStats:
             return 0.0
         return self.steps_evaluated / self.steps_possible
 
+    def merge(self, other: "EvaluationStats") -> "EvaluationStats":
+        """Counter-wise sum with ``other``.
+
+        Used by the parallel execution layer to fan per-worker statistics
+        back into one aggregate; wall times add up to total CPU seconds
+        spent evaluating, not elapsed wall-clock.
+        """
+        return EvaluationStats(
+            evaluations=self.evaluations + other.evaluations,
+            cache_hits=self.cache_hits + other.cache_hits,
+            short_circuits=self.short_circuits + other.short_circuits,
+            full_evaluations=self.full_evaluations + other.full_evaluations,
+            divergences=self.divergences + other.divergences,
+            steps_evaluated=self.steps_evaluated + other.steps_evaluated,
+            steps_possible=self.steps_possible + other.steps_possible,
+            wall_time=self.wall_time + other.wall_time,
+        )
+
+    @classmethod
+    def merge_all(cls, parts: "Iterable[EvaluationStats]") -> "EvaluationStats":
+        """Merge any number of per-worker statistics."""
+        total = cls()
+        for part in parts:
+            total = total.merge(part)
+        return total
+
 
 @dataclass
 class GMRFitnessEvaluator:
@@ -134,19 +160,35 @@ class GMRFitnessEvaluator:
         self.stats.wall_time += time.perf_counter() - started
         return fitness
 
+    def __getstate__(self) -> dict:
+        # Compiled step functions are exec-generated and unpicklable; the
+        # share table is rebuilt on demand in the receiving process.
+        state = dict(self.__dict__)
+        state["_compiled"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def _evaluate_inner(self, individual: Individual) -> tuple[float, bool]:
         config = self.config
         model, params = individual.phenotype(
             self.task.state_names, self.task.var_order
         )
         structure_key = model.structure_key()
+        total_cases = self.task.n_cases
 
         cache_key = None
         if config.use_tree_cache:
             cache_key = TreeCache.make_key(structure_key, params)
             cached = self._cache.get(cache_key)
             if cached is not None:
+                # A hit still counts its would-be fitness cases as possible
+                # (with zero evaluated), so ``step_fraction`` credits tree
+                # caching with the steps it saved and the invariant
+                # ``steps_evaluated <= steps_possible`` holds on every path.
                 self.stats.cache_hits += 1
+                self.stats.steps_possible += total_cases
                 return cached, True
 
         if config.use_compilation:
@@ -161,7 +203,6 @@ class GMRFitnessEvaluator:
             else:
                 self._compiled[share_key] = model.compiled()
 
-        total_cases = self.task.n_cases
         self.stats.steps_possible += total_cases
         threshold = config.es_threshold
 

@@ -1,0 +1,283 @@
+"""Process-pool execution for the GMR engine.
+
+Two independent levels of parallelism, matching the two cost axes of the
+reproduction:
+
+1. **Run-level** -- :func:`run_many_parallel` farms independent seeded
+   runs to worker processes.  Runs are embarrassingly parallel (the paper
+   executed 60 per method; related TAG-GP work likewise repeats
+   independent evolutionary runs), and because every run builds its own
+   :class:`~repro.gp.fitness.GMRFitnessEvaluator`, caches stay
+   process-local and the results are bit-identical to the serial
+   ``run_many`` path.
+2. **Evaluation-level** -- an :class:`EvaluationBackend` seam through
+   which :class:`~repro.gp.engine.GMREngine` evaluates batches of
+   offspring.  :class:`SerialBackend` preserves the strictly sequential
+   semantics; :class:`ProcessPoolBackend` spreads a batch over a worker
+   pool, synchronising the ES ``best_prev_full`` marker once per batch
+   (documented caveat: slightly lazier short-circuiting than the
+   per-individual serial path).
+
+Workers fail loudly: an exception inside a worker surfaces in the parent
+as :class:`ParallelRunError` naming the seed that failed, never as a
+hang.  Everything shipped across the process boundary is picklable --
+compiled step functions are dropped on pickling and rebuilt lazily on
+first use in the receiving process.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.gp.fitness import EvaluationStats, GMRFitnessEvaluator
+from repro.gp.individual import Individual
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.gp.engine import GMREngine, RunResult
+
+
+class ParallelRunError(RuntimeError):
+    """A worker process failed while executing a seeded run.
+
+    Attributes:
+        seed: The run seed whose worker raised.
+    """
+
+    def __init__(self, seed: int, cause: BaseException) -> None:
+        super().__init__(
+            f"parallel run with seed {seed} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.seed = seed
+
+
+def default_workers(n_tasks: int, requested: int | None = None) -> int:
+    """Resolve a worker count: the request, capped by tasks and CPUs.
+
+    The ``REPRO_MAX_WORKERS`` environment variable caps the result
+    unconditionally (CI runners set it to their vCPU count).
+    """
+    if requested is None:
+        requested = os.cpu_count() or 1
+    cap = os.environ.get("REPRO_MAX_WORKERS")
+    if cap:
+        try:
+            requested = min(requested, max(1, int(cap)))
+        except ValueError:
+            pass
+    return max(1, min(requested, n_tasks))
+
+
+def _run_one(engine: "GMREngine", seed: int) -> "RunResult":
+    """Worker entry point: one full evolutionary run.
+
+    ``engine.run`` builds a fresh evaluator, so caches and the ES
+    ``best_prev_full`` marker are private to this run -- which is exactly
+    what makes parallel results bit-identical to serial ones.
+    """
+    return engine.run(seed=seed)
+
+
+def run_many_parallel(
+    engine: "GMREngine",
+    n_runs: int,
+    base_seed: int = 0,
+    max_workers: int | None = None,
+) -> list["RunResult"]:
+    """Execute independent seeded runs across a process pool.
+
+    Equivalent to ``run_many(engine, n_runs, base_seed)`` -- same seeds,
+    same per-run ``best_fitness`` histories -- but wall-clock scales with
+    the number of workers.  Results are returned in seed order.
+
+    Args:
+        engine: The engine to run; must be picklable (it is, including
+            grammars and compiled models, which rebuild lazily).
+        n_runs: Number of independent runs (seeds ``base_seed + i``).
+        base_seed: First seed.
+        max_workers: Pool size; defaults to ``min(n_runs, cpu_count)``.
+            1 runs in-process (no pool) but keeps the same error
+            contract.
+
+    Raises:
+        ParallelRunError: A worker raised; the error names the seed.
+    """
+    if n_runs <= 0:
+        return []
+    seeds = [base_seed + index for index in range(n_runs)]
+    workers = default_workers(n_runs, max_workers)
+
+    if workers == 1:
+        results: list[RunResult] = []
+        for seed in seeds:
+            try:
+                results.append(_run_one(engine, seed))
+            except Exception as exc:
+                raise ParallelRunError(seed, exc) from exc
+        return results
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [(seed, pool.submit(_run_one, engine, seed)) for seed in seeds]
+        results = []
+        for seed, future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                raise ParallelRunError(seed, exc) from exc
+        return results
+
+
+def aggregate_stats(results: Sequence["RunResult"]) -> EvaluationStats:
+    """Merge the per-run evaluation statistics of several runs."""
+    return EvaluationStats.merge_all(result.stats for result in results)
+
+
+class EvaluationBackend(ABC):
+    """Strategy for evaluating a batch of unevaluated offspring.
+
+    The engine hands over individuals whose ``fitness`` is ``None``; the
+    backend must set ``fitness`` and ``fully_evaluated`` on each and keep
+    the evaluator's statistics and ``best_prev_full`` marker up to date.
+    """
+
+    @abstractmethod
+    def evaluate_batch(
+        self,
+        evaluator: GMRFitnessEvaluator,
+        individuals: Sequence[Individual],
+    ) -> None:
+        """Evaluate ``individuals`` in place."""
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for in-process backends)."""
+
+
+class SerialBackend(EvaluationBackend):
+    """In-process evaluation, identical to the engine's historical path:
+    ``best_prev_full`` tightens after every individual."""
+
+    def evaluate_batch(
+        self,
+        evaluator: GMRFitnessEvaluator,
+        individuals: Sequence[Individual],
+    ) -> None:
+        for individual in individuals:
+            evaluator.evaluate(individual)
+
+
+# Per-worker-process evaluator, created once by the pool initializer so
+# tree/compilation caches persist across batches within one worker.
+_WORKER_EVALUATOR: GMRFitnessEvaluator | None = None
+
+
+def _init_eval_worker(evaluator: GMRFitnessEvaluator) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _evaluate_chunk(
+    individuals: list[Individual],
+    best_prev_full: float,
+) -> tuple[list[tuple[float, bool]], EvaluationStats, float]:
+    """Worker entry point: evaluate one chunk of a batch.
+
+    Returns per-individual ``(fitness, fully_evaluated)`` pairs, the
+    statistics delta for this chunk, and the worker's updated
+    ``best_prev_full`` (for the parent's per-batch fan-in).
+    """
+    evaluator = _WORKER_EVALUATOR
+    assert evaluator is not None, "pool initializer did not run"
+    evaluator.best_prev_full = best_prev_full
+    evaluator.stats = EvaluationStats()
+    outcomes = []
+    for individual in individuals:
+        evaluator.evaluate(individual)
+        outcomes.append((individual.fitness, individual.fully_evaluated))
+    return outcomes, evaluator.stats, evaluator.best_prev_full
+
+
+@dataclass
+class ProcessPoolBackend(EvaluationBackend):
+    """Evaluate offspring batches across a pool of worker processes.
+
+    Each worker owns a process-local evaluator (tree cache, compiled-
+    function table) that persists across batches.  The ES marker
+    ``best_prev_full`` is broadcast at the start of each batch and the
+    minimum over workers is folded back afterwards -- per-*batch*
+    synchronisation, slightly lazier than the serial per-individual
+    tightening, which is why batched evaluation is opt-in
+    (``GMRConfig.eval_batch_size``) and switchable back to
+    :class:`SerialBackend` semantics at any time.
+
+    The backend itself stays picklable: the live pool is dropped on
+    pickling and lazily rebuilt.
+    """
+
+    max_workers: int = 2
+
+    def __post_init__(self) -> None:
+        self._pool: ProcessPoolExecutor | None = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    @property
+    def effective_workers(self) -> int:
+        """Pool size after the ``REPRO_MAX_WORKERS`` cap."""
+        return default_workers(self.max_workers, self.max_workers)
+
+    def _ensure_pool(self, evaluator: GMRFitnessEvaluator) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # The evaluator pickles without its compiled-function table;
+            # each worker re-derives caches privately from task + config.
+            seed_evaluator = GMRFitnessEvaluator(
+                task=evaluator.task, config=evaluator.config
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.effective_workers,
+                initializer=_init_eval_worker,
+                initargs=(seed_evaluator,),
+            )
+        return self._pool
+
+    def evaluate_batch(
+        self,
+        evaluator: GMRFitnessEvaluator,
+        individuals: Sequence[Individual],
+    ) -> None:
+        pending = list(individuals)
+        if not pending:
+            return
+        pool = self._ensure_pool(evaluator)
+        chunk_size = -(-len(pending) // self.effective_workers)  # ceil division
+        chunks = [
+            pending[start : start + chunk_size]
+            for start in range(0, len(pending), chunk_size)
+        ]
+        futures = [
+            pool.submit(_evaluate_chunk, chunk, evaluator.best_prev_full)
+            for chunk in chunks
+        ]
+        best = evaluator.best_prev_full
+        for chunk, future in zip(chunks, futures):
+            outcomes, stats_delta, worker_best = future.result()
+            for individual, (fitness, fully) in zip(chunk, outcomes):
+                individual.fitness = fitness
+                individual.fully_evaluated = fully
+            evaluator.stats = evaluator.stats.merge(stats_delta)
+            best = min(best, worker_best)
+        evaluator.best_prev_full = best
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None

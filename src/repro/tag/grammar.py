@@ -26,6 +26,41 @@ class GrammarError(ValueError):
     """Raised for ill-formed grammars."""
 
 
+@dataclass(frozen=True)
+class RandomValueLexemeFactory:
+    """Factory for the paper's ``R`` lexemes (Table II).
+
+    ``R`` is initialised uniformly in ``[init_low, init_high]`` (the paper
+    initialises in [0, 1]) and subsequently tuned by Gaussian mutation
+    within ``[minimum, maximum]``.  The wide default mutation range lets
+    revised constants drift to the magnitudes seen in the paper's
+    discovered models (e.g. eq. (7)'s 253.4).
+
+    A dataclass rather than a closure so that grammars -- and therefore
+    engines -- are picklable and can be shipped to worker processes by
+    :mod:`repro.gp.parallel`.
+    """
+
+    mean: float = 0.5
+    minimum: float = -1000.0
+    maximum: float = 1000.0
+    init_low: float = 0.0
+    init_high: float = 1.0
+    sigma_hint: float | None = None
+    symbol: Symbol = VALUE
+
+    def __call__(self, rng: random.Random) -> Lexeme:
+        value = rng.uniform(self.init_low, self.init_high)
+        rconst = RConst(
+            value,
+            mean=self.mean,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            sigma_hint=self.sigma_hint,
+        )
+        return Lexeme(self.symbol, payload=("rconst", rconst))
+
+
 def random_value_lexeme_factory(
     mean: float = 0.5,
     minimum: float = -1000.0,
@@ -35,27 +70,16 @@ def random_value_lexeme_factory(
     sigma_hint: float | None = None,
     symbol: Symbol = VALUE,
 ) -> LexemeFactory:
-    """Factory for the paper's ``R`` lexemes (Table II).
-
-    ``R`` is initialised uniformly in ``[init_low, init_high]`` (the paper
-    initialises in [0, 1]) and subsequently tuned by Gaussian mutation
-    within ``[minimum, maximum]``.  The wide default mutation range lets
-    revised constants drift to the magnitudes seen in the paper's
-    discovered models (e.g. eq. (7)'s 253.4).
-    """
-
-    def factory(rng: random.Random) -> Lexeme:
-        value = rng.uniform(init_low, init_high)
-        rconst = RConst(
-            value,
-            mean=mean,
-            minimum=minimum,
-            maximum=maximum,
-            sigma_hint=sigma_hint,
-        )
-        return Lexeme(symbol, payload=("rconst", rconst))
-
-    return factory
+    """Build a :class:`RandomValueLexemeFactory` (kept as the public API)."""
+    return RandomValueLexemeFactory(
+        mean=mean,
+        minimum=minimum,
+        maximum=maximum,
+        init_low=init_low,
+        init_high=init_high,
+        sigma_hint=sigma_hint,
+        symbol=symbol,
+    )
 
 
 @dataclass

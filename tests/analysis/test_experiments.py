@@ -78,6 +78,7 @@ class TestRegistry:
             "fig9",
             "fig10",
             "fig11",
+            "scaling",
             "case-study",
         }
 

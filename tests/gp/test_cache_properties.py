@@ -1,0 +1,175 @@
+"""Property-based tests for the fitness tree cache.
+
+Invariants (run through ``hypothesis`` when available, with seeded
+random loops as the fallback so the properties are always exercised):
+
+* the cache never holds more than ``max_entries`` entries, and the
+  eviction counter accounts exactly for the overflow;
+* ``make_key`` is stable under float noise far below the
+  ``PARAM_KEY_DIGITS`` rounding precision, and distinguishes parameter
+  changes above it;
+* hit + miss counters always sum to the number of lookups.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.gp.cache import PARAM_KEY_DIGITS, CacheStats, TreeCache
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the container ships hypothesis
+    HAVE_HYPOTHESIS = False
+
+#: Relative noise two orders of magnitude below the key precision.
+SMALL_NOISE = 10.0 ** -(PARAM_KEY_DIGITS + 2)
+
+
+def on_key_grid(value: float, digits: int = 10) -> float:
+    """Snap a float to a coarse significant-digit grid.
+
+    Grid values sit squarely inside a ``PARAM_KEY_DIGITS`` rounding cell
+    (nearest rounding boundary is ~5e-12 relative away, noise is 1e-14),
+    so the stability property is exact rather than probabilistic.
+    """
+    return float(format(value, f".{digits}g"))
+
+
+def check_bounded_eviction(keys: list[int], max_entries: int) -> None:
+    # Model-based: a shadow FIFO dict predicts size, eviction count, and
+    # surviving contents; the cache must never exceed max_entries.
+    cache = TreeCache(max_entries=max_entries)
+    shadow: dict = {}
+    expected_evictions = 0
+    for index, raw in enumerate(keys):
+        key = TreeCache.make_key(f"s{raw}", (float(raw),))
+        if key in shadow:
+            shadow[key] = float(index)
+        else:
+            if len(shadow) >= max_entries:
+                oldest = next(iter(shadow))
+                del shadow[oldest]
+                expected_evictions += 1
+            shadow[key] = float(index)
+        cache.put(key, float(index))
+        assert len(cache) <= max_entries
+    assert cache.stats.evictions == expected_evictions
+    assert len(cache) == len(shadow)
+    for key, value in shadow.items():
+        assert cache.get(key) == value
+
+
+def check_key_stability(structure: str, values: list[float]) -> None:
+    grid = [on_key_grid(value) for value in values]
+    base = TreeCache.make_key(structure, grid)
+    for sign in (1.0, -1.0):
+        noisy = [value * (1.0 + sign * SMALL_NOISE) for value in grid]
+        assert TreeCache.make_key(structure, noisy) == base
+    # Changes above the key precision must produce a different key.
+    if grid and grid[0] != 0.0:
+        bumped = [grid[0] * (1.0 + 1e-6), *grid[1:]]
+        assert TreeCache.make_key(structure, bumped) != base
+    # The structure is part of the key.
+    assert TreeCache.make_key(structure + "'", grid) != base
+
+
+def check_counter_sum(operations: list[tuple[bool, int]]) -> None:
+    cache = TreeCache(max_entries=16)
+    lookups = 0
+    for is_get, raw in operations:
+        key = TreeCache.make_key("s", (float(raw),))
+        if is_get:
+            cache.get(key)
+            lookups += 1
+        else:
+            cache.put(key, float(raw))
+    assert cache.stats.lookups == lookups
+    assert cache.stats.hits + cache.stats.misses == lookups
+    assert 0 <= cache.stats.hits <= lookups
+    assert cache.stats.hit_rate <= 1.0
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=30), max_size=60),
+        max_entries=st.integers(min_value=1, max_value=8),
+    )
+    def test_eviction_is_bounded(keys, max_entries):
+        check_bounded_eviction(keys, max_entries)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        structure=st.text(
+            alphabet="BVx+*/-", min_size=1, max_size=12
+        ),
+        values=st.lists(
+            st.floats(
+                min_value=1e-6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ).map(lambda v: v - 5e5),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_key_stable_under_small_noise(structure, values):
+        check_key_stability(structure, values)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=20)),
+            max_size=80,
+        )
+    )
+    def test_counters_sum_to_lookups(operations):
+        check_counter_sum(operations)
+
+
+class TestSeededFallback:
+    """Seeded random loops covering the same properties (always run)."""
+
+    def test_eviction_is_bounded(self):
+        for seed in range(50):
+            rng = random.Random(seed)
+            keys = [rng.randrange(30) for __ in range(rng.randrange(60))]
+            check_bounded_eviction(keys, rng.randrange(1, 9))
+
+    def test_key_stable_under_small_noise(self):
+        for seed in range(50):
+            rng = random.Random(seed)
+            values = [
+                rng.uniform(-1e6, 1e6) or 1.0
+                for __ in range(rng.randrange(1, 7))
+            ]
+            check_key_stability(f"s{seed}", values)
+
+    def test_counters_sum_to_lookups(self):
+        for seed in range(50):
+            rng = random.Random(seed)
+            operations = [
+                (rng.random() < 0.5, rng.randrange(20))
+                for __ in range(rng.randrange(80))
+            ]
+            check_counter_sum(operations)
+
+
+class TestCacheStatsUnits:
+    def test_hit_rate_empty(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_update_of_existing_key_does_not_evict(self):
+        cache = TreeCache(max_entries=2)
+        key = TreeCache.make_key("s", (1.0,))
+        cache.put(key, 1.0)
+        cache.put(key, 2.0)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 0
+        assert cache.get(key) == 2.0

@@ -5,6 +5,7 @@ import random
 
 import pytest
 
+from repro.dynamics.integrate import SimulationDiverged
 from repro.dynamics.task import BAD_FITNESS
 from repro.gp.config import GMRConfig
 from repro.gp.fitness import (
@@ -13,6 +14,18 @@ from repro.gp.fitness import (
     pessimistic_extrapolation,
 )
 from repro.gp.init import random_individual
+
+
+def diverging_task(toy_task):
+    """A copy of the toy task whose error stream diverges immediately."""
+    task = toy_task.slice(0, toy_task.n_cases)
+
+    def explode(*args, **kwargs):
+        raise SimulationDiverged("diverged on the first fitness case")
+        yield  # pragma: no cover - marks this function as a generator
+
+    task.error_stream = explode
+    return task
 
 
 def make_evaluator(toy_task, **overrides) -> GMRFitnessEvaluator:
@@ -128,6 +141,113 @@ class TestTreeCache:
         assert evaluator.stats.evaluations == 0
         assert math.isinf(evaluator.best_prev_full)
         assert len(evaluator.cache) == 0
+
+
+class TestShortCircuitEdgeCases:
+    def test_none_threshold_never_short_circuits_even_when_hopeless(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        # Even with a tight best_prev_full already established, a None
+        # threshold must evaluate every fitness case of every individual.
+        evaluator = make_evaluator(toy_task, es_threshold=None)
+        evaluator.best_prev_full = 1e-12  # nothing can beat this
+        for s in range(6):
+            individual = make_individual(toy_grammar, toy_knowledge, s)
+            evaluator.evaluate(individual)
+            assert individual.fully_evaluated
+        assert evaluator.stats.short_circuits == 0
+
+    def test_divergence_on_first_case_records_steps(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        task = diverging_task(toy_task)
+        evaluator = GMRFitnessEvaluator(
+            task=task, config=GMRConfig(population_size=4, max_generations=1)
+        )
+        individual = make_individual(toy_grammar, toy_knowledge)
+        fitness = evaluator.evaluate(individual)
+        assert fitness == BAD_FITNESS
+        assert individual.fully_evaluated
+        assert evaluator.stats.divergences == 1
+        assert evaluator.stats.steps_evaluated == 0
+        assert evaluator.stats.steps_possible == task.n_cases
+        assert evaluator.stats.steps_evaluated <= evaluator.stats.steps_possible
+
+    def test_divergence_never_lowers_best_prev_full(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        task = diverging_task(toy_task)
+        evaluator = GMRFitnessEvaluator(
+            task=task, config=GMRConfig(population_size=4, max_generations=1)
+        )
+        evaluator.evaluate(make_individual(toy_grammar, toy_knowledge))
+        assert math.isinf(evaluator.best_prev_full)
+
+    def test_best_prev_full_only_lowered_by_full_evaluations(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        evaluator = make_evaluator(toy_task, es_threshold=1.0)
+        for s in range(10):
+            individual = make_individual(toy_grammar, toy_knowledge, s)
+            marker_before = evaluator.best_prev_full
+            fitness = evaluator.evaluate(individual)
+            if individual.fully_evaluated and fitness < marker_before:
+                assert evaluator.best_prev_full == fitness
+            else:
+                # Short-circuited estimates leave the marker untouched.
+                assert evaluator.best_prev_full == marker_before
+        assert evaluator.stats.short_circuits > 0  # the case was exercised
+
+
+class TestStatsInvariant:
+    def test_cache_hit_counts_possible_steps(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        evaluator = make_evaluator(toy_task, es_threshold=None)
+        individual = make_individual(toy_grammar, toy_knowledge)
+        evaluator.evaluate(individual)
+        possible_before = evaluator.stats.steps_possible
+        evaluated_before = evaluator.stats.steps_evaluated
+        evaluator.evaluate(individual.copy())  # cache hit
+        assert evaluator.stats.cache_hits == 1
+        # The hit accounts its skipped fitness cases as possible-but-not-
+        # evaluated, so step_fraction credits tree caching with the savings.
+        assert (
+            evaluator.stats.steps_possible
+            == possible_before + toy_task.n_cases
+        )
+        assert evaluator.stats.steps_evaluated == evaluated_before
+        assert evaluator.stats.step_fraction < 1.0
+
+    def test_invariant_holds_on_every_path(
+        self, toy_task, toy_grammar, toy_knowledge
+    ):
+        # Mixed workload: full evaluations, short circuits, cache hits,
+        # and divergences -- the invariant must survive all of them.
+        evaluator = make_evaluator(toy_task, es_threshold=1.0)
+        individuals = [
+            make_individual(toy_grammar, toy_knowledge, s) for s in range(8)
+        ]
+        for individual in individuals:
+            evaluator.evaluate(individual)
+            assert (
+                evaluator.stats.steps_evaluated
+                <= evaluator.stats.steps_possible
+            )
+        for individual in individuals:  # replays: cache hits + re-runs
+            evaluator.evaluate(individual.copy())
+            assert (
+                evaluator.stats.steps_evaluated
+                <= evaluator.stats.steps_possible
+            )
+        diverging = GMRFitnessEvaluator(
+            task=diverging_task(toy_task),
+            config=GMRConfig(population_size=4, max_generations=1),
+        )
+        diverging.evaluate(make_individual(toy_grammar, toy_knowledge))
+        merged = evaluator.stats.merge(diverging.stats)
+        assert merged.steps_evaluated <= merged.steps_possible
+        assert evaluator.stats.cache_hits > 0  # the hit path was exercised
 
 
 class TestExtrapolation:
