@@ -9,7 +9,7 @@ and score one state's trajectory against observations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class ModelingTask:
         model: ProcessModel,
         params: Sequence[float],
         use_compiled: bool = True,
-    ):
+    ) -> Iterator[float]:
         """Per-step squared-error stream (for short-circuited evaluation)."""
         return observation_error_stream(
             model,

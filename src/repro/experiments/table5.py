@@ -34,7 +34,8 @@ from repro.baselines import (
 )
 from repro.experiments.scale import Scale, get_scale
 from repro.experiments.tables import render_table
-from repro.gp import GMRConfig, GMREngine, run_many
+from repro.baselines.gggp import GGGPIndividual
+from repro.gp import GMRConfig, GMREngine, Individual, run_many
 from repro.river import (
     CONSTANT_PRIORS,
     load_dataset,
@@ -103,7 +104,9 @@ def _gp_config(scale: Scale, population_multiplier: float = 1.0) -> GMRConfig:
     )
 
 
-def run_gmr(dataset, scale: Scale, base_seed: int = 0):
+def run_gmr(
+    dataset, scale: Scale, base_seed: int = 0
+) -> tuple[MethodResult | None, Individual | None]:
     """GMR over ``scale.n_runs`` runs; returns (result_row, best individual)."""
     train = dataset.river_task("train")
     test = dataset.river_task("test")
@@ -130,7 +133,9 @@ def run_gmr(dataset, scale: Scale, base_seed: int = 0):
     return best_row, best_individual
 
 
-def run_gggp(dataset, scale: Scale, base_seed: int = 0):
+def run_gggp(
+    dataset, scale: Scale, base_seed: int = 0
+) -> tuple[MethodResult | None, GGGPIndividual | None]:
     """GGGP at evaluation parity with GMR (larger population, no local
     search), best of ``scale.n_runs`` runs by test RMSE."""
     train = dataset.river_task("train")

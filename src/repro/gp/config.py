@@ -78,6 +78,16 @@ class GMRConfig:
             (:mod:`repro.gp.parallel`).  1 keeps everything in-process;
             ``run_many`` farms independent runs out when > 1, and the
             process-pool evaluation backend sizes its pool from it.
+        strict_validate: Run the :mod:`repro.lint` static verification
+            pass inside the engine: the grammar and knowledge bundle are
+            linted once at the start of a run, and every seed individual
+            and offspring derivation is linted before evaluation.  Any
+            error-severity finding raises a single aggregated
+            :class:`repro.lint.LintError` instead of crashing deep inside
+            ``derive``/``compile`` (or, worse, inside N pool workers at
+            once).  Off by default: the operators only produce valid
+            derivations, so this guards against hand-built or
+            deserialised artifacts at a small per-offspring cost.
         eval_batch_size: When > 0, ``GMREngine`` generates offspring in
             unevaluated batches of this size and evaluates each batch
             through its evaluation backend before local search.  Batched
@@ -105,6 +115,7 @@ class GMRConfig:
     crossover_retries: int = 10
     n_workers: int = 1
     eval_batch_size: int = 0
+    strict_validate: bool = False
 
     def __post_init__(self) -> None:
         if self.population_size < 1:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.dynamics.task import ModelingTask
@@ -122,9 +122,14 @@ class GMREngine:
             evaluator = self.make_evaluator()
         started = time.perf_counter()
 
+        if config.strict_validate:
+            self._lint_artifacts()
+
         population = initial_population(
             self.grammar, self.knowledge, config, rng
         )
+        if config.strict_validate:
+            self._lint_offspring(population, "initial population")
         for individual in population:
             evaluator.evaluate(individual)
 
@@ -154,6 +159,40 @@ class GMREngine:
             seed=seed,
             elapsed=elapsed,
         )
+
+    def _lint_artifacts(self) -> None:
+        """Strict mode: lint the grammar and knowledge bundle up front."""
+        from repro.lint import lint_knowledge
+
+        lint_knowledge(self.knowledge, self.grammar).raise_if_errors(
+            "strict_validate: grammar/knowledge failed the lint pass"
+        )
+
+    def _lint_offspring(
+        self, individuals: list[Individual], context: str
+    ) -> None:
+        """Strict mode: lint derivations before they reach evaluation.
+
+        All findings across the cohort are aggregated into one
+        :class:`repro.lint.LintError` so a malformed batch fails once,
+        with every offending individual named, instead of N times.
+        """
+        from repro.lint import LintReport, lint_derivation
+
+        report = LintReport()
+        for index, individual in enumerate(individuals):
+            found = lint_derivation(individual.derivation, self.grammar)
+            for diagnostic in found:
+                location = replace(
+                    diagnostic.location,
+                    detail=(
+                        f"individual {index}"
+                        if not diagnostic.location.detail
+                        else f"individual {index}; {diagnostic.location.detail}"
+                    ),
+                )
+                report.add(replace(diagnostic, location=location))
+        report.raise_if_errors(f"strict_validate: {context}")
 
     def _spawn_offspring(
         self,
@@ -232,6 +271,8 @@ class GMREngine:
             for child in self._spawn_offspring(population, rng, sigma_scale):
                 if len(next_population) >= config.population_size:
                     break
+                if config.strict_validate:
+                    self._lint_offspring([child], "offspring")
                 if child.fitness is None:
                     evaluator.evaluate(child)
                 child = self._local_search(child, evaluator, rng, sigma_scale)
@@ -265,6 +306,8 @@ class GMREngine:
                     break
                 offspring.append(child)
 
+        if config.strict_validate:
+            self._lint_offspring(offspring, "offspring cohort")
         backend = self._ensure_backend()
         batch_size = config.eval_batch_size
         for start in range(0, len(offspring), batch_size):

@@ -27,9 +27,16 @@ from dataclasses import dataclass, field
 from repro.expr.ast import Expr, ext_points, free_params
 from repro.tag.derive import lift_model, op_leaf
 from repro.tag.grammar import TagGrammar, random_value_lexeme_factory
-from repro.tag.symbols import MODEL, VALUE, connector_symbol, extender_symbol
+from repro.tag.symbols import (
+    MODEL,
+    VALUE,
+    Symbol,
+    connector_symbol,
+    extender_symbol,
+    nonterminal,
+    terminal,
+)
 from repro.tag.trees import AlphaTree, BetaTree, TreeNode
-from repro.tag.symbols import terminal
 
 #: Binary operators usable in revisions.
 BINARY_REVISION_OPS = ("+", "-", "*", "/")
@@ -171,10 +178,8 @@ def _variable_leaf(name: str) -> TreeNode:
     return TreeNode(terminal(f"var:{name}"), payload=("var", name))
 
 
-def center_symbol(variable: str):
+def center_symbol(variable: str) -> Symbol:
     """Substitution-slot symbol for a variable's anomaly centre."""
-    from repro.tag.symbols import nonterminal
-
     return nonterminal(f"Ctr_{variable}")
 
 

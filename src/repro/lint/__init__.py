@@ -1,0 +1,60 @@
+"""``repro.lint`` -- static verification of GMR artifacts.
+
+A diagnostics framework plus four analysis passes that validate, *before*
+anything is evaluated or shipped to worker pools, the structural
+invariants GMR's correctness rests on:
+
+* **grammar** (``G0xx``): beta-tree foot/root agreement, lexeme-factory
+  coverage, reachability of elementary trees, extension points with no
+  registered revision, name collisions;
+* **derivation** (``D0xx``): adjunction addresses that exist, connector vs
+  extender kind compatibility, lexeme/slot agreement, stray lexemes;
+* **expression** (``E0xx``): undefined states/drivers/parameters,
+  parameters with no priors, provably-zero divisors, dead subexpressions;
+* **system** (``S0xx``): unknown states, unused parameters/drivers,
+  unbound names, mixing-schedule mass balance.
+
+Entry points: the ``lint_*`` runners below, the ``python -m repro.lint``
+CLI, and the engine hook ``GMRConfig(strict_validate=True)``.  Suppress
+rules by passing ``ignore={"G006", ...}`` (or ``--ignore`` on the CLI).
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Location,
+    Severity,
+)
+from repro.lint.registry import Rule, all_rules, diag, get, register
+from repro.lint.runner import (
+    knowledge_variables,
+    lint_derivation,
+    lint_equations,
+    lint_expression,
+    lint_grammar,
+    lint_individual,
+    lint_knowledge,
+    lint_system,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "Location",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "diag",
+    "get",
+    "knowledge_variables",
+    "lint_derivation",
+    "lint_equations",
+    "lint_expression",
+    "lint_grammar",
+    "lint_individual",
+    "lint_knowledge",
+    "lint_system",
+    "register",
+]

@@ -1,0 +1,162 @@
+"""Command-line interface for the static verification pass.
+
+Usage::
+
+    python -m repro.lint                    # lint the shipped river bundle
+    python -m repro.lint --pickle best.pkl  # lint a pickled Individual or
+                                            # DerivationTree against it
+    python -m repro.lint --json             # machine-readable findings
+    python -m repro.lint --ignore G006,S003 # suppress rules
+    python -m repro.lint --list-rules       # rule ids + severities
+    python -m repro.lint --self-check       # audit rules/fixtures + bundle
+
+Exit status: 0 when no errors (add ``--warnings-as-errors`` to fail on
+warnings too), 1 when findings fail the check, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+
+from repro.lint.diagnostics import LintReport, Location
+from repro.lint.registry import all_rules, diag
+from repro.lint.runner import (
+    lint_derivation,
+    lint_individual,
+    lint_knowledge,
+    lint_system,
+)
+
+
+def _river_report() -> LintReport:
+    """Lint the shipped river grammar, knowledge bundle and manual model."""
+    from repro.gp.knowledge import build_grammar
+    from repro.river.biology import manual_model
+    from repro.river.grammar_def import river_knowledge
+    from repro.tag.derivation import DerivationNode, DerivationTree
+
+    knowledge = river_knowledge()
+    grammar = build_grammar(knowledge)
+    report = lint_knowledge(knowledge, grammar)
+    report.extend(lint_system(manual_model()))
+    seed = DerivationTree(DerivationNode(tree=grammar.alphas["seed"]))
+    report.extend(lint_derivation(seed, grammar))
+    return report
+
+
+def _pickle_report(path: str) -> LintReport:
+    """Lint a pickled Individual or DerivationTree against the river
+    grammar and knowledge."""
+    from repro.gp.knowledge import build_grammar
+    from repro.river.grammar_def import river_knowledge
+
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    knowledge = river_knowledge()
+    grammar = build_grammar(knowledge)
+    if hasattr(payload, "derivation"):  # an Individual
+        return lint_individual(payload, knowledge, grammar)
+    if hasattr(payload, "root"):  # a bare DerivationTree
+        return lint_derivation(payload, grammar)
+    report = LintReport()
+    report.add(
+        diag(
+            "D003",
+            f"pickled object of type {type(payload).__name__} is neither "
+            "an Individual nor a DerivationTree",
+            Location(obj=path),
+        )
+    )
+    return report
+
+
+def _self_check() -> int:
+    """Audit the rule registry against the seeded-violation fixtures and
+    check the shipped river bundle lints clean."""
+    from repro.lint.fixtures import audit_fixtures
+
+    problems = audit_fixtures()
+    for problem in problems:
+        print(f"self-check: {problem}", file=sys.stderr)
+    river = _river_report()
+    if not river.ok(warnings_as_errors=True):
+        problems.append("shipped river bundle does not lint clean")
+        print(river.render_text(), file=sys.stderr)
+    n_rules = len(all_rules())
+    if problems:
+        print(f"self-check FAILED ({len(problems)} problem(s))")
+        return 1
+    print(
+        f"self-check ok: {n_rules} rules, every rule fires exactly once "
+        "on its fixture, shipped river bundle lints clean"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Statically verify grammars, derivations, expressions "
+        "and dynamical systems.",
+    )
+    parser.add_argument(
+        "--pickle",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="lint a pickled Individual/DerivationTree (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids to suppress (repeatable)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    parser.add_argument(
+        "--warnings-as-errors",
+        action="store_true",
+        help="non-zero exit on warnings too",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="audit the rule registry/fixtures and the shipped bundle",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {str(rule.severity):<7}  {rule.summary}")
+        return 0
+    if args.self_check:
+        return _self_check()
+
+    ignore = {
+        rule_id
+        for chunk in args.ignore
+        for rule_id in chunk.split(",")
+        if rule_id
+    }
+    report = _river_report()
+    for path in args.pickle:
+        report.extend(_pickle_report(path))
+    report = report.filtered(ignore)
+
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok(args.warnings_as_errors) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""Derivation lint: structural validity of a derivation tree.
+
+Checks that a derivation tree actually encodes a buildable derived tree:
+every adjunction address exists in the host elementary tree and is an
+unmarked non-terminal of the matching kind (connector vs extender symbols
+can never cross because they are distinct non-terminals), every
+substitution slot carries a lexeme of the slot's symbol, and no stray
+lexemes sit at non-slot addresses (``derive`` would silently drop them).
+
+The grammar-free subset of these checks backs
+:meth:`repro.tag.derivation.DerivationTree.validate`, which
+:func:`repro.tag.derive.derive` now runs on every derivation before
+building the derived tree; the grammar-aware checks additionally pin the
+root alpha and every beta to the grammar's registered trees.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lint.diagnostics import Diagnostic, Location
+from repro.lint.registry import diag, register
+from repro.tag.trees import AlphaTree, BetaTree, TreeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tag.derivation import DerivationNode, DerivationTree
+    from repro.tag.grammar import TagGrammar
+
+register("D001", "derivation root alpha-tree is not in the grammar")
+register("D002", "derivation root is not rooted at the start symbol")
+register("D003", "non-root derivation node is not labelled by a beta-tree")
+register("D004", "adjunction address does not exist in the host tree")
+register("D005", "adjunction site symbol incompatible with the beta root")
+register("D006", "adjunction at a foot or substitution-marked node")
+register("D007", "substitution slot has no lexeme")
+register("D008", "lexeme symbol does not match its substitution slot")
+register("D009", "stray lexeme at an address that is not a substitution slot")
+register("D010", "derivation uses a beta-tree the grammar does not define")
+
+
+def _node_location(
+    node: "DerivationNode", address=None, detail: str = ""
+) -> Location:
+    kind = "beta" if isinstance(node.tree, BetaTree) else "alpha"
+    return Location(
+        obj=f"{kind} {node.tree.name!r}", address=address, detail=detail
+    )
+
+
+def check_derivation(
+    derivation: "DerivationTree", grammar: "TagGrammar | None" = None
+) -> list[Diagnostic]:
+    """Run the derivation pass; returns all findings.
+
+    Without ``grammar`` only grammar-free invariants are checked (this is
+    the cheap hot-path subset); with it, tree membership and the start
+    symbol are verified too.
+    """
+    findings: list[Diagnostic] = []
+    root = derivation.root
+
+    if grammar is not None:
+        if root.tree.name not in grammar.alphas:
+            findings.append(
+                diag(
+                    "D001",
+                    f"root alpha {root.tree.name!r} is not an initial tree "
+                    "of the grammar",
+                    _node_location(root),
+                )
+            )
+        if root.tree.root.symbol != grammar.start:
+            findings.append(
+                diag(
+                    "D002",
+                    f"root alpha is rooted at {root.tree.root.symbol}, "
+                    f"not the start symbol {grammar.start}",
+                    _node_location(root),
+                )
+            )
+
+    for parent, address, node in derivation.walk_with_parents():
+        if parent is not None:
+            if not isinstance(node.tree, BetaTree):
+                findings.append(
+                    diag(
+                        "D003",
+                        f"adjoined node is labelled by "
+                        f"{type(node.tree).__name__} {node.tree.name!r}, "
+                        "not a beta-tree",
+                        _node_location(parent, address),
+                    )
+                )
+                continue
+            if grammar is not None and node.tree.name not in grammar.betas:
+                findings.append(
+                    diag(
+                        "D010",
+                        f"beta {node.tree.name!r} is not an auxiliary tree "
+                        "of the grammar",
+                        _node_location(parent, address),
+                    )
+                )
+            try:
+                site = parent.tree.node_at(address)
+            except TreeError:
+                findings.append(
+                    diag(
+                        "D004",
+                        f"beta {node.tree.name!r} adjoined at address "
+                        f"{address}, which does not exist in the host tree "
+                        "(derive would silently drop it)",
+                        _node_location(parent, address),
+                    )
+                )
+                continue
+            if site.symbol != node.tree.root.symbol:
+                findings.append(
+                    diag(
+                        "D005",
+                        f"beta {node.tree.name!r} (root "
+                        f"{node.tree.root.symbol}) adjoined at a site "
+                        f"labelled {site.symbol}",
+                        _node_location(parent, address),
+                    )
+                )
+            elif site.is_foot or site.is_subst:
+                marker = "foot" if site.is_foot else "substitution"
+                findings.append(
+                    diag(
+                        "D006",
+                        f"beta {node.tree.name!r} adjoined at a "
+                        f"{marker}-marked node",
+                        _node_location(parent, address),
+                    )
+                )
+
+        slots = set(node.tree.substitution_addresses())
+        for slot in sorted(slots):
+            lexeme = node.lexemes.get(slot)
+            if lexeme is None:
+                findings.append(
+                    diag(
+                        "D007",
+                        f"substitution slot "
+                        f"{node.tree.node_at(slot).symbol} is unfilled",
+                        _node_location(node, slot),
+                    )
+                )
+            elif lexeme.symbol != node.tree.node_at(slot).symbol:
+                findings.append(
+                    diag(
+                        "D008",
+                        f"lexeme labelled {lexeme.symbol} fills a slot "
+                        f"labelled {node.tree.node_at(slot).symbol}",
+                        _node_location(node, slot),
+                    )
+                )
+        for extra in sorted(set(node.lexemes) - slots):
+            findings.append(
+                diag(
+                    "D009",
+                    f"lexeme at {extra} does not correspond to a "
+                    "substitution slot (derive would silently drop it)",
+                    _node_location(node, extra),
+                )
+            )
+
+    if grammar is None and not isinstance(root.tree, AlphaTree):
+        # DerivationTree's constructor enforces this, but hand-built or
+        # unpickled objects may bypass it.
+        findings.append(
+            diag(
+                "D003",
+                "derivation root must be labelled by an alpha-tree",
+                _node_location(root),
+            )
+        )
+    return findings

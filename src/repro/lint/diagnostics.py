@@ -1,0 +1,199 @@
+"""Diagnostics primitives for the static verification pass.
+
+A :class:`Diagnostic` is one finding of a lint rule: a rule id, a
+severity, a human-readable message, and a :class:`Location` that names the
+object the finding is about (a tree, an equation, a station, ...) plus --
+when the finding is inside an elementary or derivation tree -- the Gorn
+address of the offending node.
+
+Diagnostics are aggregated into a :class:`LintReport`, which knows how to
+filter suppressed rules, render itself as text or JSON, and decide whether
+the linted artifact is acceptable.  :class:`LintError` wraps a report into
+an exception so that callers (the engine's ``strict_validate`` hook, the
+CLI) can raise a *single* aggregated failure instead of crashing deep
+inside ``derive``/``compile``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make the artifact unusable (evaluation would crash
+    or silently misbehave); ``WARNING`` findings are suspicious but legal;
+    ``INFO`` findings are observations (e.g. a canonical driver column the
+    model happens not to read).
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding lives.
+
+    Attributes:
+        obj: Name of the containing object, e.g. ``"beta 'conn:Ext1:+:R'"``,
+            ``"equation 'BPhy'"`` or ``"grammar"``.
+        address: Gorn address of the offending node inside ``obj``, when
+            the finding points at a tree node.
+        detail: Free-form extra context (a derivation path, a day index).
+    """
+
+    obj: str = ""
+    address: tuple[int, ...] | None = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [self.obj] if self.obj else []
+        if self.address is not None:
+            parts.append(f"@{''.join(f'.{i}' for i in self.address) or '.'}")
+        if self.detail:
+            parts.append(f"({self.detail})")
+        return " ".join(parts)
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"obj": self.obj}
+        if self.address is not None:
+            payload["address"] = list(self.address)
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+
+    def format(self) -> str:
+        where = str(self.location)
+        suffix = f" [{where}]" if where else ""
+        return f"{self.rule} {self.severity}: {self.message}{suffix}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location.to_json(),
+        }
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of diagnostics with rendering helpers."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "LintReport") -> "LintReport":
+        """Return a new report holding both reports' diagnostics."""
+        return LintReport(self.diagnostics + other.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def ok(self, warnings_as_errors: bool = False) -> bool:
+        """True when the artifact is acceptable.
+
+        Errors always fail; warnings fail only under
+        ``warnings_as_errors``; info findings never fail.
+        """
+        if self.errors:
+            return False
+        if warnings_as_errors and self.warnings:
+            return False
+        return True
+
+    def filtered(self, ignore: Iterable[str] = ()) -> "LintReport":
+        """A copy with diagnostics of the ``ignore``-d rules removed."""
+        suppressed = set(ignore)
+        return LintReport(
+            [d for d in self.diagnostics if d.rule not in suppressed]
+        )
+
+    def sorted(self) -> "LintReport":
+        """A copy ordered most-severe-first, then by rule id."""
+        return LintReport(
+            sorted(
+                self.diagnostics,
+                key=lambda d: (-int(d.severity), d.rule, str(d.location)),
+            )
+        )
+
+    def render_text(self) -> str:
+        """Human-readable multi-line rendering, most severe first."""
+        if not self.diagnostics:
+            return "no findings"
+        lines = [d.format() for d in self.sorted()]
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics) - len(self.errors) - len(self.warnings)}"
+            " note(s)"
+        )
+        return "\n".join(lines + [counts])
+
+    def render_json(self) -> str:
+        """Machine-readable rendering (one object per diagnostic)."""
+        return json.dumps(
+            {
+                "findings": [d.to_json() for d in self.sorted()],
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "ok": self.ok(),
+            },
+            indent=2,
+        )
+
+    def raise_if_errors(self, context: str = "") -> None:
+        """Raise a :class:`LintError` when the report contains errors."""
+        if self.errors:
+            raise LintError(self, context)
+
+
+class LintError(ValueError):
+    """A single aggregated lint failure carrying the full report."""
+
+    def __init__(self, report: LintReport, context: str = "") -> None:
+        self.report = report
+        self.context = context
+        header = f"{context}: " if context else ""
+        super().__init__(f"{header}\n{report.render_text()}")

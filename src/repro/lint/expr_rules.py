@@ -1,0 +1,152 @@
+"""Expression lint: name resolution and algebraic dead weight.
+
+Given the sets of names an expression is allowed to mention (states,
+driver variables, parameters with priors), checks that every ``State``,
+``Var`` and ``Param`` leaf resolves; that extension-point markers are
+unique; and flags algebraically suspicious structure -- divisors that
+:func:`repro.expr.simplify.simplify` proves to be the constant zero
+(protected division silently evaluates these to 0), and non-constant
+subexpressions the simplifier proves constant (dead weight that inflates
+chromosome size without affecting the phenotype).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Collection
+
+from repro.expr.ast import BinOp, Const, Expr, Ext, Param, State, Var
+from repro.expr.simplify import simplify
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.registry import diag, register
+
+register("E001", "expression references an undefined state variable")
+register("E002", "expression references an undefined driver variable")
+register("E003", "expression references a parameter with no declared prior")
+register("E004", "duplicate extension-point marker name")
+register(
+    "E005",
+    "divisor is provably the constant zero (protected division yields 0)",
+    Severity.WARNING,
+)
+register(
+    "E006",
+    "non-constant subexpression simplifies to a constant (dead weight)",
+    Severity.WARNING,
+)
+
+#: Parameter names matching this pattern are revision-introduced random
+#: constants (``_R0``, ``_R1``, ...) whose priors live in the derivation
+#: tree's lexemes rather than in the parameter-prior table.
+RCONST_NAME = re.compile(r"_R\d+\Z")
+
+
+def check_expression(
+    expr: Expr,
+    states: Collection[str] = (),
+    variables: Collection[str] = (),
+    parameters: Collection[str] = (),
+    allow_rconsts: bool = True,
+    location: Location | None = None,
+) -> list[Diagnostic]:
+    """Run the expression pass; returns all findings.
+
+    ``parameters`` is the set of parameter names with declared priors;
+    with ``allow_rconsts`` (the default), ``_R<k>`` names are accepted too
+    since revision constants carry their prior inside the lexeme.
+    """
+    where = location if location is not None else Location(obj="expression")
+    findings: list[Diagnostic] = []
+    known_states = frozenset(states)
+    known_vars = frozenset(variables)
+    known_params = frozenset(parameters)
+
+    seen_ext: set[str] = set()
+    for node in expr.walk():
+        if isinstance(node, State) and node.name not in known_states:
+            findings.append(
+                diag(
+                    "E001",
+                    f"unknown state {node.name!r} (known: "
+                    f"{sorted(known_states)})",
+                    where,
+                )
+            )
+        elif isinstance(node, Var) and node.name not in known_vars:
+            findings.append(
+                diag(
+                    "E002",
+                    f"unknown driver variable {node.name!r} (known: "
+                    f"{sorted(known_vars)})",
+                    where,
+                )
+            )
+        elif isinstance(node, Param) and node.name not in known_params:
+            if allow_rconsts and RCONST_NAME.match(node.name):
+                continue
+            findings.append(
+                diag(
+                    "E003",
+                    f"parameter {node.name!r} has no declared prior/bounds",
+                    where,
+                )
+            )
+        elif isinstance(node, Ext):
+            if node.name in seen_ext:
+                findings.append(
+                    diag(
+                        "E004",
+                        f"extension point {node.name!r} marked more than "
+                        "once",
+                        where,
+                    )
+                )
+            seen_ext.add(node.name)
+
+    findings.extend(_check_algebra(expr, where))
+    return findings
+
+
+def _is_dead(expr: Expr) -> bool:
+    """True when ``expr`` mentions names yet simplifies to a constant."""
+    if isinstance(expr, Const):
+        return False
+    if not any(
+        isinstance(node, (State, Var, Param)) for node in expr.walk()
+    ):
+        # Pure constant arithmetic folds by construction; not a finding.
+        return False
+    return isinstance(simplify(expr), Const)
+
+
+def _check_algebra(expr: Expr, where: Location) -> list[Diagnostic]:
+    """E005/E006 on maximal offending subtrees (no nested duplicates)."""
+    findings: list[Diagnostic] = []
+
+    def visit(node: Expr) -> None:
+        if _is_dead(node):
+            findings.append(
+                diag(
+                    "E006",
+                    f"subexpression `{node}` simplifies to the constant "
+                    f"`{simplify(node)}` -- dead weight in the model",
+                    where,
+                )
+            )
+            return  # maximal subtree only
+        if isinstance(node, BinOp) and node.op == "/":
+            divisor = simplify(node.rhs)
+            if isinstance(divisor, Const) and divisor.value == 0.0:
+                findings.append(
+                    diag(
+                        "E005",
+                        f"division `{node}` has a provably zero divisor; "
+                        "protected semantics evaluate it to 0",
+                        where,
+                    )
+                )
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return findings

@@ -1,0 +1,446 @@
+"""Seeded-violation fixtures: one minimal offender per lint rule.
+
+Every registered rule has a fixture here that builds an artifact
+violating exactly that rule and runs the relevant pass over it.  The
+fixtures serve two purposes:
+
+* ``python -m repro.lint --self-check`` audits that every rule still
+  fires exactly once on its fixture (so rules cannot silently rot);
+* the test suite parametrises over :func:`all_fixtures` for the same
+  guarantee under pytest.
+
+Several fixtures must *bypass* the constructors' own validation (that is
+the point: the linter exists to diagnose artifacts that arrive broken,
+e.g. via pickles), which is done with ``object.__new__`` -- never do this
+outside fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.expr import ast
+from repro.expr.ast import Const, Ext, Param, State, Var
+from repro.gp.knowledge import (
+    ExtensionSpec,
+    ParameterPrior,
+    PriorKnowledge,
+    build_grammar,
+)
+from repro.lint.diagnostics import LintReport
+from repro.lint.runner import (
+    lint_derivation,
+    lint_equations,
+    lint_expression,
+    lint_grammar,
+)
+from repro.lint.system_rules import (
+    check_equation_count,
+    check_mixing_fractions,
+)
+from repro.tag.derivation import DerivationNode, DerivationTree
+from repro.tag.derive import op_leaf
+from repro.tag.grammar import RandomValueLexemeFactory, TagGrammar
+from repro.tag.symbols import (
+    EXP,
+    VALUE,
+    connector_symbol,
+    nonterminal,
+    terminal,
+)
+from repro.tag.trees import AlphaTree, BetaTree, Lexeme, TreeNode
+
+#: Registry of fixture builders, keyed by the rule they violate.
+FIXTURES: dict[str, Callable[[], LintReport]] = {}
+
+
+_Builder = Callable[[], LintReport]
+
+
+def fixture(rule_id: str) -> Callable[[_Builder], _Builder]:
+    def decorate(builder: _Builder) -> _Builder:
+        FIXTURES[rule_id] = builder
+        return builder
+
+    return decorate
+
+
+def all_fixtures() -> dict[str, Callable[[], LintReport]]:
+    return dict(FIXTURES)
+
+
+# --------------------------------------------------------------------------
+# Construction helpers
+
+
+def _raw_beta(name: str, root: TreeNode) -> BetaTree:
+    """A BetaTree bypassing foot validation (fixtures only)."""
+    tree = object.__new__(BetaTree)
+    object.__setattr__(tree, "name", name)
+    object.__setattr__(tree, "root", root)
+    return tree
+
+
+def _raw_grammar(start, alphas, betas, factories) -> TagGrammar:
+    """A TagGrammar bypassing construction-time validation."""
+    grammar = object.__new__(TagGrammar)
+    grammar.start = start
+    grammar.alphas = dict(alphas)
+    grammar.betas = dict(betas)
+    grammar.lexeme_factories = dict(factories)
+    by_root: dict = {}
+    for beta in grammar.betas.values():
+        by_root.setdefault(beta.root.symbol, []).append(beta)
+    grammar._betas_by_root = by_root
+    return grammar
+
+
+def _const_leaf(value: float = 1.0) -> TreeNode:
+    return TreeNode(terminal(f"const:{value:g}"), payload=("const", value))
+
+
+def small_knowledge() -> PriorKnowledge:
+    """A minimal two-state knowledge bundle for derivation fixtures."""
+    seed = {
+        "B": Ext("Ext1", ast.mul(State("B"), Param("mu"))),
+        "Z": Ext("Ext2", ast.mul(State("Z"), Param("nu"))),
+    }
+    return PriorKnowledge(
+        seed_equations=seed,
+        priors={
+            "mu": ParameterPrior("mu", 1.0, 0.0, 2.0),
+            "nu": ParameterPrior("nu", 0.5, 0.0, 1.0),
+        },
+        extensions=[
+            ExtensionSpec("Ext1", ("Va", "Vb")),
+            ExtensionSpec("Ext2", ("Vc",)),
+        ],
+    )
+
+
+def _derivation_base() -> tuple[TagGrammar, DerivationNode]:
+    grammar = build_grammar(small_knowledge())
+    return grammar, DerivationNode(tree=grammar.alphas["seed"])
+
+
+def _site(root: DerivationNode, grammar: TagGrammar, ext: str):
+    for address in root.open_adjunction_addresses(grammar):
+        if root.tree.node_at(address).symbol.name.endswith(ext):
+            return address
+    raise AssertionError(f"no open {ext} site")
+
+
+def _filled(grammar: TagGrammar, beta_name: str) -> DerivationNode:
+    node = DerivationNode(tree=grammar.betas[beta_name])
+    node.fill_lexemes(grammar, random.Random(0))
+    return node
+
+
+# --------------------------------------------------------------------------
+# Grammar-rule fixtures
+
+_A = nonterminal("A")
+_B = nonterminal("Bee")
+
+
+@fixture("G001")
+def _g001() -> LintReport:
+    bad = _raw_beta(
+        "bad-foot",
+        TreeNode(_A, (TreeNode(_B, is_foot=True), _const_leaf())),
+    )
+    alpha = AlphaTree("seed", TreeNode(_A))
+    return lint_grammar(
+        _raw_grammar(_A, {"seed": alpha}, {"bad-foot": bad}, {})
+    )
+
+
+@fixture("G002")
+def _g002() -> LintReport:
+    alpha = AlphaTree(
+        "seed", TreeNode(_A, (TreeNode(VALUE, is_subst=True),))
+    )
+    return lint_grammar(_raw_grammar(_A, {"seed": alpha}, {}, {}))
+
+
+@fixture("G003")
+def _g003() -> LintReport:
+    slot = nonterminal("Ctr_x")
+    alpha = AlphaTree("seed", TreeNode(_A, (TreeNode(slot, is_subst=True),)))
+    # The factory emits VALUE-labelled lexemes for a Ctr_x slot.
+    grammar = TagGrammar(
+        start=_A,
+        alphas={"seed": alpha},
+        betas={},
+        lexeme_factories={slot: RandomValueLexemeFactory()},
+    )
+    return lint_grammar(grammar)
+
+
+@fixture("G004")
+def _g004() -> LintReport:
+    grammar = TagGrammar(
+        start=_A,
+        alphas={
+            "seed": AlphaTree("seed", TreeNode(_A)),
+            "orphan": AlphaTree("orphan", TreeNode(EXP)),
+        },
+    )
+    return lint_grammar(grammar)
+
+
+@fixture("G005")
+def _g005() -> LintReport:
+    nowhere = nonterminal("Nowhere")
+    beta = BetaTree(
+        "island",
+        TreeNode(
+            nowhere,
+            (TreeNode(nowhere, is_foot=True), op_leaf("+"), _const_leaf()),
+        ),
+    )
+    grammar = TagGrammar(
+        start=_A,
+        alphas={"seed": AlphaTree("seed", TreeNode(_A))},
+        betas={"island": beta},
+    )
+    return lint_grammar(grammar)
+
+
+@fixture("G006")
+def _g006() -> LintReport:
+    root = TreeNode(
+        _A, (TreeNode(connector_symbol("Ext1"), (_const_leaf(),)),)
+    )
+    grammar = TagGrammar(start=_A, alphas={"seed": AlphaTree("seed", root)})
+    return lint_grammar(grammar)
+
+
+@fixture("G007")
+def _g007() -> LintReport:
+    alpha = AlphaTree("twin", TreeNode(_A))
+    beta = BetaTree(
+        "twin",
+        TreeNode(_A, (TreeNode(_A, is_foot=True), _const_leaf())),
+    )
+    return lint_grammar(
+        _raw_grammar(_A, {"twin": alpha}, {"twin": beta}, {})
+    )
+
+
+@fixture("G008")
+def _g008() -> LintReport:
+    return lint_grammar(_raw_grammar(_A, {}, {}, {}))
+
+
+# --------------------------------------------------------------------------
+# Derivation-rule fixtures
+
+
+@fixture("D001")
+def _d001() -> LintReport:
+    grammar, root = _derivation_base()
+    ghost = AlphaTree("ghost", grammar.alphas["seed"].root)
+    return lint_derivation(
+        DerivationTree(DerivationNode(tree=ghost)), grammar
+    )
+
+
+@fixture("D002")
+def _d002() -> LintReport:
+    grammar, __ = _derivation_base()
+    grammar.alphas["aux"] = AlphaTree("aux", TreeNode(EXP))
+    return lint_derivation(
+        DerivationTree(DerivationNode(tree=grammar.alphas["aux"])), grammar
+    )
+
+
+@fixture("D003")
+def _d003() -> LintReport:
+    grammar, root = _derivation_base()
+    leafy = AlphaTree("leafy", TreeNode(EXP))
+    root.children[_site(root, grammar, "Ext1")] = DerivationNode(tree=leafy)
+    return lint_derivation(DerivationTree(root), grammar)
+
+
+@fixture("D004")
+def _d004() -> LintReport:
+    grammar, root = _derivation_base()
+    root.children[(9, 9, 9)] = _filled(grammar, "conn:Ext1:+:Va")
+    return lint_derivation(DerivationTree(root), grammar)
+
+
+@fixture("D005")
+def _d005() -> LintReport:
+    grammar, root = _derivation_base()
+    root.children[_site(root, grammar, "Ext1")] = _filled(
+        grammar, "conn:Ext2:+:Vc"
+    )
+    return lint_derivation(DerivationTree(root), grammar)
+
+
+@fixture("D006")
+def _d006() -> LintReport:
+    grammar, root = _derivation_base()
+    child = _filled(grammar, "conn:Ext1:+:Va")
+    root.children[_site(root, grammar, "Ext1")] = child
+    # The conn beta's foot is its first child: same symbol, but marked.
+    child.children[(0,)] = _filled(grammar, "conn:Ext1:+:Vb")
+    return lint_derivation(DerivationTree(root), grammar)
+
+
+@fixture("D007")
+def _d007() -> LintReport:
+    grammar, root = _derivation_base()
+    unfilled = DerivationNode(tree=grammar.betas["conn:Ext1:+:R"])
+    root.children[_site(root, grammar, "Ext1")] = unfilled
+    return lint_derivation(DerivationTree(root), grammar)
+
+
+@fixture("D008")
+def _d008() -> LintReport:
+    grammar, root = _derivation_base()
+    node = DerivationNode(tree=grammar.betas["conn:Ext1:+:R"])
+    slot = node.tree.substitution_addresses()[0]
+    node.lexemes[slot] = Lexeme(EXP)
+    root.children[_site(root, grammar, "Ext1")] = node
+    return lint_derivation(DerivationTree(root), grammar)
+
+
+@fixture("D009")
+def _d009() -> LintReport:
+    grammar, root = _derivation_base()
+    node = _filled(grammar, "conn:Ext1:+:R")
+    node.lexemes[(0,)] = Lexeme(VALUE)  # the foot address is not a slot
+    root.children[_site(root, grammar, "Ext1")] = node
+    return lint_derivation(DerivationTree(root), grammar)
+
+
+@fixture("D010")
+def _d010() -> LintReport:
+    grammar, root = _derivation_base()
+    template = grammar.betas["conn:Ext1:+:Va"]
+    rogue = BetaTree("rogue", template.root)
+    node = DerivationNode(tree=rogue)
+    node.fill_lexemes(grammar, random.Random(0))
+    root.children[_site(root, grammar, "Ext1")] = node
+    return lint_derivation(DerivationTree(root), grammar)
+
+
+# --------------------------------------------------------------------------
+# Expression-rule fixtures
+
+_EXPR_SCOPE = dict(
+    states=("B",), variables=("Va",), parameters=("mu",)
+)
+
+
+@fixture("E001")
+def _e001() -> LintReport:
+    return lint_expression(ast.add(State("Q"), State("B")), **_EXPR_SCOPE)
+
+
+@fixture("E002")
+def _e002() -> LintReport:
+    return lint_expression(ast.add(Var("Vz"), Var("Va")), **_EXPR_SCOPE)
+
+
+@fixture("E003")
+def _e003() -> LintReport:
+    return lint_expression(ast.add(Param("ghost"), Param("mu")), **_EXPR_SCOPE)
+
+
+@fixture("E004")
+def _e004() -> LintReport:
+    expr = ast.add(Ext("Ext1", Const(1.0)), Ext("Ext1", Const(2.0)))
+    return lint_expression(expr, **_EXPR_SCOPE)
+
+
+@fixture("E005")
+def _e005() -> LintReport:
+    return lint_expression(ast.div(Var("Va"), Const(0.0)), **_EXPR_SCOPE)
+
+
+@fixture("E006")
+def _e006() -> LintReport:
+    dead = ast.mul(Var("Va"), Const(0.0))
+    return lint_expression(ast.add(dead, Var("Va")), **_EXPR_SCOPE)
+
+
+# --------------------------------------------------------------------------
+# System-rule fixtures
+
+
+@fixture("S001")
+def _s001() -> LintReport:
+    return lint_equations({"B": State("Z")}, (), ())
+
+
+@fixture("S002")
+def _s002() -> LintReport:
+    return lint_equations({"B": State("B")}, ("mu",), ())
+
+
+@fixture("S003")
+def _s003() -> LintReport:
+    return lint_equations({"B": State("B")}, (), ("Va",))
+
+
+@fixture("S004")
+def _s004() -> LintReport:
+    return lint_equations({"B": Param("mu")}, (), ())
+
+
+@fixture("S005")
+def _s005() -> LintReport:
+    return LintReport(check_mixing_fractions("S1", [1.0, 0.8, 1.0]))
+
+
+@fixture("S006")
+def _s006() -> LintReport:
+    return lint_equations({"B": Var("Va")}, (), ())
+
+
+@fixture("S007")
+def _s007() -> LintReport:
+    return LintReport(check_equation_count(1, ("B", "Z")))
+
+
+# --------------------------------------------------------------------------
+# Self-check
+
+
+def audit_fixtures() -> list[str]:
+    """Audit the registry against the fixtures; returns problem strings.
+
+    Every registered rule must have a fixture on which it fires exactly
+    once at its declared severity, and every fixture must correspond to a
+    registered rule.  An empty list means the audit passed.
+    """
+    from repro.lint.registry import all_rules
+
+    problems: list[str] = []
+    rules = all_rules()
+    for rule in rules:
+        builder = FIXTURES.get(rule.id)
+        if builder is None:
+            problems.append(f"{rule.id}: no seeded-violation fixture")
+            continue
+        report = builder()
+        hits = report.by_rule(rule.id)
+        if len(hits) != 1:
+            problems.append(
+                f"{rule.id}: fixture fired {len(hits)} time(s), expected "
+                "exactly 1"
+            )
+        for finding in hits:
+            if finding.severity is not rule.severity:
+                problems.append(
+                    f"{rule.id}: fixture fired at severity "
+                    f"{finding.severity}, declared {rule.severity}"
+                )
+    known = {rule.id for rule in rules}
+    for extra in sorted(set(FIXTURES) - known):
+        problems.append(f"{extra}: fixture for an unregistered rule")
+    return problems

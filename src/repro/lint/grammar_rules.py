@@ -1,0 +1,220 @@
+"""Grammar lint: well-formedness of a TAG quintuple.
+
+Checks structural invariants of the grammar itself, before any derivation
+exists: beta-tree foot/root agreement, lexeme-factory coverage and symbol
+agreement for substitution slots, reachability of alpha- and beta-trees
+from the start symbol, extension points with no registered revision, and
+name collisions between ``I`` and ``A``.
+
+The pass deliberately works on the grammar's *data* (``start``,
+``alphas``, ``betas``, ``lexeme_factories``) rather than on
+:class:`~repro.tag.grammar.TagGrammar`'s derived indexes, so it can also
+audit hand-built or deserialised grammars that bypassed the constructor
+-- the exact artifacts that used to fail N pool workers at once with an
+unactionable traceback.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.registry import diag, register
+from repro.tag.symbols import Symbol
+from repro.tag.trees import AlphaTree, BetaTree, ElementaryTree
+
+register("G001", "beta-tree foot node missing or label differs from root")
+register("G002", "substitution slot has no registered lexeme factory")
+register("G003", "lexeme factory produces a lexeme of the wrong symbol")
+register(
+    "G004",
+    "alpha-tree unreachable: not rooted at the start symbol",
+    Severity.WARNING,
+)
+register(
+    "G005",
+    "beta-tree unreachable: its root symbol is never an adjunction site",
+    Severity.WARNING,
+)
+register(
+    "G006",
+    "extension point has no registered connector/extender beta-tree",
+    Severity.WARNING,
+)
+register("G007", "tree name shared between initial and auxiliary sets")
+register("G008", "grammar has no initial tree rooted at the start symbol")
+
+
+def _tree_location(kind: str, tree: ElementaryTree, address=None) -> Location:
+    return Location(obj=f"{kind} {tree.name!r}", address=address)
+
+
+def _adjunction_site_symbols(tree: ElementaryTree) -> set[Symbol]:
+    """Non-terminal node symbols where adjunction is possible."""
+    return {
+        node.symbol
+        for __, node in tree.walk()
+        if node.symbol.is_nonterminal and not node.is_foot and not node.is_subst
+    }
+
+
+def check_grammar(grammar) -> list[Diagnostic]:
+    """Run the grammar pass; returns all findings.
+
+    ``grammar`` needs ``start``, ``alphas``, ``betas`` and
+    ``lexeme_factories`` attributes (:class:`TagGrammar` or compatible).
+    """
+    findings: list[Diagnostic] = []
+    alphas: dict[str, AlphaTree] = dict(grammar.alphas)
+    betas: dict[str, BetaTree] = dict(grammar.betas)
+    factories = dict(grammar.lexeme_factories)
+    trees: list[tuple[str, ElementaryTree]] = [
+        *(("alpha", tree) for tree in alphas.values()),
+        *(("beta", tree) for tree in betas.values()),
+    ]
+
+    # G007: name collisions.
+    for name in sorted(set(alphas) & set(betas)):
+        findings.append(
+            diag(
+                "G007",
+                f"name {name!r} is used by both an alpha- and a beta-tree",
+                Location(obj="grammar"),
+            )
+        )
+
+    # G001: foot/root agreement of auxiliary trees.
+    for beta in betas.values():
+        feet = [
+            (address, node) for address, node in beta.walk() if node.is_foot
+        ]
+        if len(feet) != 1:
+            findings.append(
+                diag(
+                    "G001",
+                    f"beta-tree has {len(feet)} foot nodes, expected 1",
+                    _tree_location("beta", beta),
+                )
+            )
+        else:
+            address, foot = feet[0]
+            if foot.symbol != beta.root.symbol:
+                findings.append(
+                    diag(
+                        "G001",
+                        f"foot label {foot.symbol} differs from root label "
+                        f"{beta.root.symbol}",
+                        _tree_location("beta", beta, address),
+                    )
+                )
+
+    # G002/G003: substitution slots vs lexeme factories.
+    probed: set[Symbol] = set()
+    for kind, tree in trees:
+        for address, node in tree.walk():
+            if not node.is_subst:
+                continue
+            factory = factories.get(node.symbol)
+            if factory is None:
+                findings.append(
+                    diag(
+                        "G002",
+                        f"substitution slot {node.symbol} has no lexeme "
+                        "factory",
+                        _tree_location(kind, tree, address),
+                    )
+                )
+            elif node.symbol not in probed:
+                probed.add(node.symbol)
+                lexeme = factory(random.Random(0))
+                if lexeme.symbol != node.symbol:
+                    findings.append(
+                        diag(
+                            "G003",
+                            f"factory for slot {node.symbol} produces "
+                            f"lexemes labelled {lexeme.symbol}",
+                            _tree_location(kind, tree, address),
+                        )
+                    )
+
+    # Reachability: start alphas seed the reachable set; a beta is
+    # reachable when its root symbol is an adjunction site of a reachable
+    # tree, and then contributes its own adjunction sites.
+    start_alphas = [
+        alpha for alpha in alphas.values() if alpha.root.symbol == grammar.start
+    ]
+    if not start_alphas:
+        findings.append(
+            diag(
+                "G008",
+                f"no initial tree is rooted at the start symbol "
+                f"{grammar.start}",
+                Location(obj="grammar"),
+            )
+        )
+
+    reachable_sites: set[Symbol] = set()
+    for alpha in start_alphas:
+        reachable_sites |= _adjunction_site_symbols(alpha)
+    reachable_betas: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for beta in betas.values():
+            if beta.name in reachable_betas:
+                continue
+            if beta.root.symbol in reachable_sites:
+                reachable_betas.add(beta.name)
+                reachable_sites |= _adjunction_site_symbols(beta)
+                changed = True
+
+    for alpha in alphas.values():
+        if alpha.root.symbol != grammar.start:
+            findings.append(
+                diag(
+                    "G004",
+                    f"alpha-tree rooted at {alpha.root.symbol} can never "
+                    f"start a derivation (start symbol is {grammar.start})",
+                    _tree_location("alpha", alpha),
+                )
+            )
+    for beta in betas.values():
+        if beta.name not in reachable_betas:
+            findings.append(
+                diag(
+                    "G005",
+                    f"beta-tree rooted at {beta.root.symbol} can never "
+                    "adjoin: no reachable tree offers that site",
+                    _tree_location("beta", beta),
+                )
+            )
+
+    # G006: extension-point sites with no beta rooted there.  Only
+    # connector/extender symbols are extension points; plain non-terminals
+    # (Exp, Model) legitimately have no revisions.
+    beta_roots = {beta.root.symbol for beta in betas.values()}
+    flagged: set[Symbol] = set()
+    for kind, tree in trees:
+        for address, node in tree.walk():
+            symbol = node.symbol
+            if node.is_foot or node.is_subst or symbol in flagged:
+                continue
+            if not _is_extension_symbol(symbol):
+                continue
+            if symbol not in beta_roots:
+                flagged.add(symbol)
+                findings.append(
+                    diag(
+                        "G006",
+                        f"extension point {symbol} has no registered "
+                        "beta-tree: revisions can never attach there",
+                        _tree_location(kind, tree, address),
+                    )
+                )
+    return findings
+
+
+def _is_extension_symbol(symbol: Symbol) -> bool:
+    from repro.tag.symbols import is_connector, is_extender
+
+    return is_connector(symbol) or is_extender(symbol)

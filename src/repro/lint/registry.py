@@ -1,0 +1,94 @@
+"""The lint rule registry.
+
+Every rule has a stable id (``G``/``D``/``E``/``S`` prefix for the
+grammar, derivation, expression and system passes), a default severity,
+and a one-line summary.  Rule modules *declare* their rules here at import
+time and build findings through :func:`diag`, which looks the default
+severity up so that a rule's severity is defined in exactly one place.
+
+The registry is what makes suppression (``--ignore G006``), the CLI's
+``--list-rules``, and the ``--self-check`` fixture audit possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+
+#: Pass names, keyed by rule-id prefix.
+CATEGORIES = {
+    "G": "grammar",
+    "D": "derivation",
+    "E": "expression",
+    "S": "system",
+}
+
+
+class RegistryError(ValueError):
+    """Raised for ill-formed rule declarations."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata of one lint rule."""
+
+    id: str
+    summary: str
+    severity: Severity = Severity.ERROR
+
+    @property
+    def category(self) -> str:
+        return CATEGORIES[self.id[0]]
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(
+    rule_id: str, summary: str, severity: Severity = Severity.ERROR
+) -> Rule:
+    """Declare a rule; returns its metadata."""
+    if rule_id[:1] not in CATEGORIES or not rule_id[1:].isdigit():
+        raise RegistryError(f"malformed rule id {rule_id!r}")
+    if rule_id in _RULES:
+        raise RegistryError(f"duplicate rule id {rule_id!r}")
+    if not summary:
+        raise RegistryError(f"rule {rule_id} needs a summary")
+    rule = Rule(rule_id, summary, severity)
+    _RULES[rule_id] = rule
+    return rule
+
+
+def get(rule_id: str) -> Rule:
+    """Look a rule up by id."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise RegistryError(f"unknown rule id {rule_id!r}") from None
+
+
+def all_rules() -> list[Rule]:
+    """All registered rules, ordered by id."""
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def diag(
+    rule_id: str,
+    message: str,
+    location: Location | None = None,
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """Build a diagnostic for a registered rule.
+
+    The severity defaults to the rule's declared severity; passing one
+    explicitly overrides it (used e.g. when a warning-grade rule is
+    promoted in a strict context).
+    """
+    rule = get(rule_id)
+    return Diagnostic(
+        rule=rule_id,
+        severity=rule.severity if severity is None else severity,
+        message=message,
+        location=location if location is not None else Location(),
+    )

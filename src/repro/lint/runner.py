@@ -1,0 +1,154 @@
+"""High-level lint entry points.
+
+Each ``lint_*`` function runs one pass (or a composition of passes) and
+returns a :class:`~repro.lint.diagnostics.LintReport`; ``ignore`` drops
+the given rule ids from the result, which is the suppression mechanism
+shared by the CLI (``--ignore``) and the engine hook.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable, Mapping
+
+from repro.expr.ast import Expr, free_vars
+from repro.lint import derivation_rules, expr_rules, grammar_rules, system_rules
+from repro.lint.diagnostics import LintReport, Location
+
+
+def lint_grammar(grammar, ignore: Iterable[str] = ()) -> LintReport:
+    """Grammar pass over a :class:`~repro.tag.grammar.TagGrammar`."""
+    report = LintReport(grammar_rules.check_grammar(grammar))
+    return report.filtered(ignore)
+
+
+def lint_derivation(
+    derivation, grammar=None, ignore: Iterable[str] = ()
+) -> LintReport:
+    """Derivation pass; pass ``grammar`` for membership checks too."""
+    report = LintReport(
+        derivation_rules.check_derivation(derivation, grammar)
+    )
+    return report.filtered(ignore)
+
+
+def lint_expression(
+    expr: Expr,
+    states: Collection[str] = (),
+    variables: Collection[str] = (),
+    parameters: Collection[str] = (),
+    location: Location | None = None,
+    ignore: Iterable[str] = (),
+) -> LintReport:
+    """Expression pass over a single expression AST."""
+    report = LintReport(
+        expr_rules.check_expression(
+            expr,
+            states=states,
+            variables=variables,
+            parameters=parameters,
+            location=location,
+        )
+    )
+    return report.filtered(ignore)
+
+
+def lint_system(model, ignore: Iterable[str] = ()) -> LintReport:
+    """System pass over a :class:`~repro.dynamics.system.ProcessModel`
+    (or any object with ``equations``, ``param_order``, ``var_order``)."""
+    report = LintReport(
+        system_rules.check_system(
+            model.equations, model.param_order, model.var_order
+        )
+    )
+    return report.filtered(ignore)
+
+
+def lint_equations(
+    equations: Mapping[str, Expr],
+    param_order: Collection[str],
+    var_order: Collection[str],
+    ignore: Iterable[str] = (),
+) -> LintReport:
+    """System pass over raw equation data (no ProcessModel needed)."""
+    report = LintReport(
+        system_rules.check_system(equations, param_order, var_order)
+    )
+    return report.filtered(ignore)
+
+
+def knowledge_variables(knowledge) -> frozenset[str]:
+    """All driver names a knowledge bundle can mention: those already in
+    the seed equations plus those its revision specs may introduce."""
+    names: set[str] = set()
+    for expr in knowledge.seed_equations.values():
+        names |= free_vars(expr)
+    for spec in knowledge.extensions:
+        names |= set(spec.variables)
+    return frozenset(names)
+
+
+def lint_knowledge(
+    knowledge, grammar=None, ignore: Iterable[str] = ()
+) -> LintReport:
+    """Composite pass over a prior-knowledge bundle.
+
+    Lints the seed equations (expression pass, against the bundle's own
+    states/variables/priors) and the TAG compiled from the bundle
+    (grammar pass).  ``grammar`` may be supplied to avoid rebuilding it.
+    """
+    from repro.gp.knowledge import build_grammar
+
+    report = LintReport()
+    states = set(knowledge.state_names)
+    variables = knowledge_variables(knowledge)
+    parameters = set(knowledge.priors)
+    for state, expr in knowledge.seed_equations.items():
+        report.extend(
+            expr_rules.check_expression(
+                expr,
+                states=states,
+                variables=variables,
+                parameters=parameters,
+                location=Location(obj=f"seed equation {state!r}"),
+            )
+        )
+    if grammar is None:
+        grammar = build_grammar(knowledge)
+    report.extend(grammar_rules.check_grammar(grammar))
+    return report.filtered(ignore)
+
+
+def lint_individual(
+    individual, knowledge, grammar=None, ignore: Iterable[str] = ()
+) -> LintReport:
+    """Composite pass over one candidate model (an ``Individual``).
+
+    Runs the derivation pass first; only when it is error-free (so the
+    phenotype is buildable) derives the expressions and runs the
+    expression and system passes over them.
+    """
+    report = lint_derivation(individual.derivation, grammar)
+    if not report.errors:
+        expressions, rvalues = individual.expressions()
+        states = tuple(knowledge.state_names)
+        variables = knowledge_variables(knowledge)
+        parameters = set(knowledge.priors) | set(rvalues)
+        report.extend(
+            system_rules.check_equation_count(len(expressions), states)
+        )
+        equations = dict(zip(states, expressions))
+        for state, expr in equations.items():
+            report.extend(
+                expr_rules.check_expression(
+                    expr,
+                    states=states,
+                    variables=variables,
+                    parameters=parameters,
+                    location=Location(obj=f"equation {state!r}"),
+                )
+            )
+        param_order = tuple(individual.params) + tuple(rvalues)
+        report.extend(
+            system_rules.check_system(equations, param_order, variables)
+        )
+    return report.filtered(ignore)

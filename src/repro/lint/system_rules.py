@@ -1,0 +1,150 @@
+"""System lint: coherence of a dynamical system as a whole.
+
+Where the expression pass looks at one equation in isolation, this pass
+checks the assembled system: equations must reference only declared
+states, every referenced parameter must be bound by the system's
+parameter order, parameters and drivers that are carried but never
+consumed are flagged, and river mixing schedules must conserve mass
+(fractions summing to one).
+
+The checks take plain data (equation mapping plus name orders) so they
+can audit both a validated :class:`~repro.dynamics.system.ProcessModel`
+and raw, not-yet-constructible inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Mapping
+
+from repro.expr.ast import Expr, free_params, free_states, free_vars
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.expr_rules import RCONST_NAME
+from repro.lint.registry import diag, register
+
+register("S001", "equation references an unknown state variable")
+register("S002", "parameter is declared but never used", Severity.WARNING)
+register(
+    "S003",
+    "driver column is carried but never consumed by any equation",
+    Severity.INFO,
+)
+register("S004", "equation references a parameter missing from the order")
+register("S005", "mixing fractions at a station do not sum to one")
+register("S006", "equation references a driver missing from the order")
+register("S007", "derived equation count differs from the state count")
+
+
+def _eq_location(state: str) -> Location:
+    return Location(obj=f"equation {state!r}")
+
+
+def check_system(
+    equations: Mapping[str, Expr],
+    param_order: Collection[str],
+    var_order: Collection[str],
+    allow_rconsts: bool = True,
+) -> list[Diagnostic]:
+    """Run the system pass; returns all findings."""
+    findings: list[Diagnostic] = []
+    states = frozenset(equations)
+    params = frozenset(param_order)
+    variables = frozenset(var_order)
+    used_params: set[str] = set()
+    used_vars: set[str] = set()
+
+    for state, expr in equations.items():
+        for name in sorted(free_states(expr) - states):
+            findings.append(
+                diag(
+                    "S001",
+                    f"references unknown state {name!r} (states: "
+                    f"{sorted(states)})",
+                    _eq_location(state),
+                )
+            )
+        referenced_params = free_params(expr)
+        used_params |= referenced_params
+        for name in sorted(referenced_params - params):
+            if allow_rconsts and RCONST_NAME.match(name):
+                continue
+            findings.append(
+                diag(
+                    "S004",
+                    f"references parameter {name!r} missing from the "
+                    "parameter order",
+                    _eq_location(state),
+                )
+            )
+        referenced_vars = free_vars(expr)
+        used_vars |= referenced_vars
+        for name in sorted(referenced_vars - variables):
+            findings.append(
+                diag(
+                    "S006",
+                    f"references driver {name!r} missing from the driver "
+                    "order",
+                    _eq_location(state),
+                )
+            )
+
+    for name in sorted(params - used_params):
+        findings.append(
+            diag(
+                "S002",
+                f"parameter {name!r} is never referenced by any equation",
+                Location(obj="system"),
+            )
+        )
+    for name in sorted(variables - used_vars):
+        findings.append(
+            diag(
+                "S003",
+                f"driver {name!r} is never consumed by any equation",
+                Location(obj="system"),
+            )
+        )
+    return findings
+
+
+def check_equation_count(
+    n_equations: int, state_names: Collection[str]
+) -> list[Diagnostic]:
+    """S007: one derived equation per declared state."""
+    if n_equations == len(state_names):
+        return []
+    return [
+        diag(
+            "S007",
+            f"derived {n_equations} equation(s) for {len(state_names)} "
+            f"state(s) {sorted(state_names)}",
+            Location(obj="system"),
+        )
+    ]
+
+
+def check_mixing_fractions(
+    station: str,
+    totals,
+    atol: float = 1e-6,
+) -> list[Diagnostic]:
+    """S005 on a station's per-day mixing-fraction totals.
+
+    ``totals`` is the day-indexed sum of retained + source + runoff
+    fractions; mass balance requires every entry to be 1.
+    """
+    import numpy as np
+
+    totals = np.asarray(totals, dtype=float)
+    deviation = np.abs(totals - 1.0)
+    if not np.any(deviation > atol):
+        return []
+    worst = int(np.argmax(deviation))
+    bad_days = int(np.count_nonzero(deviation > atol))
+    return [
+        diag(
+            "S005",
+            f"fractions sum to {totals[worst]:.6f} on day {worst} "
+            f"({bad_days} day(s) off by more than {atol:g})",
+            Location(obj=f"station {station!r}", detail=f"day {worst}"),
+        )
+    ]

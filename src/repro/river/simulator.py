@@ -73,12 +73,20 @@ class MixingSchedule:
     runoff_frac: np.ndarray
 
     def validate(self) -> None:
+        """Mass balance: retained + source + runoff fractions sum to one.
+
+        Delegates to the lint pass's S005 check so a failure names the
+        station, the worst day's total, and how many days are off.
+        """
+        from repro.lint.system_rules import check_mixing_fractions
+
         total = self.retained_frac + self.runoff_frac
         for frac in self.source_frac:
             total = total + frac
-        if not np.allclose(total, 1.0, atol=1e-6):
+        findings = check_mixing_fractions(self.station, total)
+        if findings:
             raise RiverSimulationError(
-                f"mixing fractions at {self.station} do not sum to 1"
+                "; ".join(finding.format() for finding in findings)
             )
 
 
@@ -182,14 +190,22 @@ class RiverSystemSimulator:
             if not self.network.station(name).is_virtual
             and not self.network.station(name).headwater
         ]
-        horizons = {len(table) for table in self.drivers.values()}
-        for series_map in self.boundary.values():
-            horizons |= {len(series) for series in series_map.values()}
-        if len(horizons) != 1:
-            raise RiverSimulationError(
-                f"driver/boundary horizons differ: {sorted(horizons)}"
+        horizons: dict[str, int] = {}
+        for name, table in self.drivers.items():
+            horizons[f"drivers at station {name!r}"] = len(table)
+        for station, series_map in self.boundary.items():
+            for state, series in series_map.items():
+                horizons[f"boundary {state!r} at station {station!r}"] = len(
+                    series
+                )
+        if len(set(horizons.values())) != 1:
+            details = ", ".join(
+                f"{who}: {days} days" for who, days in sorted(horizons.items())
             )
-        self.horizon = horizons.pop()
+            raise RiverSimulationError(
+                f"driver/boundary horizons differ: {details}"
+            )
+        self.horizon = next(iter(horizons.values()))
 
     @property
     def biological_stations(self) -> list[str]:
@@ -246,7 +262,9 @@ class RiverSystemSimulator:
             initial = tuple(float(v) for v in self.initial_states[name])
             if len(initial) != n_states:
                 raise RiverSimulationError(
-                    f"initial state at {name} has {len(initial)} entries"
+                    f"initial state at station {name!r} has {len(initial)} "
+                    f"entries for {n_states} state(s) "
+                    f"{list(model.state_names)}"
                 )
             history[name] = [initial]
 

@@ -25,11 +25,9 @@ from repro.tag.grammar import TagGrammar
 from repro.tag.trees import (
     Address,
     AlphaTree,
-    BetaTree,
     ElementaryTree,
     Lexeme,
     RConst,
-    TreeError,
 )
 
 
@@ -160,46 +158,28 @@ class DerivationTree:
         """All mutable random constants in the derivation, in stable order."""
         return self.root.rconsts()
 
-    def validate(self, grammar: TagGrammar) -> None:
+    def validate(self, grammar: TagGrammar | None = None) -> None:
         """Check structural invariants; raise on violation.
 
         Invariants: the root is a start-symbol alpha-tree of the grammar;
         every non-root node's beta-tree adjoins at a compatible address of
         its parent's elementary tree; every substitution slot of every
         elementary tree is filled with a lexeme of matching symbol.
+
+        Delegates to the derivation pass of :mod:`repro.lint`; without a
+        grammar only the grammar-independent subset runs (this is the
+        cheap hot-path check :func:`repro.tag.derive.derive` performs).
         """
-        if self.root.tree.name not in grammar.alphas:
+        # Imported lazily: repro.lint imports this module at top level.
+        from repro.lint.derivation_rules import check_derivation
+        from repro.lint.diagnostics import Severity
+
+        findings = [
+            finding
+            for finding in check_derivation(self, grammar)
+            if finding.severity >= Severity.ERROR
+        ]
+        if findings:
             raise DerivationError(
-                f"root alpha {self.root.tree.name!r} is not in the grammar"
+                "; ".join(finding.format() for finding in findings)
             )
-        if self.root.tree.root.symbol != grammar.start:
-            raise DerivationError("root alpha is not rooted at the start symbol")
-        for parent, address, node in self.walk_with_parents():
-            if parent is not None:
-                if not isinstance(node.tree, BetaTree):
-                    raise DerivationError("non-root derivation node must be a beta")
-                try:
-                    site = parent.tree.node_at(address)
-                except TreeError as error:
-                    raise DerivationError(str(error)) from None
-                if site.symbol != node.tree.root.symbol:
-                    raise DerivationError(
-                        f"beta {node.tree.name!r} adjoined at incompatible "
-                        f"address {address} (site {site.symbol}, root "
-                        f"{node.tree.root.symbol})"
-                    )
-                if site.is_foot or site.is_subst:
-                    raise DerivationError(
-                        f"adjunction at marked node {address} is not allowed"
-                    )
-            for slot in node.tree.substitution_addresses():
-                lexeme = node.lexemes.get(slot)
-                if lexeme is None:
-                    raise DerivationError(
-                        f"unfilled substitution slot {slot} in {node.tree.name!r}"
-                    )
-                if lexeme.symbol != node.tree.node_at(slot).symbol:
-                    raise DerivationError(
-                        f"lexeme symbol {lexeme.symbol} does not match slot "
-                        f"{slot} of {node.tree.name!r}"
-                    )

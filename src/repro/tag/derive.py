@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.expr import ast
 from repro.expr.ast import BinOp, Const, Expr, Ext, Param, State, UnOp, Var
-from repro.tag.derivation import DerivationNode, DerivationTree
+from repro.tag.derivation import DerivationError, DerivationNode, DerivationTree
 from repro.tag.symbols import EXP, MODEL, Symbol, connector_symbol, terminal
 from repro.tag.trees import Address, TreeError, TreeNode
 
@@ -74,6 +74,10 @@ def derive(derivation: DerivationTree) -> TreeNode:
     so that recorded Gorn addresses always refer to elementary-tree nodes,
     independent of the order in which siblings were adjoined.
     """
+    try:
+        derivation.validate()
+    except DerivationError as error:
+        raise DeriveError(str(error)) from None
     derived = _build(derivation.root)
     for __, node in derived.walk():
         if node.is_subst:

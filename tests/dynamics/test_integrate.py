@@ -20,7 +20,7 @@ from repro.dynamics.integrate import (
 from repro.dynamics.system import ModelError, ProcessModel
 from repro.dynamics.task import BAD_FITNESS, ModelingTask
 from repro.expr import ast
-from repro.expr.ast import Const, Param, State, Var
+from repro.expr.ast import Param, State, Var
 
 
 def decay_model() -> ProcessModel:

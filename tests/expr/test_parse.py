@@ -3,7 +3,7 @@
 import pytest
 
 from repro.expr import ast
-from repro.expr.ast import BinOp, Const, Ext, Param, State, Var
+from repro.expr.ast import BinOp, Ext, Param, State, Var
 from repro.expr.evaluate import evaluate
 from repro.expr.parse import ParseError, parse, tokenize
 

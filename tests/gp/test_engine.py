@@ -6,7 +6,6 @@ import pytest
 
 from repro.gp.config import ConfigError, GMRConfig, OperatorProbabilities
 from repro.gp.engine import GMREngine, run_many
-from repro.gp.individual import Individual
 from repro.gp.init import random_individual
 from repro.gp.local_search import deletion, hill_climb, insertion
 from repro.gp.selection import best_of, elites, tournament_select

@@ -6,7 +6,6 @@ import pytest
 
 from repro.gp.config import GMRConfig
 from repro.gp.init import random_individual
-from repro.gp.knowledge import build_grammar
 
 
 def make(toy_grammar, toy_knowledge, seed=0, max_size=10):

@@ -1,0 +1,75 @@
+"""Shared fixtures for the lint tests: a tiny revision problem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.drivers import DriverTable
+from repro.dynamics.integrate import ClampSpec, simulate
+from repro.dynamics.system import ProcessModel
+from repro.dynamics.task import ModelingTask
+from repro.expr import ast
+from repro.expr.ast import Const, Ext, Param, State, Var
+from repro.gp.knowledge import (
+    ExtensionSpec,
+    ParameterPrior,
+    PriorKnowledge,
+    build_grammar,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_knowledge() -> PriorKnowledge:
+    seed = {
+        "B": Ext(
+            "Ext1",
+            ast.mul(State("B"), ast.sub(Param("mu"), Param("loss"))),
+        )
+    }
+    return PriorKnowledge(
+        seed_equations=seed,
+        priors={
+            "mu": ParameterPrior("mu", 0.10, 0.0, 0.5),
+            "loss": ParameterPrior("loss", 0.12, 0.0, 0.5),
+        },
+        extensions=[ExtensionSpec("Ext1", ("Vx",))],
+        rconst_bounds=(-10.0, 10.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_grammar(tiny_knowledge):
+    return build_grammar(tiny_knowledge)
+
+
+@pytest.fixture(scope="session")
+def tiny_task() -> ModelingTask:
+    rng = np.random.default_rng(0)
+    n = 40
+    day = np.arange(n, dtype=float)
+    vx = 1.0 + 0.5 * np.sin(2 * np.pi * day / 20.0) + rng.normal(0, 0.05, n)
+    drivers = DriverTable.from_mapping({"Vx": vx})
+    truth = ProcessModel.from_equations(
+        {
+            "B": ast.add(
+                ast.mul(State("B"), ast.sub(Param("mu"), Param("loss"))),
+                ast.mul(Const(0.5), Var("Vx")),
+            )
+        },
+        var_order=("Vx",),
+    )
+    observed = simulate(
+        truth,
+        (0.15, 0.10),
+        drivers,
+        (2.0,),
+        clamp=ClampSpec(minimum=1e-6, maximum=1e6),
+    )[:, 0]
+    return ModelingTask(
+        drivers=drivers,
+        observed=observed,
+        target_state="B",
+        state_names=("B",),
+        initial_state=(2.0,),
+    )

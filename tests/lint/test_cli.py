@@ -1,0 +1,86 @@
+"""Exit-code and output contracts of ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.gp.knowledge import build_grammar
+from repro.lint.__main__ import main
+from repro.lint.fixtures import small_knowledge
+from repro.river.grammar_def import river_knowledge
+from repro.tag.derivation import DerivationNode, DerivationTree
+
+
+def test_default_run_is_clean(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_json_output_parses(capsys):
+    assert main(["--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["errors"] == 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("G001", "D004", "E005", "S003"):
+        assert rule_id in out
+
+
+def test_self_check_passes(capsys):
+    assert main(["--self-check"]) == 0
+    assert "self-check ok" in capsys.readouterr().out
+
+
+def _corrupt_derivation() -> DerivationTree:
+    grammar = build_grammar(small_knowledge())
+    root = DerivationNode(tree=grammar.alphas["seed"])
+    beta = DerivationNode(tree=grammar.betas["conn:Ext1:+:Va"])
+    beta.fill_lexemes(grammar, random.Random(0))
+    root.children[(9, 9, 9)] = beta  # D004: address does not exist
+    return DerivationTree(root)
+
+
+def test_corrupt_pickle_fails(tmp_path, capsys):
+    target = tmp_path / "bad.pkl"
+    target.write_bytes(pickle.dumps(_corrupt_derivation()))
+    assert main(["--pickle", str(target)]) == 1
+    assert "D004" in capsys.readouterr().out
+
+
+def test_clean_pickle_passes(tmp_path, capsys):
+    grammar = build_grammar(river_knowledge())
+    seed = DerivationTree(DerivationNode(tree=grammar.alphas["seed"]))
+    target = tmp_path / "seed.pkl"
+    target.write_bytes(pickle.dumps(seed))
+    assert main(["--pickle", str(target)]) == 0
+
+
+def test_ignore_suppresses_rules(tmp_path, capsys):
+    target = tmp_path / "bad.pkl"
+    target.write_bytes(pickle.dumps(_corrupt_derivation()))
+    # Against the river grammar the foreign beta also trips D010, so the
+    # comma-separated form gets exercised too.
+    assert main(["--pickle", str(target), "--ignore", "D004,D010"]) == 0
+    out = capsys.readouterr().out
+    assert "D004" not in out and "D010" not in out
+
+
+def test_warnings_as_errors_fails_on_warning_pickle(tmp_path, capsys):
+    # The default river report carries only S003 info notes, which pass
+    # even under --warnings-as-errors.
+    assert main(["--warnings-as-errors"]) == 0
+
+
+def test_unknown_flag_exits_2():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--bogus"])
+    assert excinfo.value.code == 2

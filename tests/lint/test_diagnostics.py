@@ -1,0 +1,107 @@
+"""Tests for the diagnostics framework itself."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Location,
+    Severity,
+    all_rules,
+    diag,
+)
+from repro.lint.registry import RegistryError, get
+
+
+class TestLocation:
+    def test_renders_gorn_address(self):
+        loc = Location(obj="beta 'conn'", address=(0, 1))
+        assert str(loc) == "beta 'conn' @.0.1"
+
+    def test_root_address_renders_dot(self):
+        assert "@." in str(Location(obj="x", address=()))
+
+    def test_detail_rendered_in_parens(self):
+        assert "(day 3)" in str(Location(obj="station", detail="day 3"))
+
+    def test_empty_location_is_empty_string(self):
+        assert str(Location()) == ""
+
+
+class TestReport:
+    def _diag(self, rule="G001", severity=Severity.ERROR):
+        return Diagnostic(rule, severity, "boom")
+
+    def test_ok_with_no_findings(self):
+        assert LintReport().ok()
+        assert LintReport().ok(warnings_as_errors=True)
+
+    def test_errors_fail(self):
+        report = LintReport([self._diag()])
+        assert not report.ok()
+
+    def test_warnings_fail_only_when_promoted(self):
+        report = LintReport([self._diag(severity=Severity.WARNING)])
+        assert report.ok()
+        assert not report.ok(warnings_as_errors=True)
+
+    def test_info_never_fails(self):
+        report = LintReport([self._diag(severity=Severity.INFO)])
+        assert report.ok(warnings_as_errors=True)
+
+    def test_filtered_drops_suppressed_rules(self):
+        report = LintReport([self._diag("G001"), self._diag("D004")])
+        kept = report.filtered({"G001"})
+        assert [d.rule for d in kept] == ["D004"]
+
+    def test_sorted_puts_most_severe_first(self):
+        report = LintReport(
+            [
+                self._diag("S003", Severity.INFO),
+                self._diag("G001", Severity.ERROR),
+                self._diag("E005", Severity.WARNING),
+            ]
+        )
+        assert [d.rule for d in report.sorted()] == ["G001", "E005", "S003"]
+
+    def test_render_json_is_valid_json(self):
+        report = LintReport([self._diag()])
+        payload = json.loads(report.render_json())
+        assert payload["errors"] == 1
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "G001"
+
+    def test_raise_if_errors(self):
+        report = LintReport([self._diag()])
+        with pytest.raises(LintError) as excinfo:
+            report.raise_if_errors("ctx")
+        assert excinfo.value.context == "ctx"
+        assert excinfo.value.report is report
+        assert "G001" in str(excinfo.value)
+
+    def test_raise_if_errors_passes_on_warnings(self):
+        LintReport([self._diag(severity=Severity.WARNING)]).raise_if_errors()
+
+
+class TestRegistry:
+    def test_rules_have_category_prefixes(self):
+        for rule in all_rules():
+            assert rule.id[0] in "GDES"
+            assert rule.id[1:].isdigit()
+
+    def test_diag_uses_declared_severity(self):
+        finding = diag("S003", "unused")
+        assert finding.severity is get("S003").severity
+
+    def test_diag_rejects_unknown_rule(self):
+        with pytest.raises(RegistryError):
+            diag("Z999", "nope")
+
+    def test_format_includes_rule_and_severity(self):
+        finding = diag("G001", "mismatch", Location(obj="beta 'b'"))
+        assert finding.format() == "G001 error: mismatch [beta 'b']"

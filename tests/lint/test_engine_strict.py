@@ -1,0 +1,82 @@
+"""The ``GMRConfig(strict_validate=True)`` engine hook."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gp.config import GMRConfig
+from repro.gp.engine import GMREngine
+from repro.gp.init import initial_population
+from repro.lint import LintError
+from repro.tag.symbols import terminal
+from repro.tag.trees import Lexeme
+
+
+def _config(**overrides) -> GMRConfig:
+    defaults = dict(
+        population_size=8,
+        max_generations=2,
+        max_size=12,
+        elite_size=1,
+        tournament_size=3,
+        local_search_steps=1,
+        strict_validate=True,
+    )
+    defaults.update(overrides)
+    return GMRConfig(**defaults)
+
+
+def test_strict_run_succeeds(tiny_knowledge, tiny_task):
+    engine = GMREngine(tiny_knowledge, tiny_task, _config())
+    result = engine.run(seed=3)
+    assert result.best_fitness < float("inf")
+
+
+def test_strict_matches_lenient(tiny_knowledge, tiny_task):
+    strict = GMREngine(tiny_knowledge, tiny_task, _config())
+    lenient = GMREngine(
+        tiny_knowledge, tiny_task, _config(strict_validate=False)
+    )
+    assert (
+        strict.run(seed=5).best_fitness == lenient.run(seed=5).best_fitness
+    )
+
+
+def test_strict_batched_run_succeeds(tiny_knowledge, tiny_task):
+    engine = GMREngine(
+        tiny_knowledge, tiny_task, _config(eval_batch_size=4)
+    )
+    result = engine.run(seed=3)
+    assert result.best_fitness < float("inf")
+
+
+def test_corrupted_cohort_raises_one_aggregated_error(
+    tiny_knowledge, tiny_task, tiny_grammar
+):
+    engine = GMREngine(tiny_knowledge, tiny_task, _config())
+    population = initial_population(
+        tiny_grammar, tiny_knowledge, engine.config, random.Random(0)
+    )
+    population[0].derivation.root.lexemes[(8, 8)] = Lexeme(terminal("junk"))
+    population[2].derivation.root.lexemes[(9, 9)] = Lexeme(terminal("junk"))
+    with pytest.raises(LintError) as excinfo:
+        engine._lint_offspring(population, "cohort")
+    report = excinfo.value.report
+    assert len(report.by_rule("D009")) == 2
+    details = {d.location.detail for d in report}
+    assert any("individual 0" in detail for detail in details)
+    assert any("individual 2" in detail for detail in details)
+
+
+def test_lenient_mode_does_not_lint(tiny_knowledge, tiny_task, tiny_grammar):
+    engine = GMREngine(
+        tiny_knowledge, tiny_task, _config(strict_validate=False)
+    )
+    # _lint_offspring is only invoked when strict_validate is set; a
+    # direct call still works regardless of the flag.
+    population = initial_population(
+        tiny_grammar, tiny_knowledge, engine.config, random.Random(0)
+    )
+    engine._lint_offspring(population, "clean cohort")

@@ -1,0 +1,27 @@
+"""Every lint rule fires exactly once on its seeded-violation fixture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import all_rules
+from repro.lint.fixtures import all_fixtures, audit_fixtures
+from repro.lint.registry import get
+
+RULE_IDS = sorted(all_fixtures())
+
+
+def test_every_rule_has_a_fixture():
+    assert {rule.id for rule in all_rules()} == set(RULE_IDS)
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_fixture_fires_exactly_once(rule_id):
+    report = all_fixtures()[rule_id]()
+    hits = report.by_rule(rule_id)
+    assert len(hits) == 1, report.render_text()
+    assert hits[0].severity is get(rule_id).severity
+
+
+def test_audit_is_clean():
+    assert audit_fixtures() == []

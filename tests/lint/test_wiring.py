@@ -1,0 +1,87 @@
+"""The lint pass is wired into the hot path: validate() and derive().
+
+``derive`` used to *silently drop* children recorded at addresses that do
+not exist in the host elementary tree; with ``DerivationTree.validate``
+on its entry these malformed genomes now fail loudly with rule ids.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gp.knowledge import build_grammar
+from repro.lint.fixtures import small_knowledge
+from repro.tag.derivation import DerivationError, DerivationNode, DerivationTree
+from repro.tag.derive import DeriveError, derive
+from repro.tag.trees import BetaTree, Lexeme
+from repro.tag.symbols import VALUE
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return build_grammar(small_knowledge())
+
+
+def _seed(grammar) -> DerivationNode:
+    return DerivationNode(tree=grammar.alphas["seed"])
+
+
+def _filled(grammar, beta_name) -> DerivationNode:
+    node = DerivationNode(tree=grammar.betas[beta_name])
+    node.fill_lexemes(grammar, random.Random(0))
+    return node
+
+
+def test_seed_alone_derives(grammar):
+    derived = derive(DerivationTree(_seed(grammar)))
+    assert derived is not None
+
+
+def test_bogus_address_no_longer_silently_dropped(grammar):
+    root = _seed(grammar)
+    root.children[(9, 9, 9)] = _filled(grammar, "conn:Ext1:+:Va")
+    with pytest.raises(DeriveError, match="D004"):
+        derive(DerivationTree(root))
+
+
+def test_stray_lexeme_rejected(grammar):
+    root = _seed(grammar)
+    root.lexemes[(0,)] = Lexeme(VALUE)
+    with pytest.raises(DeriveError, match="D009"):
+        derive(DerivationTree(root))
+
+
+def test_validate_without_grammar_skips_membership_rules(grammar):
+    root = _seed(grammar)
+    template = grammar.betas["conn:Ext1:+:Va"]
+    rogue = DerivationNode(tree=BetaTree("rogue", template.root))
+    rogue.fill_lexemes(grammar, random.Random(0))
+    site = root.open_adjunction_addresses(grammar)[0]
+    root.children[site] = rogue
+    tree = DerivationTree(root)
+    tree.validate()  # D010 needs the grammar; grammar-free pass is fine
+    with pytest.raises(DerivationError, match="D010"):
+        tree.validate(grammar)
+
+
+def test_validate_reports_incompatible_beta(grammar):
+    root = _seed(grammar)
+    site = root.open_adjunction_addresses(grammar)[0]
+    child = _filled(grammar, "conn:Ext1:+:Va")
+    # Attach at the beta's own foot address: marked node, D006.
+    root.children[site] = child
+    child.children[(0,)] = _filled(grammar, "conn:Ext1:+:Va")
+    with pytest.raises(DerivationError, match="D006"):
+        DerivationTree(root).validate(grammar)
+
+
+def test_error_aggregates_all_findings(grammar):
+    root = _seed(grammar)
+    root.children[(9, 9, 9)] = _filled(grammar, "conn:Ext1:+:Va")
+    root.lexemes[(0,)] = Lexeme(VALUE)
+    with pytest.raises(DerivationError) as excinfo:
+        DerivationTree(root).validate(grammar)
+    message = str(excinfo.value)
+    assert "D004" in message and "D009" in message

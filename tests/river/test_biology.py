@@ -1,7 +1,5 @@
 """The expert biological process: structure, units, extension points."""
 
-import math
-
 import pytest
 
 from repro.expr.ast import ext_points, free_params, free_states, free_vars

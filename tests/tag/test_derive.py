@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.expr import ast
-from repro.expr.ast import BinOp, Const, Ext, Param, State, Var
+from repro.expr.ast import Const, Ext, Param, State, Var
 from repro.expr.evaluate import evaluate
 from repro.gp.knowledge import (
     ExtensionSpec,
