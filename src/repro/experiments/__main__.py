@@ -5,17 +5,26 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run table5 [--scale bench|full|smoke]
     python -m repro.experiments run all --scale bench
+    python -m repro.experiments run table5 --checkpoint-dir ckpt/
+
+``--checkpoint-dir`` makes the long GP campaigns fault tolerant: runs
+persist results and mid-run snapshots there, so re-invoking the same
+command after a crash resumes instead of starting over.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments import REGISTRY
 
 #: Experiments whose runners accept a scale argument.
 _SCALED = {"table5", "fig9", "fig10", "fig11", "scaling", "case-study"}
+
+#: Experiments whose runners accept a checkpoint directory.
+_RESUMABLE = {"table5", "scaling"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,6 +41,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="compute scale: smoke, bench (default), or full",
     )
+    runner.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "directory for run checkpoints/results; re-running with the "
+            "same directory resumes interrupted GP campaigns "
+            "(table5 and scaling only)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -46,8 +64,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment {target!r}; try 'list'", file=sys.stderr)
             return 2
         __, run = REGISTRY[target]
+        kwargs = {}
+        if args.checkpoint_dir is not None and target in _RESUMABLE:
+            # With 'all', keep each experiment's snapshots separate.
+            kwargs["checkpoint_dir"] = (
+                os.path.join(args.checkpoint_dir, target)
+                if len(targets) > 1
+                else args.checkpoint_dir
+            )
         if target in _SCALED:
-            result = run(args.scale)
+            result = run(args.scale, **kwargs)
         else:
             result = run()
         print(result.render())

@@ -9,6 +9,13 @@ several worker counts, verifies that every parallel configuration
 reproduces the serial per-run ``best_fitness`` values bit-identically,
 and reports speedups.
 
+With ``checkpoint_dir`` the study becomes fault-tolerant: every
+completed run persists its result under the directory (one subdirectory
+per worker count, since each count re-runs the same seeds) and in-flight
+runs snapshot themselves, so an interrupted study resumes where it
+stopped.  Timings of a resumed invocation only cover the work actually
+re-executed and are not comparable to a cold study.
+
 Run:  python -m repro.experiments run scaling --scale smoke
 """
 
@@ -16,11 +23,18 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 
 from repro.experiments.scale import get_scale
 from repro.experiments.tables import render_table
-from repro.gp import GMRConfig, GMREngine, run_many, run_many_parallel
+from repro.gp import (
+    FailurePolicy,
+    GMRConfig,
+    GMREngine,
+    run_campaign,
+    run_many,
+    run_many_parallel,
+)
 from repro.river import load_dataset, river_knowledge
 
 #: Worker counts measured, in display order (1 is the serial baseline).
@@ -65,6 +79,7 @@ def run_parallel_scaling(
     scale_name: str | None = None,
     worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
     base_seed: int = 0,
+    checkpoint_dir: str | None = None,
 ) -> ParallelScalingResult:
     """Time independent GMR runs at each worker count on the river task."""
     scale = get_scale(scale_name)
@@ -81,6 +96,12 @@ def run_parallel_scaling(
         init_max_size=scale.init_max_size,
         local_search_steps=scale.local_search_steps,
     )
+    if checkpoint_dir is not None:
+        # Snapshot in-flight runs a handful of times per run so a killed
+        # study resumes mid-run instead of repeating whole runs.
+        config = dataclass_replace(
+            config, checkpoint_every=max(1, scale.max_generations // 5)
+        )
     engine = GMREngine(knowledge, train, config)
     n_runs = max(scale.n_runs, 4)
 
@@ -88,7 +109,19 @@ def run_parallel_scaling(
     fingerprints: dict[int, list[float]] = {}
     for workers in worker_counts:
         clock = time.perf_counter()
-        if workers == 1:
+        if checkpoint_dir is not None:
+            campaign = run_campaign(
+                engine,
+                n_runs,
+                base_seed=base_seed,
+                max_workers=workers,
+                policy=FailurePolicy.retrying(),
+                checkpoint_dir=os.path.join(
+                    checkpoint_dir, f"workers-{workers}"
+                ),
+            )
+            results = campaign.results()
+        elif workers == 1:
             results = run_many(engine, n_runs, base_seed=base_seed)
         else:
             results = run_many_parallel(

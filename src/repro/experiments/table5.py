@@ -16,8 +16,9 @@ spend the same number of fitness evaluations.
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 
 from repro.baselines import (
     CalibrationProblem,
@@ -35,7 +36,14 @@ from repro.baselines import (
 from repro.experiments.scale import Scale, get_scale
 from repro.experiments.tables import render_table
 from repro.baselines.gggp import GGGPIndividual
-from repro.gp import GMRConfig, GMREngine, Individual, run_many
+from repro.gp import (
+    FailurePolicy,
+    GMRConfig,
+    GMREngine,
+    Individual,
+    run_campaign,
+    run_many,
+)
 from repro.river import (
     CONSTANT_PRIORS,
     load_dataset,
@@ -105,18 +113,45 @@ def _gp_config(scale: Scale, population_multiplier: float = 1.0) -> GMRConfig:
 
 
 def run_gmr(
-    dataset, scale: Scale, base_seed: int = 0
+    dataset,
+    scale: Scale,
+    base_seed: int = 0,
+    checkpoint_dir: str | None = None,
 ) -> tuple[MethodResult | None, Individual | None]:
-    """GMR over ``scale.n_runs`` runs; returns (result_row, best individual)."""
+    """GMR over ``scale.n_runs`` runs; returns (result_row, best individual).
+
+    With ``checkpoint_dir`` the runs execute as a fault-tolerant campaign:
+    completed runs persist their results there, in-flight runs snapshot
+    every tenth of the generation budget, and transient failures are
+    retried -- re-invoking with the same directory resumes instead of
+    recomputing.
+    """
     train = dataset.river_task("train")
     test = dataset.river_task("test")
     knowledge = river_knowledge()
-    engine = GMREngine(knowledge, train, _gp_config(scale))
+    config = _gp_config(scale)
+    if checkpoint_dir is not None:
+        config = dataclass_replace(
+            config, checkpoint_every=max(1, scale.max_generations // 10)
+        )
+    engine = GMREngine(knowledge, train, config)
+    if checkpoint_dir is not None:
+        campaign = run_campaign(
+            engine,
+            scale.n_runs,
+            base_seed=base_seed,
+            max_workers=scale.n_workers,
+            policy=FailurePolicy.retrying(),
+            checkpoint_dir=checkpoint_dir,
+        )
+        outcomes = campaign.results()
+    else:
+        # run_many farms the independent runs to a process pool when the
+        # scale's n_workers > 1; per-run results are identical to serial.
+        outcomes = run_many(engine, scale.n_runs, base_seed=base_seed)
     best_row = None
     best_individual = None
-    # run_many farms the independent runs to a process pool when the
-    # scale's n_workers > 1; per-run results are identical to serial.
-    for outcome in run_many(engine, scale.n_runs, base_seed=base_seed):
+    for outcome in outcomes:
         model, params = outcome.best.phenotype(
             train.state_names, train.var_order
         )
@@ -237,8 +272,16 @@ def run_data_driven(dataset, scale: Scale, seed: int = 0) -> list[MethodResult]:
     return rows
 
 
-def run_table5(scale_name: str | None = None, seed: int = 0) -> Table5Result:
-    """Regenerate Table V at the requested scale."""
+def run_table5(
+    scale_name: str | None = None,
+    seed: int = 0,
+    checkpoint_dir: str | None = None,
+) -> Table5Result:
+    """Regenerate Table V at the requested scale.
+
+    ``checkpoint_dir`` makes the GMR campaign resumable (the dominant
+    cost at bench/full scale); the other methods rerun from scratch.
+    """
     scale = get_scale(scale_name)
     started = time.perf_counter()
     dataset = load_dataset(
@@ -252,7 +295,14 @@ def run_table5(scale_name: str | None = None, seed: int = 0) -> Table5Result:
     results.extend(run_calibrations(dataset, scale, seed=seed + 1))
     gggp_row, gggp_best = run_gggp(dataset, scale, base_seed=seed)
     results.append(gggp_row)
-    gmr_row, gmr_best = run_gmr(dataset, scale, base_seed=seed)
+    gmr_checkpoints = (
+        None
+        if checkpoint_dir is None
+        else os.path.join(checkpoint_dir, "gmr")
+    )
+    gmr_row, gmr_best = run_gmr(
+        dataset, scale, base_seed=seed, checkpoint_dir=gmr_checkpoints
+    )
     results.append(gmr_row)
 
     return Table5Result(

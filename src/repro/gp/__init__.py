@@ -1,12 +1,24 @@
 """Genetic model revision: the TAG3P-based GMR engine."""
 
 from repro.gp.cache import CacheStats, TreeCache
+from repro.gp.checkpoint import (
+    CheckpointError,
+    RunCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.gp.config import ConfigError, GMRConfig, OperatorProbabilities
 from repro.gp.engine import (
     GenerationRecord,
     GMREngine,
     RunResult,
     run_many,
+)
+from repro.gp.faults import (
+    FaultInjectingEngine,
+    FaultInjectingEvaluator,
+    FaultPlan,
+    InjectedFault,
 )
 from repro.gp.fitness import (
     EvaluationStats,
@@ -45,21 +57,38 @@ from repro.gp.operators import (
     replication,
     subtree_mutation,
 )
+from repro.gp.resilience import (
+    CampaignError,
+    CampaignResult,
+    FailurePolicy,
+    ResilienceConfigError,
+    RetryPolicy,
+    RunFailure,
+    run_campaign,
+)
 from repro.gp.selection import best_of, elites, tournament_select
 
 __all__ = [
     "BINARY_REVISION_OPS",
     "CacheStats",
+    "CampaignError",
+    "CampaignResult",
+    "CheckpointError",
     "ConfigError",
     "EvaluationBackend",
     "EvaluationStats",
     "ExtensionSpec",
+    "FailurePolicy",
+    "FaultInjectingEngine",
+    "FaultInjectingEvaluator",
+    "FaultPlan",
     "GMRConfig",
     "GMREngine",
     "GMRFitnessEvaluator",
     "GenerationRecord",
     "Individual",
     "InitialisationError",
+    "InjectedFault",
     "KnowledgeError",
     "OperatorProbabilities",
     "ParallelRunError",
@@ -67,6 +96,10 @@ __all__ = [
     "PriorKnowledge",
     "ProcessPoolBackend",
     "RANDOM_OPERAND",
+    "ResilienceConfigError",
+    "RetryPolicy",
+    "RunCheckpoint",
+    "RunFailure",
     "RunResult",
     "SerialBackend",
     "TreeCache",
@@ -82,11 +115,14 @@ __all__ = [
     "initial_population",
     "insertion",
     "linear_extrapolation",
+    "load_checkpoint",
     "pessimistic_extrapolation",
     "random_individual",
     "replication",
+    "run_campaign",
     "run_many",
     "run_many_parallel",
+    "save_checkpoint",
     "subtree_mutation",
     "tournament_select",
 ]

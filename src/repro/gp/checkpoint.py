@@ -1,0 +1,199 @@
+"""Checkpoint/resume for GMR runs (crash tolerance, tier 1).
+
+A checkpoint is a complete snapshot of one run's loop state at a
+generation boundary: the generation number, the population, the champion,
+the per-generation history, the RNG state, and the evaluator (whose tree
+cache, statistics, and ES ``best_prev_full`` marker all matter for exact
+replay).  Because a generation is fully determined by that state, a run
+resumed from the checkpoint of generation *g* reproduces the remaining
+generations -- and the final :class:`~repro.gp.engine.RunResult` history
+-- bit-identically to the uninterrupted run.
+
+The on-disk format is deliberately paranoid, because checkpoints exist
+precisely for the moments when processes die mid-write:
+
+* **atomic**: payloads are written to a sibling temp file, fsynced, and
+  renamed into place, so a crash never leaves a half-written checkpoint
+  under the real name;
+* **versioned**: files open with an 8-byte magic that encodes the format
+  version; readers refuse anything they do not understand;
+* **integrity-checked**: a SHA-256 digest over the payload is stored in
+  the header and verified on load, so silent truncation or corruption
+  surfaces as :class:`CheckpointError`, never as a garbage resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.gp.fitness import GMRFitnessEvaluator
+from repro.gp.individual import Individual
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.gp.engine import GenerationRecord, RunResult
+
+#: Format version encoded in the file magic; bump on layout changes.
+CHECKPOINT_VERSION = 1
+
+#: File magics: 7 identifying bytes plus the format version byte.
+_CHECKPOINT_MAGIC = b"GMRCKPT" + bytes([CHECKPOINT_VERSION])
+_RESULT_MAGIC = b"GMRRSLT" + bytes([CHECKPOINT_VERSION])
+
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or applied."""
+
+
+@dataclass
+class RunCheckpoint:
+    """Everything generation ``generation`` needs to continue a run.
+
+    Attributes:
+        seed: The run's RNG seed (resume re-adopts it).
+        generation: Index of the last completed generation.
+        elapsed: Wall-clock seconds spent up to this snapshot, summed
+            across resumed segments.
+        config_repr: ``repr`` of the :class:`~repro.gp.config.GMRConfig`
+            that produced the snapshot; resume refuses a different one.
+        rng_state: ``random.Random.getstate()`` of the run RNG.
+        population: The evaluated population of ``generation``.
+        best: The champion tracked so far.
+        history: Per-generation records up to and including ``generation``.
+        evaluator: The run's evaluator with its tree cache, statistics and
+            ES ``best_prev_full`` marker (compiled functions are dropped on
+            pickling and rebuilt lazily, exactly as in the parallel layer).
+    """
+
+    seed: int
+    generation: int
+    elapsed: float
+    config_repr: str
+    rng_state: Any
+    population: list[Individual]
+    best: Individual
+    history: list["GenerationRecord"]
+    evaluator: GMRFitnessEvaluator
+    version: int = field(default=CHECKPOINT_VERSION)
+
+
+def _atomic_write(path: str | os.PathLike[str], blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via a sibling temp file and rename."""
+    directory = os.path.dirname(os.fspath(path)) or "."
+    temp_path = f"{os.fspath(path)}.tmp.{os.getpid()}"
+    try:
+        with open(temp_path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"could not write checkpoint to {path!s}: {exc}"
+        ) from exc
+    finally:
+        if os.path.exists(temp_path):  # rename failed; do not litter
+            try:
+                os.remove(temp_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+    # Make the rename itself durable.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fsync on dirs may be unsupported
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def _dump(obj: object, path: str | os.PathLike[str], magic: bytes) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).digest()
+    _atomic_write(path, magic + digest + payload)
+
+
+def _load(path: str | os.PathLike[str], magic: bytes, kind: str) -> Any:
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"could not read {kind} {path!s}: {exc}") from exc
+    header = len(magic) + _DIGEST_BYTES
+    if len(blob) < header or blob[: len(magic) - 1] != magic[:-1]:
+        raise CheckpointError(f"{path!s} is not a {kind} file")
+    if blob[len(magic) - 1] != magic[-1]:
+        raise CheckpointError(
+            f"{path!s} uses {kind} format version {blob[len(magic) - 1]}, "
+            f"this build reads version {magic[-1]}"
+        )
+    digest = blob[len(magic) : header]
+    payload = blob[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointError(f"{path!s} failed its integrity check (corrupt?)")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(f"could not unpickle {kind} {path!s}: {exc}") from exc
+
+
+def save_checkpoint(
+    checkpoint: RunCheckpoint, path: str | os.PathLike[str]
+) -> None:
+    """Atomically persist a :class:`RunCheckpoint` to ``path``."""
+    _dump(checkpoint, path, _CHECKPOINT_MAGIC)
+
+
+def load_checkpoint(path: str | os.PathLike[str]) -> RunCheckpoint:
+    """Load and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Raises:
+        CheckpointError: Unreadable file, wrong magic, unsupported
+            version, failed integrity check, or non-checkpoint payload.
+    """
+    checkpoint = _load(path, _CHECKPOINT_MAGIC, "checkpoint")
+    if not isinstance(checkpoint, RunCheckpoint):
+        raise CheckpointError(
+            f"{path!s} holds a {type(checkpoint).__name__}, not a RunCheckpoint"
+        )
+    if checkpoint.version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path!s} holds checkpoint version {checkpoint.version}, "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    return checkpoint
+
+
+def save_result(result: "RunResult", path: str | os.PathLike[str]) -> None:
+    """Atomically persist a completed run's result (campaign resume)."""
+    _dump(result, path, _RESULT_MAGIC)
+
+
+def load_result(path: str | os.PathLike[str]) -> "RunResult":
+    """Load a result written by :func:`save_result` (integrity-checked)."""
+    from repro.gp.engine import RunResult
+
+    result = _load(path, _RESULT_MAGIC, "run result")
+    if not isinstance(result, RunResult):
+        raise CheckpointError(
+            f"{path!s} holds a {type(result).__name__}, not a RunResult"
+        )
+    return result
+
+
+def checkpoint_file(directory: str | os.PathLike[str], seed: int) -> str:
+    """Canonical mid-run checkpoint path for ``seed`` under ``directory``."""
+    return os.path.join(os.fspath(directory), f"run-{seed}.ckpt")
+
+
+def result_file(directory: str | os.PathLike[str], seed: int) -> str:
+    """Canonical completed-result path for ``seed`` under ``directory``."""
+    return os.path.join(os.fspath(directory), f"run-{seed}.result")

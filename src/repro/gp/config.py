@@ -95,6 +95,14 @@ class GMRConfig:
             per batch instead of once per individual, so results can
             differ slightly from the (default) per-individual mode; 0
             preserves the strictly serial semantics.
+        checkpoint_every: Snapshot cadence of the resilience layer
+            (:mod:`repro.gp.checkpoint`): when > 0 and ``GMREngine.run``
+            is given a ``checkpoint_path``, the run's full loop state is
+            written there every this many generations (atomically), so an
+            interrupted run resumes from its last snapshot and reproduces
+            the uninterrupted history bit-identically.  0 (default)
+            disables mid-run snapshots; campaign-level result persistence
+            (:func:`repro.gp.resilience.run_campaign`) works either way.
     """
 
     population_size: int = 200
@@ -116,6 +124,7 @@ class GMRConfig:
     n_workers: int = 1
     eval_batch_size: int = 0
     strict_validate: bool = False
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.population_size < 1:
@@ -140,6 +149,8 @@ class GMRConfig:
             raise ConfigError("n_workers must be positive")
         if self.eval_batch_size < 0:
             raise ConfigError("eval_batch_size must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ConfigError("checkpoint_every must be >= 0")
 
     def sigma_scale(self, generation: int) -> float:
         """Linear ramp-down of the Gaussian-mutation sigma (Section III-B3).

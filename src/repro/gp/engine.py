@@ -11,12 +11,19 @@ priors govern Gaussian mutation.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.dynamics.task import ModelingTask
+from repro.gp.checkpoint import (
+    CheckpointError,
+    RunCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.gp.config import GMRConfig
 from repro.gp.fitness import EvaluationStats, GMRFitnessEvaluator
 from repro.gp.individual import Individual
@@ -104,43 +111,102 @@ class GMREngine:
 
     def run(
         self,
-        seed: int = 0,
+        seed: int | None = None,
         progress: ProgressFn | None = None,
         evaluator: GMRFitnessEvaluator | None = None,
+        resume_from: RunCheckpoint | str | os.PathLike[str] | None = None,
+        checkpoint_path: str | os.PathLike[str] | None = None,
     ) -> RunResult:
         """Execute one full evolutionary run.
 
         Args:
             seed: RNG seed (runs are deterministic given a seed).
+                Defaults to 0 for fresh runs; a resumed run adopts its
+                checkpoint's seed, and passing a conflicting seed raises.
             progress: Optional callback invoked after each generation.
             evaluator: Custom evaluator (e.g. with different ES settings);
-                a fresh one is created when omitted.
+                a fresh one is created when omitted.  Incompatible with
+                ``resume_from`` (the checkpoint carries its evaluator).
+            resume_from: A :class:`~repro.gp.checkpoint.RunCheckpoint`
+                (or path to one) to continue from.  The resumed run
+                replays the remaining generations bit-identically to the
+                uninterrupted run: same ``best_fitness`` history, same
+                champion.
+            checkpoint_path: Where to snapshot the run every
+                ``config.checkpoint_every`` generations (atomic
+                write-then-rename; no-op when the cadence is 0).
+
+        Raises:
+            CheckpointError: ``resume_from`` is unreadable, corrupt, was
+                written under a different configuration, or conflicts
+                with an explicit ``seed``/``evaluator``.
         """
         config = self.config
-        rng = random.Random(seed)
-        if evaluator is None:
-            evaluator = self.make_evaluator()
         started = time.perf_counter()
 
-        if config.strict_validate:
-            self._lint_artifacts()
+        if resume_from is not None:
+            if evaluator is not None:
+                raise CheckpointError(
+                    "pass either resume_from or evaluator, not both: "
+                    "the checkpoint carries its own evaluator state"
+                )
+            checkpoint = (
+                resume_from
+                if isinstance(resume_from, RunCheckpoint)
+                else load_checkpoint(resume_from)
+            )
+            if checkpoint.config_repr != repr(config):
+                raise CheckpointError(
+                    "checkpoint was written under a different engine "
+                    f"configuration:\n  checkpoint: {checkpoint.config_repr}"
+                    f"\n  engine:     {config!r}"
+                )
+            if seed is not None and seed != checkpoint.seed:
+                raise CheckpointError(
+                    f"checkpoint holds seed {checkpoint.seed}, "
+                    f"cannot resume it as seed {seed}"
+                )
+            seed = checkpoint.seed
+            rng = random.Random()
+            rng.setstate(checkpoint.rng_state)
+            evaluator = checkpoint.evaluator
+            population = checkpoint.population
+            best = checkpoint.best
+            history = list(checkpoint.history)
+            start_generation = checkpoint.generation
+            elapsed_before = checkpoint.elapsed
+        else:
+            if seed is None:
+                seed = 0
+            rng = random.Random(seed)
+            if evaluator is None:
+                evaluator = self.make_evaluator()
 
-        population = initial_population(
-            self.grammar, self.knowledge, config, rng
-        )
-        if config.strict_validate:
-            self._lint_offspring(population, "initial population")
-        for individual in population:
-            evaluator.evaluate(individual)
+            if config.strict_validate:
+                self._lint_artifacts()
 
-        best = self._track_best(None, population)
-        history: list[GenerationRecord] = []
-        record = self._record(0, population, evaluator)
-        history.append(record)
-        if progress is not None:
-            progress(0, record)
+            population = initial_population(
+                self.grammar, self.knowledge, config, rng
+            )
+            if config.strict_validate:
+                self._lint_offspring(population, "initial population")
+            for individual in population:
+                evaluator.evaluate(individual)
 
-        for generation in range(1, config.max_generations + 1):
+            best = self._track_best(None, population)
+            history = []
+            record = self._record(0, population, evaluator)
+            history.append(record)
+            start_generation = 0
+            elapsed_before = 0.0
+            self._maybe_checkpoint(
+                checkpoint_path, seed, 0, rng, population, best, history,
+                evaluator, started, elapsed_before,
+            )
+            if progress is not None:
+                progress(0, record)
+
+        for generation in range(start_generation + 1, config.max_generations + 1):
             sigma_scale = config.sigma_scale(generation)
             population = self._next_generation(
                 population, evaluator, rng, sigma_scale
@@ -148,16 +214,52 @@ class GMREngine:
             best = self._track_best(best, population)
             record = self._record(generation, population, evaluator)
             history.append(record)
+            self._maybe_checkpoint(
+                checkpoint_path, seed, generation, rng, population, best,
+                history, evaluator, started, elapsed_before,
+            )
             if progress is not None:
                 progress(generation, record)
 
-        elapsed = time.perf_counter() - started
+        elapsed = elapsed_before + (time.perf_counter() - started)
         return RunResult(
             best=best,
             history=history,
             stats=evaluator.stats,
             seed=seed,
             elapsed=elapsed,
+        )
+
+    def _maybe_checkpoint(
+        self,
+        path: str | os.PathLike[str] | None,
+        seed: int,
+        generation: int,
+        rng: random.Random,
+        population: list[Individual],
+        best: Individual,
+        history: list[GenerationRecord],
+        evaluator: GMRFitnessEvaluator,
+        started: float,
+        elapsed_before: float,
+    ) -> None:
+        """Snapshot the loop state if the cadence says this generation."""
+        every = self.config.checkpoint_every
+        if path is None or every <= 0 or generation % every != 0:
+            return
+        save_checkpoint(
+            RunCheckpoint(
+                seed=seed,
+                generation=generation,
+                elapsed=elapsed_before + (time.perf_counter() - started),
+                config_repr=repr(self.config),
+                rng_state=rng.getstate(),
+                population=population,
+                best=best,
+                history=list(history),
+                evaluator=evaluator,
+            ),
+            path,
         )
 
     def _lint_artifacts(self) -> None:
@@ -325,9 +427,15 @@ class GMREngine:
         best: Individual | None, population: list[Individual]
     ) -> Individual:
         candidate = best_of(population)
+        # NB: `best.fitness or inf` would treat a legitimate 0.0 champion
+        # as missing and let any candidate displace it; only None means
+        # "no fitness yet".
+        incumbent = (
+            float("inf") if best is None or best.fitness is None
+            else best.fitness
+        )
         if best is None or (
-            candidate.fitness is not None
-            and candidate.fitness < (best.fitness or float("inf"))
+            candidate.fitness is not None and candidate.fitness < incumbent
         ):
             clone = candidate.copy()
             clone.fitness = candidate.fitness

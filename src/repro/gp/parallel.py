@@ -18,23 +18,50 @@ reproduction:
    (documented caveat: slightly lazier short-circuiting than the
    per-individual serial path).
 
-Workers fail loudly: an exception inside a worker surfaces in the parent
-as :class:`ParallelRunError` naming the seed that failed, never as a
-hang.  Everything shipped across the process boundary is picklable --
-compiled step functions are dropped on pickling and rebuilt lazily on
-first use in the receiving process.
+Failure handling is governed by :class:`~repro.gp.resilience.
+FailurePolicy`.  By default workers fail loudly: an exception inside a
+worker surfaces in the parent as :class:`ParallelRunError` naming the
+seed that failed (outstanding work is cancelled), never as a hang.  With
+``policy=collect``/``retry`` a campaign instead returns a
+:class:`~repro.gp.resilience.CampaignResult` carrying every completed
+run plus structured failure records, optionally after bounded retries.
+A pool broken by a dying worker (OOM kill, segfault) is rebuilt and the
+affected seeds are re-submitted, bounded by ``policy.max_pool_rebuilds``;
+:class:`ProcessPoolBackend` recovers the same way at evaluation level.
+Everything shipped across the process boundary is picklable -- compiled
+step functions are dropped on pickling and rebuilt lazily on first use
+in the receiving process.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import time
+import warnings
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro.gp.checkpoint import (
+    CheckpointError,
+    checkpoint_file,
+    load_checkpoint,
+    result_file,
+    save_result,
+)
 from repro.gp.fitness import EvaluationStats, GMRFitnessEvaluator
 from repro.gp.individual import Individual
+from repro.gp.resilience import (
+    COLLECT,
+    FAIL_FAST,
+    RETRY,
+    CampaignResult,
+    FailurePolicy,
+    RunFailure,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.gp.engine import GMREngine, RunResult
@@ -59,27 +86,70 @@ def default_workers(n_tasks: int, requested: int | None = None) -> int:
     """Resolve a worker count: the request, capped by tasks and CPUs.
 
     The ``REPRO_MAX_WORKERS`` environment variable caps the result
-    unconditionally (CI runners set it to their vCPU count).
+    unconditionally (CI runners set it to their vCPU count).  A value
+    that does not parse as an integer is ignored with a warning, so a
+    misconfigured runner is visible instead of silently uncapped.
     """
     if requested is None:
         requested = os.cpu_count() or 1
     cap = os.environ.get("REPRO_MAX_WORKERS")
     if cap:
         try:
-            requested = min(requested, max(1, int(cap)))
+            parsed = int(cap)
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring malformed REPRO_MAX_WORKERS={cap!r} "
+                "(expected an integer); worker pools are uncapped",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            requested = min(requested, max(1, parsed))
     return max(1, min(requested, n_tasks))
 
 
-def _run_one(engine: "GMREngine", seed: int) -> "RunResult":
+def _run_one(
+    engine: "GMREngine",
+    seed: int,
+    checkpoint_dir: str | None = None,
+) -> "RunResult":
     """Worker entry point: one full evolutionary run.
 
     ``engine.run`` builds a fresh evaluator, so caches and the ES
     ``best_prev_full`` marker are private to this run -- which is exactly
-    what makes parallel results bit-identical to serial ones.
+    what makes parallel results bit-identical to serial ones.  With a
+    checkpoint directory, the run snapshots itself there (on the
+    ``config.checkpoint_every`` cadence) and resumes from the last
+    snapshot an interrupted attempt left behind; an unreadable snapshot
+    is discarded with a warning and the run restarts from scratch.
     """
-    return engine.run(seed=seed)
+    if checkpoint_dir is None:
+        return engine.run(seed=seed)
+    path = checkpoint_file(checkpoint_dir, seed)
+    resume = None
+    if os.path.exists(path):
+        try:
+            resume = load_checkpoint(path)
+        except CheckpointError as exc:
+            warnings.warn(
+                f"restarting seed {seed} from scratch: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return engine.run(seed=seed, resume_from=resume, checkpoint_path=path)
+
+
+def _finalize_run(
+    checkpoint_dir: str | None, seed: int, result: "RunResult"
+) -> None:
+    """Persist a completed run's result and drop its mid-run snapshot."""
+    if checkpoint_dir is None:
+        return
+    save_result(result, result_file(checkpoint_dir, seed))
+    try:
+        os.remove(checkpoint_file(checkpoint_dir, seed))
+    except FileNotFoundError:
+        pass
 
 
 def run_many_parallel(
@@ -87,7 +157,8 @@ def run_many_parallel(
     n_runs: int,
     base_seed: int = 0,
     max_workers: int | None = None,
-) -> list["RunResult"]:
+    policy: FailurePolicy | None = None,
+) -> "list[RunResult] | CampaignResult":
     """Execute independent seeded runs across a process pool.
 
     Equivalent to ``run_many(engine, n_runs, base_seed)`` -- same seeds,
@@ -102,33 +173,212 @@ def run_many_parallel(
         max_workers: Pool size; defaults to ``min(n_runs, cpu_count)``.
             1 runs in-process (no pool) but keeps the same error
             contract.
+        policy: Failure handling.  None (the default) keeps the
+            historical contract -- fail fast, return a plain list.  With
+            a policy the call returns a :class:`~repro.gp.resilience.
+            CampaignResult` of completed runs plus structured failures
+            (``fail_fast`` mode still raises).
 
     Raises:
-        ParallelRunError: A worker raised; the error names the seed.
+        ParallelRunError: A worker raised under fail-fast handling; the
+            error names the seed, and outstanding runs are cancelled.
     """
-    if n_runs <= 0:
-        return []
-    seeds = [base_seed + index for index in range(n_runs)]
-    workers = default_workers(n_runs, max_workers)
+    seeds = [base_seed + index for index in range(max(0, n_runs))]
+    if policy is None:
+        outcome = execute_campaign(
+            engine, seeds, FailurePolicy.fail_fast(), max_workers, None
+        )
+        return outcome.completed
+    return execute_campaign(engine, seeds, policy, max_workers, None)
 
+
+def execute_campaign(
+    engine: "GMREngine",
+    seeds: Sequence[int],
+    policy: FailurePolicy,
+    max_workers: int | None = None,
+    checkpoint_dir: str | None = None,
+) -> CampaignResult:
+    """Run ``seeds`` under ``policy``; the engine room of campaigns.
+
+    Callers normally reach this through :func:`run_many_parallel` or
+    :func:`repro.gp.resilience.run_campaign` (which adds completed-result
+    reuse on top).
+    """
+    if not seeds:
+        return CampaignResult(completed=[], failed=[])
+    workers = default_workers(len(seeds), max_workers)
     if workers == 1:
-        results: list[RunResult] = []
-        for seed in seeds:
-            try:
-                results.append(_run_one(engine, seed))
-            except Exception as exc:
-                raise ParallelRunError(seed, exc) from exc
-        return results
+        return _campaign_serial(engine, list(seeds), policy, checkpoint_dir)
+    return _campaign_pooled(
+        engine, list(seeds), policy, workers, checkpoint_dir
+    )
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [(seed, pool.submit(_run_one, engine, seed)) for seed in seeds]
-        results = []
-        for seed, future in futures:
+
+def _campaign_serial(
+    engine: "GMREngine",
+    seeds: list[int],
+    policy: FailurePolicy,
+    checkpoint_dir: str | None,
+) -> CampaignResult:
+    """In-process execution with the same policy semantics as the pool.
+
+    The per-run ``timeout`` watchdog cannot interrupt in-process code and
+    is not enforced here.
+    """
+    completed: list[RunResult] = []
+    failed: list[RunFailure] = []
+    for seed in seeds:
+        started = time.monotonic()
+        attempt = 0
+        while True:
+            attempt += 1
             try:
-                results.append(future.result())
+                result = _run_one(engine, seed, checkpoint_dir)
             except Exception as exc:
-                raise ParallelRunError(seed, exc) from exc
-        return results
+                if policy.mode == FAIL_FAST:
+                    raise ParallelRunError(seed, exc) from exc
+                if policy.mode == RETRY and attempt < policy.max_attempts:
+                    time.sleep(policy.retry.delay(seed, attempt))
+                    continue
+                failed.append(
+                    RunFailure.from_exception(
+                        seed, attempt, exc, time.monotonic() - started
+                    )
+                )
+                break
+            else:
+                completed.append(result)
+                _finalize_run(checkpoint_dir, seed, result)
+                break
+    return CampaignResult(completed=completed, failed=failed)
+
+
+def _campaign_pooled(
+    engine: "GMREngine",
+    seeds: list[int],
+    policy: FailurePolicy,
+    workers: int,
+    checkpoint_dir: str | None,
+) -> CampaignResult:
+    """Round-based pooled execution with retries and pool rebuilds.
+
+    Each round submits every outstanding seed, then collects in seed
+    order.  Failed seeds either terminate the campaign (``fail_fast``),
+    are recorded (``collect``), or re-enter the next round (``retry``,
+    after the deterministic backoff).  A broken pool is rebuilt (bounded
+    by ``policy.max_pool_rebuilds``) and the seeds it swallowed are
+    re-submitted without consuming their retry attempts.
+    """
+    completed: dict[int, RunResult] = {}
+    failed: dict[int, RunFailure] = {}
+    attempts = {seed: 0 for seed in seeds}
+    first_seen = {seed: time.monotonic() for seed in seeds}
+    outstanding = list(seeds)
+    rebuilds = 0
+    timed_out = False
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def record_failure(seed: int, error: BaseException) -> None:
+        failed[seed] = RunFailure.from_exception(
+            seed, attempts[seed], error, time.monotonic() - first_seen[seed]
+        )
+
+    try:
+        while outstanding:
+            retry_later: list[int] = []
+            rebuild_seeds: list[int] = []
+            pool_error: BaseException | None = None
+            for seed in outstanding:
+                attempts[seed] += 1
+            round_started = time.monotonic()
+            futures = {}
+            for seed in outstanding:
+                try:
+                    futures[seed] = pool.submit(
+                        _run_one, engine, seed, checkpoint_dir
+                    )
+                except BrokenExecutor as exc:
+                    pool_error = exc
+                    rebuild_seeds.append(seed)
+
+            def handle_failure(seed: int, error: BaseException) -> None:
+                if policy.mode == FAIL_FAST:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise ParallelRunError(seed, error) from error
+                if (
+                    policy.mode == RETRY
+                    and attempts[seed] < policy.retry.max_attempts
+                ):
+                    retry_later.append(seed)
+                else:
+                    record_failure(seed, error)
+
+            for seed in outstanding:
+                future = futures.get(seed)
+                if future is None:
+                    continue  # submission hit a broken pool
+                try:
+                    if policy.timeout is None:
+                        result = future.result()
+                    else:
+                        budget = max(
+                            0.0,
+                            round_started + policy.timeout - time.monotonic(),
+                        )
+                        result = future.result(timeout=budget)
+                except FuturesTimeoutError:
+                    timed_out = True
+                    future.cancel()
+                    handle_failure(
+                        seed,
+                        TimeoutError(
+                            f"run with seed {seed} exceeded the "
+                            f"{policy.timeout}s watchdog"
+                        ),
+                    )
+                except BrokenExecutor as exc:
+                    pool_error = exc
+                    rebuild_seeds.append(seed)
+                except Exception as exc:
+                    handle_failure(seed, exc)
+                else:
+                    completed[seed] = result
+                    _finalize_run(checkpoint_dir, seed, result)
+
+            if pool_error is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+                if rebuilds >= policy.max_pool_rebuilds:
+                    if policy.mode == FAIL_FAST:
+                        raise ParallelRunError(
+                            rebuild_seeds[0], pool_error
+                        ) from pool_error
+                    for seed in rebuild_seeds:
+                        record_failure(seed, pool_error)
+                    rebuild_seeds = []
+                else:
+                    rebuilds += 1
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    # The pool died under these seeds; they never failed
+                    # on their own, so give their attempts back.
+                    for seed in rebuild_seeds:
+                        attempts[seed] -= 1
+
+            if retry_later:
+                delay = max(
+                    policy.retry.delay(seed, attempts[seed])
+                    for seed in retry_later
+                )
+                if delay > 0:
+                    time.sleep(delay)
+            outstanding = sorted(rebuild_seeds + retry_later)
+    finally:
+        # A timed-out run may still occupy a worker; do not block on it.
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+    return CampaignResult(
+        completed=[completed[seed] for seed in sorted(completed)],
+        failed=[failed[seed] for seed in sorted(failed)],
+    )
 
 
 def aggregate_stats(results: Sequence["RunResult"]) -> EvaluationStats:
@@ -213,11 +463,22 @@ class ProcessPoolBackend(EvaluationBackend):
     (``GMRConfig.eval_batch_size``) and switchable back to
     :class:`SerialBackend` semantics at any time.
 
+    A worker dying mid-batch (OOM kill, segfault) breaks the whole pool;
+    the backend detects ``BrokenProcessPool``, rebuilds its pool, and
+    re-submits only the chunks whose results it never received -- at most
+    ``max_pool_rebuilds`` times per batch.  Statistics are folded in once
+    per *successfully returned* chunk, so recovery never double-counts
+    evaluations and the ES marker stays consistent.  (Re-submitted chunks
+    observe the ``best_prev_full`` current at re-submission, which is at
+    least as tight as the original broadcast -- within the documented
+    per-batch synchronisation semantics.)
+
     The backend itself stays picklable: the live pool is dropped on
     pickling and lazily rebuilt.
     """
 
     max_workers: int = 2
+    max_pool_rebuilds: int = 2
 
     def __post_init__(self) -> None:
         self._pool: ProcessPoolExecutor | None = None
@@ -237,11 +498,11 @@ class ProcessPoolBackend(EvaluationBackend):
 
     def _ensure_pool(self, evaluator: GMRFitnessEvaluator) -> ProcessPoolExecutor:
         if self._pool is None:
-            # The evaluator pickles without its compiled-function table;
-            # each worker re-derives caches privately from task + config.
-            seed_evaluator = GMRFitnessEvaluator(
-                task=evaluator.task, config=evaluator.config
-            )
+            # Seed each worker with a reset clone of the caller's
+            # evaluator: same class (so test doubles keep their
+            # behaviour), but private caches, statistics, and ES marker.
+            seed_evaluator = pickle.loads(pickle.dumps(evaluator))
+            seed_evaluator.reset()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.effective_workers,
                 initializer=_init_eval_worker,
@@ -257,25 +518,55 @@ class ProcessPoolBackend(EvaluationBackend):
         pending = list(individuals)
         if not pending:
             return
-        pool = self._ensure_pool(evaluator)
         chunk_size = -(-len(pending) // self.effective_workers)  # ceil division
-        chunks = [
+        remaining = [
             pending[start : start + chunk_size]
             for start in range(0, len(pending), chunk_size)
         ]
-        futures = [
-            pool.submit(_evaluate_chunk, chunk, evaluator.best_prev_full)
-            for chunk in chunks
-        ]
-        best = evaluator.best_prev_full
-        for chunk, future in zip(chunks, futures):
-            outcomes, stats_delta, worker_best = future.result()
-            for individual, (fitness, fully) in zip(chunk, outcomes):
-                individual.fitness = fitness
-                individual.fully_evaluated = fully
-            evaluator.stats = evaluator.stats.merge(stats_delta)
-            best = min(best, worker_best)
-        evaluator.best_prev_full = best
+        rebuilds = 0
+        while remaining:
+            pool = self._ensure_pool(evaluator)
+            submitted = []
+            pool_error: BaseException | None = None
+            for chunk in remaining:
+                try:
+                    submitted.append(
+                        (chunk, pool.submit(
+                            _evaluate_chunk, chunk, evaluator.best_prev_full
+                        ))
+                    )
+                except BrokenExecutor as exc:
+                    pool_error = exc
+                    submitted.append((chunk, None))
+            unfinished: list[list[Individual]] = []
+            best = evaluator.best_prev_full
+            for chunk, future in submitted:
+                if future is None:
+                    unfinished.append(chunk)
+                    continue
+                try:
+                    outcomes, stats_delta, worker_best = future.result()
+                except BrokenExecutor as exc:
+                    pool_error = exc
+                    unfinished.append(chunk)
+                    continue
+                for individual, (fitness, fully) in zip(chunk, outcomes):
+                    individual.fitness = fitness
+                    individual.fully_evaluated = fully
+                evaluator.stats = evaluator.stats.merge(stats_delta)
+                best = min(best, worker_best)
+            evaluator.best_prev_full = best
+            if pool_error is not None:
+                self._discard_pool()
+                if rebuilds >= self.max_pool_rebuilds:
+                    raise pool_error
+                rebuilds += 1
+            remaining = unfinished
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def close(self) -> None:
         if self._pool is not None:

@@ -20,7 +20,7 @@ from repro.dynamics.integrate import (
 from repro.dynamics.system import ModelError, ProcessModel
 from repro.dynamics.task import BAD_FITNESS, ModelingTask
 from repro.expr import ast
-from repro.expr.ast import Param, State, Var
+from repro.expr.ast import Const, Param, State, Var
 
 
 def decay_model() -> ProcessModel:
@@ -179,6 +179,104 @@ class TestModelingTask:
         value = task.rmse(decay_model(), (k,))
         assert value >= 0.0
         assert math.isfinite(value) or value == BAD_FITNESS
+
+
+#: Two of these multiplied overflow the float range to +inf -- silently:
+#: Python float multiplication saturates, it does not raise.
+HUGE = 1e308
+
+
+def inf_model() -> ProcessModel:
+    """dB/dt = +inf at every step."""
+    return ProcessModel.from_equations(
+        {"B": ast.mul(Const(HUGE), Const(HUGE))}, var_order=("Vx",)
+    )
+
+
+def nan_model() -> ProcessModel:
+    """dB/dt = inf - inf = NaN at every step."""
+    return ProcessModel.from_equations(
+        {
+            "B": ast.sub(
+                ast.mul(Const(HUGE), Const(HUGE)),
+                ast.mul(Const(HUGE), Const(HUGE)),
+            )
+        },
+        var_order=("Vx",),
+    )
+
+
+class TestDivergence:
+    """ClampSpec / safe_simulate behaviour when models blow up."""
+
+    def test_clamp_maps_infinities_into_the_band(self):
+        clamp = ClampSpec(minimum=0.5, maximum=10.0)
+        assert clamp.apply(float("inf")) == 10.0
+        assert clamp.apply(float("-inf")) == 0.5
+
+    def test_clamp_rejects_nan(self):
+        with pytest.raises(SimulationDiverged):
+            ClampSpec().apply(float("nan"))
+
+    def test_inf_derivative_is_clamped_to_ceiling(self):
+        clamp = ClampSpec(minimum=0.5, maximum=10.0)
+        trajectory = simulate(inf_model(), (), drivers(5), (1.0,), clamp=clamp)
+        assert (trajectory == 10.0).all()
+        assert np.isfinite(trajectory).all()
+
+    def test_negative_inf_derivative_is_clamped_to_floor(self):
+        model = ProcessModel.from_equations(
+            {"B": ast.neg(ast.mul(Const(HUGE), Const(HUGE)))},
+            var_order=("Vx",),
+        )
+        clamp = ClampSpec(minimum=0.5, maximum=10.0)
+        trajectory = simulate(model, (), drivers(5), (1.0,), clamp=clamp)
+        assert (trajectory == 0.5).all()
+
+    def test_nan_from_inf_minus_inf_raises(self):
+        with pytest.raises(SimulationDiverged):
+            simulate(nan_model(), (), drivers(5), (1.0,))
+
+    def test_safe_simulate_swallows_nan_divergence(self):
+        assert safe_simulate(nan_model(), (), drivers(5), (1.0,)) is None
+
+    def test_safe_simulate_swallows_overflow_error(self):
+        # Compiled step functions can raise OverflowError outright (e.g.
+        # float ** with extreme operands); safe_simulate must treat that
+        # as a divergence, not crash the evaluation loop.
+        model = decay_model()
+
+        def exploding_step(params, row, state):
+            raise OverflowError("math range error")
+
+        model._compiled = exploding_step
+        assert safe_simulate(model, (0.1,), drivers(5), (1.0,)) is None
+
+    def test_error_stream_raises_instead_of_yielding_nonfinite(self):
+        # With an unbounded clamp the state really reaches +inf; the
+        # stream must raise rather than emit inf/NaN squared errors into
+        # fitness accumulation.
+        unbounded = ClampSpec(
+            minimum=-math.inf, maximum=math.inf
+        )
+        stream = observation_error_stream(
+            inf_model(),
+            (),
+            drivers(5),
+            (1.0,),
+            np.zeros(5),
+            "B",
+            clamp=unbounded,
+        )
+        with pytest.raises(SimulationDiverged):
+            list(stream)
+
+    def test_error_stream_raises_on_nan_state(self):
+        stream = observation_error_stream(
+            nan_model(), (), drivers(5), (1.0,), np.zeros(5), "B"
+        )
+        with pytest.raises(SimulationDiverged):
+            list(stream)
 
 
 class TestObservationStream:

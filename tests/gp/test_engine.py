@@ -186,3 +186,42 @@ class TestEngine:
         assert toy_task.rmse(model, params) == pytest.approx(
             result.best_fitness, rel=1e-9
         )
+
+
+class TestTrackBest:
+    def _individual(self, toy_grammar, toy_knowledge, fitness, seed=0):
+        config = GMRConfig(population_size=4, max_generations=1, max_size=8)
+        individual = random_individual(
+            toy_grammar, toy_knowledge, config, random.Random(seed)
+        )
+        individual.fitness = fitness
+        individual.fully_evaluated = fitness is not None
+        return individual
+
+    def test_perfect_champion_not_displaced(self, toy_grammar, toy_knowledge):
+        # Regression: `best.fitness or inf` treated a legitimate 0.0
+        # champion as missing and let any later candidate displace it.
+        champion = self._individual(toy_grammar, toy_knowledge, 0.0, seed=0)
+        tracked = GMREngine._track_best(None, [champion])
+        assert tracked.fitness == 0.0
+        worse = self._individual(toy_grammar, toy_knowledge, 1.0, seed=1)
+        kept = GMREngine._track_best(tracked, [worse])
+        assert kept.fitness == 0.0
+
+    def test_improvement_still_displaces(self, toy_grammar, toy_knowledge):
+        incumbent = self._individual(toy_grammar, toy_knowledge, 2.0, seed=0)
+        better = self._individual(toy_grammar, toy_knowledge, 1.0, seed=1)
+        assert GMREngine._track_best(incumbent, [better]).fitness == 1.0
+
+    def test_unevaluated_incumbent_is_displaced(
+        self, toy_grammar, toy_knowledge
+    ):
+        incumbent = self._individual(toy_grammar, toy_knowledge, None, seed=0)
+        candidate = self._individual(toy_grammar, toy_knowledge, 5.0, seed=1)
+        assert GMREngine._track_best(incumbent, [candidate]).fitness == 5.0
+
+    def test_tracked_champion_is_a_copy(self, toy_grammar, toy_knowledge):
+        champion = self._individual(toy_grammar, toy_knowledge, 1.5, seed=0)
+        tracked = GMREngine._track_best(None, [champion])
+        assert tracked is not champion
+        assert tracked.fitness == champion.fitness

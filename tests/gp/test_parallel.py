@@ -95,6 +95,15 @@ class TestRunDeterminism:
         assert default_workers(5, None) >= 1
         assert default_workers(0, None) == 1
 
+    def test_env_cap_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        assert default_workers(8, 6) == 2
+
+    def test_malformed_env_cap_warns_and_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_MAX_WORKERS='lots'"):
+            assert default_workers(4, 3) == 3
+
 
 class TestStatsMerge:
     def test_evaluation_stats_merge_sums_counters(self):

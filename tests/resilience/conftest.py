@@ -1,0 +1,43 @@
+"""Fixtures for the resilience suite, reusing the toy GP problem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gp.config import GMRConfig
+from repro.gp.engine import GMREngine
+
+from tests.gp.conftest import (  # noqa: F401
+    toy_grammar,
+    toy_knowledge,
+    toy_task,
+)
+
+
+@pytest.fixture()
+def make_engine(toy_knowledge, toy_task):
+    """Factory for small, fast engines over the shared toy problem.
+
+    ``engine_cls`` lets tests substitute the fault-injecting engine;
+    extra keyword arguments beyond the config knobs are forwarded to it
+    via ``engine_kwargs``.
+    """
+
+    def factory(engine_cls=GMREngine, engine_kwargs=None, **overrides):
+        defaults = dict(
+            population_size=6,
+            max_generations=3,
+            max_size=8,
+            elite_size=1,
+            local_search_steps=1,
+            sigma_rampdown_generations=1,
+        )
+        defaults.update(overrides)
+        return engine_cls(
+            toy_knowledge,
+            toy_task,
+            GMRConfig(**defaults),
+            **(engine_kwargs or {}),
+        )
+
+    return factory
