@@ -1,0 +1,62 @@
+"""Kernel batching: batched vs. scalar integration throughput.
+
+Shape targets: batched rollouts must beat the scalar per-column loop by
+at least 3x at K=64 (the default ``kernel_batch_size``), and the run
+emits ``BENCH_kernel.json`` so future PRs have a recorded perf baseline.
+K=1 is expected to *lose* to scalar -- it isolates the fixed per-call
+overhead of NumPy dispatch -- which is why the evaluator only batches
+structure groups of two or more columns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.kernel_batching import (
+    DEFAULT_K_VALUES,
+    run_kernel_batching,
+)
+
+#: Minimum speedup over scalar integration at the default batch width.
+SPEEDUP_TARGET_AT_64 = 3.0
+
+#: Where the perf baseline lands (repo root when run via pytest).
+BENCH_JSON = os.environ.get("REPRO_BENCH_KERNEL_JSON", "BENCH_kernel.json")
+
+
+def test_kernel_batching_regenerates(benchmark, scale_name):
+    result = benchmark.pedantic(
+        run_kernel_batching, args=(scale_name,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    result.write_json(BENCH_JSON)
+
+    assert result.k_values == DEFAULT_K_VALUES
+    assert result.n_cases > 0
+    for k in result.k_values:
+        assert result.scalar_steps_per_sec[k] > 0
+        assert result.batched_steps_per_sec[k] > 0
+        assert result.speedup[k] > 0
+    # Throughput must scale with batch width: the widest batch beats the
+    # narrowest by a wide margin even when individual points are noisy.
+    widest, narrowest = max(result.k_values), min(result.k_values)
+    assert (
+        result.batched_steps_per_sec[widest]
+        > result.batched_steps_per_sec[narrowest]
+    )
+    assert result.speedup[64] >= SPEEDUP_TARGET_AT_64, (
+        f"expected >= {SPEEDUP_TARGET_AT_64}x over scalar at K=64, "
+        f"got {result.speedup[64]:.2f}x"
+    )
+    # The cohort pass exercises the evaluator path end to end; its cache
+    # rates are proper fractions.
+    assert result.cohort_size > 0
+    assert 0.0 <= result.tree_cache_hit_rate <= 1.0
+    assert 0.0 <= result.kernel_cache_hit_rate <= 1.0
+
+    with open(BENCH_JSON) as handle:
+        payload = json.load(handle)
+    assert payload["speedup"]["64"] == result.speedup[64]
+    assert payload["scale"] == result.scale

@@ -2,8 +2,10 @@
 
 from repro.dynamics.drivers import DriverError, DriverTable
 from repro.dynamics.integrate import (
+    BatchedRollout,
     ClampSpec,
     SimulationDiverged,
+    batched_euler_rollout,
     euler_steps,
     is_finite_trajectory,
     observation_error_stream,
@@ -16,6 +18,7 @@ from repro.dynamics.task import BAD_FITNESS, ModelingTask
 
 __all__ = [
     "BAD_FITNESS",
+    "BatchedRollout",
     "ClampSpec",
     "ModelingTask",
     "DriverError",
@@ -23,6 +26,7 @@ __all__ = [
     "ModelError",
     "ProcessModel",
     "SimulationDiverged",
+    "batched_euler_rollout",
     "euler_steps",
     "is_finite_trajectory",
     "observation_error_stream",

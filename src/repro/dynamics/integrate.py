@@ -19,6 +19,10 @@ import numpy as np
 from repro.dynamics.drivers import DriverTable
 from repro.dynamics.system import ProcessModel
 
+#: Element budget for hoisted driver-dependent temporaries in batched
+#: rollouts (~16 MiB of float64) -- bounds memory on long trajectories.
+_HOIST_ELEMENT_BUDGET = 1 << 21
+
 
 class SimulationDiverged(ArithmeticError):
     """Raised when a simulated state becomes NaN."""
@@ -89,6 +93,20 @@ def euler_steps(
         yield tuple(state)
 
 
+def _checked_slopes(slopes: tuple[float, ...]) -> tuple[float, ...]:
+    """Raise :class:`SimulationDiverged` if any slope is NaN.
+
+    RK4 evaluates the step function at intermediate points; a NaN in an
+    intermediate slope (``k2``/``k3``) would otherwise propagate silently
+    through the combined update, so slopes get the same loud-failure
+    treatment :meth:`ClampSpec.apply` gives states.
+    """
+    for value in slopes:
+        if value != value:  # NaN
+            raise SimulationDiverged("slope became NaN")
+    return slopes
+
+
 def rk4_steps(
     model: ProcessModel,
     params: Sequence[float],
@@ -96,30 +114,175 @@ def rk4_steps(
     initial_state: Sequence[float],
     dt: float = 1.0,
     clamp: ClampSpec = ClampSpec(),
+    use_compiled: bool = True,
 ) -> Iterator[tuple[float, ...]]:
     """Yield states from a classical Runge-Kutta-4 integration.
 
     Driver values are held constant within a step (they are daily
     observations, so sub-step interpolation would be spurious precision).
+    Matches :func:`euler_steps` error behaviour: a NaN in any slope or
+    updated state raises :class:`SimulationDiverged`, and ``use_compiled``
+    selects between the compiled step function and the reference
+    interpreter.
     """
     if drivers.names != model.var_order:
         drivers = drivers.select(model.var_order)
     params = tuple(params)
     state = [float(value) for value in initial_state]
     n_states = len(state)
-    step = model.compiled()
+    step = model.compiled() if use_compiled else model.interpret_step
     for row in drivers.rows():
-        k1 = step(params, row, state)
+        k1 = _checked_slopes(step(params, row, state))
         mid1 = [state[i] + 0.5 * dt * k1[i] for i in range(n_states)]
-        k2 = step(params, row, mid1)
+        k2 = _checked_slopes(step(params, row, mid1))
         mid2 = [state[i] + 0.5 * dt * k2[i] for i in range(n_states)]
-        k3 = step(params, row, mid2)
+        k3 = _checked_slopes(step(params, row, mid2))
         end = [state[i] + dt * k3[i] for i in range(n_states)]
-        k4 = step(params, row, end)
+        k4 = _checked_slopes(step(params, row, end))
         for i in range(n_states):
             increment = (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]) / 6.0
             state[i] = clamp.apply(state[i] + dt * increment)
         yield tuple(state)
+
+
+@dataclass(frozen=True)
+class BatchedRollout:
+    """Outcome of a batched Euler integration over K parameter columns.
+
+    Attributes:
+        states: Trajectory array of shape ``(T, n_states, K)``; column
+            ``k`` of a non-diverged candidate matches the scalar
+            :func:`euler_steps` trajectory for its parameter vector.
+        diverged_at: Shape ``(K,)``; the first driver row whose update
+            produced a NaN in column ``k``, or ``T`` when the column
+            never diverged.  Rows at and after ``diverged_at[k]`` hold
+            the column's last good state (frozen, then clamped) -- they
+            carry no information and must not be scored.
+    """
+
+    states: np.ndarray
+    diverged_at: np.ndarray
+
+    @property
+    def n_steps(self) -> int:
+        return self.states.shape[0]
+
+    @property
+    def diverged(self) -> np.ndarray:
+        """Boolean mask of shape ``(K,)``: which columns went NaN."""
+        return self.diverged_at < self.n_steps
+
+    def target_series(self, state_index: int) -> np.ndarray:
+        """One state's trajectories, shape ``(T, K)``."""
+        return self.states[:, state_index, :]
+
+
+def batched_euler_rollout(
+    model: ProcessModel,
+    params: np.ndarray,
+    drivers: DriverTable,
+    initial_state: Sequence[float],
+    dt: float = 1.0,
+    clamp: ClampSpec = ClampSpec(),
+) -> BatchedRollout:
+    """Integrate K parameter columns of one structure in a single pass.
+
+    The batched twin of :func:`euler_steps`: every driver row advances
+    all K columns of the ``(n_states, K)`` state matrix through the
+    model's batched kernel, with vectorised clamping.  Divergence is
+    masked per column instead of raised -- a column whose update goes NaN
+    is frozen at its last good state and recorded in
+    ``BatchedRollout.diverged_at``, so one poisoned candidate cannot
+    spoil its batch.  IEEE exceptional intermediates (overflow to inf,
+    inf - inf) are expected from evolved models and silenced for the
+    duration of the rollout; NaN detection happens explicitly per step.
+
+    Args:
+        model: The process model to integrate.
+        params: Parameter matrix of shape ``(n_params, K)``, rows
+            following ``model.param_order``; column ``k`` is candidate
+            ``k``'s parameter vector.
+        drivers: Driver table whose columns follow ``model.var_order``.
+        initial_state: Starting values following ``model.state_names``
+            (shared by all K candidates).
+        dt: Step size (days).
+        clamp: Clamping band applied to every state after each step.
+    """
+    if drivers.names != model.var_order:
+        drivers = drivers.select(model.var_order)
+    params = np.asarray(params, dtype=float)
+    if params.ndim != 2:
+        raise ValueError(
+            f"params must be an (n_params, K) matrix, got shape {params.shape}"
+        )
+    if params.shape[0] != len(model.param_order):
+        raise ValueError(
+            f"params has {params.shape[0]} rows, model has "
+            f"{len(model.param_order)} parameters"
+        )
+    n_states = len(model.state_names)
+    initial = np.asarray(initial_state, dtype=float)
+    if initial.shape != (n_states,):
+        raise ValueError(
+            f"initial state has shape {initial.shape}, model has "
+            f"{n_states} states"
+        )
+    n_columns = params.shape[1]
+    n_steps = len(drivers)
+    states = np.empty((n_steps, n_states, n_columns), dtype=float)
+    diverged_at = np.full(n_columns, n_steps, dtype=np.int64)
+    if n_columns == 0 or n_steps == 0:
+        return BatchedRollout(states=states, diverged_at=diverged_at)
+    kernel = model.compiled_batched()
+    state = np.repeat(initial[:, np.newaxis], n_columns, axis=1)
+    alive = np.ones(n_columns, dtype=bool)
+    any_dead = False
+    finished = False
+    rows = drivers.values
+    # Driver-dependent temporaries are hoisted out of the step loop and
+    # evaluated over whole blocks of rows at once; the block length keeps
+    # the hoisted arrays within a fixed element budget.
+    if kernel.n_hoisted:
+        block = max(
+            16, _HOIST_ELEMENT_BUDGET // (kernel.n_hoisted * n_columns)
+        )
+    else:
+        block = n_steps
+    with np.errstate(all="ignore"):
+        for block_start in range(0, n_steps, block):
+            block_rows = rows[block_start : block_start + block]
+            hoisted = kernel.precompute(params, block_rows)
+            for offset in range(len(block_rows)):
+                index = block_start + offset
+                derivatives = kernel.step(params, hoisted, offset, state)
+                # Update in place into the output buffer: dt * d + state
+                # is bitwise-identical to the scalar state + dt * d.
+                updated = states[index]
+                np.multiply(derivatives, dt, out=updated)
+                updated += state
+                # Fast path: min() propagates NaN, so a single reduction
+                # detects divergence anywhere in the batch without
+                # building per-column masks on healthy steps.
+                if any_dead or np.isnan(np.min(updated)):
+                    newly_dead = np.isnan(updated).any(axis=0) & alive
+                    if newly_dead.any():
+                        diverged_at[newly_dead] = index
+                        alive &= ~newly_dead
+                        any_dead = True
+                        if not alive.any():
+                            frozen = np.clip(
+                                state, clamp.minimum, clamp.maximum
+                            )
+                            states[index:] = frozen
+                            finished = True
+                            break
+                    dead = ~alive
+                    updated[:, dead] = state[:, dead]
+                np.clip(updated, clamp.minimum, clamp.maximum, out=updated)
+                state = updated
+            if finished:
+                break
+    return BatchedRollout(states=states, diverged_at=diverged_at)
 
 
 def simulate(

@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.expr.ast import Expr, free_params, free_states, free_vars, strip_ext
-from repro.expr.compile import CompiledModel, compile_model
+from repro.expr.compile import (
+    KERNEL_CACHE,
+    CompiledBatchedModel,
+    CompiledModel,
+    compile_model,
+    compile_model_batched,
+)
 from repro.expr.evaluate import evaluate
 from repro.expr.simplify import canonical_key
 
@@ -38,6 +44,9 @@ class ProcessModel:
     param_order: tuple[str, ...]
     var_order: tuple[str, ...]
     _compiled: CompiledModel | None = field(default=None, repr=False, compare=False)
+    _compiled_batched: CompiledBatchedModel | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.equations:
@@ -68,10 +77,13 @@ class ProcessModel:
                 )
 
     def __getstate__(self) -> dict:
-        # Compiled step functions are exec-generated and unpicklable; they
-        # are rebuilt lazily (``compiled()``) after transfer to a worker.
+        # Compiled step functions (scalar and batched) are exec-generated
+        # and unpicklable; they are rebuilt lazily (``compiled()`` /
+        # ``compiled_batched()``) after transfer to a worker, where the
+        # worker's own process-global kernel cache takes over sharing.
         state = dict(self.__dict__)
         state["_compiled"] = None
+        state["_compiled_batched"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -102,20 +114,63 @@ class ProcessModel:
         ordered.extend(sorted(discovered - set(extra_params)))
         return cls(equations, tuple(ordered), tuple(var_order))
 
+    def _kernel_key(self, kind: str) -> tuple:
+        """Cache key for this model's kernels in the process-global LRU.
+
+        Keyed on the canonical structure plus every positional order the
+        generated source bakes in -- the same sharing rule the fitness
+        evaluator has always used for structurally identical individuals.
+        """
+        return (
+            kind,
+            self.structure_key(),
+            self.param_order,
+            self.var_order,
+            self.state_names,
+        )
+
     def compiled(self) -> CompiledModel:
         """Return (compiling on first use) the model's step function.
 
         The step function has signature ``step(P, V, S) -> tuple`` where
         ``P`` follows :attr:`param_order`, ``V`` follows :attr:`var_order`
         and ``S`` follows :attr:`state_names`; the result holds one
-        derivative per state.
+        derivative per state.  Kernels are shared per structure through
+        the process-global :data:`repro.expr.compile.KERNEL_CACHE`, so
+        compilation cost is paid once per structure per process.
         """
         if self._compiled is None:
-            exprs = [strip_ext(self.equations[name]) for name in self.state_names]
-            self._compiled = compile_model(
-                exprs, self.param_order, self.var_order, self.state_names
+            self._compiled = KERNEL_CACHE.get_or_build(
+                self._kernel_key("scalar"), self._build_scalar_kernel
             )
         return self._compiled
+
+    def _build_scalar_kernel(self) -> CompiledModel:
+        exprs = [strip_ext(self.equations[name]) for name in self.state_names]
+        return compile_model(
+            exprs, self.param_order, self.var_order, self.state_names
+        )
+
+    def compiled_batched(self) -> CompiledBatchedModel:
+        """Return (compiling on first use) the batched step function.
+
+        The batched kernel has signature ``step(P, V, S) -> ndarray``
+        with ``P`` of shape ``(n_params, K)``, ``V`` one driver row and
+        ``S`` of shape ``(n_states, K)``; it advances K candidate
+        parameter columns in one vectorised pass and agrees with the
+        scalar step column by column to float tolerance.
+        """
+        if self._compiled_batched is None:
+            self._compiled_batched = KERNEL_CACHE.get_or_build(
+                self._kernel_key("batched"), self._build_batched_kernel
+            )
+        return self._compiled_batched
+
+    def _build_batched_kernel(self) -> CompiledBatchedModel:
+        exprs = [strip_ext(self.equations[name]) for name in self.state_names]
+        return compile_model_batched(
+            exprs, self.param_order, self.var_order, self.state_names
+        )
 
     def interpret_step(
         self,
@@ -142,11 +197,19 @@ class ProcessModel:
         Two models with the same key are algebraically identical up to
         commutative reordering (parameter *names* included), which is what
         both the compiled-function cache and the fitness tree cache key on.
+        The key is memoised per instance (equations are never mutated
+        after construction); the memo travels through pickling, saving
+        recanonicalisation in pool workers.
         """
-        parts = [
-            f"{name}={canonical_key(expr)}" for name, expr in self.equations.items()
-        ]
-        return ";".join(parts)
+        cached = self.__dict__.get("_structure_key")
+        if cached is None:
+            parts = [
+                f"{name}={canonical_key(expr)}"
+                for name, expr in self.equations.items()
+            ]
+            cached = ";".join(parts)
+            self.__dict__["_structure_key"] = cached
+        return cached
 
     def describe(self) -> str:
         """Human-readable rendering of the equations."""

@@ -1,0 +1,275 @@
+"""Kernel-batching benchmark: batched vs. scalar integration throughput.
+
+The batched NumPy kernels (:func:`repro.expr.compile.compile_model_batched`
+driving :func:`repro.dynamics.integrate.batched_euler_rollout`) integrate
+K parameter vectors of one model structure in a single vectorised pass.
+This study measures the payoff on the river seed model over the
+single-station modeling task (``dataset.task``; the network-coupled
+``river_task`` lacks the plain-ODE surface batched rollouts need and
+always evaluates through the scalar path): for each K it times the
+scalar per-column loop against one batched rollout over the same
+``(n_params, K)`` matrix and reports integration throughput
+(state-steps per second) and speedup.  A second pass runs a realistic GP
+cohort through ``GMRFitnessEvaluator.evaluate_batch`` and reports the
+tree-cache and kernel-cache traffic that batch planning produces.
+
+Run:  python -m repro.experiments run kernel --scale smoke
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamics.integrate import batched_euler_rollout, euler_steps
+from repro.dynamics.system import ProcessModel
+from repro.experiments.scale import get_scale
+from repro.experiments.tables import render_table
+from repro.expr.compile import KERNEL_CACHE
+from repro.gp import (
+    GMRConfig,
+    GMRFitnessEvaluator,
+    gaussian_mutation,
+    initial_population,
+    replication,
+)
+from repro.gp.knowledge import build_grammar
+from repro.river import load_dataset, river_knowledge
+
+#: Batch widths measured, in display order (1 isolates per-call overhead).
+DEFAULT_K_VALUES: tuple[int, ...] = (1, 8, 64, 256)
+
+
+@dataclass
+class KernelBatchingResult:
+    """Throughput of batched vs. scalar integration, plus cache traffic."""
+
+    k_values: tuple[int, ...]
+    n_cases: int
+    scalar_steps_per_sec: dict[int, float]
+    batched_steps_per_sec: dict[int, float]
+    speedup: dict[int, float]
+    cohort_size: int
+    cohort_scalar_seconds: float
+    cohort_batched_seconds: float
+    tree_cache_hit_rate: float
+    tree_cache_evictions: int
+    kernel_cache_hit_rate: float
+    kernel_cache_evictions: int
+    scale: str
+    elapsed: float
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"K={k}",
+                f"{self.scalar_steps_per_sec[k]:,.0f}",
+                f"{self.batched_steps_per_sec[k]:,.0f}",
+                f"{self.speedup[k]:.1f}x",
+            )
+            for k in self.k_values
+        ]
+        cohort = (
+            f"cohort of {self.cohort_size}: "
+            f"{self.cohort_scalar_seconds:.2f} s scalar vs "
+            f"{self.cohort_batched_seconds:.2f} s batched; "
+            f"tree cache {self.tree_cache_hit_rate:.0%} hits, "
+            f"kernel cache {self.kernel_cache_hit_rate:.0%} hits"
+        )
+        return render_table(
+            ("Batch width", "Scalar steps/s", "Batched steps/s", "Speedup"),
+            rows,
+            title=(
+                f"Kernel batching on the river seed model "
+                f"({self.n_cases} cases, scale={self.scale}; {cohort})"
+            ),
+        )
+
+    def to_json(self) -> dict:
+        """The ``BENCH_kernel.json`` payload."""
+        return {
+            "k_values": list(self.k_values),
+            "n_cases": self.n_cases,
+            "scalar_steps_per_sec": {
+                str(k): self.scalar_steps_per_sec[k] for k in self.k_values
+            },
+            "batched_steps_per_sec": {
+                str(k): self.batched_steps_per_sec[k] for k in self.k_values
+            },
+            "speedup": {str(k): self.speedup[k] for k in self.k_values},
+            "cohort_size": self.cohort_size,
+            "cohort_scalar_seconds": self.cohort_scalar_seconds,
+            "cohort_batched_seconds": self.cohort_batched_seconds,
+            "tree_cache_hit_rate": self.tree_cache_hit_rate,
+            "tree_cache_evictions": self.tree_cache_evictions,
+            "kernel_cache_hit_rate": self.kernel_cache_hit_rate,
+            "kernel_cache_evictions": self.kernel_cache_evictions,
+            "scale": self.scale,
+            "elapsed": self.elapsed,
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def _seed_model(task) -> tuple[ProcessModel, np.ndarray]:
+    """The river seed process model and its prior-mean parameter vector."""
+    knowledge = river_knowledge()
+    model = ProcessModel.from_equations(
+        knowledge.seed_equations, var_order=task.var_order
+    )
+    priors = knowledge.priors
+    means = np.array(
+        [priors[name].mean if name in priors else 0.1 for name in model.param_order]
+    )
+    return model, means
+
+
+def _param_matrix(means: np.ndarray, k: int, seed: int) -> np.ndarray:
+    """K plausible parameter columns jittered around the prior means."""
+    rng = np.random.default_rng(seed)
+    sigma = 0.25 * np.maximum(np.abs(means), 1e-3)
+    return (means[:, None] + rng.normal(0.0, sigma[:, None], (len(means), k)))
+
+
+def _time_best_of(reps: int, fn) -> float:
+    """Best-of-``reps`` wall time; the usual noise-robust benchmark rule."""
+    best = float("inf")
+    for __ in range(reps):
+        clock = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - clock)
+    return best
+
+
+def _cohort(task, scale, seed: int, proposals: int = 31):
+    """A GP-shaped cohort: initial population + duplicates + variants.
+
+    Each founder carries ``proposals`` Gaussian parameter variants,
+    mirroring the propose-K-then-pick-best batches that
+    ``gaussian_proposals`` feeds through ``evaluate_batch`` -- the
+    workload batched kernels are built for (structure groups of ~K
+    columns, not singletons).
+    """
+    knowledge = river_knowledge()
+    grammar = build_grammar(knowledge)
+    rng = random.Random(seed)
+    config = GMRConfig(
+        population_size=max(6, scale.population_size // 4),
+        max_generations=1,
+        max_size=scale.max_size,
+        init_max_size=scale.init_max_size,
+        # Like-for-like work: with ES on, the scalar path prunes most
+        # trajectories early while the batched path integrates them in
+        # full before applying the same decisions post-hoc.
+        es_threshold=None,
+    )
+    base = initial_population(grammar, knowledge, config, rng)
+    population = list(base)
+    for individual in base:
+        population.append(replication(individual))
+        for __ in range(proposals):
+            population.append(
+                gaussian_mutation(individual, knowledge, config, rng)
+            )
+    return config, population
+
+
+def run_kernel_batching(
+    scale_name: str | None = None,
+    k_values: tuple[int, ...] = DEFAULT_K_VALUES,
+    seed: int = 0,
+    reps: int = 3,
+) -> KernelBatchingResult:
+    """Measure batched-kernel throughput and cohort cache behaviour."""
+    scale = get_scale(scale_name)
+    started = time.perf_counter()
+    dataset = load_dataset(
+        n_years=scale.n_years, seed=7, train_years=scale.train_years
+    )
+    task = dataset.task("train")
+    model, means = _seed_model(task)
+    n_cases = task.n_cases
+
+    scalar_sps: dict[int, float] = {}
+    batched_sps: dict[int, float] = {}
+    speedup: dict[int, float] = {}
+    for k in k_values:
+        params = _param_matrix(means, k, seed)
+        columns = [tuple(params[:, i]) for i in range(k)]
+
+        def scalar_pass() -> None:
+            for vector in columns:
+                for __ in euler_steps(
+                    model, vector, task.drivers, task.initial_state,
+                    dt=task.dt, clamp=task.clamp,
+                ):
+                    pass
+
+        def batched_pass() -> None:
+            batched_euler_rollout(
+                model, params, task.drivers, task.initial_state,
+                dt=task.dt, clamp=task.clamp,
+            )
+
+        # Warm both kernels so compilation is excluded from the timings.
+        scalar_pass()
+        batched_pass()
+        scalar_seconds = _time_best_of(reps, scalar_pass)
+        batched_seconds = _time_best_of(reps, batched_pass)
+        steps = k * n_cases
+        scalar_sps[k] = steps / scalar_seconds
+        batched_sps[k] = steps / batched_seconds
+        speedup[k] = scalar_seconds / batched_seconds
+
+    config, cohort = _cohort(task, scale, seed)
+    scalar_evaluator = GMRFitnessEvaluator(task=task, config=config)
+    scalar_cohort = [individual.copy() for individual in cohort]
+    cohort_scalar_seconds = _time_best_of(
+        1,
+        lambda: [
+            scalar_evaluator.evaluate(individual)
+            for individual in scalar_cohort
+        ],
+    )
+    kernel_stats_before = (
+        KERNEL_CACHE.stats.hits,
+        KERNEL_CACHE.stats.misses,
+        KERNEL_CACHE.stats.evictions,
+    )
+    batched_evaluator = GMRFitnessEvaluator(task=task, config=config)
+    batched_cohort = [individual.copy() for individual in cohort]
+    cohort_batched_seconds = _time_best_of(
+        1, lambda: batched_evaluator.evaluate_batch(batched_cohort)
+    )
+    tree_stats = batched_evaluator.cache.stats
+    kernel_hits = KERNEL_CACHE.stats.hits - kernel_stats_before[0]
+    kernel_misses = KERNEL_CACHE.stats.misses - kernel_stats_before[1]
+    kernel_lookups = kernel_hits + kernel_misses
+
+    return KernelBatchingResult(
+        k_values=tuple(k_values),
+        n_cases=n_cases,
+        scalar_steps_per_sec=scalar_sps,
+        batched_steps_per_sec=batched_sps,
+        speedup=speedup,
+        cohort_size=len(cohort),
+        cohort_scalar_seconds=cohort_scalar_seconds,
+        cohort_batched_seconds=cohort_batched_seconds,
+        tree_cache_hit_rate=tree_stats.hit_rate,
+        tree_cache_evictions=tree_stats.evictions,
+        kernel_cache_hit_rate=(
+            kernel_hits / kernel_lookups if kernel_lookups else 0.0
+        ),
+        kernel_cache_evictions=(
+            KERNEL_CACHE.stats.evictions - kernel_stats_before[2]
+        ),
+        scale=scale.name,
+        elapsed=time.perf_counter() - started,
+    )

@@ -14,15 +14,44 @@ the generated source, which is what makes the compiled path fast.
 The compiler and the reference interpreter in :mod:`repro.expr.evaluate`
 implement identical protected semantics; the property-based test suite
 checks them against each other on random expressions.
+
+Two kernel forms are emitted from the same lowering pass:
+
+* the **scalar** form (:func:`compile_model`) steps one candidate at a
+  time through plain Python floats, and
+* the **batched** form (:func:`compile_model_batched`) evaluates K
+  parameter columns at once through NumPy: ``P`` is an ``(n_params, K)``
+  matrix, ``S`` an ``(n_states, K)`` state matrix, and every protected
+  operator is the vectorised twin of the interpreter's
+  (:func:`repro.expr.evaluate.batched_protected_div` and friends), so a
+  batched step agrees with K scalar steps to float tolerance.
+
+Compilation cost is paid once per structure per process: kernels are
+memoised in a bounded process-global LRU (:data:`KERNEL_CACHE`), which
+worker processes repopulate lazily after pickling (exec-generated
+functions cannot cross process boundaries).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Sequence
+
+import numpy as np
 
 from repro.expr.ast import BinOp, Const, Expr, Ext, Param, State, UnOp, Var
-from repro.expr.evaluate import DIV_EPS, EXP_MAX, LOG_EPS
+from repro.expr.evaluate import (
+    DIV_EPS,
+    EXP_MAX,
+    LOG_EPS,
+    batched_max,
+    batched_min,
+    batched_protected_div,
+    batched_protected_exp,
+    batched_protected_log,
+)
 
 #: Signature of a compiled single-expression function.
 CompiledExpr = Callable[[Sequence[float], Sequence[float], Sequence[float]], float]
@@ -31,6 +60,57 @@ CompiledExpr = Callable[[Sequence[float], Sequence[float], Sequence[float]], flo
 CompiledModel = Callable[
     [Sequence[float], Sequence[float], Sequence[float]], tuple[float, ...]
 ]
+
+class CompiledBatchedModel:
+    """A two-phase batched step kernel over K parameter columns.
+
+    Euler integration is sequential in the state, but every temporary
+    that depends only on parameters and drivers is constant across the
+    rollout (parameters) or known for all T rows up front (drivers).
+    :meth:`precompute` evaluates those hoisted temporaries for an entire
+    ``(T, n_vars)`` driver table in one vectorised pass; :meth:`step`
+    then computes just the state-dependent remainder for one row, which
+    cuts the per-step NumPy call count by the hoisted fraction of the
+    model.
+
+    Calling the kernel directly as ``kernel(P, V, S)`` with a single
+    driver row ``V`` of shape ``(n_vars,)`` runs both phases for that
+    row -- the convenient form for tests and one-off evaluations.
+    """
+
+    __slots__ = ("_precompute_fn", "_step_fn", "source", "n_hoisted")
+
+    def __init__(
+        self,
+        precompute_fn: Callable,
+        step_fn: Callable,
+        source: str,
+        n_hoisted: int,
+    ) -> None:
+        self._precompute_fn = precompute_fn
+        self._step_fn = step_fn
+        self.source = source
+        self.n_hoisted = n_hoisted
+
+    def precompute(self, params: np.ndarray, driver_table: np.ndarray) -> tuple:
+        """Hoisted temporaries for all rows of ``driver_table``.
+
+        Each element is an array whose leading axis indexes the table's
+        rows; pass the tuple to :meth:`step` with the row offset.
+        """
+        return self._precompute_fn(params, driver_table)
+
+    def step(
+        self, params: np.ndarray, hoisted: tuple, row: int, states: np.ndarray
+    ) -> np.ndarray:
+        """One derivative step: ``(n_states, K)`` for driver row ``row``."""
+        return self._step_fn(params, hoisted, row, states)
+
+    def __call__(
+        self, params: np.ndarray, driver_row: np.ndarray, states: np.ndarray
+    ) -> np.ndarray:
+        table = np.asarray(driver_row, dtype=float).reshape(1, -1)
+        return self._step_fn(params, self._precompute_fn(params, table), 0, states)
 
 
 class CompilationError(ValueError):
@@ -52,6 +132,7 @@ class _Emitter:
         self.lines: list[str] = []
         self._counter = 0
         self._memo: dict[int, str] = {}
+        self._values: dict[str, str] = {}
 
     def _fresh(self) -> str:
         name = f"t{self._counter}"
@@ -59,8 +140,15 @@ class _Emitter:
         return name
 
     def _assign(self, rhs: str) -> str:
+        # Value numbering: every emitted rhs is a pure expression over
+        # SSA temps, so textually identical rhs compute identical values
+        # and structurally repeated subtrees collapse to one temp.
+        cached = self._values.get(rhs)
+        if cached is not None:
+            return cached
         name = self._fresh()
         self.lines.append(f"    {name} = {rhs}")
+        self._values[rhs] = name
         return name
 
     def emit(self, expr: Expr) -> str:
@@ -194,3 +282,352 @@ def compile_model(
     func = _compile_source(source, "_compiled")
     func.source = source  # type: ignore[attr-defined]
     return func
+
+
+#: Dependency bits of an expression: which leaf kinds it reads.
+_DEP_P, _DEP_V, _DEP_S = 1, 2, 4
+
+
+class _BatchedEmitter:
+    """Lowers expression trees to two-phase NumPy source.
+
+    Temporaries that depend on drivers but not on state are *hoisted*:
+    the precompute function evaluates them for every time row at once
+    over the full ``(T, n_vars)`` driver table (``VT[:, i:i+1]`` columns
+    broadcast against ``(K,)`` parameter rows into ``(T, K)`` arrays),
+    and the step function only extracts their current row from the
+    hoisted tuple ``C`` and evaluates the state-dependent remainder.
+    Protected operators route through the vectorised helpers of
+    :mod:`repro.expr.evaluate` in both phases, so the batched semantics
+    stay defined in exactly one place.  A parameter-only subtree feeding
+    a hoisted temporary is re-emitted into the precompute stream; both
+    streams apply the scalar emitter's value numbering independently.
+    """
+
+    def __init__(
+        self,
+        param_order: Sequence[str],
+        var_order: Sequence[str],
+        state_order: Sequence[str],
+    ) -> None:
+        self._param_index = {name: i for i, name in enumerate(param_order)}
+        self._var_index = {name: i for i, name in enumerate(var_order)}
+        self._state_index = {name: i for i, name in enumerate(state_order)}
+        self.pre_lines: list[str] = []
+        self.step_lines: list[str] = []
+        self._counter = 0
+        self._pre_values: dict[str, str] = {}
+        self._step_values: dict[str, str] = {}
+        self._pre_memo: dict[int, str] = {}
+        self._step_memo: dict[int, str] = {}
+        self._dep_memo: dict[int, int] = {}
+        self._rows: dict[str, str] = {}
+        #: Hoisted temp names in precompute-return order.
+        self.hoisted: list[str] = []
+
+    def _deps(self, expr: Expr) -> int:
+        key = id(expr)
+        cached = self._dep_memo.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(expr, Const):
+            mask = 0
+        elif isinstance(expr, Param):
+            mask = _DEP_P
+        elif isinstance(expr, Var):
+            mask = _DEP_V
+        elif isinstance(expr, State):
+            mask = _DEP_S
+        elif isinstance(expr, Ext):
+            mask = self._deps(expr.operand)
+        elif isinstance(expr, UnOp):
+            mask = self._deps(expr.operand)
+        elif isinstance(expr, BinOp):
+            mask = self._deps(expr.lhs) | self._deps(expr.rhs)
+        else:
+            raise CompilationError(
+                f"cannot compile node type {type(expr).__name__}"
+            )
+        self._dep_memo[key] = mask
+        return mask
+
+    def _assign(self, lines: list[str], values: dict[str, str], rhs: str) -> str:
+        # Value numbering, per stream: every rhs is a pure expression
+        # over earlier temps, so identical rhs share one temp.
+        cached = values.get(rhs)
+        if cached is not None:
+            return cached
+        name = f"t{self._counter}"
+        self._counter += 1
+        lines.append(f"    {name} = {rhs}")
+        values[rhs] = name
+        return name
+
+    @staticmethod
+    def _unary_rhs(op: str, operand: str) -> str:
+        if op == "neg":
+            return f"-{operand}"
+        if op == "exp":
+            return f"_pexp({operand})"
+        if op == "log":
+            return f"_plog({operand})"
+        raise CompilationError(f"unknown unary operator {op!r}")
+
+    @staticmethod
+    def _binary_rhs(op: str, lhs: str, rhs: str) -> str:
+        if op in ("+", "-", "*"):
+            return f"{lhs} {op} {rhs}"
+        if op == "/":
+            return f"_pdiv({lhs}, {rhs})"
+        if op == "min":
+            return f"_pmin({lhs}, {rhs})"
+        if op == "max":
+            return f"_pmax({lhs}, {rhs})"
+        raise CompilationError(f"unknown binary operator {op!r}")
+
+    @staticmethod
+    def _lookup(index: dict[str, int], name: str, kind: str) -> int:
+        try:
+            return index[name]
+        except KeyError:
+            raise CompilationError(f"unbound {kind} {name!r}") from None
+
+    def _emit_pre(self, expr: Expr) -> str:
+        """Emit ``expr`` (driver/parameter-only) into the precompute body."""
+        if isinstance(expr, Ext):
+            return self._emit_pre(expr.operand)
+        key = id(expr)
+        cached = self._pre_memo.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(expr, Const):
+            rhs = repr(expr.value)
+        elif isinstance(expr, Param):
+            rhs = f"P[{self._lookup(self._param_index, expr.name, 'parameter')}]"
+        elif isinstance(expr, Var):
+            index = self._lookup(self._var_index, expr.name, "variable")
+            rhs = f"VT[:, {index}:{index + 1}]"
+        elif isinstance(expr, UnOp):
+            rhs = self._unary_rhs(expr.op, self._emit_pre(expr.operand))
+        elif isinstance(expr, BinOp):
+            rhs = self._binary_rhs(
+                expr.op, self._emit_pre(expr.lhs), self._emit_pre(expr.rhs)
+            )
+        else:
+            raise CompilationError(
+                f"cannot compile node type {type(expr).__name__}"
+            )
+        name = self._assign(self.pre_lines, self._pre_values, rhs)
+        self._pre_memo[key] = name
+        return name
+
+    def _row_of(self, hoisted: str) -> str:
+        """The step-side temp extracting a hoisted temp's current row."""
+        row = self._rows.get(hoisted)
+        if row is None:
+            index = len(self.hoisted)
+            self.hoisted.append(hoisted)
+            row = self._assign(
+                self.step_lines, self._step_values, f"C[{index}][t]"
+            )
+            self._rows[hoisted] = row
+        return row
+
+    def emit(self, expr: Expr) -> str:
+        """Emit assignments computing ``expr``; return its step temp."""
+        if isinstance(expr, Ext):
+            return self.emit(expr.operand)
+        key = id(expr)
+        cached = self._step_memo.get(key)
+        if cached is not None:
+            return cached
+        mask = self._deps(expr)
+        if mask & _DEP_V and not mask & _DEP_S:
+            name = self._row_of(self._emit_pre(expr))
+            self._step_memo[key] = name
+            return name
+        if isinstance(expr, Const):
+            rhs = repr(expr.value)
+        elif isinstance(expr, Param):
+            rhs = f"P[{self._lookup(self._param_index, expr.name, 'parameter')}]"
+        elif isinstance(expr, State):
+            rhs = f"S[{self._lookup(self._state_index, expr.name, 'state')}]"
+        elif isinstance(expr, UnOp):
+            rhs = self._unary_rhs(expr.op, self.emit(expr.operand))
+        elif isinstance(expr, BinOp):
+            rhs = self._binary_rhs(
+                expr.op, self.emit(expr.lhs), self.emit(expr.rhs)
+            )
+        else:
+            raise CompilationError(
+                f"cannot compile node type {type(expr).__name__}"
+            )
+        name = self._assign(self.step_lines, self._step_values, rhs)
+        self._step_memo[key] = name
+        return name
+
+
+def _generate_batched(
+    exprs: Sequence[Expr],
+    param_order: Sequence[str],
+    var_order: Sequence[str],
+    state_order: Sequence[str],
+    name: str = "_compiled_batched",
+) -> tuple[str, int]:
+    """Batched two-phase source plus its hoisted-temporary count."""
+    emitter = _BatchedEmitter(param_order, var_order, state_order)
+    results = [emitter.emit(expr) for expr in exprs]
+    returns = ", ".join(emitter.hoisted)
+    if len(emitter.hoisted) == 1:
+        returns += ","
+    lines = [
+        "def _precompute_batched(P, VT):",
+        *emitter.pre_lines,
+        f"    return ({returns})",
+        "",
+        f"def {name}(P, C, t, S):",
+        *emitter.step_lines,
+        f"    _out = _empty(({len(results)}, S.shape[1]))",
+    ]
+    for index, result in enumerate(results):
+        lines.append(f"    _out[{index}] = {result}")
+    lines.append("    return _out")
+    return "\n".join(lines), len(emitter.hoisted)
+
+
+def generate_batched_source(
+    exprs: Sequence[Expr],
+    param_order: Sequence[str],
+    var_order: Sequence[str],
+    state_order: Sequence[str],
+    name: str = "_compiled_batched",
+) -> str:
+    """Generate NumPy source for a two-phase batched step kernel.
+
+    Two functions are emitted: ``_precompute_batched(P, VT)`` evaluates
+    every driver-dependent, state-independent temporary over the whole
+    ``(T, n_vars)`` driver table, and ``f(P, C, t, S)`` computes one
+    derivative row from the hoisted tuple ``C`` at row ``t`` plus the
+    state-dependent remainder, writing one ``(K,)`` row per expression
+    into a fresh ``(n_exprs, K)`` output (assignment broadcasting also
+    covers constant-only equations, whose temporaries stay scalars).
+    """
+    source, __ = _generate_batched(
+        exprs, param_order, var_order, state_order, name
+    )
+    return source
+
+
+def compile_model_batched(
+    exprs: Sequence[Expr],
+    param_order: Sequence[str],
+    var_order: Sequence[str],
+    state_order: Sequence[str],
+) -> CompiledBatchedModel:
+    """Compile a batched step kernel over K parameter columns.
+
+    The returned kernel agrees with K applications of the scalar
+    interpreter column by column (to float tolerance -- libm and NumPy
+    may differ in the last ulp of ``exp``/``log``), including protected
+    edge cases and NaN propagation, so a diverging column behaves exactly
+    as its scalar simulation would while leaving its neighbours intact.
+    """
+    source, n_hoisted = _generate_batched(
+        exprs, param_order, var_order, state_order
+    )
+    namespace: dict[str, Any] = {
+        "_empty": np.empty,
+        "_pdiv": batched_protected_div,
+        "_plog": batched_protected_log,
+        "_pexp": batched_protected_exp,
+        "_pmin": batched_min,
+        "_pmax": batched_max,
+    }
+    code = compile(source, filename="<repro:_compiled_batched>", mode="exec")
+    exec(code, namespace)  # noqa: S102 - generated from our own AST only
+    return CompiledBatchedModel(
+        precompute_fn=namespace["_precompute_batched"],
+        step_fn=namespace["_compiled_batched"],
+        source=source,
+        n_hoisted=n_hoisted,
+    )
+
+
+@dataclass
+class KernelCacheStats:
+    """Hit/miss/eviction counters of a kernel cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class KernelCache:
+    """A bounded LRU of compiled kernels, keyed by model structure.
+
+    Compiling a step function costs orders of magnitude more than a
+    dictionary lookup, and evolutionary search re-proposes the same
+    structures constantly -- so kernels are memoised per structure and
+    the least recently *used* (not oldest) entry is evicted at capacity.
+    Also used per-evaluator for scalar kernel sharing; the process-global
+    instance is :data:`KERNEL_CACHE`.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("KernelCache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self.stats = KernelCacheStats()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """Look up a kernel, refreshing its recency; None on miss."""
+        try:
+            kernel = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return kernel
+
+    def put(self, key: Hashable, kernel: Any) -> None:
+        """Insert a kernel, evicting the least recently used at capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = kernel
+            return
+        while len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = kernel
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """Return the cached kernel for ``key``, building it on a miss."""
+        kernel = self.get(key)
+        if kernel is None:
+            kernel = builder()
+            self.put(key, kernel)
+        return kernel
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+
+#: Process-global kernel cache shared by every model and evaluator in
+#: this process (worker processes each grow their own after pickling).
+KERNEL_CACHE = KernelCache(max_entries=512)

@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import Mapping
 
+import numpy as np
+
 from repro.expr.ast import BinOp, Const, Expr, Ext, Param, State, UnOp, Var
 
 #: Divisor magnitudes below this evaluate protected division to zero.
@@ -53,6 +55,55 @@ def protected_exp(value: float) -> float:
     if value > EXP_MAX:
         value = EXP_MAX
     return math.exp(value)
+
+
+def batched_protected_div(numerator, denominator):
+    """Vectorised :func:`protected_div` over NumPy arrays.
+
+    Matches the scalar interpreter exactly, element by element: wherever
+    ``|denominator| < DIV_EPS`` the result is 0.0 (whatever the
+    numerator, including NaN); everywhere else it is the IEEE quotient,
+    so NaN/inf operands propagate the same way the scalar path does.
+    """
+    denominator = np.asarray(denominator)
+    near_zero = np.abs(denominator) < DIV_EPS
+    safe = np.where(near_zero, 1.0, denominator)
+    return np.where(near_zero, 0.0, np.asarray(numerator) / safe)
+
+
+def batched_protected_log(value):
+    """Vectorised :func:`protected_log`: ``log(|x|)``, zero near zero.
+
+    Near-zero magnitudes are replaced by 1.0 before the log, whose exact
+    result is 0.0 -- one ``where`` instead of masking the output too.
+    """
+    magnitude = np.abs(np.asarray(value))
+    return np.log(np.where(magnitude < LOG_EPS, 1.0, magnitude))
+
+
+def batched_protected_exp(value):
+    """Vectorised :func:`protected_exp` with a clamped argument.
+
+    ``np.minimum`` replicates the interpreter's ``if value > EXP_MAX``
+    test, including NaN: a NaN argument propagates (``NaN > EXP_MAX`` is
+    false in the interpreter, and ``np.minimum`` propagates NaN) instead
+    of being clamped.
+    """
+    return np.exp(np.minimum(value, EXP_MAX))
+
+
+def batched_min(lhs, rhs):
+    """Vectorised Python ``min``: ``rhs if rhs < lhs else lhs``.
+
+    Spelled as the exact comparison Python's ``min`` performs so NaN
+    operands select the same side the scalar interpreter would.
+    """
+    return np.where(np.less(rhs, lhs), rhs, lhs)
+
+
+def batched_max(lhs, rhs):
+    """Vectorised Python ``max``: ``rhs if rhs > lhs else lhs``."""
+    return np.where(np.greater(rhs, lhs), rhs, lhs)
 
 
 def evaluate(

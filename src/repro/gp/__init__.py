@@ -54,6 +54,7 @@ from repro.gp.parallel import (
 from repro.gp.operators import (
     crossover,
     gaussian_mutation,
+    gaussian_mutation_best_of,
     replication,
     subtree_mutation,
 )
@@ -111,6 +112,7 @@ __all__ = [
     "deletion",
     "elites",
     "gaussian_mutation",
+    "gaussian_mutation_best_of",
     "hill_climb",
     "initial_population",
     "insertion",

@@ -55,12 +55,22 @@ class CacheStats:
 
 @dataclass
 class TreeCache:
-    """A bounded FIFO cache from evaluation keys to fitness values."""
+    """A bounded LRU cache from evaluation keys to fitness values.
+
+    Lookups refresh an entry's recency, so over a long campaign the
+    structures the search keeps revisiting stay resident while one-off
+    evaluations age out; the capacity (``GMRConfig.tree_cache_size``
+    when built by an evaluator) bounds memory instead of letting the
+    cache grow for the whole run.  ``stats.evictions`` counts entries
+    dropped at capacity.
+    """
 
     max_entries: int = 200_000
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError("TreeCache needs max_entries >= 1")
         self._entries: OrderedDict[Hashable, float] = OrderedDict()
 
     def __len__(self) -> int:
@@ -75,16 +85,30 @@ class TreeCache:
         return (structure_key, rounded)
 
     def get(self, key: Hashable) -> float | None:
-        """Look up a fitness; updates hit/miss statistics."""
+        """Look up a fitness; updates hit/miss statistics and recency."""
         value = self._entries.get(key)
         if value is None:
             self.stats.misses += 1
             return None
+        self._entries.move_to_end(key)
         self.stats.hits += 1
         return value
 
+    def peek(self, key: Hashable) -> float | None:
+        """Look up a fitness without touching statistics or recency.
+
+        Used by batch planning to decide which cohort members need a
+        simulation column; the authoritative (stats-counting) ``get``
+        still happens later, in cohort order.
+        """
+        return self._entries.get(key)
+
     def put(self, key: Hashable, fitness: float) -> None:
-        """Store a fitness, evicting the oldest entry when full."""
+        """Store a fitness, evicting the least recently used when full.
+
+        Re-putting an existing key updates its value in place without
+        refreshing recency (only lookups count as use).
+        """
         if key in self._entries:
             self._entries[key] = fitness
             return

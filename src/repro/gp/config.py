@@ -95,6 +95,29 @@ class GMRConfig:
             per batch instead of once per individual, so results can
             differ slightly from the (default) per-individual mode; 0
             preserves the strictly serial semantics.
+        use_batched_kernel: Evaluate cohorts through the batched NumPy
+            kernels (:func:`repro.expr.compile.compile_model_batched`):
+            ``GMRFitnessEvaluator.evaluate_batch`` groups a cohort by
+            model structure and integrates each group's K parameter
+            vectors in one vectorised pass.  Results match the scalar
+            path to float tolerance (ES short-circuiting and divergence
+            handling are replayed per column in cohort order); set False
+            to force every evaluation through the scalar kernels.
+        kernel_batch_size: Maximum parameter columns per batched rollout;
+            larger structure groups are chunked to this width.  Bounds
+            the ``(T, n_states, K)`` trajectory memory of one rollout.
+        gaussian_proposals: Candidates proposed per Gaussian-mutation
+            move (engine operator and hill-climb move alike).  With K > 1
+            each move proposes K parameter vectors of the *same*
+            structure, scores them through one batched rollout, and keeps
+            the best -- the propose-K-then-pick-best pattern that batched
+            kernels make nearly free.  1 (default) preserves the paper's
+            single-proposal semantics.
+        tree_cache_size: LRU capacity of the fitness tree cache
+            (entries).  Bounds cache memory over long campaigns; see
+            :class:`repro.gp.cache.TreeCache`.
+        compiled_cache_size: LRU capacity of the evaluator's compiled-
+            kernel share table (entries).
         checkpoint_every: Snapshot cadence of the resilience layer
             (:mod:`repro.gp.checkpoint`): when > 0 and ``GMREngine.run``
             is given a ``checkpoint_path``, the run's full loop state is
@@ -125,6 +148,11 @@ class GMRConfig:
     eval_batch_size: int = 0
     strict_validate: bool = False
     checkpoint_every: int = 0
+    use_batched_kernel: bool = True
+    kernel_batch_size: int = 64
+    gaussian_proposals: int = 1
+    tree_cache_size: int = 200_000
+    compiled_cache_size: int = 512
 
     def __post_init__(self) -> None:
         if self.population_size < 1:
@@ -151,6 +179,14 @@ class GMRConfig:
             raise ConfigError("eval_batch_size must be >= 0")
         if self.checkpoint_every < 0:
             raise ConfigError("checkpoint_every must be >= 0")
+        if self.kernel_batch_size < 1:
+            raise ConfigError("kernel_batch_size must be positive")
+        if self.gaussian_proposals < 1:
+            raise ConfigError("gaussian_proposals must be positive")
+        if self.tree_cache_size < 1:
+            raise ConfigError("tree_cache_size must be positive")
+        if self.compiled_cache_size < 1:
+            raise ConfigError("compiled_cache_size must be positive")
 
     def sigma_scale(self, generation: int) -> float:
         """Linear ramp-down of the Gaussian-mutation sigma (Section III-B3).

@@ -33,6 +33,7 @@ from repro.gp.local_search import hill_climb
 from repro.gp.operators import (
     crossover,
     gaussian_mutation,
+    gaussian_mutation_best_of,
     replication,
     subtree_mutation,
 )
@@ -190,8 +191,10 @@ class GMREngine:
             )
             if config.strict_validate:
                 self._lint_offspring(population, "initial population")
-            for individual in population:
-                evaluator.evaluate(individual)
+            # The seed population is one big cohort with no RNG use between
+            # evaluations, so the batched kernels can integrate it
+            # structure-group by structure-group with identical results.
+            evaluator.evaluate_batch(population)
 
             best = self._track_best(None, population)
             history = []
@@ -301,6 +304,7 @@ class GMREngine:
         population: list[Individual],
         rng: random.Random,
         sigma_scale: float,
+        evaluator: GMRFitnessEvaluator,
     ) -> list[Individual]:
         """One reproduction-operator roll: select parents, produce children."""
         config = self.config
@@ -319,6 +323,15 @@ class GMREngine:
             child = subtree_mutation(select(), self.grammar, config, rng)
             return [child if child is not None else replication(select())]
         if roll < ops.crossover + ops.subtree_mutation + ops.gaussian_mutation:
+            if config.gaussian_proposals > 1:
+                # Propose-K-then-pick-best: all proposals share the
+                # parent's structure, so one batched rollout scores them.
+                return [
+                    gaussian_mutation_best_of(
+                        select(), self.knowledge, config, rng, sigma_scale,
+                        evaluator.evaluate_batch,
+                    )
+                ]
             return [
                 gaussian_mutation(
                     select(), self.knowledge, config, rng, sigma_scale
@@ -343,6 +356,7 @@ class GMREngine:
                 rng,
                 knowledge=self.knowledge,
                 sigma_scale=sigma_scale,
+                batch_fitness_fn=evaluator.evaluate_batch,
             )
         return child
 
@@ -370,7 +384,9 @@ class GMREngine:
             )
         next_population: list[Individual] = elites(population, config.elite_size)
         while len(next_population) < config.population_size:
-            for child in self._spawn_offspring(population, rng, sigma_scale):
+            for child in self._spawn_offspring(
+                population, rng, sigma_scale, evaluator
+            ):
                 if len(next_population) >= config.population_size:
                     break
                 if config.strict_validate:
@@ -403,7 +419,9 @@ class GMREngine:
         budget = config.population_size - len(next_population)
         offspring: list[Individual] = []
         while len(offspring) < budget:
-            for child in self._spawn_offspring(population, rng, sigma_scale):
+            for child in self._spawn_offspring(
+                population, rng, sigma_scale, evaluator
+            ):
                 if len(offspring) >= budget:
                     break
                 offspring.append(child)

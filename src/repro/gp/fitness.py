@@ -20,14 +20,22 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable, Hashable, Iterable, Sequence
 
-from repro.dynamics.integrate import SimulationDiverged
+import numpy as np
+
+from repro.dynamics.integrate import SimulationDiverged, batched_euler_rollout
+from repro.dynamics.system import ProcessModel
 from repro.dynamics.task import BAD_FITNESS, ModelingTask
-from repro.expr.compile import CompiledModel
+from repro.expr.compile import KernelCache
 from repro.gp.cache import TreeCache
 from repro.gp.config import GMRConfig
 from repro.gp.individual import Individual
+
+#: Structure groups smaller than this take the scalar path: a batched
+#: rollout always integrates the full horizon, so for a lone candidate
+#: the scalar kernel (which can still short-circuit) is the better deal.
+MIN_BATCH_COLUMNS = 2
 
 #: Extrapolates a final fitness from a partial one:
 #: ``extrapolate(partial_fitness, cases_done, total_cases)``.
@@ -60,7 +68,18 @@ def pessimistic_extrapolation(
 
 @dataclass
 class EvaluationStats:
-    """Bookkeeping across all evaluations performed by an evaluator."""
+    """Bookkeeping across all evaluations performed by an evaluator.
+
+    The step counters (``steps_evaluated``/``steps_possible``) account
+    fitness cases *algorithmically* -- what the returned result consumed
+    under Algorithm 1 -- on both the scalar and the batched path, so ES
+    selectivity numbers stay comparable across kernels.  The timing
+    fields break the actual compute down by phase: ``compile_time``
+    (acquiring compiled kernels, cached or not), ``step_time``
+    (batched rollouts plus error-curve computation), and ``batch_fill``
+    (phenotype derivation, structure grouping, and parameter-matrix
+    stacking while planning a batch).
+    """
 
     evaluations: int = 0
     cache_hits: int = 0
@@ -70,6 +89,10 @@ class EvaluationStats:
     steps_evaluated: int = 0
     steps_possible: int = 0
     wall_time: float = 0.0
+    batched_evaluations: int = 0
+    compile_time: float = 0.0
+    step_time: float = 0.0
+    batch_fill: float = 0.0
 
     @property
     def mean_time_per_individual(self) -> float:
@@ -100,6 +123,11 @@ class EvaluationStats:
             steps_evaluated=self.steps_evaluated + other.steps_evaluated,
             steps_possible=self.steps_possible + other.steps_possible,
             wall_time=self.wall_time + other.wall_time,
+            batched_evaluations=self.batched_evaluations
+            + other.batched_evaluations,
+            compile_time=self.compile_time + other.compile_time,
+            step_time=self.step_time + other.step_time,
+            batch_fill=self.batch_fill + other.batch_fill,
         )
 
     @classmethod
@@ -109,6 +137,47 @@ class EvaluationStats:
         for part in parts:
             total = total.merge(part)
         return total
+
+
+@dataclass
+class _BatchEntry:
+    """Where one cohort member's fitness will come from.
+
+    Planning resolves every member to either an anticipated tree-cache
+    hit (``column`` stays -1) or a column of a structure group's batched
+    rollout.  Finalisation then replays the scalar path's cache lookups
+    and Algorithm 1 decisions in cohort order, reading simulated error
+    curves instead of re-integrating.
+    """
+
+    individual: Individual
+    model: ProcessModel
+    params: tuple[float, ...]
+    structure_key: str
+    cache_key: Hashable | None = None
+    group_key: Hashable | None = None
+    column: int = -1
+
+
+@dataclass
+class _BatchGroup:
+    """One structure's stacked parameter columns within a batch.
+
+    ``columns`` dedups identical candidates (keyed like the tree cache
+    when caching is on, by exact parameters otherwise) so K counts
+    distinct parameter vectors.  After simulation, ``curves[:, k]`` holds
+    column ``k``'s cumulative SSE against the observations -- computed
+    with :func:`numpy.cumsum`, whose left-to-right accumulation order
+    matches the scalar loop's running sum bit for bit -- and
+    ``diverged_at[k]`` the first unusable driver row (``T`` if none).
+    """
+
+    model: ProcessModel
+    structure_key: str
+    columns: dict[Hashable, int] = field(default_factory=dict)
+    params: list[tuple[float, ...]] = field(default_factory=list)
+    curves: np.ndarray | None = None
+    diverged_at: np.ndarray | None = None
 
 
 @dataclass
@@ -127,8 +196,16 @@ class GMRFitnessEvaluator:
     stats: EvaluationStats = field(default_factory=EvaluationStats)
 
     def __post_init__(self) -> None:
-        self._cache = TreeCache()
-        self._compiled: dict[tuple, CompiledModel] = {}
+        self._cache = TreeCache(max_entries=self.config.tree_cache_size)
+        self._compiled = KernelCache(max_entries=self.config.compiled_cache_size)
+        # Batched rollouts re-integrate the model themselves, so they need
+        # the plain-ODE task surface; duck-typed tasks that only provide
+        # ``error_stream`` (e.g. the network-coupled river task) evaluate
+        # through the scalar path.
+        self._batchable = all(
+            hasattr(self.task, attr)
+            for attr in ("drivers", "initial_state", "dt", "clamp")
+        )
         #: Best fitness seen among *full* evaluations (Algorithm 1's
         #: ``bestPrevFull``).
         self.best_prev_full: float = math.inf
@@ -136,6 +213,11 @@ class GMRFitnessEvaluator:
     @property
     def cache(self) -> TreeCache:
         return self._cache
+
+    @property
+    def compiled_cache(self) -> KernelCache:
+        """The bounded share table of compiled step functions."""
+        return self._compiled
 
     def reset(self) -> None:
         """Clear caches and the best-previous-full marker (new run)."""
@@ -164,7 +246,9 @@ class GMRFitnessEvaluator:
         # Compiled step functions are exec-generated and unpicklable; the
         # share table is rebuilt on demand in the receiving process.
         state = dict(self.__dict__)
-        state["_compiled"] = {}
+        state["_compiled"] = KernelCache(
+            max_entries=self.config.compiled_cache_size
+        )
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -191,7 +275,26 @@ class GMRFitnessEvaluator:
                 self.stats.steps_possible += total_cases
                 return cached, True
 
+        return self._evaluate_scalar(model, params, structure_key, cache_key)
+
+    def _evaluate_scalar(
+        self,
+        model: ProcessModel,
+        params: tuple[float, ...],
+        structure_key: str,
+        cache_key: Hashable | None,
+    ) -> tuple[float, bool]:
+        """Run one individual through the scalar Algorithm 1 loop.
+
+        The tree-cache lookup has already happened (and missed) by the
+        time this runs; a successful result is still written back to the
+        cache under ``cache_key``.
+        """
+        config = self.config
+        total_cases = self.task.n_cases
+
         if config.use_compilation:
+            compile_started = time.perf_counter()
             # Sharing must key on the parameter order too: simplification can
             # collapse structurally different models (with different raw
             # parameter vectors) onto one canonical key, but a compiled step
@@ -201,7 +304,8 @@ class GMRFitnessEvaluator:
             if shared is not None:
                 model._compiled = shared
             else:
-                self._compiled[share_key] = model.compiled()
+                self._compiled.put(share_key, model.compiled())
+            self.stats.compile_time += time.perf_counter() - compile_started
 
         self.stats.steps_possible += total_cases
         threshold = config.es_threshold
@@ -236,6 +340,247 @@ class GMRFitnessEvaluator:
             self.stats.divergences += 1
             return BAD_FITNESS, True
         fitness = math.sqrt(sse / cases_done)
+        self.stats.full_evaluations += 1
+        if fitness < self.best_prev_full:
+            self.best_prev_full = fitness
+        if cache_key is not None:
+            self._cache.put(cache_key, fitness)
+        return fitness, True
+
+    def evaluate_batch(self, individuals: Sequence[Individual]) -> list[float]:
+        """Evaluate a cohort through the batched NumPy kernels.
+
+        Groups the cohort by model structure, integrates each group's K
+        distinct parameter vectors in one vectorised rollout per
+        :attr:`GMRConfig.kernel_batch_size` chunk, then finalises every
+        member *in cohort order*, replaying exactly the decisions the
+        scalar path would have made: tree-cache lookups (hits produced by
+        earlier members of this very cohort included), Algorithm 1
+        short-circuits against the live ``best_prev_full`` marker,
+        divergence scoring, and cache write-back.  Fitness values, the
+        marker, and all statistics therefore match a sequence of
+        :meth:`evaluate` calls to float tolerance -- the batched kernel
+        merely front-loads the integration work.
+
+        Falls back to sequential :meth:`evaluate` calls when batched
+        kernels are disabled (``use_batched_kernel`` or
+        ``use_compilation`` off), when the task lacks the plain-ODE
+        surface batched rollouts integrate (``drivers``,
+        ``initial_state``, ``dt``, ``clamp`` -- duck-typed tasks like the
+        network-coupled river task only provide ``error_stream``), or
+        when a subclass overrides :meth:`evaluate` (per-evaluation hooks
+        such as fault injection must keep firing once per individual).
+        """
+        cohort = list(individuals)
+        if not cohort:
+            return []
+        config = self.config
+        if (
+            not config.use_batched_kernel
+            or not config.use_compilation
+            or not self._batchable
+            or type(self).evaluate is not GMRFitnessEvaluator.evaluate
+        ):
+            return [self.evaluate(individual) for individual in cohort]
+
+        batch_started = time.perf_counter()
+        entries, groups = self._plan_batch(cohort)
+        for group in groups.values():
+            self._simulate_group(group)
+        results = []
+        for entry in entries:
+            fitness, fully = self._finalize_entry(entry, groups)
+            entry.individual.fitness = fitness
+            entry.individual.fully_evaluated = fully
+            self.stats.evaluations += 1
+            results.append(fitness)
+        self.stats.wall_time += time.perf_counter() - batch_started
+        return results
+
+    def _plan_batch(
+        self, cohort: list[Individual]
+    ) -> tuple[list[_BatchEntry], dict[Hashable, _BatchGroup]]:
+        """Resolve cohort members to cache hits or simulation columns."""
+        fill_started = time.perf_counter()
+        entries: list[_BatchEntry] = []
+        groups: dict[Hashable, _BatchGroup] = {}
+        use_cache = self.config.use_tree_cache
+        for individual in cohort:
+            model, params = individual.phenotype(
+                self.task.state_names, self.task.var_order
+            )
+            entry = _BatchEntry(
+                individual=individual,
+                model=model,
+                params=params,
+                structure_key=model.structure_key(),
+            )
+            entries.append(entry)
+            if use_cache:
+                entry.cache_key = TreeCache.make_key(
+                    entry.structure_key, params
+                )
+                # peek, not get: the stats-counting lookup happens during
+                # finalisation, in cohort order, like the scalar path's.
+                if self._cache.peek(entry.cache_key) is not None:
+                    continue
+            group_key = (entry.structure_key, model.param_order)
+            group = groups.get(group_key)
+            if group is None:
+                group = _BatchGroup(
+                    model=model, structure_key=entry.structure_key
+                )
+                groups[group_key] = group
+            dedup_key = (
+                entry.cache_key if entry.cache_key is not None else params
+            )
+            column = group.columns.get(dedup_key)
+            if column is None:
+                column = len(group.params)
+                group.columns[dedup_key] = column
+                group.params.append(params)
+            entry.group_key = group_key
+            entry.column = column
+        # Structure groups too small to amortise NumPy overhead fall back
+        # to the scalar kernel during finalisation.
+        for group_key in [
+            key
+            for key, group in groups.items()
+            if len(group.params) < MIN_BATCH_COLUMNS
+        ]:
+            del groups[group_key]
+        self.stats.batch_fill += time.perf_counter() - fill_started
+        return entries, groups
+
+    def _simulate_group(self, group: _BatchGroup) -> None:
+        """Run one structure group's batched rollouts and error curves."""
+        task = self.task
+        compile_started = time.perf_counter()
+        group.model.compiled_batched()
+        self.stats.compile_time += time.perf_counter() - compile_started
+
+        step_started = time.perf_counter()
+        target_index = group.model.state_names.index(task.target_state)
+        observed = task.observed[:, np.newaxis]
+        n_cases = task.n_cases
+        n_columns = len(group.params)
+        params_matrix = np.array(group.params, dtype=float).T
+        curves = np.empty((n_cases, n_columns))
+        diverged_at = np.empty(n_columns, dtype=np.int64)
+        width = self.config.kernel_batch_size
+        for start in range(0, n_columns, width):
+            stop = min(start + width, n_columns)
+            rollout = batched_euler_rollout(
+                group.model,
+                params_matrix[:, start:stop],
+                task.drivers,
+                task.initial_state,
+                dt=task.dt,
+                clamp=task.clamp,
+            )
+            predicted = rollout.target_series(target_index)
+            first_bad = rollout.diverged_at.copy()
+            # The scalar error stream also refuses non-finite *predictions*
+            # (possible under a clamp band with an infinite bound); treat
+            # the first such row like a divergence row.
+            with np.errstate(invalid="ignore"):
+                nonfinite = ~np.isfinite(predicted)
+            if nonfinite.any():
+                np.minimum(
+                    first_bad,
+                    np.where(
+                        nonfinite.any(axis=0),
+                        nonfinite.argmax(axis=0),
+                        n_cases,
+                    ),
+                    out=first_bad,
+                )
+            errors = predicted - observed
+            np.cumsum(errors * errors, axis=0, out=curves[:, start:stop])
+            diverged_at[start:stop] = first_bad
+        group.curves = curves
+        group.diverged_at = diverged_at
+        self.stats.step_time += time.perf_counter() - step_started
+
+    def _finalize_entry(
+        self, entry: _BatchEntry, groups: dict[Hashable, _BatchGroup]
+    ) -> tuple[float, bool]:
+        """Score one cohort member exactly as the scalar path would."""
+        total_cases = self.task.n_cases
+        if entry.cache_key is not None:
+            cached = self._cache.get(entry.cache_key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self.stats.steps_possible += total_cases
+                return cached, True
+        group = (
+            groups.get(entry.group_key)
+            if entry.group_key is not None
+            else None
+        )
+        if group is None or group.curves is None:
+            # Either an anticipated cache hit whose entry was evicted
+            # mid-batch, or a structure group below MIN_BATCH_COLUMNS.
+            return self._evaluate_scalar(
+                entry.model, entry.params, entry.structure_key, entry.cache_key
+            )
+        self.stats.batched_evaluations += 1
+        self.stats.steps_possible += total_cases
+        assert group.diverged_at is not None
+        return self._score_curve(
+            group.curves[:, entry.column],
+            int(group.diverged_at[entry.column]),
+            entry.cache_key,
+        )
+
+    def _score_curve(
+        self, cumulative_sse: np.ndarray, usable_cases: int, cache_key: Hashable | None
+    ) -> tuple[float, bool]:
+        """Replay Algorithm 1 over a precomputed cumulative-SSE curve.
+
+        ``usable_cases`` is the number of leading fitness cases the
+        scalar stream would have produced before raising (the column's
+        first bad row); ``total_cases`` means the column never diverged.
+        Partial RMSEs come out bitwise-equal to the scalar loop's
+        (``sqrt(cum[t] / (t + 1))`` on the same accumulation order), so
+        short-circuit decisions and returned estimates match exactly.
+        """
+        total_cases = self.task.n_cases
+        threshold = self.config.es_threshold
+        best = self.best_prev_full
+        if threshold is not None:
+            # Scalar checks after each case t (0-based) with t + 1 < total
+            # and only for cases that actually ran (t < usable_cases).
+            limit = min(usable_cases, total_cases - 1)
+            if limit > 0 and best < math.inf:
+                steps = np.arange(1, limit + 1, dtype=float)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    partial = np.sqrt(cumulative_sse[:limit] / steps)
+                    candidates = np.nonzero(partial > best * threshold)[0]
+                for index in candidates:
+                    cases_done = int(index) + 1
+                    estimate = self.extrapolate(
+                        float(partial[index]), cases_done, total_cases
+                    )
+                    if estimate > best:
+                        self.stats.short_circuits += 1
+                        self.stats.steps_evaluated += cases_done
+                        return estimate, False
+        if usable_cases < total_cases:
+            self.stats.divergences += 1
+            self.stats.steps_evaluated += usable_cases
+            if cache_key is not None:
+                self._cache.put(cache_key, BAD_FITNESS)
+            return BAD_FITNESS, True
+        self.stats.steps_evaluated += total_cases
+        if total_cases == 0:
+            self.stats.divergences += 1
+            return BAD_FITNESS, True
+        sse = float(cumulative_sse[total_cases - 1])
+        if not math.isfinite(sse):
+            self.stats.divergences += 1
+            return BAD_FITNESS, True
+        fitness = math.sqrt(sse / total_cases)
         self.stats.full_evaluations += 1
         if fitness < self.best_prev_full:
             self.best_prev_full = fitness

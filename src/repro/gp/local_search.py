@@ -19,6 +19,10 @@ from repro.tag.grammar import TagGrammar
 #: Callback evaluating an individual, returning its fitness (lower better).
 FitnessFn = Callable[[Individual], float]
 
+#: Callback evaluating a cohort at once (e.g.
+#: :meth:`repro.gp.fitness.GMRFitnessEvaluator.evaluate_batch`).
+BatchFitnessFn = Callable[[list[Individual]], list[float]]
+
 
 def insertion(
     individual: Individual,
@@ -85,6 +89,7 @@ def hill_climb(
     steps: int | None = None,
     knowledge=None,
     sigma_scale: float = 1.0,
+    batch_fitness_fn: BatchFitnessFn | None = None,
 ) -> Individual:
     """Stochastic hill climbing on offspring (Section III-D).
 
@@ -96,28 +101,47 @@ def hill_climb(
     a memetic extension that co-adapts the constants of freshly revised
     structure (without it, a promising revision is usually selected away
     before Gaussian mutation can reach it).
+
+    With ``batch_fitness_fn`` provided and ``config.gaussian_proposals``
+    above 1, the Gaussian move proposes that many parameter vectors and
+    keeps the best, scored in one batched rollout (they all share the
+    current structure); the winning candidate still only replaces
+    ``current`` if it strictly improves on it.
     """
-    from repro.gp.operators import gaussian_mutation  # local import: cycle
+    from repro.gp.operators import (  # local import: cycle
+        gaussian_mutation,
+        gaussian_mutation_best_of,
+    )
 
     if steps is None:
         steps = config.local_search_steps
     use_gaussian = config.local_search_gaussian and knowledge is not None
+    propose_many = (
+        batch_fitness_fn is not None and config.gaussian_proposals > 1
+    )
     current = individual
     if current.fitness is None:
         current.fitness = fitness_fn(current)
     for __ in range(steps):
         roll = rng.random()
         if use_gaussian and roll < 1.0 / 3.0:
-            candidate = gaussian_mutation(
-                current, knowledge, config, rng, sigma_scale=sigma_scale
-            )
+            if propose_many:
+                candidate = gaussian_mutation_best_of(
+                    current, knowledge, config, rng, sigma_scale,
+                    batch_fitness_fn,
+                )
+            else:
+                candidate = gaussian_mutation(
+                    current, knowledge, config, rng, sigma_scale=sigma_scale
+                )
         elif roll < (2.0 / 3.0 if use_gaussian else 0.5):
             candidate = insertion(current, grammar, config, rng)
         else:
             candidate = deletion(current, config, rng)
         if candidate is None:
             continue
-        candidate.fitness = fitness_fn(candidate)
+        if candidate.fitness is None:
+            candidate.fitness = fitness_fn(candidate)
         if candidate.fitness < current.fitness:
             current = candidate
     return current

@@ -8,6 +8,7 @@ their Table III priors, and ``R`` constants carried inside lexemes).
 from __future__ import annotations
 
 import random
+from typing import Callable
 
 from repro.gp.config import GMRConfig
 from repro.gp.individual import Individual
@@ -141,6 +142,35 @@ def gaussian_mutation(
         rconst.value = min(max(value, low), high)
     child.invalidate()
     return child
+
+
+def gaussian_mutation_best_of(
+    individual: Individual,
+    knowledge: PriorKnowledge,
+    config: GMRConfig,
+    rng: random.Random,
+    sigma_scale: float,
+    batch_fitness_fn: "Callable[[list[Individual]], list[float]]",
+) -> Individual:
+    """Propose ``config.gaussian_proposals`` Gaussian tweaks, keep the best.
+
+    The propose-K-then-pick-best pattern: every proposal shares the
+    parent's structure, so scoring them through the evaluator's batched
+    kernel integrates all K parameter vectors in one vectorised pass.
+    Proposals are drawn (and so consume the RNG stream) in order; ties on
+    fitness keep the earliest proposal.  With ``gaussian_proposals=1``
+    this is a single :func:`gaussian_mutation` followed by one
+    evaluation -- the engine's historical behaviour.
+
+    Returns the chosen proposal with its fitness already set.
+    """
+    proposals = [
+        gaussian_mutation(individual, knowledge, config, rng, sigma_scale)
+        for _ in range(config.gaussian_proposals)
+    ]
+    fitnesses = batch_fitness_fn(proposals)
+    best_index = min(range(len(proposals)), key=fitnesses.__getitem__)
+    return proposals[best_index]
 
 
 def replication(individual: Individual) -> Individual:

@@ -415,8 +415,10 @@ class SerialBackend(EvaluationBackend):
         evaluator: GMRFitnessEvaluator,
         individuals: Sequence[Individual],
     ) -> None:
-        for individual in individuals:
-            evaluator.evaluate(individual)
+        # Delegates to the evaluator's own cohort path, which routes the
+        # batch through the batched kernels when enabled and replays the
+        # per-individual Algorithm 1 semantics either way.
+        evaluator.evaluate_batch(list(individuals))
 
 
 # Per-worker-process evaluator, created once by the pool initializer so
@@ -443,10 +445,11 @@ def _evaluate_chunk(
     assert evaluator is not None, "pool initializer did not run"
     evaluator.best_prev_full = best_prev_full
     evaluator.stats = EvaluationStats()
-    outcomes = []
-    for individual in individuals:
-        evaluator.evaluate(individual)
-        outcomes.append((individual.fitness, individual.fully_evaluated))
+    evaluator.evaluate_batch(individuals)
+    outcomes = [
+        (individual.fitness, individual.fully_evaluated)
+        for individual in individuals
+    ]
     return outcomes, evaluator.stats, evaluator.best_prev_full
 
 

@@ -79,6 +79,7 @@ class TestRegistry:
             "fig10",
             "fig11",
             "scaling",
+            "kernel",
             "case-study",
         }
 

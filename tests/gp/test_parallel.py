@@ -216,8 +216,10 @@ class TestPickling:
     def test_evaluator_round_trip_drops_compiled_table(self, toy_task):
         config = GMRConfig(population_size=4, max_generations=1)
         evaluator = GMRFitnessEvaluator(task=toy_task, config=config)
+        evaluator._compiled.put(("k",), object())
         clone = pickle.loads(pickle.dumps(evaluator))
-        assert clone._compiled == {}
+        assert len(clone._compiled) == 0
+        assert clone._compiled.max_entries == config.compiled_cache_size
         assert math.isinf(clone.best_prev_full)
 
     def test_pool_backend_pickles_without_pool(self):
