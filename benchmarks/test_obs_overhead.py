@@ -1,0 +1,66 @@
+"""Tracing overhead: a traced cohort evaluation stays within 5% of untraced.
+
+The observability layer's performance contract: with a JSONL sink
+attached, the evaluator emits one ``evaluation_batch`` event per cohort
+and snapshots a handful of counters -- nothing per-individual, nothing
+per-step -- so the traced kernel benchmark must run within
+``OVERHEAD_BUDGET`` of the untraced one.  Timings use best-of-``ROUNDS``
+with the two modes interleaved, the standard noise-robust rule.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.kernel_batching import _cohort
+from repro.experiments.scale import get_scale
+from repro.gp import GMRFitnessEvaluator
+from repro.obs import JsonlSink, Tracer
+from repro.river import load_dataset
+
+#: Maximum tolerated slowdown of the traced run (1.05 == 5%).
+OVERHEAD_BUDGET = 1.05
+
+ROUNDS = 5
+
+
+def _evaluate_once(task, config, cohort, tracer=None) -> float:
+    population = [individual.copy() for individual in cohort]
+    evaluator = GMRFitnessEvaluator(task=task, config=config)
+    evaluator.tracer = tracer
+    clock = time.perf_counter()
+    evaluator.evaluate_batch(population)
+    return time.perf_counter() - clock
+
+
+def test_traced_evaluation_overhead_under_budget(scale_name, tmp_path):
+    scale = get_scale(scale_name)
+    dataset = load_dataset(
+        n_years=scale.n_years, seed=7, train_years=scale.train_years
+    )
+    task = dataset.task("train")
+    config, cohort = _cohort(task, scale, seed=0)
+
+    tracer = Tracer(JsonlSink(tmp_path / "bench.jsonl"))
+    try:
+        # Warm compilation caches so neither mode pays them.
+        _evaluate_once(task, config, cohort)
+        untraced = float("inf")
+        traced = float("inf")
+        for __ in range(ROUNDS):
+            untraced = min(untraced, _evaluate_once(task, config, cohort))
+            traced = min(
+                traced, _evaluate_once(task, config, cohort, tracer=tracer)
+            )
+    finally:
+        tracer.close()
+
+    overhead = traced / untraced
+    print(
+        f"\nuntraced {untraced * 1e3:.1f} ms, traced {traced * 1e3:.1f} ms "
+        f"({overhead:.3f}x)"
+    )
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"tracing overhead {overhead:.3f}x exceeds {OVERHEAD_BUDGET}x budget "
+        f"(untraced {untraced:.4f}s, traced {traced:.4f}s)"
+    )

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.dynamics.drivers import DriverTable
 from repro.dynamics.system import ProcessModel
+from repro.obs.metrics import GLOBAL_METRICS
 
 #: Element budget for hoisted driver-dependent temporaries in batched
 #: rollouts (~16 MiB of float64) -- bounds memory on long trajectories.
@@ -229,6 +230,9 @@ def batched_euler_rollout(
         )
     n_columns = params.shape[1]
     n_steps = len(drivers)
+    GLOBAL_METRICS.counter("kernel.batched_rollouts").inc()
+    GLOBAL_METRICS.counter("kernel.batched_columns").inc(n_columns)
+    GLOBAL_METRICS.counter("kernel.batched_steps").inc(n_steps * n_columns)
     states = np.empty((n_steps, n_states, n_columns), dtype=float)
     diverged_at = np.full(n_columns, n_steps, dtype=np.int64)
     if n_columns == 0 or n_steps == 0:
@@ -299,6 +303,7 @@ def simulate(
     Raises:
         SimulationDiverged: If any state becomes NaN.
     """
+    GLOBAL_METRICS.counter("kernel.scalar_simulations").inc()
     trajectory = np.empty((len(drivers), len(model.state_names)), dtype=float)
     stepper = euler_steps(
         model, params, drivers, initial_state, dt, clamp, use_compiled

@@ -6,10 +6,16 @@ Usage::
     python -m repro.experiments run table5 [--scale bench|full|smoke]
     python -m repro.experiments run all --scale bench
     python -m repro.experiments run table5 --checkpoint-dir ckpt/
+    python -m repro.experiments run table5 --trace-dir traces/
 
 ``--checkpoint-dir`` makes the long GP campaigns fault tolerant: runs
 persist results and mid-run snapshots there, so re-invoking the same
 command after a crash resumes instead of starting over.
+
+``--trace-dir`` records one JSONL trace per GP run (plus a campaign
+trace) there; inspect with ``python -m repro.obs report <file>``.
+Tracing is observational only -- traced results are bit-identical to
+untraced ones.
 """
 
 from __future__ import annotations
@@ -25,6 +31,9 @@ _SCALED = {"table5", "fig9", "fig10", "fig11", "scaling", "case-study", "kernel"
 
 #: Experiments whose runners accept a checkpoint directory.
 _RESUMABLE = {"table5", "scaling"}
+
+#: Experiments whose runners accept a trace directory.
+_TRACEABLE = {"table5", "scaling"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,6 +59,15 @@ def main(argv: list[str] | None = None) -> int:
             "(table5 and scaling only)"
         ),
     )
+    runner.add_argument(
+        "--trace-dir",
+        default=None,
+        help=(
+            "directory for JSONL run traces (repro.obs); one file per "
+            "GP run, inspect with 'python -m repro.obs report' "
+            "(table5 and scaling only)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -71,6 +89,12 @@ def main(argv: list[str] | None = None) -> int:
                 os.path.join(args.checkpoint_dir, target)
                 if len(targets) > 1
                 else args.checkpoint_dir
+            )
+        if args.trace_dir is not None and target in _TRACEABLE:
+            kwargs["trace_dir"] = (
+                os.path.join(args.trace_dir, target)
+                if len(targets) > 1
+                else args.trace_dir
             )
         if target in _SCALED:
             result = run(args.scale, **kwargs)

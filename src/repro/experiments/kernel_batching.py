@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.gp import (
     replication,
 )
 from repro.gp.knowledge import build_grammar
+from repro.obs import MetricsRegistry
 from repro.river import load_dataset, river_knowledge
 
 #: Batch widths measured, in display order (1 isolates per-call overhead).
@@ -62,6 +63,11 @@ class KernelBatchingResult:
     kernel_cache_evictions: int
     scale: str
     elapsed: float
+    #: Flat metrics-registry snapshot (see :mod:`repro.obs.metrics`) of
+    #: the cohort pass: evaluator counters, cache traffic, throughput
+    #: histograms.  Extra observability detail; the flat keys above stay
+    #: authoritative for downstream benchmark assertions.
+    metrics: dict = field(default_factory=dict)
 
     def render(self) -> str:
         rows = [
@@ -110,6 +116,7 @@ class KernelBatchingResult:
             "kernel_cache_evictions": self.kernel_cache_evictions,
             "scale": self.scale,
             "elapsed": self.elapsed,
+            "metrics": self.metrics,
         }
 
     def write_json(self, path: str) -> None:
@@ -253,6 +260,22 @@ def run_kernel_batching(
     kernel_misses = KERNEL_CACHE.stats.misses - kernel_stats_before[1]
     kernel_lookups = kernel_hits + kernel_misses
 
+    # Record the cohort pass through the metrics registry so the BENCH
+    # payload carries the same counters a traced run would publish.
+    registry = MetricsRegistry()
+    batched_evaluator.stats.publish(registry, prefix="bench.batched_eval")
+    scalar_evaluator.stats.publish(registry, prefix="bench.scalar_eval")
+    tree_stats.publish(registry, prefix="bench.tree_cache")
+    registry.counter("bench.kernel_cache.hits").inc(kernel_hits)
+    registry.counter("bench.kernel_cache.misses").inc(kernel_misses)
+    registry.counter("bench.kernel_cache.evictions").inc(
+        KERNEL_CACHE.stats.evictions - kernel_stats_before[2]
+    )
+    throughput = registry.histogram("bench.batched_steps_per_sec")
+    for k in k_values:
+        throughput.observe(batched_sps[k])
+        registry.gauge(f"bench.speedup.k{k}").set(speedup[k])
+
     return KernelBatchingResult(
         k_values=tuple(k_values),
         n_cases=n_cases,
@@ -272,4 +295,5 @@ def run_kernel_batching(
         ),
         scale=scale.name,
         elapsed=time.perf_counter() - started,
+        metrics=registry.snapshot(),
     )

@@ -80,8 +80,15 @@ def run_parallel_scaling(
     worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
     base_seed: int = 0,
     checkpoint_dir: str | None = None,
+    trace_dir: str | None = None,
 ) -> ParallelScalingResult:
-    """Time independent GMR runs at each worker count on the river task."""
+    """Time independent GMR runs at each worker count on the river task.
+
+    ``trace_dir`` records a JSONL trace per run under one subdirectory
+    per worker count (each count re-runs the same seeds).  Tracing adds
+    I/O to the timed region, so traced timings are only comparable to
+    other traced timings.
+    """
     scale = get_scale(scale_name)
     started = time.perf_counter()
     dataset = load_dataset(
@@ -108,6 +115,10 @@ def run_parallel_scaling(
     elapsed: dict[int, float] = {}
     fingerprints: dict[int, list[float]] = {}
     for workers in worker_counts:
+        if trace_dir is not None:
+            worker_trace_dir = os.path.join(trace_dir, f"workers-{workers}")
+            os.makedirs(worker_trace_dir, exist_ok=True)
+            engine.trace_dir = worker_trace_dir
         clock = time.perf_counter()
         if checkpoint_dir is not None:
             campaign = run_campaign(

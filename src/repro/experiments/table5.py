@@ -44,6 +44,7 @@ from repro.gp import (
     run_campaign,
     run_many,
 )
+from repro.obs import JsonlSink, Tracer
 from repro.river import (
     CONSTANT_PRIORS,
     load_dataset,
@@ -117,6 +118,7 @@ def run_gmr(
     scale: Scale,
     base_seed: int = 0,
     checkpoint_dir: str | None = None,
+    trace_dir: str | None = None,
 ) -> tuple[MethodResult | None, Individual | None]:
     """GMR over ``scale.n_runs`` runs; returns (result_row, best individual).
 
@@ -125,6 +127,12 @@ def run_gmr(
     every tenth of the generation budget, and transient failures are
     retried -- re-invoking with the same directory resumes instead of
     recomputing.
+
+    With ``trace_dir`` each run appends a JSONL trace to
+    ``<trace_dir>/run-<seed>.jsonl`` and (on the campaign path) the
+    campaign span/retry events go to ``<trace_dir>/campaign.jsonl``;
+    the traces never feed back into the search, so traced results are
+    bit-identical to untraced ones.
     """
     train = dataset.river_task("train")
     test = dataset.river_task("test")
@@ -135,20 +143,33 @@ def run_gmr(
             config, checkpoint_every=max(1, scale.max_generations // 10)
         )
     engine = GMREngine(knowledge, train, config)
-    if checkpoint_dir is not None:
-        campaign = run_campaign(
-            engine,
-            scale.n_runs,
-            base_seed=base_seed,
-            max_workers=scale.n_workers,
-            policy=FailurePolicy.retrying(),
-            checkpoint_dir=checkpoint_dir,
-        )
-        outcomes = campaign.results()
-    else:
-        # run_many farms the independent runs to a process pool when the
-        # scale's n_workers > 1; per-run results are identical to serial.
-        outcomes = run_many(engine, scale.n_runs, base_seed=base_seed)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        engine.trace_dir = trace_dir
+    campaign_tracer = None
+    try:
+        if checkpoint_dir is not None:
+            if trace_dir is not None:
+                campaign_tracer = Tracer(
+                    JsonlSink(os.path.join(trace_dir, "campaign.jsonl"))
+                )
+            campaign = run_campaign(
+                engine,
+                scale.n_runs,
+                base_seed=base_seed,
+                max_workers=scale.n_workers,
+                policy=FailurePolicy.retrying(),
+                checkpoint_dir=checkpoint_dir,
+                tracer=campaign_tracer,
+            )
+            outcomes = campaign.results()
+        else:
+            # run_many farms the independent runs to a process pool when the
+            # scale's n_workers > 1; per-run results are identical to serial.
+            outcomes = run_many(engine, scale.n_runs, base_seed=base_seed)
+    finally:
+        if campaign_tracer is not None:
+            campaign_tracer.close()
     best_row = None
     best_individual = None
     for outcome in outcomes:
@@ -276,11 +297,14 @@ def run_table5(
     scale_name: str | None = None,
     seed: int = 0,
     checkpoint_dir: str | None = None,
+    trace_dir: str | None = None,
 ) -> Table5Result:
     """Regenerate Table V at the requested scale.
 
     ``checkpoint_dir`` makes the GMR campaign resumable (the dominant
     cost at bench/full scale); the other methods rerun from scratch.
+    ``trace_dir`` collects JSONL run traces for the GMR campaign (see
+    :mod:`repro.obs`); inspect them with ``python -m repro.obs report``.
     """
     scale = get_scale(scale_name)
     started = time.perf_counter()
@@ -301,7 +325,11 @@ def run_table5(
         else os.path.join(checkpoint_dir, "gmr")
     )
     gmr_row, gmr_best = run_gmr(
-        dataset, scale, base_seed=seed, checkpoint_dir=gmr_checkpoints
+        dataset,
+        scale,
+        base_seed=seed,
+        checkpoint_dir=gmr_checkpoints,
+        trace_dir=trace_dir,
     )
     results.append(gmr_row)
 

@@ -571,6 +571,12 @@ class KernelCacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def publish(self, registry: Any, prefix: str = "kernel_cache") -> None:
+        """Publish the counters into a :class:`repro.obs.MetricsRegistry`."""
+        registry.counter(f"{prefix}.hits").inc(self.hits)
+        registry.counter(f"{prefix}.misses").inc(self.misses)
+        registry.counter(f"{prefix}.evictions").inc(self.evictions)
+
 
 class KernelCache:
     """A bounded LRU of compiled kernels, keyed by model structure.
@@ -626,6 +632,18 @@ class KernelCache:
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
+
+    def __getstate__(self) -> dict:
+        # Compiled kernels are exec-generated closures and unpicklable;
+        # ship the configuration and the counters (a checkpoint round-trip
+        # must not zero hit/miss/eviction statistics) and let the receiving
+        # process rebuild entries on demand.
+        return {"max_entries": self.max_entries, "stats": self.stats}
+
+    def __setstate__(self, state: dict) -> None:
+        self.max_entries = state.get("max_entries", 512)
+        self.stats = state.get("stats") or KernelCacheStats()
+        self._entries = OrderedDict()
 
 
 #: Process-global kernel cache shared by every model and evaluator in

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 #: Cache keys round parameter values to this many significant digits, so
 #: float noise below evaluation precision does not fragment entries.
@@ -51,6 +51,12 @@ class CacheStats:
         for part in parts:
             total = total.merge(part)
         return total
+
+    def publish(self, registry: Any, prefix: str = "tree_cache") -> None:
+        """Publish the counters into a :class:`repro.obs.MetricsRegistry`."""
+        registry.counter(f"{prefix}.hits").inc(self.hits)
+        registry.counter(f"{prefix}.misses").inc(self.misses)
+        registry.counter(f"{prefix}.evictions").inc(self.evictions)
 
 
 @dataclass

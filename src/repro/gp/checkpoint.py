@@ -37,7 +37,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.gp.engine import GenerationRecord, RunResult
 
 #: Format version encoded in the file magic; bump on layout changes.
-CHECKPOINT_VERSION = 1
+#: v2 (PR 5): adds ``trace_seq`` and preserves cache hit/miss/eviction
+#: counters through the evaluator pickle round-trip.
+CHECKPOINT_VERSION = 2
+
+#: Versions this build still reads; older envelopes are migrated in
+#: memory (missing fields get their v1-era defaults, e.g. a zero trace
+#: offset and zeroed compiled-cache counters) instead of raising.
+COMPATIBLE_VERSIONS = (1, 2)
 
 #: File magics: 7 identifying bytes plus the format version byte.
 _CHECKPOINT_MAGIC = b"GMRCKPT" + bytes([CHECKPOINT_VERSION])
@@ -68,6 +75,9 @@ class RunCheckpoint:
         evaluator: The run's evaluator with its tree cache, statistics and
             ES ``best_prev_full`` marker (compiled functions are dropped on
             pickling and rebuilt lazily, exactly as in the parallel layer).
+        trace_seq: Trace sequence number at snapshot time; a resumed run
+            fast-forwards its tracer here so a stitched JSONL trace keeps
+            strictly increasing sequence numbers across process lifetimes.
     """
 
     seed: int
@@ -80,6 +90,7 @@ class RunCheckpoint:
     history: list["GenerationRecord"]
     evaluator: GMRFitnessEvaluator
     version: int = field(default=CHECKPOINT_VERSION)
+    trace_seq: int = 0
 
 
 def _atomic_write(path: str | os.PathLike[str], blob: bytes) -> None:
@@ -130,10 +141,10 @@ def _load(path: str | os.PathLike[str], magic: bytes, kind: str) -> Any:
     header = len(magic) + _DIGEST_BYTES
     if len(blob) < header or blob[: len(magic) - 1] != magic[:-1]:
         raise CheckpointError(f"{path!s} is not a {kind} file")
-    if blob[len(magic) - 1] != magic[-1]:
+    if blob[len(magic) - 1] not in COMPATIBLE_VERSIONS:
         raise CheckpointError(
             f"{path!s} uses {kind} format version {blob[len(magic) - 1]}, "
-            f"this build reads version {magic[-1]}"
+            f"this build reads versions {COMPATIBLE_VERSIONS}"
         )
     digest = blob[len(magic) : header]
     payload = blob[header:]
@@ -164,12 +175,28 @@ def load_checkpoint(path: str | os.PathLike[str]) -> RunCheckpoint:
         raise CheckpointError(
             f"{path!s} holds a {type(checkpoint).__name__}, not a RunCheckpoint"
         )
-    if checkpoint.version != CHECKPOINT_VERSION:
+    if checkpoint.version not in COMPATIBLE_VERSIONS:
         raise CheckpointError(
             f"{path!s} holds checkpoint version {checkpoint.version}, "
-            f"this build reads version {CHECKPOINT_VERSION}"
+            f"this build reads versions {COMPATIBLE_VERSIONS}"
         )
+    if checkpoint.version < CHECKPOINT_VERSION:
+        _migrate_checkpoint(checkpoint)
     return checkpoint
+
+
+def _migrate_checkpoint(checkpoint: RunCheckpoint) -> None:
+    """Upgrade an older envelope in memory (v1 -> v2).
+
+    v1 predates the observability layer: there was no trace offset, and
+    the evaluator's compiled-cache counters were zeroed by its pickle
+    round-trip, so the honest migration is zero defaults.  (The
+    evaluator- and cache-level attribute gaps are already healed by
+    their own ``__setstate__`` hooks during unpickling.)
+    """
+    if not hasattr(checkpoint, "trace_seq"):
+        checkpoint.trace_seq = 0
+    checkpoint.version = CHECKPOINT_VERSION
 
 
 def save_result(result: "RunResult", path: str | os.PathLike[str]) -> None:

@@ -11,11 +11,13 @@ priors govern Gaussian mutation.
 
 from __future__ import annotations
 
+import math
 import os
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Callable, ContextManager
 
 from repro.dynamics.task import ModelingTask
 from repro.gp.checkpoint import (
@@ -43,6 +45,8 @@ from repro.gp.parallel import (
     SerialBackend,
 )
 from repro.gp.selection import best_of, elites, tournament_select
+from repro.obs.profile import PhaseProfile
+from repro.obs.trace import JsonlSink, Tracer
 from repro.tag.grammar import TagGrammar
 
 #: Optional per-generation progress callback ``(generation, record)``.
@@ -97,6 +101,14 @@ class GMREngine:
     #: Offspring-evaluation backend for batched mode
     #: (``config.eval_batch_size > 0``); built from the config when None.
     eval_backend: EvaluationBackend | None = None
+    #: Optional tracer receiving run/generation/checkpoint events.
+    #: Process-local (sinks hold file handles); dropped on pickling.
+    tracer: Tracer | None = None
+    #: When set (and no explicit ``tracer`` is attached), each run writes
+    #: a JSONL trace to ``<trace_dir>/run-<seed>.jsonl``.  Plain path, so
+    #: it survives pickling into pool workers -- campaign runs trace
+    #: themselves from inside their worker processes.
+    trace_dir: str | os.PathLike[str] | None = None
 
     def __post_init__(self) -> None:
         if self.grammar is None:
@@ -106,6 +118,18 @@ class GMREngine:
                 "knowledge and task disagree on state names: "
                 f"{self.knowledge.state_names} vs {self.task.state_names}"
             )
+
+    def __getstate__(self) -> dict:
+        # Tracers hold sink file handles; worker processes build their
+        # own from ``trace_dir``.
+        state = dict(self.__dict__)
+        state["tracer"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("tracer", None)
+        self.__dict__.setdefault("trace_dir", None)
 
     def make_evaluator(self) -> GMRFitnessEvaluator:
         return GMRFitnessEvaluator(task=self.task, config=self.config)
@@ -171,66 +195,164 @@ class GMREngine:
             rng = random.Random()
             rng.setstate(checkpoint.rng_state)
             evaluator = checkpoint.evaluator
-            population = checkpoint.population
-            best = checkpoint.best
+            population: list[Individual] | None = checkpoint.population
+            best: Individual | None = checkpoint.best
             history = list(checkpoint.history)
             start_generation = checkpoint.generation
             elapsed_before = checkpoint.elapsed
+            resumed = True
+            trace_seq = checkpoint.trace_seq
         else:
             if seed is None:
                 seed = 0
             rng = random.Random(seed)
             if evaluator is None:
                 evaluator = self.make_evaluator()
-
-            if config.strict_validate:
-                self._lint_artifacts()
-
-            population = initial_population(
-                self.grammar, self.knowledge, config, rng
-            )
-            if config.strict_validate:
-                self._lint_offspring(population, "initial population")
-            # The seed population is one big cohort with no RNG use between
-            # evaluations, so the batched kernels can integrate it
-            # structure-group by structure-group with identical results.
-            evaluator.evaluate_batch(population)
-
-            best = self._track_best(None, population)
+            population = None
+            best = None
             history = []
-            record = self._record(0, population, evaluator)
-            history.append(record)
             start_generation = 0
             elapsed_before = 0.0
-            self._maybe_checkpoint(
-                checkpoint_path, seed, 0, rng, population, best, history,
-                evaluator, started, elapsed_before,
-            )
-            if progress is not None:
-                progress(0, record)
+            resumed = False
+            trace_seq = 0
 
-        for generation in range(start_generation + 1, config.max_generations + 1):
-            sigma_scale = config.sigma_scale(generation)
-            population = self._next_generation(
-                population, evaluator, rng, sigma_scale
+        tracer, owns_tracer = self._resolve_tracer(seed)
+        profile: PhaseProfile | None = None
+        run_cm: ContextManager[int] = nullcontext(-1)
+        if tracer is not None:
+            tracer.advance_to(trace_seq)
+            evaluator.tracer = tracer
+            profile = PhaseProfile()
+            run_cm = tracer.span(
+                "run",
+                seed=seed,
+                resumed=resumed,
+                start_generation=start_generation,
             )
-            best = self._track_best(best, population)
-            record = self._record(generation, population, evaluator)
-            history.append(record)
-            self._maybe_checkpoint(
-                checkpoint_path, seed, generation, rng, population, best,
-                history, evaluator, started, elapsed_before,
-            )
-            if progress is not None:
-                progress(generation, record)
+        try:
+            with run_cm as run_span:
+                if not resumed:
+                    if config.strict_validate:
+                        self._lint_artifacts()
+                    population = initial_population(
+                        self.grammar, self.knowledge, config, rng
+                    )
+                    if config.strict_validate:
+                        self._lint_offspring(population, "initial population")
+                    # The seed population is one big cohort with no RNG use
+                    # between evaluations, so the batched kernels can
+                    # integrate it structure-group by structure-group with
+                    # identical results.
+                    with self._phase(profile, "evaluate"):
+                        evaluator.evaluate_batch(population)
 
-        elapsed = elapsed_before + (time.perf_counter() - started)
+                    best = self._track_best(None, population)
+                    record = self._record(0, population, evaluator)
+                    history.append(record)
+                    with self._phase(profile, "checkpoint"):
+                        self._maybe_checkpoint(
+                            checkpoint_path, seed, 0, rng, population, best,
+                            history, evaluator, started, elapsed_before,
+                            tracer,
+                        )
+                    self._trace_generation(tracer, profile, record)
+                    if progress is not None:
+                        progress(0, record)
+                assert population is not None and best is not None
+
+                for generation in range(
+                    start_generation + 1, config.max_generations + 1
+                ):
+                    sigma_scale = config.sigma_scale(generation)
+                    population = self._next_generation(
+                        population, evaluator, rng, sigma_scale, profile
+                    )
+                    best = self._track_best(best, population)
+                    record = self._record(generation, population, evaluator)
+                    history.append(record)
+                    with self._phase(profile, "checkpoint"):
+                        self._maybe_checkpoint(
+                            checkpoint_path, seed, generation, rng,
+                            population, best, history, evaluator, started,
+                            elapsed_before, tracer,
+                        )
+                    self._trace_generation(tracer, profile, record)
+                    if progress is not None:
+                        progress(generation, record)
+
+                elapsed = elapsed_before + (time.perf_counter() - started)
+                if tracer is not None:
+                    tracer.end_span_fields(
+                        "run",
+                        run_span,
+                        best_fitness=(
+                            best.fitness
+                            if best.fitness is not None
+                            else math.inf
+                        ),
+                        generations=len(history),
+                        evaluations=evaluator.stats.evaluations,
+                    )
+        finally:
+            if tracer is not None:
+                evaluator.tracer = None
+                if owns_tracer:
+                    tracer.close()
         return RunResult(
             best=best,
             history=history,
             stats=evaluator.stats,
             seed=seed,
             elapsed=elapsed,
+        )
+
+    def _resolve_tracer(self, seed: int) -> tuple[Tracer | None, bool]:
+        """The tracer this run should emit into, if any.
+
+        An explicitly attached :attr:`tracer` wins; otherwise
+        :attr:`trace_dir` opens a per-seed JSONL trace owned (and closed)
+        by this run.  Returns ``(tracer, owns_tracer)``.
+        """
+        if self.tracer is not None and self.tracer.enabled:
+            return self.tracer, False
+        if self.trace_dir is not None:
+            path = os.path.join(
+                os.fspath(self.trace_dir), f"run-{seed}.jsonl"
+            )
+            return Tracer(JsonlSink(path)), True
+        return None, False
+
+    @staticmethod
+    def _phase(
+        profile: PhaseProfile | None, name: str
+    ) -> ContextManager[None]:
+        """A profiler phase, or a no-op when profiling is off."""
+        if profile is None:
+            return nullcontext()
+        return profile.phase(name)
+
+    @staticmethod
+    def _trace_generation(
+        tracer: Tracer | None,
+        profile: PhaseProfile | None,
+        record: GenerationRecord,
+    ) -> None:
+        """Emit one ``generation`` event with the drained phase times."""
+        if tracer is None:
+            return
+        phases = profile.drain() if profile is not None else {}
+        tracer.point(
+            "generation",
+            generation=record.generation,
+            best_fitness=record.best_fitness,
+            mean_fitness=record.mean_fitness,
+            best_size=record.best_size,
+            evaluations=record.evaluations_so_far,
+            best_fully_evaluated=record.best_fully_evaluated,
+            select_time=phases.get("select", 0.0),
+            evaluate_time=phases.get("evaluate", 0.0),
+            local_search_time=phases.get("local_search", 0.0),
+            checkpoint_time=phases.get("checkpoint", 0.0),
         )
 
     def _maybe_checkpoint(
@@ -245,11 +367,19 @@ class GMREngine:
         evaluator: GMRFitnessEvaluator,
         started: float,
         elapsed_before: float,
+        tracer: Tracer | None = None,
     ) -> None:
         """Snapshot the loop state if the cadence says this generation."""
         every = self.config.checkpoint_every
         if path is None or every <= 0 or generation % every != 0:
             return
+        # The checkpoint event goes out *before* the save, so the stored
+        # trace offset covers it and a resumed run continues the JSONL
+        # trace right after it without reusing sequence numbers.
+        if tracer is not None:
+            tracer.point(
+                "checkpoint", generation=generation, path=os.fspath(path)
+            )
         save_checkpoint(
             RunCheckpoint(
                 seed=seed,
@@ -261,6 +391,7 @@ class GMREngine:
                 best=best,
                 history=list(history),
                 evaluator=evaluator,
+                trace_seq=tracer.seq if tracer is not None else 0,
             ),
             path,
         )
@@ -376,24 +507,33 @@ class GMREngine:
         evaluator: GMRFitnessEvaluator,
         rng: random.Random,
         sigma_scale: float,
+        profile: PhaseProfile | None = None,
     ) -> list[Individual]:
         config = self.config
         if config.eval_batch_size > 0:
             return self._next_generation_batched(
-                population, evaluator, rng, sigma_scale
+                population, evaluator, rng, sigma_scale, profile
             )
         next_population: list[Individual] = elites(population, config.elite_size)
         while len(next_population) < config.population_size:
-            for child in self._spawn_offspring(
-                population, rng, sigma_scale, evaluator
-            ):
+            # "select" covers parent selection and operator application
+            # (including any proposal scoring the operator does itself).
+            with self._phase(profile, "select"):
+                children = self._spawn_offspring(
+                    population, rng, sigma_scale, evaluator
+                )
+            for child in children:
                 if len(next_population) >= config.population_size:
                     break
                 if config.strict_validate:
                     self._lint_offspring([child], "offspring")
                 if child.fitness is None:
-                    evaluator.evaluate(child)
-                child = self._local_search(child, evaluator, rng, sigma_scale)
+                    with self._phase(profile, "evaluate"):
+                        evaluator.evaluate(child)
+                with self._phase(profile, "local_search"):
+                    child = self._local_search(
+                        child, evaluator, rng, sigma_scale
+                    )
                 next_population.append(child)
         return next_population
 
@@ -403,6 +543,7 @@ class GMREngine:
         evaluator: GMRFitnessEvaluator,
         rng: random.Random,
         sigma_scale: float,
+        profile: PhaseProfile | None = None,
     ) -> list[Individual]:
         """Batched offspring evaluation through the evaluation backend.
 
@@ -418,13 +559,14 @@ class GMREngine:
         next_population: list[Individual] = elites(population, config.elite_size)
         budget = config.population_size - len(next_population)
         offspring: list[Individual] = []
-        while len(offspring) < budget:
-            for child in self._spawn_offspring(
-                population, rng, sigma_scale, evaluator
-            ):
-                if len(offspring) >= budget:
-                    break
-                offspring.append(child)
+        with self._phase(profile, "select"):
+            while len(offspring) < budget:
+                for child in self._spawn_offspring(
+                    population, rng, sigma_scale, evaluator
+                ):
+                    if len(offspring) >= budget:
+                        break
+                    offspring.append(child)
 
         if config.strict_validate:
             self._lint_offspring(offspring, "offspring cohort")
@@ -434,10 +576,14 @@ class GMREngine:
             batch = offspring[start : start + batch_size]
             pending = [child for child in batch if child.fitness is None]
             if pending:
-                backend.evaluate_batch(evaluator, pending)
-            for child in batch:
-                child = self._local_search(child, evaluator, rng, sigma_scale)
-                next_population.append(child)
+                with self._phase(profile, "evaluate"):
+                    backend.evaluate_batch(evaluator, pending)
+            with self._phase(profile, "local_search"):
+                for child in batch:
+                    child = self._local_search(
+                        child, evaluator, rng, sigma_scale
+                    )
+                    next_population.append(child)
         return next_population
 
     @staticmethod

@@ -185,10 +185,9 @@ class FaultInjectingEngine(GMREngine):
     def __getstate__(self) -> dict:
         if self.plan.unpicklable:
             raise InjectedFault("injected pickling failure")
-        return dict(self.__dict__)
-
-    def __setstate__(self, state: dict) -> None:
-        self.__dict__.update(state)
+        # Delegates to GMREngine so process-local extras (the tracer)
+        # are dropped here too.
+        return super().__getstate__()
 
     def make_evaluator(self) -> GMRFitnessEvaluator:
         return FaultInjectingEvaluator(

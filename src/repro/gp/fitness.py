@@ -27,10 +27,13 @@ import numpy as np
 from repro.dynamics.integrate import SimulationDiverged, batched_euler_rollout
 from repro.dynamics.system import ProcessModel
 from repro.dynamics.task import BAD_FITNESS, ModelingTask
-from repro.expr.compile import KernelCache
-from repro.gp.cache import TreeCache
+from repro.expr.compile import KernelCache, KernelCacheStats
+from repro.gp.cache import CacheStats, TreeCache
 from repro.gp.config import GMRConfig
 from repro.gp.individual import Individual
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseProfile
+from repro.obs.trace import Tracer
 
 #: Structure groups smaller than this take the scalar path: a batched
 #: rollout always integrates the full horizon, so for a lone candidate
@@ -76,9 +79,12 @@ class EvaluationStats:
     selectivity numbers stay comparable across kernels.  The timing
     fields break the actual compute down by phase: ``compile_time``
     (acquiring compiled kernels, cached or not), ``step_time``
-    (batched rollouts plus error-curve computation), and ``batch_fill``
-    (phenotype derivation, structure grouping, and parameter-matrix
-    stacking while planning a batch).
+    (integration and error-curve computation, scalar or batched), and
+    ``batch_fill`` (phenotype derivation, structure grouping, and
+    parameter-matrix stacking while planning a batch).  Phase times come
+    from a :class:`~repro.obs.profile.PhaseProfile`, so they are
+    mutually disjoint and their sum never exceeds ``wall_time`` -- on
+    either path (``tests/gp/test_phase_partition.py``).
     """
 
     evaluations: int = 0
@@ -137,6 +143,30 @@ class EvaluationStats:
         for part in parts:
             total = total.merge(part)
         return total
+
+    @property
+    def phase_total(self) -> float:
+        """Sum of the disjoint phase timers (``<= wall_time``)."""
+        return self.compile_time + self.step_time + self.batch_fill
+
+    def publish(self, registry: MetricsRegistry, prefix: str = "eval") -> None:
+        """Publish the counters into a :class:`~repro.obs.MetricsRegistry`."""
+        registry.counter(f"{prefix}.evaluations").inc(self.evaluations)
+        registry.counter(f"{prefix}.cache_hits").inc(self.cache_hits)
+        registry.counter(f"{prefix}.short_circuits").inc(self.short_circuits)
+        registry.counter(f"{prefix}.full_evaluations").inc(
+            self.full_evaluations
+        )
+        registry.counter(f"{prefix}.divergences").inc(self.divergences)
+        registry.counter(f"{prefix}.steps_evaluated").inc(self.steps_evaluated)
+        registry.counter(f"{prefix}.steps_possible").inc(self.steps_possible)
+        registry.counter(f"{prefix}.batched_evaluations").inc(
+            self.batched_evaluations
+        )
+        registry.gauge(f"{prefix}.wall_time").add(self.wall_time)
+        registry.gauge(f"{prefix}.compile_time").add(self.compile_time)
+        registry.gauge(f"{prefix}.step_time").add(self.step_time)
+        registry.gauge(f"{prefix}.batch_fill").add(self.batch_fill)
 
 
 @dataclass
@@ -209,6 +239,10 @@ class GMRFitnessEvaluator:
         #: Best fitness seen among *full* evaluations (Algorithm 1's
         #: ``bestPrevFull``).
         self.best_prev_full: float = math.inf
+        #: Disjoint phase timers, drained into ``stats`` per evaluation.
+        self._profile = PhaseProfile()
+        #: Optional tracer; assigned by the engine, never pickled.
+        self.tracer: Tracer | None = None
 
     @property
     def cache(self) -> TreeCache:
@@ -222,7 +256,9 @@ class GMRFitnessEvaluator:
     def reset(self) -> None:
         """Clear caches and the best-previous-full marker (new run)."""
         self._cache.clear()
+        self._cache.stats = CacheStats()
         self._compiled.clear()
+        self._compiled.stats = KernelCacheStats()
         self.best_prev_full = math.inf
         self.stats = EvaluationStats()
 
@@ -239,20 +275,46 @@ class GMRFitnessEvaluator:
         individual.fitness = fitness
         individual.fully_evaluated = fully
         self.stats.evaluations += 1
+        self._drain_phases()
         self.stats.wall_time += time.perf_counter() - started
         return fitness
 
+    def _drain_phases(self) -> None:
+        """Fold the profiler's exclusive phase totals into the stats.
+
+        :class:`PhaseProfile` attributes every second to exactly one
+        phase, so after draining ``compile_time + step_time + batch_fill
+        <= wall_time`` holds by construction on both paths.
+        """
+        totals = self._profile.drain()
+        if totals:
+            self.stats.compile_time += totals.get("compile", 0.0)
+            self.stats.step_time += totals.get("step", 0.0)
+            self.stats.batch_fill += totals.get("fill", 0.0)
+
+    def _active_tracer(self) -> Tracer | None:
+        """The assigned tracer, or None when tracing is off."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None
+
     def __getstate__(self) -> dict:
-        # Compiled step functions are exec-generated and unpicklable; the
-        # share table is rebuilt on demand in the receiving process.
+        # The kernel cache drops its exec-generated entries but keeps its
+        # counters (see KernelCache.__getstate__); tracers hold sink file
+        # handles and stay behind; the profiler restarts empty.
         state = dict(self.__dict__)
-        state["_compiled"] = KernelCache(
-            max_entries=self.config.compiled_cache_size
-        )
+        state["tracer"] = None
+        state["_profile"] = PhaseProfile()
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        # Envelopes pickled before the observability layer (checkpoint
+        # schema v1) predate these attributes.
+        self.__dict__.setdefault("tracer", None)
+        if "_profile" not in self.__dict__:
+            self._profile = PhaseProfile()
 
     def _evaluate_inner(self, individual: Individual) -> tuple[float, bool]:
         config = self.config
@@ -294,46 +356,46 @@ class GMRFitnessEvaluator:
         total_cases = self.task.n_cases
 
         if config.use_compilation:
-            compile_started = time.perf_counter()
-            # Sharing must key on the parameter order too: simplification can
-            # collapse structurally different models (with different raw
-            # parameter vectors) onto one canonical key, but a compiled step
-            # function indexes parameters positionally.
-            share_key = (structure_key, model.param_order)
-            shared = self._compiled.get(share_key)
-            if shared is not None:
-                model._compiled = shared
-            else:
-                self._compiled.put(share_key, model.compiled())
-            self.stats.compile_time += time.perf_counter() - compile_started
+            with self._profile.phase("compile"):
+                # Sharing must key on the parameter order too: simplification
+                # can collapse structurally different models (with different
+                # raw parameter vectors) onto one canonical key, but a
+                # compiled step function indexes parameters positionally.
+                share_key = (structure_key, model.param_order)
+                shared = self._compiled.get(share_key)
+                if shared is not None:
+                    model._compiled = shared
+                else:
+                    self._compiled.put(share_key, model.compiled())
 
         self.stats.steps_possible += total_cases
         threshold = config.es_threshold
 
         sse = 0.0
         cases_done = 0
-        try:
-            for squared_error in self.task.error_stream(
-                model, params, use_compiled=config.use_compilation
-            ):
-                sse += squared_error
-                cases_done += 1
-                if threshold is not None and cases_done < total_cases:
-                    fitness = math.sqrt(sse / cases_done)
-                    if fitness > self.best_prev_full * threshold:
-                        estimate = self.extrapolate(
-                            fitness, cases_done, total_cases
-                        )
-                        if estimate > self.best_prev_full:
-                            self.stats.short_circuits += 1
-                            self.stats.steps_evaluated += cases_done
-                            return estimate, False
-        except (SimulationDiverged, OverflowError):
-            self.stats.divergences += 1
-            self.stats.steps_evaluated += cases_done
-            if cache_key is not None:
-                self._cache.put(cache_key, BAD_FITNESS)
-            return BAD_FITNESS, True
+        with self._profile.phase("step"):
+            try:
+                for squared_error in self.task.error_stream(
+                    model, params, use_compiled=config.use_compilation
+                ):
+                    sse += squared_error
+                    cases_done += 1
+                    if threshold is not None and cases_done < total_cases:
+                        fitness = math.sqrt(sse / cases_done)
+                        if fitness > self.best_prev_full * threshold:
+                            estimate = self.extrapolate(
+                                fitness, cases_done, total_cases
+                            )
+                            if estimate > self.best_prev_full:
+                                self.stats.short_circuits += 1
+                                self.stats.steps_evaluated += cases_done
+                                return estimate, False
+            except (SimulationDiverged, OverflowError):
+                self.stats.divergences += 1
+                self.stats.steps_evaluated += cases_done
+                if cache_key is not None:
+                    self._cache.put(cache_key, BAD_FITNESS)
+                return BAD_FITNESS, True
 
         self.stats.steps_evaluated += cases_done
         if cases_done == 0 or not math.isfinite(sse):
@@ -375,14 +437,35 @@ class GMRFitnessEvaluator:
         if not cohort:
             return []
         config = self.config
+        trace = self._active_tracer()
         if (
             not config.use_batched_kernel
             or not config.use_compilation
             or not self._batchable
             or type(self).evaluate is not GMRFitnessEvaluator.evaluate
         ):
-            return [self.evaluate(individual) for individual in cohort]
+            if trace is None:
+                return [self.evaluate(individual) for individual in cohort]
+            before_hits = self.stats.cache_hits
+            scalar_started = time.perf_counter()
+            results = [self.evaluate(individual) for individual in cohort]
+            trace.point(
+                "evaluation_batch",
+                size=len(cohort),
+                batched=False,
+                cache_hits=self.stats.cache_hits - before_hits,
+                wall_time=time.perf_counter() - scalar_started,
+                source="scalar",
+            )
+            return results
 
+        if trace is not None:
+            before = (
+                self.stats.cache_hits,
+                self.stats.compile_time,
+                self.stats.step_time,
+                self.stats.batch_fill,
+            )
         batch_started = time.perf_counter()
         entries, groups = self._plan_batch(cohort)
         for group in groups.values():
@@ -394,14 +477,35 @@ class GMRFitnessEvaluator:
             entry.individual.fully_evaluated = fully
             self.stats.evaluations += 1
             results.append(fitness)
-        self.stats.wall_time += time.perf_counter() - batch_started
+        self._drain_phases()
+        wall = time.perf_counter() - batch_started
+        self.stats.wall_time += wall
+        if trace is not None:
+            trace.point(
+                "evaluation_batch",
+                size=len(cohort),
+                batched=True,
+                groups=len(groups),
+                columns=sum(len(g.params) for g in groups.values()),
+                cache_hits=self.stats.cache_hits - before[0],
+                wall_time=wall,
+                compile_time=self.stats.compile_time - before[1],
+                step_time=self.stats.step_time - before[2],
+                batch_fill=self.stats.batch_fill - before[3],
+                source="batched",
+            )
         return results
 
     def _plan_batch(
         self, cohort: list[Individual]
     ) -> tuple[list[_BatchEntry], dict[Hashable, _BatchGroup]]:
         """Resolve cohort members to cache hits or simulation columns."""
-        fill_started = time.perf_counter()
+        with self._profile.phase("fill"):
+            return self._plan_batch_inner(cohort)
+
+    def _plan_batch_inner(
+        self, cohort: list[Individual]
+    ) -> tuple[list[_BatchEntry], dict[Hashable, _BatchGroup]]:
         entries: list[_BatchEntry] = []
         groups: dict[Hashable, _BatchGroup] = {}
         use_cache = self.config.use_tree_cache
@@ -449,17 +553,19 @@ class GMRFitnessEvaluator:
             if len(group.params) < MIN_BATCH_COLUMNS
         ]:
             del groups[group_key]
-        self.stats.batch_fill += time.perf_counter() - fill_started
         return entries, groups
 
     def _simulate_group(self, group: _BatchGroup) -> None:
         """Run one structure group's batched rollouts and error curves."""
         task = self.task
-        compile_started = time.perf_counter()
-        group.model.compiled_batched()
-        self.stats.compile_time += time.perf_counter() - compile_started
+        with self._profile.phase("compile"):
+            group.model.compiled_batched()
 
-        step_started = time.perf_counter()
+        with self._profile.phase("step"):
+            self._simulate_group_inner(group)
+
+    def _simulate_group_inner(self, group: _BatchGroup) -> None:
+        task = self.task
         target_index = group.model.state_names.index(task.target_state)
         observed = task.observed[:, np.newaxis]
         n_cases = task.n_cases
@@ -500,7 +606,6 @@ class GMRFitnessEvaluator:
             diverged_at[start:stop] = first_bad
         group.curves = curves
         group.diverged_at = diverged_at
-        self.stats.step_time += time.perf_counter() - step_started
 
     def _finalize_entry(
         self, entry: _BatchEntry, groups: dict[Hashable, _BatchGroup]

@@ -62,6 +62,8 @@ from repro.gp.resilience import (
     FailurePolicy,
     RunFailure,
 )
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.trace import MemorySink, TraceEvent, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.gp.engine import GMREngine, RunResult
@@ -198,20 +200,26 @@ def execute_campaign(
     policy: FailurePolicy,
     max_workers: int | None = None,
     checkpoint_dir: str | None = None,
+    tracer: Tracer | None = None,
 ) -> CampaignResult:
     """Run ``seeds`` under ``policy``; the engine room of campaigns.
 
     Callers normally reach this through :func:`run_many_parallel` or
     :func:`repro.gp.resilience.run_campaign` (which adds completed-result
-    reuse on top).
+    reuse on top).  ``tracer`` receives ``campaign_retry`` events when a
+    failed seed re-enters under a retry policy.
     """
     if not seeds:
         return CampaignResult(completed=[], failed=[])
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     workers = default_workers(len(seeds), max_workers)
     if workers == 1:
-        return _campaign_serial(engine, list(seeds), policy, checkpoint_dir)
+        return _campaign_serial(
+            engine, list(seeds), policy, checkpoint_dir, tracer
+        )
     return _campaign_pooled(
-        engine, list(seeds), policy, workers, checkpoint_dir
+        engine, list(seeds), policy, workers, checkpoint_dir, tracer
     )
 
 
@@ -220,6 +228,7 @@ def _campaign_serial(
     seeds: list[int],
     policy: FailurePolicy,
     checkpoint_dir: str | None,
+    tracer: Tracer | None = None,
 ) -> CampaignResult:
     """In-process execution with the same policy semantics as the pool.
 
@@ -239,7 +248,16 @@ def _campaign_serial(
                 if policy.mode == FAIL_FAST:
                     raise ParallelRunError(seed, exc) from exc
                 if policy.mode == RETRY and attempt < policy.max_attempts:
-                    time.sleep(policy.retry.delay(seed, attempt))
+                    delay = policy.retry.delay(seed, attempt)
+                    if tracer is not None:
+                        tracer.point(
+                            "campaign_retry",
+                            seed=seed,
+                            attempt=attempt,
+                            error_type=type(exc).__name__,
+                            delay=delay,
+                        )
+                    time.sleep(delay)
                     continue
                 failed.append(
                     RunFailure.from_exception(
@@ -260,6 +278,7 @@ def _campaign_pooled(
     policy: FailurePolicy,
     workers: int,
     checkpoint_dir: str | None,
+    tracer: Tracer | None = None,
 ) -> CampaignResult:
     """Round-based pooled execution with retries and pool rebuilds.
 
@@ -311,6 +330,13 @@ def _campaign_pooled(
                     and attempts[seed] < policy.retry.max_attempts
                 ):
                     retry_later.append(seed)
+                    if tracer is not None:
+                        tracer.point(
+                            "campaign_retry",
+                            seed=seed,
+                            attempt=attempts[seed],
+                            error_type=type(error).__name__,
+                        )
                 else:
                     record_failure(seed, error)
 
@@ -358,6 +384,7 @@ def _campaign_pooled(
                     rebuild_seeds = []
                 else:
                     rebuilds += 1
+                    GLOBAL_METRICS.counter("pool.campaign_rebuilds").inc()
                     pool = ProcessPoolExecutor(max_workers=workers)
                     # The pool died under these seeds; they never failed
                     # on their own, so give their attempts back.
@@ -434,23 +461,37 @@ def _init_eval_worker(evaluator: GMRFitnessEvaluator) -> None:
 def _evaluate_chunk(
     individuals: list[Individual],
     best_prev_full: float,
-) -> tuple[list[tuple[float, bool]], EvaluationStats, float]:
+    collect_trace: bool = False,
+) -> tuple[
+    list[tuple[float, bool]], EvaluationStats, float, list[TraceEvent]
+]:
     """Worker entry point: evaluate one chunk of a batch.
 
     Returns per-individual ``(fitness, fully_evaluated)`` pairs, the
-    statistics delta for this chunk, and the worker's updated
-    ``best_prev_full`` (for the parent's per-batch fan-in).
+    statistics delta for this chunk, the worker's updated
+    ``best_prev_full`` (for the parent's per-batch fan-in), and -- when
+    ``collect_trace`` is set -- the chunk's trace events, recorded into
+    an in-memory sink here and re-emitted (span-remapped) by the
+    parent's tracer.
     """
     evaluator = _WORKER_EVALUATOR
     assert evaluator is not None, "pool initializer did not run"
     evaluator.best_prev_full = best_prev_full
     evaluator.stats = EvaluationStats()
-    evaluator.evaluate_batch(individuals)
+    sink: MemorySink | None = None
+    if collect_trace:
+        sink = MemorySink()
+        evaluator.tracer = Tracer(sink)
+    try:
+        evaluator.evaluate_batch(individuals)
+    finally:
+        evaluator.tracer = None
     outcomes = [
         (individual.fitness, individual.fully_evaluated)
         for individual in individuals
     ]
-    return outcomes, evaluator.stats, evaluator.best_prev_full
+    events = sink.events if sink is not None else []
+    return outcomes, evaluator.stats, evaluator.best_prev_full, events
 
 
 @dataclass
@@ -521,6 +562,7 @@ class ProcessPoolBackend(EvaluationBackend):
         pending = list(individuals)
         if not pending:
             return
+        trace = evaluator._active_tracer()
         chunk_size = -(-len(pending) // self.effective_workers)  # ceil division
         remaining = [
             pending[start : start + chunk_size]
@@ -535,7 +577,8 @@ class ProcessPoolBackend(EvaluationBackend):
                 try:
                     submitted.append(
                         (chunk, pool.submit(
-                            _evaluate_chunk, chunk, evaluator.best_prev_full
+                            _evaluate_chunk, chunk, evaluator.best_prev_full,
+                            trace is not None,
                         ))
                     )
                 except BrokenExecutor as exc:
@@ -548,7 +591,9 @@ class ProcessPoolBackend(EvaluationBackend):
                     unfinished.append(chunk)
                     continue
                 try:
-                    outcomes, stats_delta, worker_best = future.result()
+                    outcomes, stats_delta, worker_best, events = (
+                        future.result()
+                    )
                 except BrokenExecutor as exc:
                     pool_error = exc
                     unfinished.append(chunk)
@@ -556,14 +601,20 @@ class ProcessPoolBackend(EvaluationBackend):
                 for individual, (fitness, fully) in zip(chunk, outcomes):
                     individual.fitness = fitness
                     individual.fully_evaluated = fully
+                # Statistics (and trace events) fold in once per
+                # *successfully returned* chunk, so pool-rebuild
+                # re-submissions never double-count.
                 evaluator.stats = evaluator.stats.merge(stats_delta)
                 best = min(best, worker_best)
+                if trace is not None and events:
+                    trace.absorb(events)
             evaluator.best_prev_full = best
             if pool_error is not None:
                 self._discard_pool()
                 if rebuilds >= self.max_pool_rebuilds:
                     raise pool_error
                 rebuilds += 1
+                GLOBAL_METRICS.counter("pool.eval_rebuilds").inc()
             remaining = unfinished
 
     def _discard_pool(self) -> None:

@@ -32,9 +32,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.gp.checkpoint import CheckpointError, load_result, result_file
+from repro.obs.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.gp.engine import GMREngine, RunResult
+    from repro.obs.metrics import MetricsRegistry
 
 #: The three failure-policy modes.
 FAIL_FAST = "fail_fast"
@@ -269,6 +271,26 @@ class CampaignResult:
         self.raise_if_failed()
         return self.completed
 
+    def publish(
+        self, registry: "MetricsRegistry", prefix: str = "campaign"
+    ) -> None:
+        """Publish campaign outcomes into a metrics registry.
+
+        Counts completed/failed seeds, folds every completed run's
+        evaluation statistics into ``<prefix>.eval.*``, and feeds the
+        per-run best fitnesses into a histogram.
+        """
+        registry.counter(f"{prefix}.completed").inc(len(self.completed))
+        registry.counter(f"{prefix}.failed").inc(len(self.failed))
+        retries = sum(
+            max(0, failure.attempts - 1) for failure in self.failed
+        )
+        registry.counter(f"{prefix}.failed_attempts").inc(retries)
+        best = registry.histogram(f"{prefix}.best_fitness")
+        for result in self.completed:
+            result.stats.publish(registry, prefix=f"{prefix}.eval")
+            best.observe(result.best_fitness)
+
 
 def run_campaign(
     engine: "GMREngine",
@@ -277,6 +299,7 @@ def run_campaign(
     max_workers: int | None = None,
     policy: FailurePolicy | None = None,
     checkpoint_dir: str | os.PathLike[str] | None = None,
+    tracer: Tracer | None = None,
 ) -> CampaignResult:
     """Run a campaign of independent seeded runs with durable state.
 
@@ -297,6 +320,10 @@ def run_campaign(
     (resume replays from a full snapshot of the run's loop state).
     Unreadable result/checkpoint files are ignored with a warning and
     the affected seed is simply recomputed.
+
+    ``tracer`` wraps the execution in a ``campaign`` span and records
+    ``campaign_retry`` events (tracing is observational only: traced
+    campaigns return bit-identical results).
     """
     from repro.gp.parallel import execute_campaign
 
@@ -321,9 +348,25 @@ def run_campaign(
                         stacklevel=2,
                     )
             pending.append(seed)
-    outcome = execute_campaign(
-        engine, pending, policy, max_workers, checkpoint_dir
-    )
+    if tracer is not None and not tracer.enabled:
+        tracer = None
+    if tracer is None:
+        outcome = execute_campaign(
+            engine, pending, policy, max_workers, checkpoint_dir
+        )
+    else:
+        with tracer.span(
+            "campaign", n_seeds=len(pending), mode=policy.mode
+        ) as span:
+            outcome = execute_campaign(
+                engine, pending, policy, max_workers, checkpoint_dir, tracer
+            )
+            tracer.end_span_fields(
+                "campaign",
+                span,
+                completed=len(outcome.completed),
+                failed=len(outcome.failed),
+            )
     completed = sorted(
         prior + outcome.completed, key=lambda result: result.seed
     )

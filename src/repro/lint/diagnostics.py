@@ -151,11 +151,23 @@ class LintReport:
         )
 
     def sorted(self) -> "LintReport":
-        """A copy ordered most-severe-first, then by rule id."""
+        """A copy in the canonical order: most-severe-first, then rule
+        id, then location, with the message as the final tiebreak so two
+        findings of one rule at one address (e.g. a grammar rule firing
+        twice on the same production) always render in the same order
+        regardless of discovery order.  ``render_text`` and
+        ``render_json`` both go through here, so lint output is
+        byte-stable for golden-file comparisons.
+        """
         return LintReport(
             sorted(
                 self.diagnostics,
-                key=lambda d: (-int(d.severity), d.rule, str(d.location)),
+                key=lambda d: (
+                    -int(d.severity),
+                    d.rule,
+                    str(d.location),
+                    d.message,
+                ),
             )
         )
 

@@ -1,0 +1,49 @@
+"""CLI for the observability layer: ``python -m repro.obs report``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.obs.report import report_from_file
+from repro.obs.trace import TraceSchemaError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect recorded run traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report",
+        help="render a per-generation table and summary from a JSONL trace",
+    )
+    report.add_argument("trace", help="path to a trace .jsonl file")
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON summary instead of the table",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        try:
+            report = report_from_file(args.trace)
+        except FileNotFoundError:
+            print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+            return 2
+        except TraceSchemaError as exc:
+            print(f"error: invalid trace: {exc}", file=sys.stderr)
+            return 2
+        print(report.render_json() if args.json else report.render_text())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

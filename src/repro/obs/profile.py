@@ -1,0 +1,96 @@
+"""Scoped phase timers whose totals partition wall time by construction.
+
+The observability layer's core timing primitive: a :class:`PhaseProfile`
+attributes elapsed time to exactly one named phase at a time.  Opening a
+nested phase *pauses* the enclosing one, so however callers compose
+phases (the evaluator's ``compile`` inside the engine's ``evaluate``,
+a scalar fallback's ``step`` inside batch finalisation), the per-phase
+totals never double-count a nanosecond and their sum is bounded by the
+enclosing wall time -- the invariant ``tests/gp/test_phase_partition.py``
+enforces on :class:`~repro.gp.fitness.EvaluationStats`.
+
+This replaces the PR-4 pattern of sprinkling ``time.perf_counter()``
+pairs around call sites, which silently overlapped the moment two
+timed regions nested.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+class PhaseProfile:
+    """Accumulates seconds per named phase, innermost-phase-wins.
+
+    Use :meth:`phase` as a context manager::
+
+        profile = PhaseProfile()
+        with profile.phase("compile"):
+            ...
+            with profile.phase("step"):   # pauses "compile"
+                ...
+
+    ``totals`` then maps each name to *exclusive* seconds (time spent in
+    that phase with no inner phase running), so the values are disjoint
+    by construction and sum to at most the enclosing wall time.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._totals: dict[str, float] = {}
+        #: (name, started) pairs; only the innermost accrues time.
+        self._stack: list[tuple[str, float]] = []
+
+    @property
+    def totals(self) -> dict[str, float]:
+        """Accumulated exclusive seconds per phase (copy)."""
+        return dict(self._totals)
+
+    def get(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum over all phases (== timed wall time, phases being disjoint)."""
+        return sum(self._totals.values())
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def _credit_top(self, now: float) -> None:
+        name, started = self._stack[-1]
+        self._totals[name] = self._totals.get(name, 0.0) + (now - started)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute the block's time to ``name``, pausing any outer phase."""
+        now = self._clock()
+        if self._stack:
+            self._credit_top(now)
+        self._stack.append((name, now))
+        try:
+            yield
+        finally:
+            now = self._clock()
+            self._credit_top(now)
+            self._stack.pop()
+            if self._stack:
+                outer, _ = self._stack[-1]
+                self._stack[-1] = (outer, now)  # outer resumes here
+
+    def drain(self) -> dict[str, float]:
+        """Return the accumulated totals and reset them to zero.
+
+        Raises if called while a phase is still open -- draining
+        mid-phase would silently lose the open phase's time.
+        """
+        if self._stack:
+            open_phases = [name for name, _ in self._stack]
+            raise RuntimeError(
+                f"cannot drain with open phase(s): {open_phases}"
+            )
+        drained = self._totals
+        self._totals = {}
+        return drained

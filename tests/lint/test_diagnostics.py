@@ -69,6 +69,53 @@ class TestReport:
         )
         assert [d.rule for d in report.sorted()] == ["G001", "E005", "S003"]
 
+    def test_sorted_is_deterministic_in_insertion_order(self):
+        # Same rule, same severity, same location, different messages:
+        # before the message tiebreak, Python's stable sort preserved
+        # insertion order and two discovery orders rendered differently.
+        a = Diagnostic("G001", Severity.ERROR, "alpha out of range")
+        b = Diagnostic("G001", Severity.ERROR, "beta out of range")
+        forward = LintReport([a, b]).sorted()
+        backward = LintReport([b, a]).sorted()
+        assert [d.message for d in forward.diagnostics] == [
+            d.message for d in backward.diagnostics
+        ]
+
+    def test_render_json_golden_order(self):
+        # The canonical order -- severity desc, rule, location, message
+        # -- must survive any permutation of discovery order, byte for
+        # byte, so --json output is diffable across runs.
+        findings = [
+            Diagnostic("S003", Severity.INFO, "unused species"),
+            Diagnostic("G001", Severity.ERROR, "beta out of range"),
+            Diagnostic("G001", Severity.ERROR, "alpha out of range"),
+            Diagnostic(
+                "G001",
+                Severity.ERROR,
+                "alpha out of range",
+                Location(obj="beta 'b'", address=(0,)),
+            ),
+            Diagnostic("E005", Severity.WARNING, "suspicious constant"),
+        ]
+        golden = LintReport(list(findings)).render_json()
+        expected_order = [
+            ("G001", "alpha out of range"),
+            ("G001", "beta out of range"),
+            ("G001", "alpha out of range"),  # located entry sorts after bare
+            ("E005", "suspicious constant"),
+            ("S003", "unused species"),
+        ]
+        payload = json.loads(golden)
+        assert [
+            (f["rule"], f["message"]) for f in payload["findings"]
+        ] == expected_order
+        for permutation in (
+            findings[::-1],
+            findings[2:] + findings[:2],
+            [findings[i] for i in (3, 0, 4, 1, 2)],
+        ):
+            assert LintReport(list(permutation)).render_json() == golden
+
     def test_render_json_is_valid_json(self):
         report = LintReport([self._diag()])
         payload = json.loads(report.render_json())

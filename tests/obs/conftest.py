@@ -1,0 +1,10 @@
+"""Fixtures for the observability suite, reusing the toy GP problem."""
+
+from __future__ import annotations
+
+from tests.resilience.conftest import (  # noqa: F401
+    make_engine,
+    toy_grammar,
+    toy_knowledge,
+    toy_task,
+)

@@ -1,0 +1,117 @@
+"""Metrics registry: instruments, type safety, snapshots, publishers."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.gp.cache import CacheStats
+from repro.gp.fitness import EvaluationStats
+from repro.expr.compile import KernelCacheStats
+from repro.obs import MetricsRegistry, MetricTypeError
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("evals")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter("evals")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("fill")
+        gauge.set(0.5)
+        gauge.add(0.25)
+        assert gauge.value == 0.75
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("fitness")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["stddev"] == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_empty_histogram_summary(self):
+        assert MetricsRegistry().histogram("empty").summary() == {"count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricTypeError):
+            registry.gauge("x")
+        with pytest.raises(MetricTypeError):
+            registry.histogram("x")
+
+    def test_snapshot_is_flat_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("b").set(2.0)
+        registry.counter("a").inc()
+        registry.histogram("c").observe(1.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["a"] == 1
+        assert snapshot["b"] == 2.0
+        assert snapshot["c"]["count"] == 1
+
+    def test_render_json_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        assert json.loads(registry.render_json())["a"] == 3
+
+
+class TestPublishers:
+    def test_evaluation_stats_publish(self):
+        stats = EvaluationStats()
+        stats.evaluations = 10
+        stats.cache_hits = 4
+        stats.wall_time = 1.5
+        registry = MetricsRegistry()
+        stats.publish(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["eval.evaluations"] == 10
+        assert snapshot["eval.cache_hits"] == 4
+        assert snapshot["eval.wall_time"] == 1.5
+
+    def test_publish_accumulates_across_runs(self):
+        registry = MetricsRegistry()
+        for __ in range(2):
+            stats = EvaluationStats()
+            stats.evaluations = 5
+            stats.publish(registry)
+        assert registry.snapshot()["eval.evaluations"] == 10
+
+    def test_cache_stats_publish(self):
+        stats = CacheStats(hits=3, misses=2, evictions=1)
+        registry = MetricsRegistry()
+        stats.publish(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["tree_cache.hits"] == 3
+        assert snapshot["tree_cache.misses"] == 2
+        assert snapshot["tree_cache.evictions"] == 1
+
+    def test_kernel_cache_stats_publish(self):
+        stats = KernelCacheStats(hits=5, misses=4, evictions=3)
+        registry = MetricsRegistry()
+        stats.publish(registry, prefix="kc")
+        snapshot = registry.snapshot()
+        assert snapshot["kc.hits"] == 5
+        assert snapshot["kc.misses"] == 4
+        assert snapshot["kc.evictions"] == 3

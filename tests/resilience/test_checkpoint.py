@@ -9,12 +9,15 @@ foreign files, and future format versions must all surface as
 from __future__ import annotations
 
 import glob
+import hashlib
 import os
+import pickle
 
 import pytest
 
 from repro.gp.checkpoint import (
     CHECKPOINT_VERSION,
+    COMPATIBLE_VERSIONS,
     CheckpointError,
     RunCheckpoint,
     checkpoint_file,
@@ -117,6 +120,92 @@ class TestEnvelope:
     def test_canonical_paths(self, tmp_path):
         assert checkpoint_file(tmp_path, 3) == str(tmp_path / "run-3.ckpt")
         assert result_file(tmp_path, 3) == str(tmp_path / "run-3.result")
+
+
+def _write_v1_envelope(checkpoint: RunCheckpoint, path) -> None:
+    """Serialise ``checkpoint`` the way the v1 format did.
+
+    v1 predates ``trace_seq``: the field is absent from the pickled
+    ``__dict__`` and the magic's version byte is 1.
+    """
+    checkpoint.version = 1
+    checkpoint.__dict__.pop("trace_seq", None)
+    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = b"GMRCKPT" + bytes([1]) + hashlib.sha256(payload).digest() + payload
+    path.write_bytes(blob)
+
+
+class TestMigration:
+    def test_v1_is_a_compatible_version(self):
+        assert 1 in COMPATIBLE_VERSIONS
+        assert CHECKPOINT_VERSION in COMPATIBLE_VERSIONS
+
+    def test_v1_envelope_loads_and_migrates(self, checkpointed, tmp_path):
+        __, path, __ = checkpointed
+        old_path = tmp_path / "old.ckpt"
+        _write_v1_envelope(load_checkpoint(path), old_path)
+
+        migrated = load_checkpoint(old_path)
+        assert migrated.version == CHECKPOINT_VERSION
+        # The v1-era default: no trace offset was recorded.
+        assert migrated.trace_seq == 0
+
+    def test_v1_envelope_resumes(self, checkpointed, tmp_path):
+        engine, path, result = checkpointed
+        old_path = tmp_path / "old.ckpt"
+        _write_v1_envelope(load_checkpoint(path), old_path)
+
+        resumed = engine.run(resume_from=old_path)
+        assert resumed.best_fitness == result.best_fitness
+        assert [g.best_fitness for g in resumed.history] == [
+            g.best_fitness for g in result.history
+        ]
+
+    def test_v1_evaluator_state_heals(self, checkpointed):
+        # An evaluator pickled before the observability layer carries
+        # neither a tracer slot nor a profiler; __setstate__ must supply
+        # both so resumed evaluations run (and trace) normally.
+        __, path, __ = checkpointed
+        evaluator = load_checkpoint(path).evaluator
+        state = evaluator.__getstate__()
+        state.pop("tracer", None)
+        state.pop("_profile", None)
+        healed = GMRFitnessEvaluator.__new__(GMRFitnessEvaluator)
+        healed.__setstate__(state)
+        assert healed.tracer is None
+        assert healed._profile.total() == 0.0
+
+
+class TestCacheCounterPreservation:
+    """Satellite fix: the checkpoint round-trip used to zero the
+    compiled-cache hit/miss/eviction counters (the evaluator's
+    ``__getstate__`` swapped in a fresh ``KernelCache``), so resumed
+    runs under-reported cache traffic."""
+
+    def test_kernel_cache_counters_survive_pickling(self, checkpointed):
+        __, path, __ = checkpointed
+        checkpoint = load_checkpoint(path)
+        stats = checkpoint.evaluator.compiled_cache.stats
+        assert stats.misses > 0  # compilation happened before the snapshot
+        round_tripped = pickle.loads(pickle.dumps(checkpoint))
+        revived = round_tripped.evaluator.compiled_cache.stats
+        assert (revived.hits, revived.misses, revived.evictions) == (
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+        )
+
+    def test_tree_cache_counters_survive_pickling(self, checkpointed):
+        __, path, __ = checkpointed
+        checkpoint = load_checkpoint(path)
+        stats = checkpoint.evaluator.cache.stats
+        round_tripped = pickle.loads(pickle.dumps(checkpoint))
+        revived = round_tripped.evaluator.cache.stats
+        assert (revived.hits, revived.misses, revived.evictions) == (
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+        )
 
 
 class TestResumeGuards:

@@ -227,6 +227,64 @@ class TestPolicySemantics:
         ]
 
 
+@pytest.mark.parametrize("max_workers", [1, 2])
+class TestRetryAccounting:
+    """Satellite audit: a retried seed's evaluation statistics must
+    count the successful attempt exactly once -- the failed attempt's
+    partial :class:`EvaluationStats` never reach the merged result,
+    neither on the serial path nor through the process-pool chunk merge.
+    """
+
+    def test_retried_seed_counts_one_attempts_work(
+        self, make_engine, tmp_path, max_workers
+    ):
+        ledger = tmp_path / "ledger"
+        markers = tmp_path / "markers"
+        ledger.mkdir()
+        markers.mkdir()
+        # One injected mid-run failure, fired exactly once campaign-wide
+        # (the marker dir), and only on a seed's first attempt -- the
+        # retry then completes cleanly.
+        engine = make_engine(
+            engine_cls=FaultInjectingEngine,
+            engine_kwargs={
+                "plan": FaultPlan(
+                    fail_at_evaluation=5,
+                    max_faulty_attempts=1,
+                    once_marker_dir=str(markers),
+                ),
+                "attempt_dir": str(ledger),
+            },
+            max_generations=2,
+        )
+        outcome = run_campaign(
+            engine,
+            3,
+            base_seed=0,
+            max_workers=max_workers,
+            policy=FailurePolicy.retrying(max_attempts=3, backoff_base=0.0),
+        )
+        assert outcome.ok
+
+        clean = make_engine(engine_cls=GMREngine, max_generations=2)
+        reference = run_many(clean, 3, base_seed=0)
+
+        # Exactly one seed needed a retry; the fault fired exactly once.
+        attempts = [current_attempt(str(ledger), seed) for seed in range(3)]
+        assert sorted(attempts) == [1, 1, 2]
+
+        # Per-seed accounting matches the clean campaign exactly: the
+        # failed attempt's partial evaluations are not double-merged.
+        by_seed = {r.seed: r for r in outcome.results()}
+        for ref in reference:
+            result = by_seed[ref.seed]
+            assert result.stats.evaluations == ref.stats.evaluations
+            assert result.stats.cache_hits == ref.stats.cache_hits
+            assert result.best_fitness == ref.best_fitness
+        total = sum(r.stats.evaluations for r in outcome.results())
+        assert total == sum(r.stats.evaluations for r in reference)
+
+
 class TestRunCampaign:
     def test_default_policy_collects(self, make_engine, tmp_path):
         engine = faulty_engine(

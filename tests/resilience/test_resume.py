@@ -102,3 +102,43 @@ class TestCrashResumeEquivalence:
             seed=7, checkpoint_path=tmp_path / "run.ckpt"
         )
         assert histories(ours) == histories(theirs)
+
+    def test_resume_with_warm_capped_caches(self, make_engine, tmp_path):
+        """Satellite fix: resume equivalence with caches small enough to
+        evict.  The checkpoint round-trip used to zero the compiled
+        cache's counters, so the resumed run's cache statistics drifted
+        from the uninterrupted run even though its search was identical.
+        """
+
+        def capped(**overrides):
+            return make_engine(
+                checkpoint_every=1,
+                max_generations=4,
+                tree_cache_size=2,
+                compiled_cache_size=2,
+                **overrides,
+            )
+
+        full = capped().run(seed=9)
+        # Tiny caps must actually churn the caches or the test is vacuous.
+        assert full.stats.evaluations > 4
+
+        path = tmp_path / "run.ckpt"
+        engine = capped()
+        with pytest.raises(SimulatedCrash):
+            engine.run(seed=9, checkpoint_path=path, progress=crash_at(2))
+        checkpoint = load_checkpoint(path)
+        kernel_stats = checkpoint.evaluator.compiled_cache.stats
+        tree_stats = checkpoint.evaluator.cache.stats
+        # The snapshot carries the warm counters, not zeroed ones --
+        # including evictions, the counter the old round-trip dropped.
+        assert kernel_stats.misses > 0
+        assert kernel_stats.evictions > 0
+        assert tree_stats.misses > 0
+        assert tree_stats.evictions > 0
+
+        resumed = capped().run(resume_from=path)
+        assert histories(resumed) == histories(full)
+        assert resumed.best_fitness == full.best_fitness
+        assert resumed.stats.evaluations == full.stats.evaluations
+        assert resumed.stats.cache_hits == full.stats.cache_hits
