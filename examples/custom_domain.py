@@ -1,9 +1,10 @@
-"""Applying GMR to a different domain: a lake predator-prey system.
+"""Bring your own domain: a lake predator-prey plugin for the registry.
 
 The paper's extensibility discussion (Section VI) argues the framework
 carries over to any model-identification problem where expert knowledge
 is available but incomplete.  This example builds such a problem from
-scratch -- no river code involved:
+scratch and registers it as a *domain plugin* -- the same mechanism the
+built-in river, Lotka-Volterra and SIR domains use:
 
 * Hidden truth: algae ``A`` and grazers ``G`` in a lake, where grazer
   mortality rises with temperature (the same kind of mechanism the paper
@@ -12,56 +13,47 @@ scratch -- no river code involved:
   marked extensible at the mortality subprocess.
 * Prior knowledge: parameter priors plus "temperature may matter here".
 
-GMR should recover a temperature-dependent mortality revision.
+Packaging those pieces as a :class:`~repro.domains.DomainSpec` and
+calling :func:`~repro.domains.register_domain` buys the whole toolchain:
+``GMREngine.for_domain("lake")``, domain-stamped checkpoints that refuse
+to resume under a different spec, ``python -m repro.lint --domain lake``,
+and -- were the spec shipped inside ``repro.domains`` -- the full
+cross-domain conformance battery under ``tests/domains/``.  The
+regression test ``tests/domains/test_custom_domain_example.py`` runs
+this module end-to-end, so the example stays current with the API.
 
 Run:  python examples/custom_domain.py
 """
 
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
 import numpy as np
 
 from repro.analysis import report
-from repro.dynamics import ClampSpec, DriverTable, ModelingTask, ProcessModel, simulate
-from repro.expr import parse
-from repro.gp import (
-    ExtensionSpec,
-    GMRConfig,
-    GMREngine,
-    ParameterPrior,
-    PriorKnowledge,
+from repro.domains import ConformancePlan, DomainSpec, register_domain
+from repro.domains.synth import SyntheticDataset, ar1, observe, seasonal
+from repro.dynamics import (
+    ClampSpec,
+    DriverTable,
+    ModelingTask,
+    ProcessModel,
+    simulate,
 )
+from repro.expr import parse
+from repro.expr.ast import Expr
+from repro.gp import ExtensionSpec, GMREngine, ParameterPrior, PriorKnowledge
 
-STATES = ("A", "G")
+STATE_NAMES: tuple[str, ...] = ("A", "G")
+VARIABLE_ORDER: tuple[str, ...] = ("Vtmp", "Vlgt")
 
+#: Biomasses: strictly positive, bounded far above any real trajectory.
+LAKE_CLAMP = ClampSpec(minimum=1e-3, maximum=1e5)
 
-def make_drivers(n_days: int = 730, seed: int = 3) -> DriverTable:
-    rng = np.random.default_rng(seed)
-    day = np.arange(n_days, dtype=float)
-    temperature = 15.0 + 9.0 * np.sin(2 * np.pi * (day - 120) / 365.0)
-    temperature += rng.normal(0.0, 0.6, n_days)
-    light = 1.0 + 0.4 * np.sin(2 * np.pi * (day - 100) / 365.0)
-    return DriverTable.from_mapping(
-        {"Vtmp": np.clip(temperature, 1.0, 30.0), "Vlgt": np.clip(light, 0.2, 2.0)}
-    )
-
-
-def hidden_truth() -> ProcessModel:
-    """The data-generating lake model (temperature-dependent mortality)."""
-    equations = {
-        "A": parse(
-            "A * (grow * Vlgt * (1 - A / cap) - graze * G / (half + A))",
-            variables={"Vlgt"},
-            states=set(STATES),
-        ),
-        "G": parse(
-            "G * (eff * graze * A / (half + A) - mort * (0.1 + 0.09 * Vtmp))",
-            variables={"Vtmp"},
-            states=set(STATES),
-        ),
-    }
-    return ProcessModel.from_equations(equations, var_order=("Vtmp", "Vlgt"))
-
-
-HIDDEN_PARAMS = {
+#: Data-generating parameter values (the expert priors centre elsewhere).
+HIDDEN_PARAMS: dict[str, float] = {
     "grow": 0.5,
     "cap": 120.0,
     "graze": 2.2,
@@ -71,40 +63,52 @@ HIDDEN_PARAMS = {
 }
 
 
-def make_task() -> ModelingTask:
-    drivers = make_drivers()
-    truth = hidden_truth()
-    params = tuple(HIDDEN_PARAMS[name] for name in truth.param_order)
-    observed = simulate(
-        truth,
-        params,
-        drivers,
-        initial_state=(20.0, 4.0),
-        clamp=ClampSpec(minimum=1e-3, maximum=1e5),
-    )[:, 0]
-    rng = np.random.default_rng(11)
-    observed = observed * np.exp(rng.normal(0.0, 0.03, len(observed)))
-    return ModelingTask(
-        drivers=drivers,
-        observed=observed,
-        target_state="A",
-        state_names=STATES,
-        initial_state=(20.0, 4.0),
+@dataclass(frozen=True)
+class LakeConfig:
+    """Knobs of the synthetic lake dataset."""
+
+    n_days: int = 730
+    train_days: int = 500
+    seed: int = 3
+    observation_noise: float = 0.03
+    initial_algae: float = 20.0
+    initial_grazers: float = 4.0
+
+
+def hidden_truth() -> dict[str, Expr]:
+    """The data-generating equations (temperature-dependent mortality)."""
+    return {
+        "A": parse(
+            "A * (grow * Vlgt * (1 - A / cap) - graze * G / (half + A))",
+            variables={"Vlgt"},
+            states=set(STATE_NAMES),
+        ),
+        "G": parse(
+            "G * (eff * graze * A / (half + A) - mort * (0.1 + 0.09 * Vtmp))",
+            variables={"Vtmp"},
+            states=set(STATE_NAMES),
+        ),
+    }
+
+
+def truth_model() -> ProcessModel:
+    return ProcessModel.from_equations(
+        hidden_truth(), var_order=VARIABLE_ORDER
     )
 
 
 def make_knowledge() -> PriorKnowledge:
-    """The expert seed: constant grazer mortality, extensible processes."""
+    """The expert seed: constant grazer mortality, extensible there."""
     seed = {
         "A": parse(
             "A * (grow * Vlgt * (1 - A / cap) - graze * G / (half + A))",
             variables={"Vlgt"},
-            states=set(STATES),
+            states=set(STATE_NAMES),
         ),
         "G": parse(
             "G * (eff * graze * A / (half + A) - {mort}@Ext2)",
             variables={"Vtmp"},
-            states=set(STATES),
+            states=set(STATE_NAMES),
         ),
     }
     return PriorKnowledge(
@@ -126,49 +130,138 @@ def make_knowledge() -> PriorKnowledge:
     )
 
 
-def main() -> None:
-    task = make_task()
-    knowledge = make_knowledge()
-    engine = GMREngine(
-        knowledge,
-        task,
-        GMRConfig(
-            population_size=40,
-            max_generations=20,
-            max_size=15,
+def make_drivers(config: LakeConfig) -> DriverTable:
+    """Seasonal temperature and light with AR(1) weather noise."""
+    rng = np.random.default_rng(config.seed)
+    day = np.arange(config.n_days, dtype=float)
+    temperature = seasonal(day, 15.0, 9.0, 120.0) + ar1(
+        rng, config.n_days, 0.6, 0.8
+    )
+    light = seasonal(day, 1.0, 0.4, 100.0)
+    return DriverTable.from_mapping(
+        {
+            "Vtmp": np.clip(temperature, 1.0, 30.0),
+            "Vlgt": np.clip(light, 0.2, 2.0),
+        }
+    )
+
+
+def generate(config: LakeConfig = LakeConfig()) -> SyntheticDataset:
+    """Simulate the hidden truth and observe algae with lognormal noise."""
+    drivers = make_drivers(config)
+    model = truth_model()
+    params = tuple(HIDDEN_PARAMS[name] for name in model.param_order)
+    initial = (config.initial_algae, config.initial_grazers)
+    states = simulate(model, params, drivers, initial, clamp=LAKE_CLAMP)
+    observation_rng = np.random.default_rng((config.seed, 2))
+    observed = observe(observation_rng, states[:, 0], config.observation_noise)
+    return SyntheticDataset(
+        drivers=drivers,
+        observed=observed,
+        states=states,
+        train_days=config.train_days,
+    )
+
+
+@lru_cache(maxsize=4)
+def _cached_generate(config: LakeConfig) -> SyntheticDataset:
+    return generate(config)
+
+
+def make_task(
+    period: str = "train", config: LakeConfig = LakeConfig()
+) -> ModelingTask:
+    """The lake modeling task over ``period`` (train/test/all)."""
+    dataset = _cached_generate(config)
+    window = dataset.window(period)
+    start = window.start or 0
+    if start == 0:
+        initial = (config.initial_algae, config.initial_grazers)
+    else:
+        initial = (
+            float(dataset.states[start, 0]),
+            float(dataset.states[start, 1]),
+        )
+    return ModelingTask(
+        drivers=DriverTable(
+            dataset.drivers.names, dataset.drivers.values[window]
+        ),
+        observed=dataset.observed[window],
+        target_state="A",
+        state_names=STATE_NAMES,
+        initial_state=initial,
+        clamp=LAKE_CLAMP,
+    )
+
+
+#: Small instance for quick runs and the regression test.
+MINI_CONFIG = LakeConfig(n_days=240, train_days=180)
+
+
+def make_mini_task(period: str = "train") -> ModelingTask:
+    return make_task(period, MINI_CONFIG)
+
+
+def make_spec() -> DomainSpec:
+    """Package the lake problem as a registrable domain spec."""
+    return DomainSpec(
+        name="lake",
+        description=(
+            "Lake algae-grazer dynamics with a hidden temperature-"
+            "dependent grazer mortality the expert seed lacks"
+        ),
+        state_names=STATE_NAMES,
+        var_order=VARIABLE_ORDER,
+        target_state="A",
+        make_knowledge=make_knowledge,
+        make_task=make_task,
+        make_mini_task=make_mini_task,
+        truth_equations=hidden_truth,
+        clamp=LAKE_CLAMP,
+        conformance=ConformancePlan(
+            mini_seed=2,
+            population_size=24,
+            max_generations=10,
+            max_size=14,
             init_max_size=6,
-            local_search_steps=3,
-            sigma_rampdown_generations=7,
+            local_search_steps=2,
+            recovery_variables=("Vtmp",),
+            min_improvement=0.25,
         ),
     )
 
-    seed_model = ProcessModel.from_equations(
-        {
-            state: __strip(expr)
-            for state, expr in knowledge.seed_equations.items()
-        },
-        var_order=task.var_order,
-    )
-    seed_params = tuple(
-        knowledge.initial_parameters()[p] for p in seed_model.param_order
-    )
-    print(f"Expert seed RMSE: {task.rmse(seed_model, seed_params):.3f}")
 
-    best = None
-    for seed in (1, 2, 3):
-        result = engine.run(seed=seed)
-        if best is None or result.best_fitness < best.best_fitness:
-            best = result
-    model, params = best.best.phenotype(task.state_names, task.var_order)
+def register() -> DomainSpec:
+    """Validate and register the lake domain (idempotent)."""
+    return register_domain(make_spec(), replace=True)
+
+
+def main() -> None:
+    spec = register()
+    task = spec.mini_task("train")
+    seed_rmse = task.rmse(spec.seed_model(), spec.seed_parameters())
+    print(f"Registered domain {spec.name!r} (spec {spec.spec_hash()[:12]}..)")
+    print(f"Expert seed RMSE: {seed_rmse:.3f}")
+
+    plan = spec.conformance
+    from repro.gp import GMRConfig
+
+    engine = GMREngine.for_domain(
+        spec.name,
+        GMRConfig(
+            population_size=plan.population_size,
+            max_generations=plan.max_generations,
+            max_size=plan.max_size,
+            init_max_size=plan.init_max_size,
+            local_search_steps=plan.local_search_steps,
+        ),
+        mini=True,
+    )
+    result = engine.run(seed=plan.mini_seed)
+    model, params = result.best.phenotype(task.state_names, task.var_order)
     print(f"Revised model RMSE: {task.rmse(model, params):.3f}")
     print()
-    print(report(best.best, STATES))
-
-
-def __strip(expr):
-    from repro.expr import strip_ext
-
-    return strip_ext(expr)
+    print(report(result.best, STATE_NAMES))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,62 @@
+"""Pluggable domain registry for knowledge-based model revision.
+
+A *domain* packages everything the GMR machinery needs to revise models
+of one dynamical system: the expert seed equations with their extension
+points, parameter priors, the modeling task(s), the clamp band, and a
+conformance plan sizing the battery every domain must pass.  The river
+water-quality study ships as the first plugin; Lotka-Volterra and SIR
+are synthetic benchmark domains with a known planted revision.
+
+Importing this package registers the built-in domains.  Third parties
+register their own::
+
+    from repro.domains import DomainSpec, register_domain
+
+    register_domain(DomainSpec(name="mydomain", ...))
+
+and every registered domain is picked up by ``GMREngine.for_domain``,
+the experiments CLI (``--domain``), the lint self-check, and the
+cross-domain conformance suite under ``tests/domains/``.
+"""
+
+from __future__ import annotations
+
+from repro.domains import lotka_volterra, river, sir
+from repro.domains.registry import (
+    ConformancePlan,
+    DomainError,
+    DomainNotFoundError,
+    DomainSpec,
+    DomainSpecError,
+    available_domains,
+    domain_spec_hash,
+    get_domain,
+    register_domain,
+    unregister_domain,
+)
+
+BUILTIN_DOMAINS: tuple[str, ...] = ("river", "lotka_volterra", "sir")
+
+
+def register_builtin_domains() -> None:
+    """Register the built-in domains (idempotent)."""
+    for module in (river, lotka_volterra, sir):
+        register_domain(module.make_spec(), replace=True)
+
+
+register_builtin_domains()
+
+__all__ = [
+    "BUILTIN_DOMAINS",
+    "ConformancePlan",
+    "DomainError",
+    "DomainNotFoundError",
+    "DomainSpec",
+    "DomainSpecError",
+    "available_domains",
+    "domain_spec_hash",
+    "get_domain",
+    "register_builtin_domains",
+    "register_domain",
+    "unregister_domain",
+]

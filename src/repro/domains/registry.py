@@ -1,0 +1,403 @@
+"""The domain registry: pluggable problem domains for GMR.
+
+A *domain* packages everything the engine needs to revise models of one
+family of dynamical systems: the prior-knowledge bundle (seed equations
+with ``Ext`` markers, revision specs, parameter priors), factories for
+the modeling tasks candidates are scored on, the hidden ground truth the
+synthetic data came from, and a :class:`ConformancePlan` describing the
+mini-run budget under which the cross-domain conformance suite
+(``tests/domains/``) must demonstrate recovery of the planted revision.
+
+Domains register by name; the engine, the experiment CLI
+(``run table5 --domain sir``), the lint CLI (``--domain``), and the
+checkpoint envelope all select domains through this registry.  A
+domain's :meth:`~DomainSpec.spec_hash` fingerprints its knowledge spec,
+so a checkpoint written under one spec refuses to resume under another
+(see :mod:`repro.gp.checkpoint`).
+
+Every validation error names the offending domain and field -- a
+misdeclared third-party domain should fail with "domain 'lake', field
+'target_state': ..." rather than a bare ``ValueError`` from deep inside
+the engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.dynamics.integrate import ClampSpec
+from repro.dynamics.task import ModelingTask
+from repro.expr.ast import Expr, free_vars, strip_ext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dynamics.system import ProcessModel
+    from repro.gp.knowledge import PriorKnowledge
+
+
+class DomainError(ValueError):
+    """Base class for domain registry errors."""
+
+
+class DomainSpecError(DomainError):
+    """A domain spec is inconsistent.
+
+    Always names the offending domain and field so a misdeclared
+    third-party plugin fails at registration with an actionable message
+    instead of a bare ``ValueError`` somewhere inside the engine.
+    """
+
+    def __init__(self, domain: str, field_name: str, message: str) -> None:
+        self.domain = domain
+        self.field = field_name
+        super().__init__(
+            f"domain {domain!r}, field {field_name!r}: {message}"
+        )
+
+
+class DomainNotFoundError(DomainError, KeyError):
+    """Requested domain is not registered."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        self.name = name
+        self.known = known
+        registered = ", ".join(known) if known else "none"
+        super().__init__(
+            f"no registered domain named {name!r} "
+            f"(registered domains: {registered})"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class ConformancePlan:
+    """Budget and expectations of a domain's conformance mini-run.
+
+    The cross-domain conformance suite runs every registered domain
+    through the same battery; this plan sets the per-domain knobs: the
+    seed and engine budget of the mini-run, which driver variables the
+    recovered champion must mention (the *planted* revision), and how
+    much better than the unrevised expert seed it must score.
+
+    Attributes:
+        mini_seed: RNG seed of the recovery mini-run (pinned so the
+            battery is deterministic).
+        population_size / max_generations / max_size / init_max_size /
+            local_search_steps: Engine budget of the mini-run.
+        recovery_variables: Driver variables the champion's equations
+            must reference after revision -- empty when the domain
+            plants no specific revision (then only improvement is
+            required).
+        min_improvement: Required relative RMSE improvement of the
+            champion over the seed model at prior-mean parameters
+            (0.25 means "at least 25% better").
+    """
+
+    mini_seed: int = 1
+    population_size: int = 20
+    max_generations: int = 8
+    max_size: int = 12
+    init_max_size: int = 6
+    local_search_steps: int = 2
+    recovery_variables: tuple[str, ...] = ()
+    min_improvement: float = 0.0
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One pluggable GMR problem domain.
+
+    Attributes:
+        name: Registry key (``river``, ``sir``, ...).
+        description: One-line human description.
+        state_names: State variables, fixing equation order.
+        var_order: Canonical driver-column order of the domain's tasks.
+        target_state: The observed state fitness is scored on.
+        make_knowledge: Factory for the domain's prior-knowledge bundle
+            (seed equations with ``Ext`` markers, revision specs,
+            parameter priors).  Called fresh per use; must be pure.
+        make_task: ``make_task(period)`` with period ``train``/``test``/
+            ``all`` builds the domain's standard modeling task.
+        make_mini_task: Optional small task for the conformance battery
+            and quick experiments; falls back to :attr:`make_task`.
+        truth_equations: Optional factory for the hidden data-generating
+            equations (for analysis and the conformance suite's
+            documentation of what was planted); None when the domain has
+            no synthetic ground truth.
+        clamp: State clamp band of the domain's tasks.
+        conformance: Mini-run plan the conformance suite holds the
+            domain to.
+    """
+
+    name: str
+    description: str
+    state_names: tuple[str, ...]
+    var_order: tuple[str, ...]
+    target_state: str
+    make_knowledge: Callable[[], "PriorKnowledge"]
+    make_task: Callable[[str], ModelingTask]
+    make_mini_task: Callable[[str], ModelingTask] | None = None
+    truth_equations: Callable[[], dict[str, Expr]] | None = None
+    clamp: ClampSpec = field(default_factory=ClampSpec)
+    conformance: ConformancePlan = field(default_factory=ConformancePlan)
+
+    # -- validation -----------------------------------------------------
+
+    def validate(self, deep: bool = False) -> None:
+        """Check internal consistency; every failure names domain+field.
+
+        Field-level checks run first (cheap, no factory calls), then the
+        knowledge bundle is built and cross-checked against the declared
+        states and drivers.  With ``deep=True`` the train task is built
+        and cross-checked too -- task factories may synthesise whole
+        datasets, so registration stays cheap and the conformance suite
+        (``tests/domains/``) carries the deep check.
+        """
+        name = self.name
+        if not name or not name.replace("_", "").replace("-", "").isalnum():
+            raise DomainSpecError(
+                name or "<unnamed>",
+                "name",
+                "must be a non-empty alphanumeric/underscore slug",
+            )
+        if not self.state_names:
+            raise DomainSpecError(name, "state_names", "must not be empty")
+        if len(set(self.state_names)) != len(self.state_names):
+            raise DomainSpecError(
+                name,
+                "state_names",
+                f"contains duplicates: {self.state_names}",
+            )
+        if len(set(self.var_order)) != len(self.var_order):
+            raise DomainSpecError(
+                name, "var_order", f"contains duplicates: {self.var_order}"
+            )
+        if self.target_state not in self.state_names:
+            raise DomainSpecError(
+                name,
+                "target_state",
+                f"{self.target_state!r} is not one of the declared "
+                f"state_names {self.state_names}",
+            )
+        missing = [
+            v
+            for v in self.conformance.recovery_variables
+            if v not in self.var_order
+        ]
+        if missing:
+            raise DomainSpecError(
+                name,
+                "conformance.recovery_variables",
+                f"{missing} not in var_order {self.var_order}",
+            )
+        self._validate_knowledge()
+        if deep:
+            self._validate_task()
+
+    def _validate_knowledge(self) -> None:
+        from repro.gp.knowledge import KnowledgeError
+
+        try:
+            knowledge = self.make_knowledge()
+        except KnowledgeError as exc:
+            raise DomainSpecError(
+                self.name, "make_knowledge", f"inconsistent bundle: {exc}"
+            ) from exc
+        if tuple(knowledge.state_names) != tuple(self.state_names):
+            raise DomainSpecError(
+                self.name,
+                "make_knowledge",
+                f"seed equations declare states {knowledge.state_names}, "
+                f"spec declares {self.state_names}",
+            )
+        declared = set(self.var_order)
+        for state, expr in knowledge.seed_equations.items():
+            unknown = free_vars(expr) - declared
+            if unknown:
+                raise DomainSpecError(
+                    self.name,
+                    "make_knowledge",
+                    f"seed equation for {state!r} references drivers "
+                    f"{sorted(unknown)} missing from var_order",
+                )
+        for spec in knowledge.extensions:
+            unknown = set(spec.variables) - declared
+            if unknown:
+                raise DomainSpecError(
+                    self.name,
+                    "make_knowledge",
+                    f"extension {spec.name!r} offers drivers "
+                    f"{sorted(unknown)} missing from var_order",
+                )
+
+    def _validate_task(self) -> None:
+        try:
+            task = self.mini_task("train")
+        except DomainSpecError:
+            raise
+        except Exception as exc:
+            raise DomainSpecError(
+                self.name, "make_task", f"building the train task failed: {exc}"
+            ) from exc
+        if tuple(task.state_names) != tuple(self.state_names):
+            raise DomainSpecError(
+                self.name,
+                "make_task",
+                f"task states {task.state_names} differ from declared "
+                f"state_names {self.state_names}",
+            )
+        if tuple(task.var_order) != tuple(self.var_order):
+            raise DomainSpecError(
+                self.name,
+                "make_task",
+                f"task driver order {task.var_order} differs from declared "
+                f"var_order {self.var_order}",
+            )
+        if task.target_state != self.target_state:
+            raise DomainSpecError(
+                self.name,
+                "make_task",
+                f"task targets {task.target_state!r}, spec declares "
+                f"{self.target_state!r}",
+            )
+
+    # -- conveniences ---------------------------------------------------
+
+    def mini_task(self, period: str = "train") -> ModelingTask:
+        """The small conformance task (falls back to the standard one)."""
+        if self.make_mini_task is not None:
+            return self.make_mini_task(period)
+        return self.make_task(period)
+
+    def seed_model(self) -> "ProcessModel":
+        """The unrevised expert seed as a ready-to-simulate model."""
+        from repro.dynamics.system import ProcessModel
+
+        knowledge = self.make_knowledge()
+        return ProcessModel.from_equations(
+            {
+                state: strip_ext(expr)
+                for state, expr in knowledge.seed_equations.items()
+            },
+            var_order=self.var_order,
+        )
+
+    def seed_parameters(self) -> tuple[float, ...]:
+        """Prior-mean parameters following :meth:`seed_model` order."""
+        knowledge = self.make_knowledge()
+        model = self.seed_model()
+        initial = knowledge.initial_parameters()
+        return tuple(initial[name] for name in model.param_order)
+
+    def spec_hash(self) -> str:
+        """A stable fingerprint of the domain's knowledge spec.
+
+        Hashes everything that determines what the engine searches over:
+        states, drivers, target, the seed equations, the revision specs,
+        the parameter priors, the random-constant bounds, the variable
+        levels, and the clamp band.  Two builds of the same domain agree;
+        any change to the spec (a new prior bound, a reworded extension)
+        changes the hash -- which is exactly what the checkpoint envelope
+        uses to refuse resuming a run under a changed spec.
+        """
+        knowledge = self.make_knowledge()
+        parts: list[str] = [
+            f"name={self.name}",
+            f"states={','.join(self.state_names)}",
+            f"vars={','.join(self.var_order)}",
+            f"target={self.target_state}",
+            f"clamp={self.clamp.minimum!r}:{self.clamp.maximum!r}",
+            f"rconst_bounds={knowledge.rconst_bounds!r}",
+            f"rconst_init={knowledge.rconst_init!r}",
+        ]
+        for state in self.state_names:
+            parts.append(f"eq[{state}]={knowledge.seed_equations[state]}")
+        for pname in sorted(knowledge.priors):
+            prior = knowledge.priors[pname]
+            parts.append(
+                f"prior[{pname}]={prior.mean!r}:{prior.minimum!r}"
+                f":{prior.maximum!r}"
+            )
+        for spec in knowledge.extensions:
+            parts.append(
+                f"ext[{spec.name}]=vars({','.join(spec.variables)})"
+                f";R={spec.include_random}"
+                f";conn({','.join(spec.connector_ops)})"
+                f";ext({','.join(spec.extender_ops)})"
+                f";unary({','.join(spec.unary_extender_ops)})"
+            )
+        for vname in sorted(knowledge.variable_levels):
+            parts.append(
+                f"level[{vname}]={knowledge.variable_levels[vname]!r}"
+            )
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+        return digest.hexdigest()
+
+
+#: The process-global domain registry.
+_REGISTRY: dict[str, DomainSpec] = {}
+
+
+def register_domain(spec: DomainSpec, replace: bool = False) -> DomainSpec:
+    """Validate ``spec`` and add it to the registry.
+
+    Args:
+        spec: The domain to register.
+        replace: Allow overwriting an existing registration of the same
+            name (used by tests and iterative development); by default a
+            duplicate name raises.
+
+    Raises:
+        DomainSpecError: ``spec`` is inconsistent (message names the
+            domain and field).
+        DomainError: A domain of that name is already registered and
+            ``replace`` is False.
+    """
+    spec.validate()
+    if spec.name in _REGISTRY and not replace:
+        raise DomainError(
+            f"domain {spec.name!r} is already registered; "
+            "pass replace=True to overwrite"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_domain(name: str) -> None:
+    """Remove ``name`` from the registry (no-op when absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_domain(name: str) -> DomainSpec:
+    """Look up a registered domain.
+
+    Raises:
+        DomainNotFoundError: ``name`` is not registered; the message
+            lists the registered names.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DomainNotFoundError(name, available_domains()) from None
+
+
+def available_domains() -> tuple[str, ...]:
+    """Names of all registered domains, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def domain_spec_hash(name: str) -> str:
+    """The registered domain's current spec hash ('' when unregistered).
+
+    The empty-string fallback keeps checkpointing usable for engines
+    whose knowledge bundle never went through the registry (hand-built
+    problems, tests): their envelopes record no hash and resume skips
+    the spec comparison.
+    """
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        return ""
+    return spec.spec_hash()

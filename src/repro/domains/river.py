@@ -1,0 +1,88 @@
+"""The river water-quality domain as a registry plugin.
+
+This is the paper's own case study (the Nakdong phytoplankton model),
+repackaged: the knowledge spec that used to be reachable only through
+``repro.river`` module imports -- seed alpha-trees, Table II extension
+points, Table III parameter priors, the clamp band, the synthetic driver
+tables -- now lives behind one :class:`~repro.domains.registry.DomainSpec`
+so the engine, CLI, campaigns and checkpoints can treat "river" as one
+domain among many.
+
+``repro.river`` keeps the physical substance (biology, hydrology, the
+network simulator, the dataset generator); this module only assembles it
+into the registry's shape.
+"""
+
+from __future__ import annotations
+
+from repro.domains.registry import ConformancePlan, DomainSpec
+from repro.dynamics.integrate import ClampSpec
+from repro.dynamics.task import ModelingTask
+
+#: The clamp band every river task applies (see repro.river.dataset).
+RIVER_CLAMP = ClampSpec(minimum=1e-3, maximum=1e7)
+
+
+def _make_task(period: str) -> ModelingTask:
+    """The isolated-station river task at smoke scale.
+
+    Uses the single-station (no network coupling) task so the domain
+    interface stays a plain :class:`ModelingTask`; the experiments keep
+    driving the full network-coupled evaluation and their own scales.
+    """
+    from repro.river import load_dataset
+
+    return load_dataset(n_years=3, train_years=2).task(period)
+
+
+def _make_mini_task(period: str) -> ModelingTask:
+    from repro.river import load_dataset
+
+    return load_dataset(n_years=2, train_years=1).task(period)
+
+
+def _make_knowledge():
+    from repro.river import river_knowledge
+
+    return river_knowledge()
+
+
+def _truth_equations():
+    from repro.river.dataset import hidden_local_equations
+
+    return hidden_local_equations()
+
+
+def make_spec() -> DomainSpec:
+    """Build the river domain spec (the registry's first plugin)."""
+    from repro.river import STATE_NAMES, VARIABLE_ORDER
+
+    return DomainSpec(
+        name="river",
+        description=(
+            "Nakdong river water quality: phytoplankton/zooplankton "
+            "dynamics (the paper's case study)"
+        ),
+        state_names=STATE_NAMES,
+        var_order=VARIABLE_ORDER,
+        target_state="BPhy",
+        make_knowledge=_make_knowledge,
+        make_task=_make_task,
+        make_mini_task=_make_mini_task,
+        truth_equations=_truth_equations,
+        clamp=RIVER_CLAMP,
+        # The river grammar is much larger than the benchmark domains'
+        # (8 extension points, 6 revision variables), so the mini-run
+        # only has to improve on the expert seed, not isolate one
+        # specific planted variable.
+        conformance=ConformancePlan(
+            mini_seed=3,
+            population_size=14,
+            max_generations=4,
+            max_size=10,
+            init_max_size=5,
+            local_search_steps=1,
+            recovery_variables=(),
+            min_improvement=0.0,
+        ),
+    )

@@ -7,6 +7,12 @@ Usage::
     python -m repro.experiments run all --scale bench
     python -m repro.experiments run table5 --checkpoint-dir ckpt/
     python -m repro.experiments run table5 --trace-dir traces/
+    python -m repro.experiments run table5 --domain sir
+
+``--domain`` runs the method comparison on any registered domain
+(:mod:`repro.domains`) instead of the river case study; non-river
+domains compare the seed model, the calibration baselines, and the
+revision methods.
 
 ``--checkpoint-dir`` makes the long GP campaigns fault tolerant: runs
 persist results and mid-run snapshots there, so re-invoking the same
@@ -34,6 +40,9 @@ _RESUMABLE = {"table5", "scaling"}
 
 #: Experiments whose runners accept a trace directory.
 _TRACEABLE = {"table5", "scaling"}
+
+#: Experiments whose runners accept a domain selection.
+_DOMAINAL = {"table5"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,6 +77,14 @@ def main(argv: list[str] | None = None) -> int:
             "(table5 and scaling only)"
         ),
     )
+    runner.add_argument(
+        "--domain",
+        default=None,
+        help=(
+            "registered domain to run on (river, lotka_volterra, sir, "
+            "or a third-party registration; table5 only)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -96,6 +113,15 @@ def main(argv: list[str] | None = None) -> int:
                 if len(targets) > 1
                 else args.trace_dir
             )
+        if args.domain is not None:
+            if target not in _DOMAINAL:
+                print(
+                    f"--domain is not supported by {target!r} "
+                    f"(only: {', '.join(sorted(_DOMAINAL))})",
+                    file=sys.stderr,
+                )
+                return 2
+            kwargs["domain"] = args.domain
         if target in _SCALED:
             result = run(args.scale, **kwargs)
         else:

@@ -61,6 +61,7 @@ class Table5Result:
     scale: str
     elapsed: float
     best_models: dict[str, object] = field(default_factory=dict)
+    domain: str = "river"
 
     def by_method(self, name: str) -> MethodResult:
         for result in self.results:
@@ -78,9 +79,10 @@ class Table5Result:
             "Test MAE",
         )
         rows = [result.row() for result in self.results]
-        return render_table(
-            headers, rows, title=f"Table V (scale={self.scale})"
-        )
+        title = f"Table V (scale={self.scale})"
+        if self.domain != "river":
+            title = f"Table V [domain={self.domain}] (scale={self.scale})"
+        return render_table(headers, rows, title=title)
 
     def render_figure1(self) -> str:
         """Figure 1: test RMSE / MAE of every method as text bars."""
@@ -101,7 +103,11 @@ class Table5Result:
         )
 
 
-def _gp_config(scale: Scale, population_multiplier: float = 1.0) -> GMRConfig:
+def _gp_config(
+    scale: Scale,
+    population_multiplier: float = 1.0,
+    domain: str = "river",
+) -> GMRConfig:
     return GMRConfig(
         population_size=round(scale.population_size * population_multiplier),
         max_generations=scale.max_generations,
@@ -110,7 +116,74 @@ def _gp_config(scale: Scale, population_multiplier: float = 1.0) -> GMRConfig:
         local_search_steps=scale.local_search_steps,
         sigma_rampdown_generations=max(2, scale.max_generations // 3),
         n_workers=scale.n_workers,
+        domain=domain,
     )
+
+
+def _gmr_outcomes(
+    engine: GMREngine,
+    scale: Scale,
+    base_seed: int,
+    checkpoint_dir: str | None,
+    trace_dir: str | None,
+):
+    """Run ``scale.n_runs`` independent GMR runs, resumable when asked.
+
+    With ``checkpoint_dir`` the runs execute as a fault-tolerant
+    campaign (results persisted, in-flight snapshots, transient-failure
+    retries); otherwise ``run_many`` farms them to a pool.  With
+    ``trace_dir`` each run writes a JSONL trace and the campaign its
+    span/retry events.
+    """
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        engine.trace_dir = trace_dir
+    campaign_tracer = None
+    try:
+        if checkpoint_dir is not None:
+            if trace_dir is not None:
+                campaign_tracer = Tracer(
+                    JsonlSink(os.path.join(trace_dir, "campaign.jsonl"))
+                )
+            campaign = run_campaign(
+                engine,
+                scale.n_runs,
+                base_seed=base_seed,
+                max_workers=scale.n_workers,
+                policy=FailurePolicy.retrying(),
+                checkpoint_dir=checkpoint_dir,
+                tracer=campaign_tracer,
+            )
+            return campaign.results()
+        # run_many farms the independent runs to a process pool when the
+        # scale's n_workers > 1; per-run results are identical to serial.
+        return run_many(engine, scale.n_runs, base_seed=base_seed)
+    finally:
+        if campaign_tracer is not None:
+            campaign_tracer.close()
+
+
+def _best_revision_row(
+    outcomes, method: str, train, test
+) -> tuple[MethodResult | None, object | None]:
+    """The best-by-test-RMSE row over a set of run outcomes."""
+    best_row = None
+    best_individual = None
+    for outcome in outcomes:
+        model, params = outcome.best.phenotype(
+            train.state_names, train.var_order
+        )
+        row = MethodResult(
+            method=method,
+            method_class="Model revision",
+            train_rmse=train.rmse(model, params),
+            train_mae=train.mae(model, params),
+            test_rmse=test.rmse(model, params),
+            test_mae=test.mae(model, params),
+        )
+        if best_row is None or row.test_rmse < best_row.test_rmse:
+            best_row, best_individual = row, outcome.best
+    return best_row, best_individual
 
 
 def run_gmr(
@@ -143,50 +216,10 @@ def run_gmr(
             config, checkpoint_every=max(1, scale.max_generations // 10)
         )
     engine = GMREngine(knowledge, train, config)
-    if trace_dir is not None:
-        os.makedirs(trace_dir, exist_ok=True)
-        engine.trace_dir = trace_dir
-    campaign_tracer = None
-    try:
-        if checkpoint_dir is not None:
-            if trace_dir is not None:
-                campaign_tracer = Tracer(
-                    JsonlSink(os.path.join(trace_dir, "campaign.jsonl"))
-                )
-            campaign = run_campaign(
-                engine,
-                scale.n_runs,
-                base_seed=base_seed,
-                max_workers=scale.n_workers,
-                policy=FailurePolicy.retrying(),
-                checkpoint_dir=checkpoint_dir,
-                tracer=campaign_tracer,
-            )
-            outcomes = campaign.results()
-        else:
-            # run_many farms the independent runs to a process pool when the
-            # scale's n_workers > 1; per-run results are identical to serial.
-            outcomes = run_many(engine, scale.n_runs, base_seed=base_seed)
-    finally:
-        if campaign_tracer is not None:
-            campaign_tracer.close()
-    best_row = None
-    best_individual = None
-    for outcome in outcomes:
-        model, params = outcome.best.phenotype(
-            train.state_names, train.var_order
-        )
-        row = MethodResult(
-            method="GMR",
-            method_class="Model revision",
-            train_rmse=train.rmse(model, params),
-            train_mae=train.mae(model, params),
-            test_rmse=test.rmse(model, params),
-            test_mae=test.mae(model, params),
-        )
-        if best_row is None or row.test_rmse < best_row.test_rmse:
-            best_row, best_individual = row, outcome.best
-    return best_row, best_individual
+    outcomes = _gmr_outcomes(
+        engine, scale, base_seed, checkpoint_dir, trace_dir
+    )
+    return _best_revision_row(outcomes, "GMR", train, test)
 
 
 def run_gggp(
@@ -202,24 +235,11 @@ def run_gggp(
     multiplier = 1.0 + scale.local_search_steps
     config = _gp_config(scale, population_multiplier=multiplier)
     engine = GGGPEngine(knowledge, train, config)
-    best_row = None
-    best_individual = None
-    for run_index in range(scale.n_runs):
-        outcome = engine.run(seed=base_seed + run_index)
-        model, params = outcome.best.phenotype(
-            train.state_names, train.var_order
-        )
-        row = MethodResult(
-            method="GGGP",
-            method_class="Model revision",
-            train_rmse=train.rmse(model, params),
-            train_mae=train.mae(model, params),
-            test_rmse=test.rmse(model, params),
-            test_mae=test.mae(model, params),
-        )
-        if best_row is None or row.test_rmse < best_row.test_rmse:
-            best_row, best_individual = row, outcome.best
-    return best_row, best_individual
+    outcomes = [
+        engine.run(seed=base_seed + run_index)
+        for run_index in range(scale.n_runs)
+    ]
+    return _best_revision_row(outcomes, "GGGP", train, test)
 
 
 def run_calibrations(dataset, scale: Scale, seed: int = 1) -> list[MethodResult]:
@@ -293,11 +313,107 @@ def run_data_driven(dataset, scale: Scale, seed: int = 0) -> list[MethodResult]:
     return rows
 
 
+def run_domain_table5(
+    domain: str,
+    scale_name: str | None = None,
+    seed: int = 0,
+    checkpoint_dir: str | None = None,
+    trace_dir: str | None = None,
+) -> Table5Result:
+    """Table V's method comparison on any registered domain.
+
+    The river-specific comparators (MANUAL, the station-feature RNN and
+    ARIMAX variants) have no counterpart in an arbitrary domain, so the
+    generic table compares the expert seed at prior means, the nine
+    calibration baselines on the seed structure, and the two revision
+    methods (GGGP, GMR) -- the methods the domain registry actually
+    parameterises.
+    """
+    from repro.domains import get_domain
+
+    spec = get_domain(domain)
+    scale = get_scale(scale_name)
+    started = time.perf_counter()
+    train = spec.make_task("train")
+    test = spec.make_task("test")
+    knowledge = spec.make_knowledge()
+    seed_model = spec.seed_model()
+    seed_params = spec.seed_parameters()
+
+    results: list[MethodResult] = [
+        MethodResult(
+            method="Seed",
+            method_class="Knowledge-driven",
+            train_rmse=train.rmse(seed_model, seed_params),
+            train_mae=train.mae(seed_model, seed_params),
+            test_rmse=test.rmse(seed_model, seed_params),
+            test_mae=test.mae(seed_model, seed_params),
+        )
+    ]
+    for calibrator in all_calibrators():
+        problem = CalibrationProblem(seed_model, train, dict(knowledge.priors))
+        outcome = calibrator.calibrate(
+            problem, budget=scale.calibration_budget, seed=seed + 1
+        )
+        params = tuple(outcome.best_vector)
+        results.append(
+            MethodResult(
+                method=calibrator.name,
+                method_class="Model calibration",
+                train_rmse=train.rmse(seed_model, params),
+                train_mae=train.mae(seed_model, params),
+                test_rmse=test.rmse(seed_model, params),
+                test_mae=test.mae(seed_model, params),
+            )
+        )
+
+    multiplier = 1.0 + scale.local_search_steps
+    gggp_engine = GGGPEngine(
+        knowledge,
+        train,
+        _gp_config(scale, population_multiplier=multiplier, domain=domain),
+    )
+    gggp_outcomes = [
+        gggp_engine.run(seed=seed + run_index)
+        for run_index in range(scale.n_runs)
+    ]
+    gggp_row, gggp_best = _best_revision_row(
+        gggp_outcomes, "GGGP", train, test
+    )
+    results.append(gggp_row)
+
+    config = _gp_config(scale, domain=domain)
+    gmr_checkpoints = (
+        None
+        if checkpoint_dir is None
+        else os.path.join(checkpoint_dir, "gmr")
+    )
+    if gmr_checkpoints is not None:
+        config = dataclass_replace(
+            config, checkpoint_every=max(1, scale.max_generations // 10)
+        )
+    engine = GMREngine.for_domain(domain, config)
+    gmr_outcomes = _gmr_outcomes(
+        engine, scale, seed, gmr_checkpoints, trace_dir
+    )
+    gmr_row, gmr_best = _best_revision_row(gmr_outcomes, "GMR", train, test)
+    results.append(gmr_row)
+
+    return Table5Result(
+        results=results,
+        scale=scale.name,
+        elapsed=time.perf_counter() - started,
+        best_models={"GMR": gmr_best, "GGGP": gggp_best},
+        domain=domain,
+    )
+
+
 def run_table5(
     scale_name: str | None = None,
     seed: int = 0,
     checkpoint_dir: str | None = None,
     trace_dir: str | None = None,
+    domain: str = "river",
 ) -> Table5Result:
     """Regenerate Table V at the requested scale.
 
@@ -305,7 +421,18 @@ def run_table5(
     cost at bench/full scale); the other methods rerun from scratch.
     ``trace_dir`` collects JSONL run traces for the GMR campaign (see
     :mod:`repro.obs`); inspect them with ``python -m repro.obs report``.
+    ``domain`` selects a registered domain (see :mod:`repro.domains`);
+    non-river domains run the generic comparison of
+    :func:`run_domain_table5`.
     """
+    if domain != "river":
+        return run_domain_table5(
+            domain,
+            scale_name,
+            seed=seed,
+            checkpoint_dir=checkpoint_dir,
+            trace_dir=trace_dir,
+        )
     scale = get_scale(scale_name)
     started = time.perf_counter()
     dataset = load_dataset(

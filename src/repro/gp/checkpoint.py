@@ -39,12 +39,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Format version encoded in the file magic; bump on layout changes.
 #: v2 (PR 5): adds ``trace_seq`` and preserves cache hit/miss/eviction
 #: counters through the evaluator pickle round-trip.
-CHECKPOINT_VERSION = 2
+#: v3 (PR 6): adds ``domain`` and ``domain_spec_hash`` so resuming under
+#: the wrong domain -- or under a domain whose knowledge spec changed
+#: since the snapshot -- fails loudly instead of silently continuing a
+#: run over a different search space.
+CHECKPOINT_VERSION = 3
 
 #: Versions this build still reads; older envelopes are migrated in
 #: memory (missing fields get their v1-era defaults, e.g. a zero trace
-#: offset and zeroed compiled-cache counters) instead of raising.
-COMPATIBLE_VERSIONS = (1, 2)
+#: offset; pre-domain envelopes default to the ``river`` domain with no
+#: spec hash) instead of raising.
+COMPATIBLE_VERSIONS = (1, 2, 3)
 
 #: File magics: 7 identifying bytes plus the format version byte.
 _CHECKPOINT_MAGIC = b"GMRCKPT" + bytes([CHECKPOINT_VERSION])
@@ -78,6 +83,15 @@ class RunCheckpoint:
         trace_seq: Trace sequence number at snapshot time; a resumed run
             fast-forwards its tracer here so a stitched JSONL trace keeps
             strictly increasing sequence numbers across process lifetimes.
+        domain: Name of the problem domain the run was revising (see
+            :mod:`repro.domains`); resume refuses a different one.
+        domain_spec_hash: The registered domain's
+            :meth:`~repro.domains.registry.DomainSpec.spec_hash` at save
+            time, or ``""`` when the domain was not registered (hand-built
+            engines).  Resume refuses a checkpoint whose domain spec has
+            changed since the snapshot: the search space is different, so
+            "continuing" would silently produce a run neither spec
+            describes.
     """
 
     seed: int
@@ -91,6 +105,8 @@ class RunCheckpoint:
     evaluator: GMRFitnessEvaluator
     version: int = field(default=CHECKPOINT_VERSION)
     trace_seq: int = 0
+    domain: str = "river"
+    domain_spec_hash: str = ""
 
 
 def _atomic_write(path: str | os.PathLike[str], blob: bytes) -> None:
@@ -186,16 +202,26 @@ def load_checkpoint(path: str | os.PathLike[str]) -> RunCheckpoint:
 
 
 def _migrate_checkpoint(checkpoint: RunCheckpoint) -> None:
-    """Upgrade an older envelope in memory (v1 -> v2).
+    """Upgrade an older envelope in memory (v1/v2 -> v3).
 
     v1 predates the observability layer: there was no trace offset, and
     the evaluator's compiled-cache counters were zeroed by its pickle
     round-trip, so the honest migration is zero defaults.  (The
     evaluator- and cache-level attribute gaps are already healed by
     their own ``__setstate__`` hooks during unpickling.)
+
+    v1/v2 predate the domain registry: every run revised the river
+    model, so pre-domain envelopes migrate to ``domain="river"`` with an
+    empty spec hash -- resume then skips the spec comparison (there is
+    no save-time hash to compare against) but still refuses to resume
+    the snapshot under a non-river domain.
     """
     if not hasattr(checkpoint, "trace_seq"):
         checkpoint.trace_seq = 0
+    if not hasattr(checkpoint, "domain"):
+        checkpoint.domain = "river"
+    if not hasattr(checkpoint, "domain_spec_hash"):
+        checkpoint.domain_spec_hash = ""
     checkpoint.version = CHECKPOINT_VERSION
 
 

@@ -118,6 +118,16 @@ class GMRConfig:
             :class:`repro.gp.cache.TreeCache`.
         compiled_cache_size: LRU capacity of the evaluator's compiled-
             kernel share table (entries).
+        domain: Name of the problem domain this run revises models for
+            (see :mod:`repro.domains`).  Engines built through
+            ``GMREngine.for_domain`` resolve knowledge and task from the
+            registered :class:`~repro.domains.registry.DomainSpec` of
+            this name; hand-built engines keep the default.  Excluded
+            from ``repr`` so pre-domain checkpoints (which compare
+            ``config_repr`` on resume) stay resumable -- domain mismatch
+            is guarded by the checkpoint envelope's explicit ``domain``
+            and ``domain_spec_hash`` fields instead, which produce
+            clearer errors than a repr diff.
         checkpoint_every: Snapshot cadence of the resilience layer
             (:mod:`repro.gp.checkpoint`): when > 0 and ``GMREngine.run``
             is given a ``checkpoint_path``, the run's full loop state is
@@ -153,8 +163,11 @@ class GMRConfig:
     gaussian_proposals: int = 1
     tree_cache_size: int = 200_000
     compiled_cache_size: int = 512
+    domain: str = field(default="river", repr=False)
 
     def __post_init__(self) -> None:
+        if not self.domain or not isinstance(self.domain, str):
+            raise ConfigError("domain must be a non-empty string")
         if self.population_size < 1:
             raise ConfigError("population_size must be positive")
         if self.max_generations < 1:

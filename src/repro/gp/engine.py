@@ -134,6 +134,86 @@ class GMREngine:
     def make_evaluator(self) -> GMRFitnessEvaluator:
         return GMRFitnessEvaluator(task=self.task, config=self.config)
 
+    @classmethod
+    def for_domain(
+        cls,
+        name: str,
+        config: GMRConfig | None = None,
+        period: str = "train",
+        mini: bool = False,
+        **kwargs,
+    ) -> "GMREngine":
+        """Build an engine for a registered domain (see :mod:`repro.domains`).
+
+        Resolves knowledge and task from the registered
+        :class:`~repro.domains.registry.DomainSpec` and stamps the
+        domain name into the config, so checkpoints written by the run
+        carry it.
+
+        Args:
+            name: Registered domain name (``river``, ``sir``, ...).
+            config: Engine configuration; its ``domain`` field is
+                overwritten with ``name``.
+            period: Task period (``train``/``test``/``all``).
+            mini: Use the domain's small conformance task instead of the
+                standard one.
+            **kwargs: Forwarded to the :class:`GMREngine` constructor
+                (``trace_dir``, ``eval_backend``, ...).
+
+        Raises:
+            DomainNotFoundError: ``name`` is not registered.
+        """
+        from repro.domains.registry import get_domain
+
+        spec = get_domain(name)
+        config = config if config is not None else GMRConfig()
+        if config.domain != spec.name:
+            config = replace(config, domain=spec.name)
+        task = spec.mini_task(period) if mini else spec.make_task(period)
+        return cls(spec.make_knowledge(), task, config, **kwargs)
+
+    def _check_checkpoint_domain(self, checkpoint: RunCheckpoint) -> None:
+        """Refuse to resume under the wrong domain or a changed spec.
+
+        ``getattr`` defaults mirror the v2->v3 migration because
+        ``resume_from`` may be a :class:`RunCheckpoint` instance that
+        never went through :func:`~repro.gp.checkpoint.load_checkpoint`.
+        """
+        saved_domain = getattr(checkpoint, "domain", "river")
+        if saved_domain != self.config.domain:
+            raise CheckpointError(
+                f"checkpoint was written for domain {saved_domain!r}, "
+                f"cannot resume it under domain {self.config.domain!r}"
+            )
+        saved_hash = getattr(checkpoint, "domain_spec_hash", "")
+        if not saved_hash:
+            return  # pre-domain or hand-built engine: nothing to compare
+        current_hash = self._domain_spec_hash()
+        if current_hash and current_hash != saved_hash:
+            raise CheckpointError(
+                f"domain {saved_domain!r} spec changed since the "
+                "checkpoint was written (spec hash "
+                f"{saved_hash[:12]}.. != {current_hash[:12]}..): resuming "
+                "would continue the run over a different search space. "
+                "Restore the original domain spec, or restart the run "
+                "fresh under the new one."
+            )
+
+    def _domain_spec_hash(self) -> str:
+        """Current spec hash of ``config.domain`` ('' when unregistered).
+
+        Memoised per engine: the hash walks the domain's knowledge
+        bundle, and checkpoint cadences of 1 would otherwise rebuild it
+        every generation.
+        """
+        cached = self.__dict__.get("_cached_domain_hash")
+        if cached is None:
+            from repro.domains.registry import domain_spec_hash
+
+            cached = domain_spec_hash(self.config.domain)
+            self.__dict__["_cached_domain_hash"] = cached
+        return cached
+
     def run(
         self,
         seed: int | None = None,
@@ -186,6 +266,7 @@ class GMREngine:
                     f"configuration:\n  checkpoint: {checkpoint.config_repr}"
                     f"\n  engine:     {config!r}"
                 )
+            self._check_checkpoint_domain(checkpoint)
             if seed is not None and seed != checkpoint.seed:
                 raise CheckpointError(
                     f"checkpoint holds seed {checkpoint.seed}, "
@@ -392,6 +473,8 @@ class GMREngine:
                 history=list(history),
                 evaluator=evaluator,
                 trace_seq=tracer.seq if tracer is not None else 0,
+                domain=self.config.domain,
+                domain_spec_hash=self._domain_spec_hash(),
             ),
             path,
         )

@@ -3,12 +3,14 @@
 Usage::
 
     python -m repro.lint                    # lint the shipped river bundle
+    python -m repro.lint --domain sir       # lint another registered domain
+    python -m repro.lint --all-domains      # lint every registered domain
     python -m repro.lint --pickle best.pkl  # lint a pickled Individual or
                                             # DerivationTree against it
     python -m repro.lint --json             # machine-readable findings
     python -m repro.lint --ignore G006,S003 # suppress rules
     python -m repro.lint --list-rules       # rule ids + severities
-    python -m repro.lint --self-check       # audit rules/fixtures + bundle
+    python -m repro.lint --self-check       # audit rules/fixtures + domains
 
 Exit status: 0 when no errors (add ``--warnings-as-errors`` to fail on
 warnings too), 1 when findings fail the check, 2 on usage errors.
@@ -30,31 +32,41 @@ from repro.lint.runner import (
 )
 
 
-def _river_report() -> LintReport:
-    """Lint the shipped river grammar, knowledge bundle and manual model."""
+def _domain_report(name: str) -> LintReport:
+    """Lint one registered domain: grammar, knowledge bundle, seed model,
+    and the seed derivation."""
+    from repro.domains import get_domain
     from repro.gp.knowledge import build_grammar
-    from repro.river.biology import manual_model
-    from repro.river.grammar_def import river_knowledge
     from repro.tag.derivation import DerivationNode, DerivationTree
 
-    knowledge = river_knowledge()
+    spec = get_domain(name)
+    knowledge = spec.make_knowledge()
     grammar = build_grammar(knowledge)
     report = lint_knowledge(knowledge, grammar)
-    report.extend(lint_system(manual_model()))
+    report.extend(lint_system(spec.seed_model()))
     seed = DerivationTree(DerivationNode(tree=grammar.alphas["seed"]))
     report.extend(lint_derivation(seed, grammar))
     return report
 
 
-def _pickle_report(path: str) -> LintReport:
-    """Lint a pickled Individual or DerivationTree against the river
-    grammar and knowledge."""
+def _river_report() -> LintReport:
+    """Lint the shipped river grammar, knowledge bundle and manual model."""
+    from repro.river.biology import manual_model
+
+    report = _domain_report("river")
+    report.extend(lint_system(manual_model()))
+    return report
+
+
+def _pickle_report(path: str, domain: str) -> LintReport:
+    """Lint a pickled Individual or DerivationTree against a registered
+    domain's grammar and knowledge."""
+    from repro.domains import get_domain
     from repro.gp.knowledge import build_grammar
-    from repro.river.grammar_def import river_knowledge
 
     with open(path, "rb") as handle:
         payload = pickle.load(handle)
-    knowledge = river_knowledge()
+    knowledge = get_domain(domain).make_knowledge()
     grammar = build_grammar(knowledge)
     if hasattr(payload, "derivation"):  # an Individual
         return lint_individual(payload, knowledge, grammar)
@@ -74,23 +86,29 @@ def _pickle_report(path: str) -> LintReport:
 
 def _self_check() -> int:
     """Audit the rule registry against the seeded-violation fixtures and
-    check the shipped river bundle lints clean."""
+    check every registered domain lints clean."""
+    from repro.domains import available_domains
     from repro.lint.fixtures import audit_fixtures
 
     problems = audit_fixtures()
     for problem in problems:
         print(f"self-check: {problem}", file=sys.stderr)
-    river = _river_report()
-    if not river.ok(warnings_as_errors=True):
-        problems.append("shipped river bundle does not lint clean")
-        print(river.render_text(), file=sys.stderr)
+    domains = available_domains()
+    for name in domains:
+        report = (
+            _river_report() if name == "river" else _domain_report(name)
+        )
+        if not report.ok(warnings_as_errors=True):
+            problems.append(f"domain {name!r} does not lint clean")
+            print(report.render_text(), file=sys.stderr)
     n_rules = len(all_rules())
     if problems:
         print(f"self-check FAILED ({len(problems)} problem(s))")
         return 1
     print(
         f"self-check ok: {n_rules} rules, every rule fires exactly once "
-        "on its fixture, shipped river bundle lints clean"
+        f"on its fixture, all registered domains ({', '.join(domains)}) "
+        "lint clean"
     )
     return 0
 
@@ -129,7 +147,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--self-check",
         action="store_true",
-        help="audit the rule registry/fixtures and the shipped bundle",
+        help="audit the rule registry/fixtures and all registered domains",
+    )
+    parser.add_argument(
+        "--domain",
+        default="river",
+        metavar="NAME",
+        help="registered domain whose bundle to lint (default: river)",
+    )
+    parser.add_argument(
+        "--all-domains",
+        action="store_true",
+        help="lint every registered domain's bundle",
     )
     args = parser.parse_args(argv)
 
@@ -146,9 +175,23 @@ def main(argv: list[str] | None = None) -> int:
         for rule_id in chunk.split(",")
         if rule_id
     }
-    report = _river_report()
-    for path in args.pickle:
-        report.extend(_pickle_report(path))
+    from repro.domains import DomainNotFoundError, available_domains
+
+    if args.all_domains:
+        targets = list(available_domains())
+    else:
+        targets = [args.domain]
+    report = LintReport()
+    try:
+        for name in targets:
+            report.extend(
+                _river_report() if name == "river" else _domain_report(name)
+            )
+        for path in args.pickle:
+            report.extend(_pickle_report(path, args.domain))
+    except DomainNotFoundError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
     report = report.filtered(ignore)
 
     if args.json:

@@ -1,0 +1,51 @@
+"""Shared fixtures of the cross-domain conformance suite.
+
+Every test module in this package parametrizes over *all* registered
+domains through the ``spec`` fixture, so registering a new domain
+automatically subjects it to the full battery -- lint cleanliness,
+scalar/batched kernel equivalence, determinism, crash/resume
+bit-identity, and recovery of the planted revision.  Adding a domain
+means passing the battery, not re-reviewing the engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.domains import available_domains, get_domain
+from repro.domains.registry import DomainSpec
+from repro.gp import GMRConfig
+
+
+def conformance_config(spec: DomainSpec, **overrides) -> GMRConfig:
+    """The engine config of ``spec``'s conformance mini-run."""
+    plan = spec.conformance
+    config = GMRConfig(
+        population_size=plan.population_size,
+        max_generations=plan.max_generations,
+        max_size=plan.max_size,
+        init_max_size=plan.init_max_size,
+        local_search_steps=plan.local_search_steps,
+        domain=spec.name,
+    )
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+@pytest.fixture(params=sorted(available_domains()))
+def spec(request) -> DomainSpec:
+    """Each registered domain in turn."""
+    return get_domain(request.param)
+
+
+@pytest.fixture()
+def mini_task(spec):
+    return spec.mini_task("train")
+
+
+@pytest.fixture()
+def knowledge(spec):
+    return spec.make_knowledge()

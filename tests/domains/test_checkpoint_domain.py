@@ -1,0 +1,238 @@
+"""Domain-aware checkpoints: envelope fields, resume guards, migration.
+
+The satellite requirement: the v3 envelope records the domain name and
+its spec hash; resume refuses the wrong domain or a changed spec with a
+clear :class:`CheckpointError`, and pre-domain (v1/v2) checkpoints
+migrate to ``domain="river"`` with no hash, staying resumable.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import pickle
+
+import pytest
+
+from repro.domains import DomainNotFoundError, get_domain
+from repro.gp import GMRConfig, GMREngine
+from repro.gp.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+)
+
+from tests.domains.conftest import conformance_config
+from tests.gp.conftest import (  # noqa: F401 - shared toy problem
+    toy_grammar,
+    toy_knowledge,
+    toy_task,
+)
+
+
+def histories(result):
+    return [record.best_fitness for record in result.history]
+
+
+@pytest.fixture()
+def lv_engine(tmp_path):
+    spec = get_domain("lotka_volterra")
+    return GMREngine(
+        spec.make_knowledge(),
+        spec.mini_task("train"),
+        conformance_config(spec, max_generations=2, checkpoint_every=1),
+    )
+
+
+@pytest.fixture()
+def lv_checkpoint_path(lv_engine, tmp_path):
+    path = tmp_path / "lv.ckpt"
+    lv_engine.run(seed=1, checkpoint_path=path)
+    return path
+
+
+class TestEnvelope:
+    def test_records_domain_and_spec_hash(self, lv_checkpoint_path):
+        checkpoint = load_checkpoint(lv_checkpoint_path)
+        assert checkpoint.version == CHECKPOINT_VERSION
+        assert checkpoint.domain == "lotka_volterra"
+        expected = get_domain("lotka_volterra").spec_hash()
+        assert checkpoint.domain_spec_hash == expected
+
+    def test_hand_built_engine_records_registered_river_hash(
+        self, toy_knowledge, toy_task, tmp_path
+    ):
+        """Engines that never went through the registry checkpoint under
+        the default domain; the recorded hash is whatever ``river``
+        currently hashes to (or '' were it unregistered)."""
+        engine = GMREngine(
+            toy_knowledge,
+            toy_task,
+            GMRConfig(
+                population_size=6,
+                max_generations=2,
+                max_size=8,
+                local_search_steps=1,
+                checkpoint_every=1,
+            ),
+        )
+        path = tmp_path / "toy.ckpt"
+        engine.run(seed=3, checkpoint_path=path)
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.domain == "river"
+        assert checkpoint.domain_spec_hash == get_domain("river").spec_hash()
+
+
+class TestResumeGuards:
+    def test_wrong_domain_is_refused(self, lv_engine, lv_checkpoint_path):
+        wrong = GMREngine(
+            lv_engine.knowledge,
+            lv_engine.task,
+            conformance_config(
+                get_domain("lotka_volterra"),
+                max_generations=2,
+                checkpoint_every=1,
+                domain="sir",
+            ),
+        )
+        with pytest.raises(CheckpointError) as excinfo:
+            wrong.run(resume_from=lv_checkpoint_path)
+        message = str(excinfo.value)
+        assert "'lotka_volterra'" in message
+        assert "'sir'" in message
+
+    def test_changed_spec_hash_is_refused(self, lv_engine, lv_checkpoint_path):
+        checkpoint = load_checkpoint(lv_checkpoint_path)
+        checkpoint.domain_spec_hash = "0" * 64
+        with pytest.raises(CheckpointError, match="spec changed"):
+            lv_engine.run(resume_from=checkpoint)
+
+    def test_empty_saved_hash_skips_the_comparison(
+        self, lv_engine, lv_checkpoint_path
+    ):
+        checkpoint = load_checkpoint(lv_checkpoint_path)
+        checkpoint.domain_spec_hash = ""
+        result = lv_engine.run(resume_from=checkpoint)
+        assert result.best_fitness == lv_engine.run(seed=1).best_fitness
+
+    def test_matching_domain_resumes(self, lv_engine, lv_checkpoint_path):
+        resumed = lv_engine.run(resume_from=lv_checkpoint_path)
+        assert histories(resumed) == histories(lv_engine.run(seed=1))
+
+
+def craft_pre_domain_blob(path, version: int = 2) -> bytes:
+    """Re-encode an on-disk v3 checkpoint as a genuine pre-domain file:
+    old magic byte, and no ``domain``/``domain_spec_hash`` (nor, for v1,
+    ``trace_seq``) in the pickled envelope."""
+    checkpoint = load_checkpoint(path)
+    del checkpoint.__dict__["domain"]
+    del checkpoint.__dict__["domain_spec_hash"]
+    if version < 2:
+        del checkpoint.__dict__["trace_seq"]
+    checkpoint.version = version
+    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        b"GMRCKPT"
+        + bytes([version])
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+class TestPreDomainMigration:
+    @pytest.fixture()
+    def toy_engine(self, toy_knowledge, toy_task):
+        def factory():
+            return GMREngine(
+                toy_knowledge,
+                toy_task,
+                GMRConfig(
+                    population_size=6,
+                    max_generations=3,
+                    max_size=8,
+                    local_search_steps=1,
+                    checkpoint_every=1,
+                ),
+            )
+
+        return factory
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_pre_domain_checkpoint_defaults_to_river(
+        self, toy_engine, tmp_path, version
+    ):
+        path = tmp_path / "toy.ckpt"
+        toy_engine().run(seed=5, checkpoint_path=path)
+        old_path = tmp_path / f"toy-v{version}.ckpt"
+        old_path.write_bytes(craft_pre_domain_blob(path, version))
+
+        migrated = load_checkpoint(old_path)
+        assert migrated.version == CHECKPOINT_VERSION
+        assert migrated.domain == "river"
+        assert migrated.domain_spec_hash == ""
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_pre_domain_checkpoint_still_resumes(
+        self, toy_engine, tmp_path, version
+    ):
+        """The migration path: old envelopes keep resuming bit-identically
+        under the default (river) domain -- no hash comparison, because
+        there is no save-time hash to compare against."""
+        path = tmp_path / "toy.ckpt"
+        full = toy_engine().run(seed=5, checkpoint_path=path)
+        old_path = tmp_path / f"toy-v{version}.ckpt"
+        old_path.write_bytes(craft_pre_domain_blob(path, version))
+
+        resumed = toy_engine().run(resume_from=old_path)
+        assert histories(resumed) == histories(full)
+        assert resumed.best_fitness == full.best_fitness
+
+    def test_pre_domain_checkpoint_refuses_non_river_domain(
+        self, toy_engine, toy_knowledge, toy_task, tmp_path
+    ):
+        path = tmp_path / "toy.ckpt"
+        engine = toy_engine()
+        engine.run(seed=5, checkpoint_path=path)
+        old_path = tmp_path / "toy-v2.ckpt"
+        old_path.write_bytes(craft_pre_domain_blob(path))
+
+        import dataclasses
+
+        sir_flavoured = GMREngine(
+            toy_knowledge,
+            toy_task,
+            dataclasses.replace(engine.config, domain="sir"),
+        )
+        with pytest.raises(CheckpointError, match="river"):
+            sir_flavoured.run(resume_from=old_path)
+
+
+class TestForDomain:
+    def test_builds_engine_from_registry(self):
+        engine = GMREngine.for_domain(
+            "sir", conformance_config(get_domain("sir")), mini=True
+        )
+        assert engine.config.domain == "sir"
+        assert engine.task.target_state == "I"
+        assert tuple(engine.task.state_names) == ("S", "I", "R")
+
+    def test_stamps_domain_into_config(self):
+        engine = GMREngine.for_domain("lotka_volterra", mini=True)
+        assert engine.config.domain == "lotka_volterra"
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(DomainNotFoundError):
+            GMREngine.for_domain("atlantis")
+
+    def test_checkpoints_of_for_domain_engines_interoperate(self, tmp_path):
+        spec = get_domain("sir")
+        config = conformance_config(
+            spec, max_generations=2, checkpoint_every=1
+        )
+        engine = GMREngine.for_domain("sir", config, mini=True)
+        path = tmp_path / "sir.ckpt"
+        full = engine.run(seed=2, checkpoint_path=path)
+
+        fresh = GMREngine.for_domain("sir", copy.deepcopy(config), mini=True)
+        resumed = fresh.run(resume_from=path)
+        assert histories(resumed) == histories(full)

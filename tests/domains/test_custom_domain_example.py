@@ -1,0 +1,107 @@
+"""Regression test: ``examples/custom_domain.py`` against the registry.
+
+The example is the canonical third-party-domain walkthrough, so it must
+keep working end-to-end against the current registry API: build a
+:class:`DomainSpec` from scratch, register it, and run GMR through
+``GMREngine.for_domain``.  This suite imports the example as a module
+and exercises exactly what the docstring promises.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+from repro.domains import available_domains, get_domain, unregister_domain
+from repro.expr.ast import free_vars
+from repro.gp import GMREngine
+
+from tests.domains.conftest import conformance_config
+
+EXAMPLE_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "examples"
+    / "custom_domain.py"
+)
+
+
+@pytest.fixture(scope="module")
+def example():
+    spec = importlib.util.spec_from_file_location(
+        "custom_domain_example", EXAMPLE_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+        unregister_domain("lake")
+
+
+@pytest.fixture()
+def lake(example):
+    spec = example.register()
+    yield spec
+    unregister_domain("lake")
+
+
+class TestRegistration:
+    def test_importing_the_example_does_not_register(self, example):
+        unregister_domain("lake")
+        assert "lake" not in available_domains()
+
+    def test_register_is_idempotent_and_validates(self, example):
+        first = example.register()
+        second = example.register()
+        assert get_domain("lake") is second
+        assert first.spec_hash() == second.spec_hash()
+
+    def test_spec_survives_deep_validation(self, lake):
+        lake.validate(deep=True)
+
+    def test_lint_cli_accepts_the_lake_domain(self, lake):
+        from repro.lint.__main__ import main
+
+        assert main(["--domain", "lake", "--warnings-as-errors"]) == 0
+
+
+class TestEndToEnd:
+    def test_for_domain_builds_a_lake_engine(self, lake):
+        engine = GMREngine.for_domain("lake", mini=True)
+        assert engine.config.domain == "lake"
+        assert engine.task.target_state == "A"
+        assert tuple(engine.task.state_names) == ("A", "G")
+
+    def test_mini_run_recovers_the_planted_mortality_revision(self, lake):
+        """The example's promise: GMR finds the temperature dependence
+        the expert seed lacks, by the spec's own conformance plan."""
+        plan = lake.conformance
+        task = lake.mini_task("train")
+        engine = GMREngine(
+            lake.make_knowledge(), task, conformance_config(lake)
+        )
+        result = engine.run(seed=plan.mini_seed)
+
+        seed_rmse = task.rmse(lake.seed_model(), lake.seed_parameters())
+        improvement = 1.0 - result.best_fitness / seed_rmse
+        assert improvement >= plan.min_improvement
+
+        expressions, __ = result.best.expressions()
+        used: set[str] = set()
+        for expr in expressions:
+            used |= free_vars(expr)
+        assert set(plan.recovery_variables) <= used
+
+    def test_main_runs_end_to_end(self, example, capsys):
+        example.main()
+        out = capsys.readouterr().out
+        assert "Registered domain 'lake'" in out
+        assert "Expert seed RMSE" in out
+        assert "Revised model RMSE" in out
+        assert "Vtmp" in out
+        unregister_domain("lake")

@@ -1,0 +1,196 @@
+"""Registry semantics and DomainSpec validation diagnostics.
+
+The satellite requirement: every validation failure names the offending
+domain and field, so a misdeclared third-party plugin fails at
+registration with an actionable message, never a bare ``ValueError``
+from deep inside the engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.domains import (
+    BUILTIN_DOMAINS,
+    DomainError,
+    DomainNotFoundError,
+    DomainSpec,
+    DomainSpecError,
+    available_domains,
+    domain_spec_hash,
+    get_domain,
+    register_builtin_domains,
+    register_domain,
+    unregister_domain,
+)
+from repro.domains import lotka_volterra
+
+
+@pytest.fixture()
+def lv_spec() -> DomainSpec:
+    return lotka_volterra.make_spec()
+
+
+def renamed(spec: DomainSpec, name: str = "testdom", **overrides) -> DomainSpec:
+    return dataclasses.replace(spec, name=name, **overrides)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert set(BUILTIN_DOMAINS) <= set(available_domains())
+        for name in BUILTIN_DOMAINS:
+            assert get_domain(name).name == name
+
+    def test_get_unknown_domain_names_the_known_ones(self):
+        with pytest.raises(DomainNotFoundError) as excinfo:
+            get_domain("atlantis")
+        message = str(excinfo.value)
+        assert "atlantis" in message
+        for name in BUILTIN_DOMAINS:
+            assert name in message
+
+    def test_register_then_unregister(self, lv_spec):
+        spec = renamed(lv_spec)
+        try:
+            register_domain(spec)
+            assert get_domain("testdom") is spec
+            assert "testdom" in available_domains()
+        finally:
+            unregister_domain("testdom")
+        assert "testdom" not in available_domains()
+        unregister_domain("testdom")  # idempotent
+
+    def test_duplicate_registration_requires_replace(self, lv_spec):
+        spec = renamed(lv_spec)
+        try:
+            register_domain(spec)
+            with pytest.raises(DomainError, match="already registered"):
+                register_domain(spec)
+            register_domain(spec, replace=True)
+        finally:
+            unregister_domain("testdom")
+
+    def test_register_builtin_domains_is_idempotent(self):
+        before = available_domains()
+        register_builtin_domains()
+        assert available_domains() == before
+
+    def test_spec_hash_lookup(self):
+        assert domain_spec_hash("sir") == get_domain("sir").spec_hash()
+        assert domain_spec_hash("not-registered") == ""
+
+
+class TestValidationDiagnostics:
+    """Every failure names the domain and the offending field."""
+
+    def assert_names(self, excinfo, domain: str, field_name: str):
+        error = excinfo.value
+        assert error.domain == domain
+        assert error.field == field_name
+        assert f"domain {domain!r}" in str(error)
+        assert f"field {field_name!r}" in str(error)
+
+    def test_empty_name(self, lv_spec):
+        with pytest.raises(DomainSpecError) as excinfo:
+            renamed(lv_spec, name="").validate()
+        assert excinfo.value.field == "name"
+
+    def test_non_slug_name(self, lv_spec):
+        with pytest.raises(DomainSpecError) as excinfo:
+            renamed(lv_spec, name="bad name!").validate()
+        self.assert_names(excinfo, "bad name!", "name")
+
+    def test_duplicate_state_names(self, lv_spec):
+        spec = renamed(lv_spec, state_names=("Prey", "Prey"))
+        with pytest.raises(DomainSpecError) as excinfo:
+            spec.validate()
+        self.assert_names(excinfo, "testdom", "state_names")
+
+    def test_target_not_a_state(self, lv_spec):
+        spec = renamed(lv_spec, target_state="Wolf")
+        with pytest.raises(DomainSpecError) as excinfo:
+            spec.validate()
+        self.assert_names(excinfo, "testdom", "target_state")
+        assert "Wolf" in str(excinfo.value)
+
+    def test_recovery_variables_must_be_drivers(self, lv_spec):
+        plan = dataclasses.replace(
+            lv_spec.conformance, recovery_variables=("Vghost",)
+        )
+        spec = renamed(lv_spec, conformance=plan)
+        with pytest.raises(DomainSpecError) as excinfo:
+            spec.validate()
+        self.assert_names(excinfo, "testdom", "conformance.recovery_variables")
+
+    def test_knowledge_state_mismatch(self, lv_spec):
+        spec = renamed(
+            lv_spec,
+            state_names=("Pred", "Prey"),  # order flipped vs seed equations
+        )
+        with pytest.raises(DomainSpecError) as excinfo:
+            spec.validate()
+        self.assert_names(excinfo, "testdom", "make_knowledge")
+
+    def test_extension_offering_undeclared_driver(self, lv_spec):
+        plan = dataclasses.replace(
+            lv_spec.conformance, recovery_variables=()
+        )
+        spec = renamed(lv_spec, var_order=("Vtmp",), conformance=plan)
+        with pytest.raises(DomainSpecError) as excinfo:
+            spec.validate()
+        self.assert_names(excinfo, "testdom", "make_knowledge")
+        assert "Vfood" in str(excinfo.value)
+
+    def test_registration_rejects_invalid_spec(self, lv_spec):
+        spec = renamed(lv_spec, target_state="Wolf")
+        with pytest.raises(DomainSpecError):
+            register_domain(spec)
+        assert "testdom" not in available_domains()
+
+    def test_deep_validation_cross_checks_the_task(self, lv_spec):
+        # Declares S/I/R states but builds the LV (Prey/Pred) task.
+        from repro.domains import sir
+
+        spec = dataclasses.replace(
+            sir.make_spec(),
+            name="testdom",
+            make_task=lv_spec.make_task,
+            make_mini_task=lv_spec.make_mini_task,
+        )
+        spec.validate()  # shallow: the knowledge bundle is consistent
+        with pytest.raises(DomainSpecError) as excinfo:
+            spec.validate(deep=True)
+        self.assert_names(excinfo, "testdom", "make_task")
+
+
+class TestSpecHash:
+    def test_hash_ignores_rebuilds(self, lv_spec):
+        assert lv_spec.spec_hash() == lotka_volterra.make_spec().spec_hash()
+
+    def test_hash_tracks_prior_changes(self, lv_spec):
+        from repro.gp.knowledge import ParameterPrior
+
+        def tweaked_knowledge():
+            knowledge = lotka_volterra.make_knowledge()
+            priors = dict(knowledge.priors)
+            priors["CGRW"] = ParameterPrior("CGRW", 0.5, 0.05, 1.0)
+            return dataclasses.replace(knowledge, priors=priors)
+
+        tweaked = dataclasses.replace(
+            lv_spec, make_knowledge=tweaked_knowledge
+        )
+        assert tweaked.spec_hash() != lv_spec.spec_hash()
+
+    def test_hash_tracks_clamp_changes(self, lv_spec):
+        from repro.dynamics.integrate import ClampSpec
+
+        tweaked = dataclasses.replace(
+            lv_spec, clamp=ClampSpec(minimum=0.5, maximum=10.0)
+        )
+        assert tweaked.spec_hash() != lv_spec.spec_hash()
+
+    def test_hashes_differ_across_domains(self):
+        hashes = {get_domain(n).spec_hash() for n in BUILTIN_DOMAINS}
+        assert len(hashes) == len(BUILTIN_DOMAINS)
