@@ -1,0 +1,124 @@
+"""Static triage: simulation steps saved on a divergence-heavy cohort.
+
+Shape targets: on a synthetic revision problem engineered so that a
+large fraction of candidates are *provably* divergent (products of
+~1e160 operands overflow to infinity and their differences are NaN),
+enabling ``GMRConfig.static_triage`` must (a) leave the per-generation
+best-fitness trajectory bit-identical, (b) skip a nonzero number of
+simulations, and (c) evaluate no more integration steps than the
+triage-off run.  The run emits ``BENCH_triage.json`` so future PRs have
+a recorded baseline for the skip rate and analysis overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.dynamics.drivers import DriverTable
+from repro.dynamics.integrate import ClampSpec
+from repro.dynamics.task import ModelingTask
+from repro.expr import ast
+from repro.expr.ast import Ext, Param, State
+from repro.gp import GMREngine
+from repro.gp.config import GMRConfig
+from repro.gp.knowledge import ExtensionSpec, ParameterPrior, PriorKnowledge
+
+#: Where the baseline lands (repo root when run via pytest).
+BENCH_JSON = os.environ.get("REPRO_BENCH_TRIAGE_JSON", "BENCH_triage.json")
+
+SEED = 11
+
+
+def divergence_heavy_problem() -> tuple[PriorKnowledge, ModelingTask]:
+    knowledge = PriorKnowledge(
+        seed_equations={
+            "B": Ext(
+                "Ext1",
+                ast.mul(State("B"), ast.sub(Param("mu"), Param("loss"))),
+            )
+        },
+        priors={
+            "mu": ParameterPrior("mu", 0.10, 0.0, 0.5),
+            "loss": ParameterPrior("loss", 0.12, 0.0, 0.5),
+        },
+        extensions=[
+            ExtensionSpec("Ext1", ("Vhuge",), connector_ops=("+", "-"))
+        ],
+        rconst_bounds=(1e160, 1e170),
+        rconst_init=(1e160, 1e170),
+    )
+    rng = np.random.default_rng(7)
+    n = 64
+    task = ModelingTask(
+        drivers=DriverTable.from_mapping(
+            {"Vhuge": 10.0 ** rng.uniform(160.0, 170.0, n)}
+        ),
+        observed=2.0 * np.exp(-0.02 * np.arange(n, dtype=float)),
+        target_state="B",
+        state_names=("B",),
+        initial_state=(2.0,),
+        clamp=ClampSpec(minimum=1e-6, maximum=1e6),
+    )
+    return knowledge, task
+
+
+def run_cohort(static_triage: bool):
+    knowledge, task = divergence_heavy_problem()
+    config = GMRConfig(
+        population_size=24,
+        max_generations=6,
+        max_size=12,
+        init_max_size=8,
+        local_search_steps=1,
+        static_triage=static_triage,
+    )
+    return GMREngine(knowledge, task, config).run(seed=SEED)
+
+
+def test_triage_savings_regenerates(benchmark):
+    off = run_cohort(static_triage=False)
+    on = benchmark.pedantic(
+        run_cohort, args=(True,), rounds=1, iterations=1
+    )
+
+    # (a) bit-identical trajectory: triage may only skip simulations
+    # whose outcome (BAD_FITNESS) is already proven.
+    assert on.best_fitness == off.best_fitness
+    assert [r.best_fitness for r in on.history] == [
+        r.best_fitness for r in off.history
+    ]
+    assert on.stats.evaluations == off.stats.evaluations
+    assert on.stats.divergences == off.stats.divergences
+
+    # (b) the cohort is divergence-heavy enough to exercise the skip
+    # path, and (c) every skip saves the steps the simulation would
+    # have run.
+    assert on.stats.triage_skips > 0
+    assert off.stats.triage_skips == 0
+    assert on.stats.steps_evaluated <= off.stats.steps_evaluated
+    assert on.stats.steps_possible == off.stats.steps_possible
+
+    payload = {
+        "seed": SEED,
+        "generations": len(on.history),
+        "evaluations": on.stats.evaluations,
+        "triage_skips": on.stats.triage_skips,
+        "skip_rate": on.stats.triage_skips / on.stats.evaluations,
+        "divergences": on.stats.divergences,
+        "steps_evaluated_triage_on": on.stats.steps_evaluated,
+        "steps_evaluated_triage_off": off.stats.steps_evaluated,
+        "steps_possible": on.stats.steps_possible,
+        "triage_time_seconds": on.stats.triage_time,
+        "wall_time_on_seconds": on.stats.wall_time,
+        "wall_time_off_seconds": off.stats.wall_time,
+        "best_fitness": on.best_fitness,
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    with open(BENCH_JSON) as handle:
+        assert json.load(handle)["triage_skips"] == on.stats.triage_skips

@@ -67,7 +67,11 @@ CONSTANT_PRIORS: dict[str, ParameterPrior] = {
     for prior in (
         ParameterPrior("CGRW", 0.3, 0.05, 1.0, "day^-1", "Prey growth rate"),
         ParameterPrior("CCAP", 40.0, 15.0, 120.0, "ug L^-1", "Prey capacity"),
-        ParameterPrior("CATT", 0.05, 0.005, 0.3, "day^-1", "Attack rate"),
+        # A per-capita attack rate: multiplied by a predator density
+        # (ug/L) it must yield day^-1, hence the L ug^-1 factor.
+        ParameterPrior(
+            "CATT", 0.05, 0.005, 0.3, "L ug^-1 day^-1", "Attack rate"
+        ),
         ParameterPrior("CEFF", 0.3, 0.1, 0.8, "", "Conversion efficiency"),
         ParameterPrior("CMRT", 0.2, 0.02, 0.8, "day^-1", "Predator mortality"),
     )
@@ -259,6 +263,13 @@ def make_spec() -> DomainSpec:
         state_names=STATE_NAMES,
         var_order=VARIABLE_ORDER,
         target_state="Prey",
+        # Semantic-lint annotations: densities in ug/L, the food driver
+        # is a dimensionless seasonal index, bounds from the dataset
+        # generator's ranges.
+        state_units={"Prey": "ug L^-1", "Pred": "ug L^-1"},
+        var_units={"Vfood": "", "Vtmp": "degC"},
+        var_bounds={"Vfood": (0.05, 3.0), "Vtmp": (0.5, 32.0)},
+        time_unit="day",
         make_knowledge=make_knowledge,
         make_task=make_task,
         make_mini_task=make_mini_task,

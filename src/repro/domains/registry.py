@@ -130,6 +130,20 @@ class DomainSpec:
         clamp: State clamp band of the domain's tasks.
         conformance: Mini-run plan the conformance suite holds the
             domain to.
+        state_units / var_units: Optional per-name unit annotation
+            strings (``"ug L^-1"``; see :mod:`repro.lint.units`) for the
+            semantic lint tier.  ``None`` disables the unit pass for the
+            domain; parameter units come from the priors' ``unit`` field.
+        var_bounds: Optional per-driver ``(lo, hi)`` value bounds feeding
+            the interval pass (:mod:`repro.lint.absint`); drivers without
+            a declared bound abstract to "anything".
+        time_unit: Unit symbol of the integration step, the denominator
+            of every d(state)/dt (default ``"day"``).
+
+    The annotation fields deliberately stay *out* of :meth:`spec_hash`:
+    they inform static analysis only and never change what the engine
+    searches over, so annotating an existing domain keeps old
+    checkpoints resumable.
     """
 
     name: str
@@ -143,6 +157,10 @@ class DomainSpec:
     truth_equations: Callable[[], dict[str, Expr]] | None = None
     clamp: ClampSpec = field(default_factory=ClampSpec)
     conformance: ConformancePlan = field(default_factory=ConformancePlan)
+    state_units: "dict[str, str] | None" = None
+    var_units: "dict[str, str] | None" = None
+    var_bounds: "dict[str, tuple[float, float]] | None" = None
+    time_unit: str = "day"
 
     # -- validation -----------------------------------------------------
 
@@ -194,8 +212,48 @@ class DomainSpec:
                 f"{missing} not in var_order {self.var_order}",
             )
         self._validate_knowledge()
+        self._validate_annotations()
         if deep:
             self._validate_task()
+
+    def _validate_annotations(self) -> None:
+        name = self.name
+        if self.state_units is not None:
+            unknown = set(self.state_units) - set(self.state_names)
+            if unknown:
+                raise DomainSpecError(
+                    name,
+                    "state_units",
+                    f"annotates unknown states {sorted(unknown)}",
+                )
+        if self.var_units is not None:
+            unknown = set(self.var_units) - set(self.var_order)
+            if unknown:
+                raise DomainSpecError(
+                    name,
+                    "var_units",
+                    f"annotates unknown drivers {sorted(unknown)}",
+                )
+        if self.var_bounds is not None:
+            unknown = set(self.var_bounds) - set(self.var_order)
+            if unknown:
+                raise DomainSpecError(
+                    name,
+                    "var_bounds",
+                    f"bounds unknown drivers {sorted(unknown)}",
+                )
+            for vname, (lo, hi) in self.var_bounds.items():
+                if not (lo <= hi):
+                    raise DomainSpecError(
+                        name,
+                        "var_bounds",
+                        f"driver {vname!r} has an empty bound "
+                        f"({lo!r}, {hi!r})",
+                    )
+        if not self.time_unit or not isinstance(self.time_unit, str):
+            raise DomainSpecError(
+                name, "time_unit", "must be a non-empty unit string"
+            )
 
     def _validate_knowledge(self) -> None:
         from repro.gp.knowledge import KnowledgeError

@@ -66,6 +66,38 @@ def make_spec() -> DomainSpec:
         state_names=STATE_NAMES,
         var_order=VARIABLE_ORDER,
         target_state="BPhy",
+        # Semantic-lint annotations (repro.lint.triage).  Units follow
+        # the Table III priors: biomasses in ug/L, nutrients in mg/L,
+        # light matching CBL's "MJ m^-2 d^-1".  Bounds are the dataset
+        # generator's clip ranges -- wide enough for every observable
+        # driver table, tight enough to prove the seed's
+        # Michaelis-Menten denominators clear of the protection band.
+        state_units={"BPhy": "ug L^-1", "BZoo": "ug L^-1"},
+        var_units={
+            "Vlgt": "MJ m^-2 d^-1",
+            "Vn": "mg L^-1",
+            "Vp": "mg L^-1",
+            "Vsi": "mg L^-1",
+            "Vtmp": "degC",
+            "Vdo": "mg L^-1",
+            "Vcd": "uS cm^-1",
+            "Vph": "",
+            "Valk": "mg L^-1",
+            "Vsd": "m",
+        },
+        var_bounds={
+            "Vlgt": (1.0, 32.0),
+            "Vn": (0.05, 8.0),
+            "Vp": (0.002, 0.5),
+            "Vsi": (0.1, 12.0),
+            "Vtmp": (0.5, 33.0),
+            "Vdo": (3.0, 16.0),
+            "Vcd": (150.0, 800.0),
+            "Vph": (6.8, 9.8),
+            "Valk": (20.0, 90.0),
+            "Vsd": (0.2, 3.5),
+        },
+        time_unit="day",
         make_knowledge=_make_knowledge,
         make_task=_make_task,
         make_mini_task=_make_mini_task,

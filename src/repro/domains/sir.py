@@ -260,6 +260,12 @@ def make_spec() -> DomainSpec:
         state_names=STATE_NAMES,
         var_order=VARIABLE_ORDER,
         target_state="I",
+        # Semantic-lint annotations: compartments are population
+        # fractions (dimensionless), as are both drivers.
+        state_units={"S": "", "I": "", "R": ""},
+        var_units={"Vtrv": "", "Vhum": ""},
+        var_bounds={"Vtrv": (0.05, 3.0), "Vhum": (0.05, 1.0)},
+        time_unit="day",
         make_knowledge=make_knowledge,
         make_task=make_task,
         make_mini_task=make_mini_task,

@@ -8,6 +8,12 @@ Usage::
     python -m repro.experiments run table5 --checkpoint-dir ckpt/
     python -m repro.experiments run table5 --trace-dir traces/
     python -m repro.experiments run table5 --domain sir
+    python -m repro.experiments run table5 --static-triage
+
+``--static-triage`` enables the GMR engine's semantic pre-evaluation
+triage (interval analysis proves candidates divergent before they are
+compiled; see :mod:`repro.lint.triage`).  Results are bit-identical
+with or without it -- only the amount of skipped work differs.
 
 ``--domain`` runs the method comparison on any registered domain
 (:mod:`repro.domains`) instead of the river case study; non-river
@@ -44,6 +50,9 @@ _TRACEABLE = {"table5", "scaling"}
 #: Experiments whose runners accept a domain selection.
 _DOMAINAL = {"table5"}
 
+#: Experiments whose runners accept the static-triage switch.
+_TRIAGEABLE = {"table5"}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -75,6 +84,15 @@ def main(argv: list[str] | None = None) -> int:
             "directory for JSONL run traces (repro.obs); one file per "
             "GP run, inspect with 'python -m repro.obs report' "
             "(table5 and scaling only)"
+        ),
+    )
+    runner.add_argument(
+        "--static-triage",
+        action="store_true",
+        help=(
+            "enable the engine's semantic pre-evaluation triage "
+            "(bit-identical results, skips provably divergent "
+            "candidates; table5 only)"
         ),
     )
     runner.add_argument(
@@ -122,6 +140,15 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 2
             kwargs["domain"] = args.domain
+        if args.static_triage:
+            if target not in _TRIAGEABLE:
+                print(
+                    f"--static-triage is not supported by {target!r} "
+                    f"(only: {', '.join(sorted(_TRIAGEABLE))})",
+                    file=sys.stderr,
+                )
+                return 2
+            kwargs["static_triage"] = True
         if target in _SCALED:
             result = run(args.scale, **kwargs)
         else:

@@ -107,6 +107,7 @@ def _gp_config(
     scale: Scale,
     population_multiplier: float = 1.0,
     domain: str = "river",
+    static_triage: bool = False,
 ) -> GMRConfig:
     return GMRConfig(
         population_size=round(scale.population_size * population_multiplier),
@@ -117,6 +118,7 @@ def _gp_config(
         sigma_rampdown_generations=max(2, scale.max_generations // 3),
         n_workers=scale.n_workers,
         domain=domain,
+        static_triage=static_triage,
     )
 
 
@@ -192,6 +194,7 @@ def run_gmr(
     base_seed: int = 0,
     checkpoint_dir: str | None = None,
     trace_dir: str | None = None,
+    static_triage: bool = False,
 ) -> tuple[MethodResult | None, Individual | None]:
     """GMR over ``scale.n_runs`` runs; returns (result_row, best individual).
 
@@ -210,7 +213,7 @@ def run_gmr(
     train = dataset.river_task("train")
     test = dataset.river_task("test")
     knowledge = river_knowledge()
-    config = _gp_config(scale)
+    config = _gp_config(scale, static_triage=static_triage)
     if checkpoint_dir is not None:
         config = dataclass_replace(
             config, checkpoint_every=max(1, scale.max_generations // 10)
@@ -319,6 +322,7 @@ def run_domain_table5(
     seed: int = 0,
     checkpoint_dir: str | None = None,
     trace_dir: str | None = None,
+    static_triage: bool = False,
 ) -> Table5Result:
     """Table V's method comparison on any registered domain.
 
@@ -382,7 +386,7 @@ def run_domain_table5(
     )
     results.append(gggp_row)
 
-    config = _gp_config(scale, domain=domain)
+    config = _gp_config(scale, domain=domain, static_triage=static_triage)
     gmr_checkpoints = (
         None
         if checkpoint_dir is None
@@ -414,6 +418,7 @@ def run_table5(
     checkpoint_dir: str | None = None,
     trace_dir: str | None = None,
     domain: str = "river",
+    static_triage: bool = False,
 ) -> Table5Result:
     """Regenerate Table V at the requested scale.
 
@@ -423,7 +428,10 @@ def run_table5(
     :mod:`repro.obs`); inspect them with ``python -m repro.obs report``.
     ``domain`` selects a registered domain (see :mod:`repro.domains`);
     non-river domains run the generic comparison of
-    :func:`run_domain_table5`.
+    :func:`run_domain_table5`.  ``static_triage`` turns on the GMR
+    engine's semantic pre-evaluation triage
+    (:attr:`repro.gp.config.GMRConfig.static_triage`); results are
+    bit-identical either way, only the work skipped differs.
     """
     if domain != "river":
         return run_domain_table5(
@@ -432,6 +440,7 @@ def run_table5(
             seed=seed,
             checkpoint_dir=checkpoint_dir,
             trace_dir=trace_dir,
+            static_triage=static_triage,
         )
     scale = get_scale(scale_name)
     started = time.perf_counter()
@@ -457,6 +466,7 @@ def run_table5(
         base_seed=seed,
         checkpoint_dir=gmr_checkpoints,
         trace_dir=trace_dir,
+        static_triage=static_triage,
     )
     results.append(gmr_row)
 

@@ -191,12 +191,19 @@ class _Emitter:
         except KeyError:
             raise CompilationError(f"unbound {kind} {name!r}") from None
 
+    # Every guard below keeps the *protected* branch on the `if` side of
+    # the conditional, mirroring the interpreter's comparison direction.
+    # The directions matter for NaN operands (any comparison with NaN is
+    # False): ``0.0 if m < eps else x / y`` propagates a NaN denominator
+    # like protected_div does, while the flipped spelling
+    # ``x / y if m >= eps else 0.0`` would silently map it to 0.0.
+
     def _emit_unary(self, op: str, operand: str) -> str:
         if op == "neg":
             return self._assign(f"-{operand}")
         if op == "exp":
             clamped = self._assign(
-                f"{operand} if {operand} < {EXP_MAX!r} else {EXP_MAX!r}"
+                f"{EXP_MAX!r} if {operand} > {EXP_MAX!r} else {operand}"
             )
             return self._assign(f"_exp({clamped})")
         if op == "log":
@@ -204,7 +211,7 @@ class _Emitter:
                 f"{operand} if {operand} >= 0.0 else -{operand}"
             )
             return self._assign(
-                f"_log({magnitude}) if {magnitude} >= {LOG_EPS!r} else 0.0"
+                f"0.0 if {magnitude} < {LOG_EPS!r} else _log({magnitude})"
             )
         raise CompilationError(f"unknown unary operator {op!r}")
 
@@ -214,12 +221,14 @@ class _Emitter:
         if op == "/":
             magnitude = self._assign(f"{rhs} if {rhs} >= 0.0 else -{rhs}")
             return self._assign(
-                f"{lhs} / {rhs} if {magnitude} >= {DIV_EPS!r} else 0.0"
+                f"0.0 if {magnitude} < {DIV_EPS!r} else {lhs} / {rhs}"
             )
+        # Python's min/max return the *first* argument on ties and on any
+        # NaN-poisoned comparison; spell out the exact builtin semantics.
         if op == "min":
-            return self._assign(f"{lhs} if {lhs} < {rhs} else {rhs}")
+            return self._assign(f"{rhs} if {rhs} < {lhs} else {lhs}")
         if op == "max":
-            return self._assign(f"{lhs} if {lhs} > {rhs} else {rhs}")
+            return self._assign(f"{rhs} if {rhs} > {lhs} else {lhs}")
         raise CompilationError(f"unknown binary operator {op!r}")
 
 

@@ -15,13 +15,18 @@ original.
 
 from __future__ import annotations
 
+import math
+
 from repro.expr.ast import (
     COMMUTATIVE_OPS,
     BinOp,
     Const,
     Expr,
     Ext,
+    Param,
+    State,
     UnOp,
+    Var,
 )
 from repro.expr.evaluate import (
     protected_div,
@@ -34,8 +39,11 @@ def simplify(expr: Expr) -> Expr:
     """Return a semantics-preserving simplified form of ``expr``.
 
     Applied rewrites: constant folding, additive/multiplicative identity
-    elimination, multiplication by zero, ``x - x -> 0``, double negation,
-    and ``Ext`` markers are stripped (they are identities).
+    elimination, double negation, ``Ext`` marker stripping (they are
+    identities), and -- only where the dropped operand is provably finite
+    (:func:`_finite_safe`) -- multiplication by zero and ``x - x -> 0``.
+    Zero signs may differ (``x * 0`` can be ``-0.0``); nothing downstream
+    distinguishes ``-0.0`` from ``0.0``.
     """
     if isinstance(expr, Ext):
         return simplify(expr.operand)
@@ -81,19 +89,21 @@ def _simplify_binary(node: BinOp) -> Expr:
     elif node.op == "-":
         if _is_const(rhs, 0.0):
             return lhs
-        if lhs == rhs:
+        if lhs == rhs and _finite_safe(lhs):
             return Const(0.0)
     elif node.op == "*":
         if _is_const(lhs, 1.0):
             return rhs
         if _is_const(rhs, 1.0):
             return lhs
-        if _is_const(lhs, 0.0) or _is_const(rhs, 0.0):
+        if _is_const(lhs, 0.0) and _finite_safe(rhs):
+            return Const(0.0)
+        if _is_const(rhs, 0.0) and _finite_safe(lhs):
             return Const(0.0)
     elif node.op == "/":
         if _is_const(rhs, 1.0):
             return lhs
-        if _is_const(lhs, 0.0):
+        if _is_const(lhs, 0.0) and _finite_safe(rhs):
             return Const(0.0)
     elif node.op in ("min", "max"):
         if lhs == rhs:
@@ -119,6 +129,30 @@ def _fold_const(op: str, lhs: float, rhs: float) -> float:
 
 def _is_const(expr: Expr, value: float) -> bool:
     return isinstance(expr, Const) and expr.value == value
+
+
+def _finite_safe(expr: Expr) -> bool:
+    """Whether ``expr`` evaluates to a finite value for every *finite*
+    leaf binding (the engine only ever binds finite values).
+
+    Guards the annihilating rewrites (``x * 0 -> 0``, ``x - x -> 0``,
+    ``0 / x -> 0``): they change semantics when the dropped operand can
+    reach inf or NaN internally (``inf * 0`` is NaN, ``inf - inf`` is
+    NaN, ``0 / NaN`` is NaN).  Leaves are finite by contract; neg, the
+    protected log/exp, and min/max preserve finiteness; ``+``, ``-``,
+    ``*``, ``/`` can overflow to inf and are not assumed safe.
+    """
+    if isinstance(expr, Const):
+        return math.isfinite(expr.value)
+    if isinstance(expr, (Param, State, Var)):
+        return True
+    if isinstance(expr, Ext):
+        return _finite_safe(expr.operand)
+    if isinstance(expr, UnOp):
+        return _finite_safe(expr.operand)
+    if isinstance(expr, BinOp) and expr.op in ("min", "max"):
+        return _finite_safe(expr.lhs) and _finite_safe(expr.rhs)
+    return False
 
 
 def canonical_key(expr: Expr) -> str:

@@ -128,6 +128,19 @@ class GMRConfig:
             is guarded by the checkpoint envelope's explicit ``domain``
             and ``domain_spec_hash`` fields instead, which produce
             clearer errors than a repr diff.
+        static_triage: Run the semantic lint triage
+            (:mod:`repro.lint.triage`) on every candidate before
+            compilation: an interval-domain abstract interpretation of
+            its equations over the task's reachable state/driver ranges.
+            Candidates whose right-hand side is *provably* NaN for every
+            reachable input (rule A001, the only fatal rule) skip
+            compilation and simulation entirely and score the
+            worst-fitness sentinel -- the exact value the simulator's
+            first-step divergence would produce -- so fitness values,
+            selection, the RNG stream, histories, traces and checkpoints
+            are bit-identical with triage on or off; only the skipped
+            work (counted in ``EvaluationStats.triage_skips``) differs.
+            Off by default.
         checkpoint_every: Snapshot cadence of the resilience layer
             (:mod:`repro.gp.checkpoint`): when > 0 and ``GMREngine.run``
             is given a ``checkpoint_path``, the run's full loop state is
@@ -157,6 +170,7 @@ class GMRConfig:
     n_workers: int = 1
     eval_batch_size: int = 0
     strict_validate: bool = False
+    static_triage: bool = False
     checkpoint_every: int = 0
     use_batched_kernel: bool = True
     kernel_batch_size: int = 64

@@ -315,6 +315,8 @@ class GMREngine:
                 if not resumed:
                     if config.strict_validate:
                         self._lint_artifacts()
+                    if config.static_triage:
+                        self._triage_seed()
                     population = initial_population(
                         self.grammar, self.knowledge, config, rng
                     )
@@ -486,6 +488,49 @@ class GMREngine:
         lint_knowledge(self.knowledge, self.grammar).raise_if_errors(
             "strict_validate: grammar/knowledge failed the lint pass"
         )
+
+    def _triage_seed(self) -> None:
+        """Static-triage mode: prove the expert seed clean up front.
+
+        A seed whose equations static triage would skip (provably NaN
+        over the task's reachable inputs) means the knowledge bundle and
+        task disagree -- fail loudly at generation 0 instead of running
+        a search in which the seed and all its neighbourhoods score the
+        divergence sentinel.  Tasks without the plain-ODE surface
+        (duck-typed ``error_stream``-only tasks) are not triaged.
+        """
+        if not all(
+            hasattr(self.task, attr)
+            for attr in ("drivers", "initial_state", "dt", "clamp")
+        ):
+            return
+        from repro.lint import LintReport
+        from repro.lint.triage import (
+            context_for_task,
+            fatal_findings,
+            triage_equations,
+        )
+
+        spec = None
+        try:
+            from repro.domains import get_domain
+
+            spec = get_domain(self.config.domain)
+        except Exception:
+            spec = None
+        context = context_for_task(self.task, spec)
+        report = triage_equations(
+            self.knowledge.seed_equations, context, obj="seed equation"
+        )
+        fatal = fatal_findings(report)
+        if fatal:
+            failing = LintReport()
+            for finding in fatal:
+                failing.add(finding)
+            failing.raise_if_errors(
+                "static_triage: the expert seed is provably divergent "
+                "on this task"
+            )
 
     def _lint_offspring(
         self, individuals: list[Individual], context: str

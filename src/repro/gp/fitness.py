@@ -99,6 +99,20 @@ class EvaluationStats:
     compile_time: float = 0.0
     step_time: float = 0.0
     batch_fill: float = 0.0
+    #: Candidates skipped by static triage (``GMRConfig.static_triage``):
+    #: proven divergent before compilation, scored BAD_FITNESS without
+    #: simulating.  Skips also count as ``divergences``, so divergence
+    #: totals stay comparable with triage off.
+    triage_skips: int = 0
+    #: Exclusive seconds spent in the static-triage analysis phase.
+    triage_time: float = 0.0
+
+    def __setstate__(self, state: dict) -> None:
+        # Checkpoints written before the static-triage fields pickle
+        # without them; heal with the dataclass defaults.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("triage_skips", 0)
+        self.__dict__.setdefault("triage_time", 0.0)
 
     @property
     def mean_time_per_individual(self) -> float:
@@ -134,6 +148,8 @@ class EvaluationStats:
             compile_time=self.compile_time + other.compile_time,
             step_time=self.step_time + other.step_time,
             batch_fill=self.batch_fill + other.batch_fill,
+            triage_skips=self.triage_skips + other.triage_skips,
+            triage_time=self.triage_time + other.triage_time,
         )
 
     @classmethod
@@ -147,7 +163,12 @@ class EvaluationStats:
     @property
     def phase_total(self) -> float:
         """Sum of the disjoint phase timers (``<= wall_time``)."""
-        return self.compile_time + self.step_time + self.batch_fill
+        return (
+            self.compile_time
+            + self.step_time
+            + self.batch_fill
+            + self.triage_time
+        )
 
     def publish(self, registry: MetricsRegistry, prefix: str = "eval") -> None:
         """Publish the counters into a :class:`~repro.obs.MetricsRegistry`."""
@@ -163,10 +184,12 @@ class EvaluationStats:
         registry.counter(f"{prefix}.batched_evaluations").inc(
             self.batched_evaluations
         )
+        registry.counter(f"{prefix}.triage_skips").inc(self.triage_skips)
         registry.gauge(f"{prefix}.wall_time").add(self.wall_time)
         registry.gauge(f"{prefix}.compile_time").add(self.compile_time)
         registry.gauge(f"{prefix}.step_time").add(self.step_time)
         registry.gauge(f"{prefix}.batch_fill").add(self.batch_fill)
+        registry.gauge(f"{prefix}.triage_time").add(self.triage_time)
 
 
 @dataclass
@@ -187,6 +210,10 @@ class _BatchEntry:
     cache_key: Hashable | None = None
     group_key: Hashable | None = None
     column: int = -1
+    #: Static triage proved this member divergent; finalisation scores it
+    #: BAD_FITNESS without a simulation column (after the cache lookup,
+    #: so duplicates still resolve as cache hits like the scalar path).
+    triaged: bool = False
 
 
 @dataclass
@@ -243,6 +270,9 @@ class GMRFitnessEvaluator:
         self._profile = PhaseProfile()
         #: Optional tracer; assigned by the engine, never pickled.
         self.tracer: Tracer | None = None
+        #: Lazily built static-triage context (repro.lint.triage); not
+        #: pickled -- rebuilt from task/config after resume.
+        self._triage_context = None
 
     @property
     def cache(self) -> TreeCache:
@@ -291,6 +321,7 @@ class GMRFitnessEvaluator:
             self.stats.compile_time += totals.get("compile", 0.0)
             self.stats.step_time += totals.get("step", 0.0)
             self.stats.batch_fill += totals.get("fill", 0.0)
+            self.stats.triage_time += totals.get("triage", 0.0)
 
     def _active_tracer(self) -> Tracer | None:
         """The assigned tracer, or None when tracing is off."""
@@ -306,6 +337,7 @@ class GMRFitnessEvaluator:
         state = dict(self.__dict__)
         state["tracer"] = None
         state["_profile"] = PhaseProfile()
+        state["_triage_context"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -313,6 +345,7 @@ class GMRFitnessEvaluator:
         # Envelopes pickled before the observability layer (checkpoint
         # schema v1) predate these attributes.
         self.__dict__.setdefault("tracer", None)
+        self.__dict__.setdefault("_triage_context", None)
         if "_profile" not in self.__dict__:
             self._profile = PhaseProfile()
 
@@ -337,7 +370,62 @@ class GMRFitnessEvaluator:
                 self.stats.steps_possible += total_cases
                 return cached, True
 
+        if config.static_triage and self._batchable:
+            with self._profile.phase("triage"):
+                fatal = self._triage_fatal(model, params)
+            if fatal:
+                return self._record_triage_skip(cache_key, total_cases)
+
         return self._evaluate_scalar(model, params, structure_key, cache_key)
+
+    def _triage_context_for_task(self):
+        """The lazily built per-task triage context.
+
+        Unit annotations resolve through the configured domain only when
+        its declared states/drivers match the task (the config's domain
+        name is advisory; custom tasks run interval-only triage).
+        """
+        if self._triage_context is None:
+            from repro.lint.triage import context_for_task
+
+            spec = None
+            try:
+                from repro.domains import get_domain
+
+                spec = get_domain(self.config.domain)
+            except Exception:
+                spec = None
+            self._triage_context = context_for_task(self.task, spec)
+        return self._triage_context
+
+    def _triage_fatal(
+        self, model: ProcessModel, params: tuple[float, ...]
+    ) -> bool:
+        """Whether static triage proves this candidate divergent.
+
+        Only *fatal* rules count (A001: every reachable input yields a
+        NaN right-hand side).  Such a candidate raises
+        ``SimulationDiverged`` on its first step and scores BAD_FITNESS
+        either way, so skipping the simulation cannot change fitness
+        values, selection, or the RNG stream -- runs with triage on and
+        off stay bit-identical on everything the search observes.
+        """
+        from repro.lint.triage import fatal_findings, triage_model
+
+        report = triage_model(model, params, self._triage_context_for_task())
+        return bool(fatal_findings(report))
+
+    def _record_triage_skip(
+        self, cache_key: Hashable | None, total_cases: int
+    ) -> tuple[float, bool]:
+        """Score a triaged-out candidate exactly like a first-step
+        divergence: BAD_FITNESS, fully evaluated, zero cases run."""
+        self.stats.triage_skips += 1
+        self.stats.divergences += 1
+        self.stats.steps_possible += total_cases
+        if cache_key is not None:
+            self._cache.put(cache_key, BAD_FITNESS)
+        return BAD_FITNESS, True
 
     def _evaluate_scalar(
         self,
@@ -509,6 +597,12 @@ class GMRFitnessEvaluator:
         entries: list[_BatchEntry] = []
         groups: dict[Hashable, _BatchGroup] = {}
         use_cache = self.config.use_tree_cache
+        triage = self.config.static_triage and self._batchable
+        # Per-batch memo of triage verdicts so one candidate appearing
+        # many times is analysed once; with caching on the first
+        # occurrence writes BAD_FITNESS back during finalisation and the
+        # duplicates resolve as cache hits, matching the scalar path.
+        verdicts: dict[Hashable, bool] = {}
         for individual in cohort:
             model, params = individual.phenotype(
                 self.task.state_names, self.task.var_order
@@ -527,6 +621,22 @@ class GMRFitnessEvaluator:
                 # peek, not get: the stats-counting lookup happens during
                 # finalisation, in cohort order, like the scalar path's.
                 if self._cache.peek(entry.cache_key) is not None:
+                    continue
+            if triage:
+                verdict_key = (
+                    entry.cache_key
+                    if entry.cache_key is not None
+                    else (entry.structure_key, params)
+                )
+                fatal = verdicts.get(verdict_key)
+                if fatal is None:
+                    with self._profile.phase("triage"):
+                        fatal = self._triage_fatal(model, params)
+                    verdicts[verdict_key] = fatal
+                if fatal:
+                    # Doomed candidates never join a simulation group
+                    # (that's the saving: no compile, no rollout column).
+                    entry.triaged = True
                     continue
             group_key = (entry.structure_key, model.param_order)
             group = groups.get(group_key)
@@ -618,6 +728,8 @@ class GMRFitnessEvaluator:
                 self.stats.cache_hits += 1
                 self.stats.steps_possible += total_cases
                 return cached, True
+        if entry.triaged:
+            return self._record_triage_skip(entry.cache_key, total_cases)
         group = (
             groups.get(entry.group_key)
             if entry.group_key is not None

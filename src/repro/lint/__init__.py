@@ -14,9 +14,23 @@ invariants GMR's correctness rests on:
 * **system** (``S0xx``): unknown states, unused parameters/drivers,
   unbound names, mixing-schedule mass balance.
 
+Layered on top are three *semantic* passes:
+
+* **interval** (``A0xx``): abstract interpretation of expressions over
+  an interval domain with exact protected-operator semantics -- proves
+  right-hand sides NaN, saturating, dead, or provably clamp-pinned
+  (:mod:`repro.lint.absint`);
+* **units** (``U0xx``): dimensional inference over annotated domains
+  (:mod:`repro.lint.units`);
+* **source** (``C0xx``): a determinism sanitizer over the package's own
+  source -- unseeded RNG, wall-clock reads outside ``repro.obs``,
+  unordered-set iteration (:mod:`repro.lint.sanitize`).
+
 Entry points: the ``lint_*`` runners below, the ``python -m repro.lint``
-CLI, and the engine hook ``GMRConfig(strict_validate=True)``.  Suppress
-rules by passing ``ignore={"G006", ...}`` (or ``--ignore`` on the CLI).
+CLI, the engine hooks ``GMRConfig(strict_validate=True)`` and
+``GMRConfig(static_triage=True)`` (:mod:`repro.lint.triage`).  Suppress
+rules by passing ``ignore={"G006", ...}`` (or ``--ignore`` on the CLI;
+a bare category letter like ``E`` suppresses the whole category).
 """
 
 from repro.lint.diagnostics import (
@@ -26,7 +40,20 @@ from repro.lint.diagnostics import (
     Location,
     Severity,
 )
-from repro.lint.registry import Rule, all_rules, diag, get, register
+from repro.lint.registry import (
+    Rule,
+    all_rules,
+    diag,
+    expand_ignore,
+    get,
+    register,
+)
+
+# Importing the semantic passes registers their rules (A/U/C); the
+# syntactic passes register via repro.lint.runner below.
+from repro.lint import absint as _absint  # noqa: F401
+from repro.lint import sanitize as _sanitize  # noqa: F401
+from repro.lint import units as _units  # noqa: F401
 from repro.lint.runner import (
     knowledge_variables,
     lint_derivation,
@@ -47,6 +74,7 @@ __all__ = [
     "Severity",
     "all_rules",
     "diag",
+    "expand_ignore",
     "get",
     "knowledge_variables",
     "lint_derivation",

@@ -9,11 +9,18 @@ Usage::
                                             # DerivationTree against it
     python -m repro.lint --json             # machine-readable findings
     python -m repro.lint --ignore G006,S003 # suppress rules
+    python -m repro.lint --ignore E         # suppress a whole category
     python -m repro.lint --list-rules       # rule ids + severities
     python -m repro.lint --self-check       # audit rules/fixtures + domains
+    python -m repro.lint --sanitize-source  # determinism scan of repro's
+                                            # own source (C rules)
+    python -m repro.lint --sanitize-source --allowlist my.txt
 
-Exit status: 0 when no errors (add ``--warnings-as-errors`` to fail on
-warnings too), 1 when findings fail the check, 2 on usage errors.
+Domain linting runs the syntactic passes plus the semantic triage
+(interval ``A`` rules and, for annotated domains, unit ``U`` rules)
+over the expert seed.  Exit status: 0 when no errors (add
+``--warnings-as-errors`` to fail on warnings too), 1 when findings
+fail the check, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import pickle
 import sys
 
 from repro.lint.diagnostics import LintReport, Location
-from repro.lint.registry import all_rules, diag
+from repro.lint.registry import RegistryError, all_rules, diag, expand_ignore
 from repro.lint.runner import (
     lint_derivation,
     lint_individual,
@@ -34,9 +41,10 @@ from repro.lint.runner import (
 
 def _domain_report(name: str) -> LintReport:
     """Lint one registered domain: grammar, knowledge bundle, seed model,
-    and the seed derivation."""
+    the seed derivation, and the semantic triage of the seed equations."""
     from repro.domains import get_domain
     from repro.gp.knowledge import build_grammar
+    from repro.lint.triage import triage_domain
     from repro.tag.derivation import DerivationNode, DerivationTree
 
     spec = get_domain(name)
@@ -46,6 +54,7 @@ def _domain_report(name: str) -> LintReport:
     report.extend(lint_system(spec.seed_model()))
     seed = DerivationTree(DerivationNode(tree=grammar.alphas["seed"]))
     report.extend(lint_derivation(seed, grammar))
+    report.extend(triage_domain(spec))
     return report
 
 
@@ -131,7 +140,21 @@ def main(argv: list[str] | None = None) -> int:
         action="append",
         default=[],
         metavar="RULES",
-        help="comma-separated rule ids to suppress (repeatable)",
+        help="comma-separated rule ids or category prefixes (e.g. E) to "
+        "suppress (repeatable); unknown ids are a usage error",
+    )
+    parser.add_argument(
+        "--sanitize-source",
+        action="store_true",
+        help="run the determinism sanitizer (C rules) over the repro "
+        "package's own source tree",
+    )
+    parser.add_argument(
+        "--allowlist",
+        default=None,
+        metavar="FILE",
+        help="allowlist file for --sanitize-source "
+        "(default: the shipped sanitize_allowlist.txt)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit findings as JSON"
@@ -164,17 +187,38 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.id}  {str(rule.severity):<7}  {rule.summary}")
+            marker = "  [fatal]" if rule.fatal else ""
+            print(f"{rule.id}  {str(rule.severity):<7}  {rule.summary}{marker}")
         return 0
     if args.self_check:
         return _self_check()
 
-    ignore = {
-        rule_id
+    tokens = [
+        token
         for chunk in args.ignore
-        for rule_id in chunk.split(",")
-        if rule_id
-    }
+        for token in chunk.split(",")
+        if token
+    ]
+    try:
+        ignore = expand_ignore(tokens)
+    except RegistryError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.sanitize_source:
+        import repro
+        from pathlib import Path
+        from repro.lint.sanitize import scan_tree
+
+        root = Path(repro.__file__).resolve().parent
+        report = scan_tree(root, allowlist_path=args.allowlist)
+        report = report.filtered(ignore)
+        if args.json:
+            print(report.render_json())
+        else:
+            print(report.render_text())
+        return 0 if report.ok(args.warnings_as_errors) else 1
+
     from repro.domains import DomainNotFoundError, available_domains
 
     if args.all_domains:

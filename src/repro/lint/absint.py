@@ -1,0 +1,630 @@
+"""Interval abstract interpretation over expression ASTs (the A pass).
+
+A bottom-up evaluator that propagates *value ranges* -- intervals of
+IEEE doubles plus a NaN flag -- through every operator of
+:mod:`repro.expr.ast`, modelling the protected semantics of
+:mod:`repro.expr.evaluate` exactly:
+
+* protected division returns 0.0 whenever ``|denominator| < DIV_EPS``
+  (which swallows NaN *numerators* but not NaN *denominators*, because
+  ``abs(nan) < eps`` is false);
+* protected log is ``log(|x|)`` and 0.0 when ``|x| < LOG_EPS``;
+* protected exp clamps its argument at ``EXP_MAX`` (``nan > EXP_MAX``
+  is false, so NaN propagates);
+* ``min``/``max`` are Python's, i.e. ``rhs if rhs < lhs else lhs`` --
+  an always-NaN *left* operand propagates, an always-NaN *right*
+  operand is never selected.
+
+The abstraction is sound for the double-precision concrete semantics:
+endpoint arithmetic evaluated in doubles bounds every concrete result
+because IEEE rounding is monotone (``x <= y`` implies ``fl(x) <=
+fl(y)``); the transcendental ``log``/``exp`` endpoints are widened by
+one ulp to cover faithfully-but-not-correctly-rounded libm results.
+Every "provably" finding is therefore a proof, not a heuristic: an
+:data:`~repro.lint.absint.Interval` that is always-NaN really does NaN
+on every input drawn from the environment, which is what lets the
+engine's static triage (:mod:`repro.lint.triage`) skip the simulation.
+
+Rules
+-----
+======  ========  =============================================
+A001    ERROR     RHS provably NaN for every input (fatal: the
+                  simulation diverges at the first step)
+A002    WARNING   protected-div denominator entirely inside the
+                  protection band; the division is constantly zero
+A003    WARNING   protected-div denominator straddles the protection
+                  band around zero
+A004    WARNING   exp argument provably at/above the overflow clamp
+A005    WARNING   log argument magnitude provably below the threshold
+A006    WARNING   min/max provably one-sided; one operand is dead
+A007    WARNING   non-constant subexpression provably single-valued
+A008    WARNING   state update provably outside the clamp band for
+                  every input; the trajectory pins at a clamp bound
+======  ========  =============================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.expr.ast import (
+    BinOp,
+    Const,
+    Expr,
+    Ext,
+    Param,
+    State,
+    UnOp,
+    Var,
+)
+from repro.expr.evaluate import DIV_EPS, EXP_MAX, LOG_EPS
+from repro.lint.diagnostics import LintReport, Location, Severity
+from repro.lint.registry import diag, register
+
+_INF = math.inf
+
+#: NaN flags of an :class:`Interval`.
+NAN_NO = "no"
+NAN_MAYBE = "maybe"
+NAN_ALWAYS = "always"
+
+register(
+    "A001",
+    "right-hand side is provably NaN for every reachable input; the "
+    "simulation diverges at the first step",
+    Severity.ERROR,
+    fatal=True,
+)
+register(
+    "A002",
+    "protected-division denominator lies entirely inside the protection "
+    "band; the division is constantly zero",
+    Severity.WARNING,
+)
+register(
+    "A003",
+    "protected-division denominator interval straddles the protection "
+    "band around zero",
+    Severity.WARNING,
+)
+register(
+    "A004",
+    "exp argument is provably at or above the overflow clamp; the "
+    "exponential is a constant",
+    Severity.WARNING,
+)
+register(
+    "A005",
+    "log argument magnitude is provably below the protection threshold; "
+    "the log is constantly zero",
+    Severity.WARNING,
+)
+register(
+    "A006",
+    "min/max is provably one-sided; the other operand is dead",
+    Severity.WARNING,
+)
+register(
+    "A007",
+    "non-constant subexpression provably evaluates to a single value "
+    "over all reachable inputs",
+    Severity.WARNING,
+)
+register(
+    "A008",
+    "state update provably leaves the clamp band for every reachable "
+    "input; the trajectory pins at a clamp bound",
+    Severity.WARNING,
+)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A set of doubles: ``[lo, hi]`` plus a NaN flag.
+
+    ``nan`` is one of :data:`NAN_NO` (no input produces NaN),
+    :data:`NAN_MAYBE`, or :data:`NAN_ALWAYS` (*every* input produces
+    NaN; ``lo``/``hi`` are then the empty hull ``(inf, -inf)``).
+    Infinite endpoints are meaningful values: ``lo == hi == inf`` means
+    "definitely +inf".
+    """
+
+    lo: float
+    hi: float
+    nan: str = NAN_NO
+
+    def __post_init__(self) -> None:
+        if self.nan not in (NAN_NO, NAN_MAYBE, NAN_ALWAYS):
+            raise ValueError(f"bad nan flag {self.nan!r}")
+        if self.nan == NAN_ALWAYS:
+            object.__setattr__(self, "lo", _INF)
+            object.__setattr__(self, "hi", -_INF)
+            return
+        if math.isnan(self.lo) or math.isnan(self.hi) or self.lo > self.hi:
+            raise ValueError(f"malformed interval [{self.lo}, {self.hi}]")
+
+    @property
+    def is_point(self) -> bool:
+        """A single, NaN-free value (possibly infinite)."""
+        return self.nan == NAN_NO and self.lo == self.hi
+
+    def contains(self, value: float) -> bool:
+        """Whether a concrete result is covered by this abstraction."""
+        if math.isnan(value):
+            return self.nan != NAN_NO
+        return self.nan != NAN_ALWAYS and self.lo <= value <= self.hi
+
+    def __str__(self) -> str:  # pragma: no cover - messages only
+        if self.nan == NAN_ALWAYS:
+            return "NaN"
+        body = f"[{self.lo:g}, {self.hi:g}]"
+        return body + (" or NaN" if self.nan == NAN_MAYBE else "")
+
+
+#: Every expression evaluates into TOP; unknown names map to it.
+TOP = Interval(-_INF, _INF, NAN_MAYBE)
+
+#: The empty hull carrying the always-NaN proof.
+ALWAYS_NAN = Interval(_INF, -_INF, NAN_ALWAYS)
+
+
+def point(value: float) -> Interval:
+    """The singleton interval (an always-NaN one for a NaN literal)."""
+    if math.isnan(value):
+        return ALWAYS_NAN
+    return Interval(value, value)
+
+
+def hull(*intervals: Interval) -> Interval:
+    """The smallest interval covering all operands."""
+    lo, hi = _INF, -_INF
+    nan = NAN_NO
+    any_values = False
+    for iv in intervals:
+        if iv.nan == NAN_ALWAYS:
+            nan = NAN_MAYBE if nan == NAN_NO else nan
+            continue
+        any_values = True
+        lo, hi = min(lo, iv.lo), max(hi, iv.hi)
+        if iv.nan == NAN_MAYBE:
+            nan = NAN_MAYBE
+    if not any_values:
+        return ALWAYS_NAN
+    return Interval(lo, hi, nan)
+
+
+def _maybe(a: Interval, b: Interval) -> str:
+    return (
+        NAN_MAYBE
+        if NAN_MAYBE in (a.nan, b.nan)
+        else NAN_NO
+    )
+
+
+def _def_pos_inf(x: Interval) -> bool:
+    return x.nan == NAN_NO and x.lo == _INF
+
+
+def _def_neg_inf(x: Interval) -> bool:
+    return x.nan == NAN_NO and x.hi == -_INF
+
+
+def _def_inf(x: Interval) -> bool:
+    return _def_pos_inf(x) or _def_neg_inf(x)
+
+
+def _def_zero(x: Interval) -> bool:
+    return x.nan == NAN_NO and x.lo == 0.0 and x.hi == 0.0
+
+
+def _unbounded(x: Interval) -> bool:
+    return x.lo == -_INF or x.hi == _INF
+
+
+def _from_corners(corners: list[float], nan: str) -> Interval:
+    finite = [c for c in corners if not math.isnan(c)]
+    if not finite:
+        return ALWAYS_NAN
+    return Interval(min(finite), max(finite), nan)
+
+
+def iadd(a: Interval, b: Interval) -> Interval:
+    """``a + b``."""
+    if NAN_ALWAYS in (a.nan, b.nan):
+        return ALWAYS_NAN
+    if (_def_pos_inf(a) and _def_neg_inf(b)) or (
+        _def_neg_inf(a) and _def_pos_inf(b)
+    ):
+        return ALWAYS_NAN
+    nan = _maybe(a, b)
+    if (a.hi == _INF and b.lo == -_INF) or (a.lo == -_INF and b.hi == _INF):
+        nan = NAN_MAYBE
+    return _from_corners([a.lo + b.lo, a.hi + b.hi], nan)
+
+
+def ineg(a: Interval) -> Interval:
+    """``-a``."""
+    if a.nan == NAN_ALWAYS:
+        return ALWAYS_NAN
+    return Interval(-a.hi, -a.lo, a.nan)
+
+
+def isub(a: Interval, b: Interval) -> Interval:
+    """``a - b``."""
+    return iadd(a, ineg(b))
+
+
+def imul(a: Interval, b: Interval) -> Interval:
+    """``a * b``."""
+    if NAN_ALWAYS in (a.nan, b.nan):
+        return ALWAYS_NAN
+    if (_def_zero(a) and _def_inf(b)) or (_def_inf(a) and _def_zero(b)):
+        return ALWAYS_NAN
+    nan = _maybe(a, b)
+    zero_times_inf = (
+        a.lo <= 0.0 <= a.hi and _unbounded(b)
+    ) or (b.lo <= 0.0 <= b.hi and _unbounded(a))
+    if zero_times_inf:
+        nan = NAN_MAYBE
+    corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+    return _from_corners(corners, nan)
+
+
+def idiv(a: Interval, b: Interval) -> Interval:
+    """Protected ``a / b``: zero whenever ``|b| < DIV_EPS``."""
+    if b.nan == NAN_ALWAYS:
+        # abs(nan) < eps is false, so a NaN denominator always reaches
+        # the IEEE division and the result is NaN -- even for a == 0.
+        return ALWAYS_NAN
+    pieces: list[tuple[float, float]] = []
+    if b.hi >= DIV_EPS:
+        pieces.append((max(b.lo, DIV_EPS), b.hi))
+    if b.lo <= -DIV_EPS:
+        pieces.append((b.lo, min(b.hi, -DIV_EPS)))
+    banded = b.lo < DIV_EPS and b.hi > -DIV_EPS
+    if not pieces:
+        # The denominator is always inside the protection band: the
+        # division is 0.0 regardless of the numerator (NaN included),
+        # unless the denominator itself might be NaN.
+        if b.nan == NAN_NO:
+            return point(0.0)
+        return Interval(0.0, 0.0, NAN_MAYBE)
+    if a.nan == NAN_ALWAYS:
+        # A NaN numerator passes through every out-of-band denominator.
+        if banded or b.nan == NAN_MAYBE:
+            return Interval(0.0, 0.0, NAN_MAYBE)
+        return ALWAYS_NAN
+    nan = _maybe(a, b)
+    if _unbounded(a) and _unbounded(b):
+        nan = NAN_MAYBE  # inf / inf
+    spans: list[Interval] = []
+    if banded:
+        spans.append(point(0.0))
+    for dlo, dhi in pieces:
+        piece = _from_corners(
+            [a.lo / dlo, a.lo / dhi, a.hi / dlo, a.hi / dhi], NAN_NO
+        )
+        if piece.nan != NAN_ALWAYS:
+            spans.append(piece)
+    if not spans:
+        return ALWAYS_NAN
+    merged = hull(*spans)
+    return Interval(merged.lo, merged.hi, nan)
+
+
+def ilog(a: Interval) -> Interval:
+    """Protected log: ``log(|x|)``, 0.0 when ``|x| < LOG_EPS``."""
+    if a.nan == NAN_ALWAYS:
+        return ALWAYS_NAN
+    if a.lo >= 0.0:
+        mag_lo, mag_hi = a.lo, a.hi
+    elif a.hi <= 0.0:
+        mag_lo, mag_hi = -a.hi, -a.lo
+    else:
+        mag_lo, mag_hi = 0.0, max(-a.lo, a.hi)
+    spans: list[Interval] = []
+    if mag_lo < LOG_EPS:
+        spans.append(point(0.0))
+    if mag_hi >= LOG_EPS:
+        lo = math.log(max(mag_lo, LOG_EPS))
+        hi = math.log(mag_hi) if mag_hi != _INF else _INF
+        # libm log is faithfully rounded, not correctly rounded: widen
+        # one ulp each way so the abstraction stays a superset.
+        spans.append(
+            Interval(math.nextafter(lo, -_INF), math.nextafter(hi, _INF))
+        )
+    merged = hull(*spans)
+    return Interval(merged.lo, merged.hi, a.nan)
+
+
+def iexp(a: Interval) -> Interval:
+    """Protected exp: the argument is clamped at ``EXP_MAX``."""
+    if a.nan == NAN_ALWAYS:
+        return ALWAYS_NAN
+    lo_arg = min(a.lo, EXP_MAX)
+    hi_arg = min(a.hi, EXP_MAX)
+    lo = 0.0 if lo_arg == -_INF else math.exp(lo_arg)
+    hi = 0.0 if hi_arg == -_INF else math.exp(hi_arg)
+    lo = max(0.0, math.nextafter(lo, -_INF)) if lo > 0.0 else lo
+    hi = math.nextafter(hi, _INF) if hi > 0.0 else hi
+    return Interval(lo, hi, a.nan)
+
+
+def imin(a: Interval, b: Interval) -> Interval:
+    """Python ``min``: ``rhs if rhs < lhs else lhs``.
+
+    An always-NaN *lhs* propagates (no value compares below NaN); an
+    always-NaN *rhs* is never selected, so the result is exactly ``a``.
+    """
+    if a.nan == NAN_ALWAYS:
+        return ALWAYS_NAN
+    if b.nan == NAN_ALWAYS:
+        return Interval(a.lo, a.hi, a.nan)
+    lo, hi = min(a.lo, b.lo), min(a.hi, b.hi)
+    if b.nan == NAN_MAYBE:
+        # A NaN rhs passes the lhs through unchanged.
+        lo, hi = min(lo, a.lo), max(hi, a.hi)
+    return Interval(lo, hi, a.nan)
+
+
+def imax(a: Interval, b: Interval) -> Interval:
+    """Python ``max``: ``rhs if rhs > lhs else lhs``."""
+    if a.nan == NAN_ALWAYS:
+        return ALWAYS_NAN
+    if b.nan == NAN_ALWAYS:
+        return Interval(a.lo, a.hi, a.nan)
+    lo, hi = max(a.lo, b.lo), max(a.hi, b.hi)
+    if b.nan == NAN_MAYBE:
+        lo, hi = min(lo, a.lo), max(hi, a.hi)
+    return Interval(lo, hi, a.nan)
+
+
+@dataclass(frozen=True)
+class AbstractEnv:
+    """Interval bindings for the three leaf kinds.
+
+    Missing names abstract to :data:`TOP` (anything, possibly NaN) so
+    the analysis stays sound on partially-annotated environments; the
+    E-rules separately flag genuinely unbound names.
+    """
+
+    states: Mapping[str, Interval] = field(default_factory=dict)
+    variables: Mapping[str, Interval] = field(default_factory=dict)
+    params: Mapping[str, Interval] = field(default_factory=dict)
+
+    def lookup(self, leaf: Expr) -> Interval:
+        if isinstance(leaf, State):
+            return self.states.get(leaf.name, TOP)
+        if isinstance(leaf, Var):
+            return self.variables.get(leaf.name, TOP)
+        if isinstance(leaf, Param):
+            return self.params.get(leaf.name, TOP)
+        raise TypeError(f"not a named leaf: {type(leaf).__name__}")
+
+
+_BINARY = {
+    "+": iadd,
+    "-": isub,
+    "*": imul,
+    "/": idiv,
+    "min": imin,
+    "max": imax,
+}
+
+_UNARY = {"neg": ineg, "log": ilog, "exp": iexp}
+
+
+def interval_of(expr: Expr, env: AbstractEnv) -> Interval:
+    """The interval abstraction of ``expr`` under ``env``."""
+    if isinstance(expr, Const):
+        return point(expr.value)
+    if isinstance(expr, (Param, Var, State)):
+        return env.lookup(expr)
+    if isinstance(expr, Ext):
+        return interval_of(expr.operand, env)
+    if isinstance(expr, UnOp):
+        return _UNARY[expr.op](interval_of(expr.operand, env))
+    if isinstance(expr, BinOp):
+        return _BINARY[expr.op](
+            interval_of(expr.lhs, env), interval_of(expr.rhs, env)
+        )
+    raise TypeError(f"cannot abstract node of type {type(expr).__name__}")
+
+
+def _has_varying_leaf(expr: Expr, env: AbstractEnv) -> bool:
+    """Whether any named leaf of ``expr`` binds to a non-point interval."""
+    for node in expr.walk():
+        if isinstance(node, (Param, Var, State)):
+            if not env.lookup(node).is_point:
+                return True
+    return False
+
+
+def _at(location: Location | None, address: tuple[int, ...]) -> Location:
+    base = location if location is not None else Location()
+    prefix = base.address if base.address else ()
+    combined = prefix + address
+    return Location(
+        obj=base.obj,
+        address=combined if combined else base.address,
+        detail=base.detail,
+    )
+
+
+def check_intervals(
+    expr: Expr,
+    env: AbstractEnv,
+    location: Location | None = None,
+) -> LintReport:
+    """Run the structural interval rules (A002..A007) over ``expr``."""
+    report = LintReport()
+    intervals: dict[tuple[int, ...], Interval] = {}
+
+    def visit(node: Expr, path: tuple[int, ...]) -> Interval:
+        kids = node.children()
+        child_ivs = [
+            visit(child, path + (i,)) for i, child in enumerate(kids)
+        ]
+        if isinstance(node, Const):
+            iv = point(node.value)
+        elif isinstance(node, (Param, Var, State)):
+            iv = env.lookup(node)
+        elif isinstance(node, Ext):
+            iv = child_ivs[0]
+        elif isinstance(node, UnOp):
+            iv = _UNARY[node.op](child_ivs[0])
+        elif isinstance(node, BinOp):
+            iv = _BINARY[node.op](child_ivs[0], child_ivs[1])
+        else:  # pragma: no cover - closed AST
+            raise TypeError(f"cannot abstract {type(node).__name__}")
+        intervals[path] = iv
+
+        if isinstance(node, BinOp) and node.op == "/":
+            den = child_ivs[1]
+            entirely_in_band = den.lo > -DIV_EPS and den.hi < DIV_EPS
+            touches_band = den.lo < DIV_EPS and den.hi > -DIV_EPS
+            if den.nan == NAN_NO and entirely_in_band:
+                report.add(
+                    diag(
+                        "A002",
+                        f"denominator {den} is entirely inside the "
+                        f"protection band (|x| < {DIV_EPS:g}); the "
+                        "division always evaluates to 0",
+                        _at(location, path),
+                    )
+                )
+            elif den.nan != NAN_ALWAYS and touches_band:
+                report.add(
+                    diag(
+                        "A003",
+                        f"denominator {den} straddles the protection "
+                        f"band (|x| < {DIV_EPS:g}): the division "
+                        "discontinuously snaps to 0 on part of its range",
+                        _at(location, path),
+                    )
+                )
+        elif isinstance(node, UnOp) and node.op == "exp":
+            arg = child_ivs[0]
+            if arg.nan == NAN_NO and arg.lo >= EXP_MAX:
+                report.add(
+                    diag(
+                        "A004",
+                        f"exp argument {arg} is always >= {EXP_MAX:g}; "
+                        f"the exponential is the constant e^{EXP_MAX:g}",
+                        _at(location, path),
+                    )
+                )
+        elif isinstance(node, UnOp) and node.op == "log":
+            arg = child_ivs[0]
+            if (
+                arg.nan == NAN_NO
+                and arg.lo > -LOG_EPS
+                and arg.hi < LOG_EPS
+            ):
+                report.add(
+                    diag(
+                        "A005",
+                        f"log argument {arg} has magnitude always below "
+                        f"{LOG_EPS:g}; the log always evaluates to 0",
+                        _at(location, path),
+                    )
+                )
+        elif isinstance(node, BinOp) and node.op in ("min", "max"):
+            a, b = child_ivs
+            if a.nan == NAN_NO and b.nan == NAN_NO:
+                if node.op == "min":
+                    lhs_wins, rhs_wins = a.hi < b.lo, b.hi < a.lo
+                else:
+                    lhs_wins, rhs_wins = a.lo > b.hi, b.lo > a.hi
+                if lhs_wins or rhs_wins:
+                    dead = "right" if lhs_wins else "left"
+                    report.add(
+                        diag(
+                            "A006",
+                            f"{node.op}({a}, {b}) provably always selects "
+                            f"the {'left' if lhs_wins else 'right'} "
+                            f"operand; the {dead} operand is dead",
+                            _at(location, path),
+                        )
+                    )
+        return iv
+
+    visit(expr, ())
+
+    def flag_constants(node: Expr, path: tuple[int, ...]) -> None:
+        iv = intervals[path]
+        if (
+            not isinstance(node, Const)
+            and iv.is_point
+            and math.isfinite(iv.lo)
+            and _has_varying_leaf(node, env)
+        ):
+            report.add(
+                diag(
+                    "A007",
+                    f"subexpression provably evaluates to the constant "
+                    f"{iv.lo:g} although its inputs vary",
+                    _at(location, path),
+                )
+            )
+            return  # maximal subtree only
+        for i, child in enumerate(node.children()):
+            flag_constants(child, path + (i,))
+
+    flag_constants(expr, ())
+    return report
+
+
+def check_rhs(
+    expr: Expr,
+    env: AbstractEnv,
+    *,
+    state: str,
+    state_interval: Interval | None = None,
+    clamp=None,
+    dt: float | None = None,
+    location: Location | None = None,
+) -> LintReport:
+    """Whole-RHS rules: A001 (provable divergence) and A008 (pinning).
+
+    ``state_interval`` defaults to the state's binding in ``env``;
+    ``clamp``/``dt`` enable the A008 check of the Euler update
+    ``clamp(x + dt * rhs)``.
+    """
+    report = check_intervals(expr, env, location)
+    rhs = interval_of(expr, env)
+    if rhs.nan == NAN_ALWAYS:
+        report.add(
+            diag(
+                "A001",
+                f"d{state}/dt is provably NaN for every reachable input; "
+                "integration diverges at the first step",
+                location if location is not None else Location(),
+            )
+        )
+        return report
+    if clamp is None or dt is None:
+        return report
+    if state_interval is None:
+        state_interval = env.states.get(state, TOP)
+    update = iadd(state_interval, imul(point(dt), rhs))
+    if update.nan == NAN_NO:
+        pinned = None
+        if update.hi < clamp.minimum:
+            pinned = ("below", clamp.minimum)
+        elif update.lo > clamp.maximum:
+            pinned = ("above", clamp.maximum)
+        if pinned is not None:
+            side, bound = pinned
+            report.add(
+                diag(
+                    "A008",
+                    f"the Euler update of {state} is provably {side} the "
+                    f"clamp band for every reachable input; the "
+                    f"trajectory pins at {bound:g} from the first step",
+                    location if location is not None else Location(),
+                )
+            )
+    return report

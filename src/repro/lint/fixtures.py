@@ -408,6 +408,188 @@ def _s007() -> LintReport:
 
 
 # --------------------------------------------------------------------------
+# Interval rules (A) -- seeded violations for the abstract interpreter.
+# Each fixture hand-builds a minimal AbstractEnv; ``Va`` plays a bounded
+# positive driver, ``B`` a clamped state.
+
+
+def _abs_env() -> "AbstractEnv":
+    from repro.lint.absint import AbstractEnv, Interval
+
+    return AbstractEnv(
+        states={"B": Interval(1e-3, 1e4)},
+        variables={"Va": Interval(0.05, 3.0)},
+        params={"mu": Interval(0.0, 2.0)},
+    )
+
+
+@fixture("A001")
+def _a001() -> LintReport:
+    # inf + (-inf) is NaN for every input: provably divergent at step 1.
+    from repro.lint.absint import check_rhs
+
+    expr = ast.add(
+        ast.mul(Const(1e200), Const(1e200)),
+        ast.mul(Const(-1e200), Const(1e200)),
+    )
+    return check_rhs(expr, _abs_env(), state="B")
+
+
+@fixture("A002")
+def _a002() -> LintReport:
+    # Denominator sits entirely inside the protection band: always 0.
+    from repro.lint.absint import check_intervals
+
+    return check_intervals(ast.div(Var("Va"), Const(5e-13)), _abs_env())
+
+
+@fixture("A003")
+def _a003() -> LintReport:
+    # Denominator straddles the protection band.
+    from repro.lint.absint import AbstractEnv, Interval, check_intervals
+
+    env = AbstractEnv(variables={"Vd": Interval(-1.0, 1.0)})
+    return check_intervals(ast.div(Const(1.0), Var("Vd")), env)
+
+
+@fixture("A004")
+def _a004() -> LintReport:
+    # exp argument always at or above the saturation clamp EXP_MAX.
+    from repro.lint.absint import check_intervals
+
+    return check_intervals(
+        ast.exp(ast.add(Var("Va"), Const(100.0))), _abs_env()
+    )
+
+
+@fixture("A005")
+def _a005() -> LintReport:
+    # log argument magnitude always inside the protection band.
+    from repro.lint.absint import check_intervals
+
+    return check_intervals(
+        ast.log(ast.mul(Var("Va"), Const(1e-20))), _abs_env()
+    )
+
+
+@fixture("A006")
+def _a006() -> LintReport:
+    # min always selects the left operand: Va <= 3 < 10.
+    from repro.lint.absint import check_intervals
+
+    return check_intervals(ast.minimum(Var("Va"), Const(10.0)), _abs_env())
+
+
+@fixture("A007")
+def _a007() -> LintReport:
+    # Va * 0 is provably constant despite the varying driver.
+    from repro.lint.absint import check_intervals
+
+    return check_intervals(ast.mul(Var("Va"), Const(0.0)), _abs_env())
+
+
+@fixture("A008")
+def _a008() -> LintReport:
+    # Euler update lands below the clamp floor for every input.
+    from repro.dynamics.integrate import ClampSpec
+    from repro.lint.absint import check_rhs
+
+    return check_rhs(
+        Const(-1e9),
+        _abs_env(),
+        state="B",
+        clamp=ClampSpec(1e-3, 1e4),
+        dt=1.0,
+    )
+
+
+# --------------------------------------------------------------------------
+# Unit rules (U) -- seeded violations for dimensional inference.
+
+
+def _unit_env() -> "UnitEnv":
+    from repro.lint.units import UnitEnv, parse_unit
+
+    return UnitEnv(
+        {
+            "B": parse_unit("ug L^-1"),
+            "Va": parse_unit("degC"),
+            "mu": parse_unit("day^-1"),
+        }
+    )
+
+
+@fixture("U001")
+def _u001() -> LintReport:
+    from repro.lint.units import check_units
+
+    return check_units(ast.add(State("B"), Var("Va")), _unit_env())[1]
+
+
+@fixture("U002")
+def _u002() -> LintReport:
+    from repro.lint.units import check_units
+
+    return check_units(ast.minimum(State("B"), Var("Va")), _unit_env())[1]
+
+
+@fixture("U003")
+def _u003() -> LintReport:
+    from repro.lint.units import check_units
+
+    return check_units(ast.exp(State("B")), _unit_env())[1]
+
+
+@fixture("U004")
+def _u004() -> LintReport:
+    # d(B)/dt must be ug L^-1 day^-1; a bare B is not.
+    from repro.lint.units import check_units, parse_unit
+
+    return check_units(
+        State("B"), _unit_env(), expected=parse_unit("ug L^-1 day^-1")
+    )[1]
+
+
+@fixture("U005")
+def _u005() -> LintReport:
+    from repro.lint.units import check_units
+
+    return check_units(Var("Vmystery"), _unit_env())[1]
+
+
+@fixture("U006")
+def _u006() -> LintReport:
+    from repro.lint.units import build_unit_env
+
+    return build_unit_env({"B": "ug/L"})[1]
+
+
+# --------------------------------------------------------------------------
+# Source rules (C) -- seeded violations for the determinism sanitizer.
+
+
+@fixture("C001")
+def _c001() -> LintReport:
+    from repro.lint.sanitize import scan_source
+
+    return scan_source("import random\nx = random.random()\n", "fixture.py")
+
+
+@fixture("C002")
+def _c002() -> LintReport:
+    from repro.lint.sanitize import scan_source
+
+    return scan_source("import time\nt = time.time()\n", "fixture.py")
+
+
+@fixture("C003")
+def _c003() -> LintReport:
+    from repro.lint.sanitize import scan_source
+
+    return scan_source("for x in {1, 2}:\n    pass\n", "fixture.py")
+
+
+# --------------------------------------------------------------------------
 # Self-check
 
 

@@ -1,18 +1,29 @@
 """The lint rule registry.
 
 Every rule has a stable id (``G``/``D``/``E``/``S`` prefix for the
-grammar, derivation, expression and system passes), a default severity,
+grammar, derivation, expression and system passes; ``A`` for the
+interval abstract-interpretation pass, ``U`` for the unit-inference
+pass, ``C`` for the source-determinism sanitizer), a default severity,
 and a one-line summary.  Rule modules *declare* their rules here at import
 time and build findings through :func:`diag`, which looks the default
 severity up so that a rule's severity is defined in exactly one place.
 
-The registry is what makes suppression (``--ignore G006``), the CLI's
-``--list-rules``, and the ``--self-check`` fixture audit possible.
+A rule may additionally be *fatal*: the engine's static triage
+(:mod:`repro.lint.triage` via ``GMRConfig.static_triage``) skips
+simulating candidates that trigger a fatal rule, because the finding
+proves the simulation diverges and would be assigned the worst-fitness
+sentinel anyway.  Only findings with that guarantee may be fatal --
+anything weaker would change search results.
+
+The registry is what makes suppression (``--ignore G006``, or a whole
+category with ``--ignore E``), the CLI's ``--list-rules``, and the
+``--self-check`` fixture audit possible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.lint.diagnostics import Diagnostic, Location, Severity
 
@@ -22,6 +33,9 @@ CATEGORIES = {
     "D": "derivation",
     "E": "expression",
     "S": "system",
+    "A": "interval",
+    "U": "units",
+    "C": "source",
 }
 
 
@@ -36,6 +50,7 @@ class Rule:
     id: str
     summary: str
     severity: Severity = Severity.ERROR
+    fatal: bool = False
 
     @property
     def category(self) -> str:
@@ -46,16 +61,25 @@ _RULES: dict[str, Rule] = {}
 
 
 def register(
-    rule_id: str, summary: str, severity: Severity = Severity.ERROR
+    rule_id: str,
+    summary: str,
+    severity: Severity = Severity.ERROR,
+    fatal: bool = False,
 ) -> Rule:
-    """Declare a rule; returns its metadata."""
+    """Declare a rule; returns its metadata.
+
+    ``fatal`` marks findings that prove the candidate's simulation
+    diverges; only those may trigger an engine triage skip.
+    """
     if rule_id[:1] not in CATEGORIES or not rule_id[1:].isdigit():
         raise RegistryError(f"malformed rule id {rule_id!r}")
     if rule_id in _RULES:
         raise RegistryError(f"duplicate rule id {rule_id!r}")
     if not summary:
         raise RegistryError(f"rule {rule_id} needs a summary")
-    rule = Rule(rule_id, summary, severity)
+    if fatal and severity is not Severity.ERROR:
+        raise RegistryError(f"fatal rule {rule_id} must be ERROR severity")
+    rule = Rule(rule_id, summary, severity, fatal)
     _RULES[rule_id] = rule
     return rule
 
@@ -71,6 +95,33 @@ def get(rule_id: str) -> Rule:
 def all_rules() -> list[Rule]:
     """All registered rules, ordered by id."""
     return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def expand_ignore(tokens: Iterable[str]) -> set[str]:
+    """Expand ``--ignore`` tokens into a set of concrete rule ids.
+
+    A token is either a registered rule id (``E006``) or a category
+    prefix (``E``, silencing every expression rule).  Anything else --
+    including a well-formed id that was never registered -- raises
+    :class:`RegistryError` so typos fail loudly instead of silently
+    matching nothing.
+    """
+    ids: set[str] = set()
+    for token in tokens:
+        if token in _RULES:
+            ids.add(token)
+        elif token in CATEGORIES:
+            ids.update(
+                rule_id for rule_id in _RULES if rule_id[0] == token
+            )
+        else:
+            known = ", ".join(sorted(CATEGORIES))
+            raise RegistryError(
+                f"unknown rule id or category {token!r}; expected a "
+                f"registered rule id (see --list-rules) or one of the "
+                f"category prefixes {known}"
+            )
+    return ids
 
 
 def diag(

@@ -1,0 +1,230 @@
+"""Source-level determinism sanitizer (the C pass).
+
+An AST self-scan over ``src/repro`` that catches the three classic ways
+a "bit-identical crash/resume" contract rots:
+
+* **C001** -- module-level RNG use: calls into ``random.*`` or
+  ``numpy.random.*`` global state, or RNG constructors
+  (``random.Random()``, ``numpy.random.default_rng()``) without an
+  explicit seed argument;
+* **C002** -- wall-clock reads (``time.time``/``perf_counter``/...,
+  ``datetime.now``) outside the observability layer (``repro.obs`` owns
+  time; everything else must receive timestamps, not sample them);
+* **C003** -- iteration over an unordered ``set`` (``for x in {...}``,
+  ``list(set(...))``): set order varies across processes and Python
+  builds, which silently breaks replay of checkpoints and traces.
+  ``sorted(set(...))`` is the deterministic spelling and passes.
+
+Findings are suppressed through an allowlist file of
+``<relpath>:<rule>`` lines (see ``sanitize_allowlist.txt``) -- e.g. the
+evaluator's ``time.perf_counter`` calls, which feed *reported* wall-time
+stats rather than any decision the search replays.
+
+Run it as ``python -m repro.lint --sanitize-source`` (CI does).
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from pathlib import Path
+
+from repro.lint.diagnostics import LintReport, Location, Severity
+from repro.lint.registry import diag, register
+
+register(
+    "C001",
+    "module-level or unseeded RNG call (breaks run reproducibility)",
+    Severity.ERROR,
+)
+register(
+    "C002",
+    "wall-clock read outside the observability layer",
+    Severity.ERROR,
+)
+register(
+    "C003",
+    "iteration over an unordered set is nondeterministic",
+    Severity.ERROR,
+)
+
+#: The default allowlist shipped next to this module.
+DEFAULT_ALLOWLIST = Path(__file__).with_name("sanitize_allowlist.txt")
+
+#: RNG constructors that are fine *with* an explicit seed argument.
+_SEEDED_FACTORIES = {
+    "Random",
+    "SystemRandom",
+    "default_rng",
+    "RandomState",
+    "Generator",
+    "SeedSequence",
+}
+
+#: Wall-clock entry points (resolved dotted names).
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Wrappers that materialise their iterable in iteration order.
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate"}
+
+
+def load_allowlist(path: Path | str) -> set[str]:
+    """Read ``<relpath>:<rule>`` lines; ``#`` comments and blanks skip."""
+    entries: set[str] = set()
+    text = Path(path).read_text(encoding="utf-8")
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            entries.add(line)
+    return entries
+
+
+class _ImportMap:
+    """Alias -> dotted module/function name, from a file's imports."""
+
+    def __init__(self, tree: pyast.AST) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in pyast.walk(tree):
+            if isinstance(node, pyast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, pyast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, func: pyast.expr) -> str | None:
+        """The dotted name a call target resolves to, if statically known."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, pyast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, pyast.Name):
+            return None
+        head = self.aliases.get(node.id, node.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+
+def _is_set_expr(node: pyast.expr, imports: _ImportMap) -> bool:
+    if isinstance(node, (pyast.Set, pyast.SetComp)):
+        return True
+    if isinstance(node, pyast.Call):
+        name = imports.resolve(node.func)
+        if name in ("set", "frozenset"):
+            return True
+        if name in _ORDER_SENSITIVE_WRAPPERS and node.args:
+            return _is_set_expr(node.args[0], imports)
+    return False
+
+
+def scan_source(
+    text: str,
+    relpath: str,
+    allowlist: frozenset[str] | set[str] = frozenset(),
+) -> LintReport:
+    """Scan one module's source for C001..C003."""
+    report = LintReport()
+    tree = pyast.parse(text, filename=relpath)
+    imports = _ImportMap(tree)
+    in_obs = "obs" in Path(relpath).parts
+
+    def emit(rule: str, message: str, lineno: int) -> None:
+        if f"{relpath}:{rule}" in allowlist:
+            return
+        report.add(
+            diag(rule, message, Location(obj=relpath, detail=f"line {lineno}"))
+        )
+
+    for node in pyast.walk(tree):
+        if isinstance(node, pyast.Call):
+            name = imports.resolve(node.func)
+            if name is None:
+                continue
+            if name.startswith("random.") or name.startswith("numpy.random."):
+                tail = name.rsplit(".", 1)[1]
+                if tail in _SEEDED_FACTORIES:
+                    if not node.args and not node.keywords:
+                        emit(
+                            "C001",
+                            f"{name}() without an explicit seed",
+                            node.lineno,
+                        )
+                else:
+                    emit(
+                        "C001",
+                        f"{name}() uses module-level RNG state; "
+                        "thread a seeded generator instead",
+                        node.lineno,
+                    )
+            elif name in _CLOCK_CALLS and not in_obs:
+                emit(
+                    "C002",
+                    f"{name}() reads the wall clock; only repro.obs may "
+                    "(pass timestamps in instead)",
+                    node.lineno,
+                )
+        elif isinstance(node, pyast.For):
+            if _is_set_expr(node.iter, imports):
+                emit(
+                    "C003",
+                    "for-loop iterates over an unordered set; wrap it "
+                    "in sorted(...)",
+                    node.lineno,
+                )
+        elif isinstance(
+            node,
+            (pyast.ListComp, pyast.SetComp, pyast.DictComp, pyast.GeneratorExp),
+        ):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, imports):
+                    emit(
+                        "C003",
+                        "comprehension iterates over an unordered set; "
+                        "wrap it in sorted(...)",
+                        node.lineno,
+                    )
+    return report
+
+
+def scan_tree(
+    root: Path | str,
+    allowlist_path: Path | str | None = None,
+) -> LintReport:
+    """Scan every ``*.py`` under ``root`` (typically ``src/repro``).
+
+    Paths in findings and allowlist entries are relative to ``root``'s
+    parent, so they read ``repro/gp/fitness.py`` for the shipped tree.
+    """
+    root = Path(root)
+    allow: set[str] = set()
+    source = allowlist_path if allowlist_path is not None else (
+        DEFAULT_ALLOWLIST if DEFAULT_ALLOWLIST.exists() else None
+    )
+    if source is not None:
+        allow = load_allowlist(source)
+    report = LintReport()
+    for path in sorted(root.rglob("*.py")):
+        relpath = path.relative_to(root.parent).as_posix()
+        report.extend(
+            scan_source(
+                path.read_text(encoding="utf-8"), relpath, frozenset(allow)
+            )
+        )
+    return report

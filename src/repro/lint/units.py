@@ -1,0 +1,311 @@
+"""Dimensional inference over expression ASTs (the U pass).
+
+Units are parsed from the annotation strings already used by
+:class:`repro.gp.knowledge.ParameterPrior` (``"day^-1"``,
+``"ug L^-1"``, ``"MJ m^-2 d^-1"``: space-separated symbol tokens with
+optional integer exponents) into products of base symbols.  The
+inference walks an expression bottom-up:
+
+* ``+``/``-`` and ``min``/``max`` require compatible operand units;
+* ``*``/``/`` combine units multiplicatively;
+* ``log``/``exp`` demand a dimensionless argument and yield one;
+* literal constants and the grammar's ``_R<k>`` revision constants are
+  *wildcards* that unify with anything -- revisions multiply seeds by
+  scales of unknown dimension, so candidate models stay free of false
+  positives while genuinely contradictory annotations are caught.
+
+For an ODE right-hand side the expected unit is
+``state_unit / time_unit`` (U004 checks d(state)/dt).  Unit symbols are
+opaque: ``d`` and ``day`` are *different* symbols, so annotations must
+be written consistently within one domain.
+
+Rules
+-----
+======  ========  =============================================
+U001    ERROR     addition/subtraction of incompatible units
+U002    ERROR     min/max comparison of incompatible units
+U003    ERROR     log/exp argument is not dimensionless
+U004    ERROR     RHS unit does not match d(state)/dt
+U005    WARNING   referenced name has no unit annotation
+U006    WARNING   malformed unit annotation string
+======  ========  =============================================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.expr.ast import (
+    BinOp,
+    Const,
+    Expr,
+    Ext,
+    Param,
+    State,
+    UnOp,
+    Var,
+)
+from repro.lint.diagnostics import LintReport, Location, Severity
+from repro.lint.registry import diag, register
+
+register(
+    "U001",
+    "addition/subtraction of operands with incompatible units",
+    Severity.ERROR,
+)
+register(
+    "U002",
+    "min/max comparison of operands with incompatible units",
+    Severity.ERROR,
+)
+register(
+    "U003",
+    "log/exp argument carries a physical unit (must be dimensionless)",
+    Severity.ERROR,
+)
+register(
+    "U004",
+    "right-hand side unit does not match d(state)/dt",
+    Severity.ERROR,
+)
+register(
+    "U005",
+    "referenced name has no unit annotation in an annotated domain",
+    Severity.WARNING,
+)
+register(
+    "U006",
+    "malformed unit annotation string",
+    Severity.WARNING,
+)
+
+
+class UnitParseError(ValueError):
+    """Raised for annotation strings that are not unit products."""
+
+
+_TOKEN = re.compile(r"\A([A-Za-z%µ]+)(?:\^(-?\d+))?\Z")
+
+#: The grammar's revision-constant parameters carry no annotation by
+#: design; they are wildcards, never U005 findings.
+_RCONST = re.compile(r"\A_R\d+\Z")
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A product of integer powers of opaque base symbols."""
+
+    dims: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def dimensionless(self) -> bool:
+        return not self.dims
+
+    def __mul__(self, other: "Unit") -> "Unit":
+        return _from_exponents(
+            dict(self.dims), other.dims, scale=1
+        )
+
+    def __truediv__(self, other: "Unit") -> "Unit":
+        return _from_exponents(
+            dict(self.dims), other.dims, scale=-1
+        )
+
+    def __str__(self) -> str:
+        if not self.dims:
+            return "1"
+        parts = []
+        for symbol, power in self.dims:
+            parts.append(symbol if power == 1 else f"{symbol}^{power}")
+        return " ".join(parts)
+
+
+DIMENSIONLESS = Unit()
+
+
+def _from_exponents(
+    exponents: dict[str, int], extra: tuple[tuple[str, int], ...], scale: int
+) -> Unit:
+    for symbol, power in extra:
+        exponents[symbol] = exponents.get(symbol, 0) + scale * power
+    dims = tuple(
+        (symbol, power)
+        for symbol, power in sorted(exponents.items())
+        if power != 0
+    )
+    return Unit(dims)
+
+
+def parse_unit(text: str) -> Unit:
+    """Parse an annotation string like ``"ug L^-1 day^-1"``.
+
+    The empty string and ``"1"`` mean dimensionless.  Raises
+    :class:`UnitParseError` on anything that is not a space-separated
+    product of ``symbol`` / ``symbol^int`` tokens.
+    """
+    if not isinstance(text, str):
+        raise UnitParseError(f"unit annotation must be a string, not {text!r}")
+    stripped = text.strip()
+    if not stripped or stripped == "1":
+        return DIMENSIONLESS
+    exponents: dict[str, int] = {}
+    for token in stripped.split():
+        match = _TOKEN.match(token)
+        if match is None:
+            raise UnitParseError(
+                f"malformed unit token {token!r} in annotation {text!r}"
+            )
+        symbol, power = match.group(1), match.group(2)
+        exponents[symbol] = exponents.get(symbol, 0) + (
+            int(power) if power is not None else 1
+        )
+    return _from_exponents(exponents, (), scale=1)
+
+
+@dataclass(frozen=True)
+class UnitEnv:
+    """Unit bindings for every leaf name.
+
+    A name mapped to ``None`` is a *wildcard* (annotated as unknown);
+    a name missing entirely is *unannotated* and draws a U005 warning
+    when referenced (revision constants ``_R<k>`` excepted).
+    """
+
+    units: Mapping[str, "Unit | None"] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> tuple["Unit | None", bool]:
+        """``(unit-or-wildcard, annotated?)`` for ``name``."""
+        if name in self.units:
+            return self.units[name], True
+        if _RCONST.match(name):
+            return None, True
+        return None, False
+
+
+def build_unit_env(
+    annotations: Mapping[str, str],
+    location: Location | None = None,
+) -> tuple[UnitEnv, LintReport]:
+    """Parse name->annotation strings into a :class:`UnitEnv`.
+
+    Malformed annotations are reported as U006 and the name becomes a
+    wildcard, so one bad string never cascades into spurious
+    incompatibilities.
+    """
+    report = LintReport()
+    units: dict[str, Unit | None] = {}
+    for name in sorted(annotations):
+        try:
+            units[name] = parse_unit(annotations[name])
+        except UnitParseError as exc:
+            units[name] = None
+            report.add(
+                diag(
+                    "U006",
+                    f"unit annotation of {name!r}: {exc}",
+                    location if location is not None else Location(),
+                )
+            )
+    return UnitEnv(units), report
+
+
+def _at(location: Location | None, address: tuple[int, ...]) -> Location:
+    base = location if location is not None else Location()
+    prefix = base.address if base.address else ()
+    combined = prefix + address
+    return Location(
+        obj=base.obj,
+        address=combined if combined else base.address,
+        detail=base.detail,
+    )
+
+
+def check_units(
+    expr: Expr,
+    env: UnitEnv,
+    *,
+    expected: Unit | None = None,
+    location: Location | None = None,
+) -> tuple[Unit | None, LintReport]:
+    """Infer the unit of ``expr`` and report U rules.
+
+    Returns ``(unit, report)`` where ``unit`` is ``None`` when the
+    dimension cannot be pinned down (wildcard leaves).  With
+    ``expected`` set, a *known* inferred unit that differs draws U004.
+    """
+    report = LintReport()
+    missing: set[str] = set()
+
+    def visit(node: Expr, path: tuple[int, ...]) -> Unit | None:
+        if isinstance(node, Const):
+            return None
+        if isinstance(node, (Param, Var, State)):
+            unit, annotated = env.lookup(node.name)
+            if not annotated and node.name not in missing:
+                missing.add(node.name)
+                report.add(
+                    diag(
+                        "U005",
+                        f"{type(node).__name__.lower()} {node.name!r} has "
+                        "no unit annotation",
+                        _at(location, path),
+                    )
+                )
+            return unit
+        if isinstance(node, Ext):
+            return visit(node.operand, path + (0,))
+        if isinstance(node, UnOp):
+            arg = visit(node.operand, path + (0,))
+            if node.op == "neg":
+                return arg
+            # log/exp: the argument must be dimensionless; the result is.
+            if arg is not None and not arg.dimensionless:
+                report.add(
+                    diag(
+                        "U003",
+                        f"{node.op} argument has unit {arg}; protected "
+                        f"{node.op} requires a dimensionless argument",
+                        _at(location, path),
+                    )
+                )
+            return DIMENSIONLESS
+        if isinstance(node, BinOp):
+            lhs = visit(node.lhs, path + (0,))
+            rhs = visit(node.rhs, path + (1,))
+            if node.op in ("*", "/"):
+                if lhs is None or rhs is None:
+                    return None
+                return lhs * rhs if node.op == "*" else lhs / rhs
+            # +, -, min, max: operand units must unify.
+            if lhs is not None and rhs is not None and lhs != rhs:
+                rule = "U001" if node.op in ("+", "-") else "U002"
+                verb = (
+                    "adds/subtracts"
+                    if node.op in ("+", "-")
+                    else "compares"
+                )
+                report.add(
+                    diag(
+                        rule,
+                        f"{node.op!r} {verb} incompatible units "
+                        f"{lhs} and {rhs}",
+                        _at(location, path),
+                    )
+                )
+                return None
+            return lhs if lhs is not None else rhs
+        raise TypeError(f"cannot infer unit of {type(node).__name__}")
+
+    inferred = visit(expr, ())
+    if expected is not None and inferred is not None and inferred != expected:
+        report.add(
+            diag(
+                "U004",
+                f"right-hand side has unit {inferred}, but d(state)/dt "
+                f"requires {expected}",
+                location if location is not None else Location(),
+            )
+        )
+    return inferred, report

@@ -166,3 +166,55 @@ class TestRecovery:
         assert not missing, (
             f"champion never references planted variable(s) {sorted(missing)}"
         )
+
+
+class TestTriageClean:
+    def test_seed_is_semantically_clean(self, spec):
+        """The expert seed must survive the semantic tier: no interval
+        findings (banded denominators, saturating exp, provable NaN) and
+        no unit clashes under the domain's declared annotations."""
+        from repro.lint.triage import triage_domain
+
+        report = triage_domain(spec)
+        semantic = [d for d in report if d.rule[0] in ("A", "U")]
+        assert not semantic, "\n".join(d.format() for d in semantic)
+
+    def test_declared_annotations_parse(self, spec):
+        from repro.lint.triage import context_for_domain
+
+        context = context_for_domain(spec)
+        assert context.annotation_report.ok(warnings_as_errors=True)
+
+
+class TestTriageConformance:
+    def test_recovery_survives_static_triage(self, spec, knowledge, mini_task):
+        """The planted revision stays recoverable -- bit-identically --
+        with static triage enabled."""
+        seed = spec.conformance.mini_seed
+        plain = GMREngine(
+            knowledge, mini_task, conformance_config(spec)
+        ).run(seed=seed)
+        triaged = GMREngine(
+            knowledge, mini_task, conformance_config(spec, static_triage=True)
+        ).run(seed=seed)
+        assert triaged.best_fitness == plain.best_fitness
+        assert histories(triaged) == histories(plain)
+        assert triaged.stats.evaluations == plain.stats.evaluations
+
+    def test_resume_with_triage_is_bit_identical(
+        self, spec, knowledge, mini_task, tmp_path
+    ):
+        config = conformance_config(
+            spec, static_triage=True, checkpoint_every=1
+        )
+        seed = spec.conformance.mini_seed
+        engine = GMREngine(knowledge, mini_task, config)
+        full = engine.run(seed=seed)
+
+        path = tmp_path / f"{spec.name}-triage.ckpt"
+        with pytest.raises(SimulatedCrash):
+            engine.run(seed=seed, checkpoint_path=path, progress=crash_at(2))
+        resumed = engine.run(resume_from=path)
+        assert resumed.best_fitness == full.best_fitness
+        assert histories(resumed) == histories(full)
+        assert resumed.stats.triage_skips == full.stats.triage_skips

@@ -98,3 +98,71 @@ class TestEquivalenceWithInterpreter:
             assert compiled == interpreted
         else:
             assert compiled == pytest.approx(interpreted, rel=1e-12, abs=1e-12)
+
+
+class TestNaNCorners:
+    """The compiled kernel must mirror the interpreter on NaN operands.
+
+    Regression tests: the scalar codegen once put the protected branch
+    on the `else` side of its conditionals, so NaN-poisoned comparisons
+    (always False) silently *rescued* divergent candidates -- log(NaN)
+    compiled to 0.0 while the interpreter propagated NaN.
+    """
+
+    HUGE = Const(1e300)
+
+    def _nan_expr(self):
+        # inf - inf: the canonical provably-NaN subexpression.
+        blown = ast.mul(self.HUGE, self.HUGE)
+        return ast.sub(blown, blown)
+
+    @pytest.mark.parametrize(
+        "wrap",
+        [
+            ast.log,
+            ast.exp,
+            lambda e: ast.div(Const(1.0), e),
+            lambda e: ast.div(e, Const(2.0)),
+            lambda e: ast.minimum(e, Const(5.0)),
+            lambda e: ast.minimum(Const(5.0), e),
+            lambda e: ast.maximum(e, Const(5.0)),
+            lambda e: ast.maximum(Const(5.0), e),
+            lambda e: ast.add(e, Const(1.0)),
+        ],
+        ids=[
+            "log",
+            "exp",
+            "div-nan-denominator",
+            "div-nan-numerator",
+            "min-nan-lhs",
+            "min-nan-rhs",
+            "max-nan-lhs",
+            "max-nan-rhs",
+            "add",
+        ],
+    )
+    def test_compiled_matches_interpreted_on_nan(self, wrap):
+        expr = wrap(self._nan_expr())
+        interpreted = evaluate(expr)
+        compiled = compile_expr(expr, [], [])((), ())
+        if math.isnan(interpreted):
+            assert math.isnan(compiled)
+        else:
+            assert compiled == interpreted
+
+    def test_min_max_nan_asymmetry_matches_python(self):
+        nan = self._nan_expr()
+        # Python's min/max keep the first argument when a comparison with
+        # NaN is False: min(nan, 5) is nan, min(5, nan) is 5.
+        assert math.isnan(
+            compile_expr(ast.minimum(nan, Const(5.0)), [], [])((), ())
+        )
+        assert compile_expr(
+            ast.minimum(Const(5.0), nan), [], []
+        )((), ()) == 5.0
+        assert math.isnan(
+            compile_expr(ast.maximum(nan, Const(5.0)), [], [])((), ())
+        )
+        assert compile_expr(
+            ast.maximum(Const(5.0), nan), [], []
+        )((), ()) == 5.0

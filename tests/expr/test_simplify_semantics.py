@@ -1,0 +1,149 @@
+"""Simplification preserves the protected-operator semantics.
+
+``repro.expr.simplify`` canonicalises candidate structures before
+caching and compilation, so a rewrite that changes any evaluation --
+including NaN production and divergence behaviour at extreme magnitudes
+-- would silently corrupt the tree cache and break scalar/batched
+bit-identity.  These properties pin the contract on three evaluation
+paths: the interpreter, the scalar compiled kernel, and the batched
+kernel.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import ast
+from repro.expr.ast import Const, strip_ext
+from repro.expr.compile import compile_expr, compile_model_batched
+from repro.expr.evaluate import evaluate
+from repro.expr.simplify import simplify
+from tests.expr.strategies import (
+    PARAM_NAMES,
+    STATE_NAMES,
+    VAR_NAMES,
+    bindings,
+    expressions,
+)
+
+#: Magnitudes chosen so products overflow to inf and differences of
+#: overflowed products are NaN -- the regime where a careless rewrite
+#: (x - x -> 0, x * 0 -> 0) changes observable behaviour.
+huge_floats = st.floats(
+    min_value=1e150,
+    max_value=1e300,
+    allow_nan=False,
+    allow_infinity=False,
+).flatmap(lambda x: st.sampled_from([x, -x]))
+
+
+def huge_bindings():
+    return st.tuples(
+        st.fixed_dictionaries({name: huge_floats for name in PARAM_NAMES}),
+        st.fixed_dictionaries({name: huge_floats for name in VAR_NAMES}),
+        st.fixed_dictionaries({name: huge_floats for name in STATE_NAMES}),
+    )
+
+
+def _same_value(a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return a == b
+
+
+def _assert_scalar_equivalent(expr, binding):
+    params, variables, states = binding
+    original = evaluate(expr, params, variables, states)
+    simplified = evaluate(simplify(expr), params, variables, states)
+    assert _same_value(original, simplified), (
+        f"simplify changed {expr} from {original} to {simplified} "
+        f"under {binding}"
+    )
+
+
+class TestScalarEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(expressions(), bindings())
+    def test_ordinary_magnitudes(self, expr, binding):
+        _assert_scalar_equivalent(expr, binding)
+
+    @settings(max_examples=300, deadline=None)
+    @given(expressions(), huge_bindings())
+    def test_huge_magnitudes_with_internal_overflow(self, expr, binding):
+        _assert_scalar_equivalent(expr, binding)
+
+    def test_known_nan_traps_stay_nan(self):
+        blown = ast.mul(Const(1e300), Const(1e300))
+        for expr in (
+            ast.sub(blown, blown),  # inf - inf
+            ast.mul(ast.sub(blown, blown), Const(0.0)),  # nan * 0
+            ast.mul(Const(0.0), ast.sub(blown, blown)),  # 0 * nan
+            ast.div(Const(0.0), ast.sub(blown, blown)),  # 0 / nan
+        ):
+            assert _same_value(evaluate(expr), evaluate(simplify(expr)))
+
+    def test_finite_safe_rewrites_still_fire(self):
+        from repro.expr.ast import Var
+
+        # On leaves the classic identities are safe and must simplify.
+        assert simplify(ast.sub(Var("v0"), Var("v0"))) == Const(0.0)
+        assert simplify(ast.mul(Var("v0"), Const(0.0))) == Const(0.0)
+
+
+class TestCompiledEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(expressions(), huge_bindings())
+    def test_scalar_kernel_matches_across_simplify(self, expr, binding):
+        params, variables, states = binding
+        args = (
+            tuple(params[n] for n in PARAM_NAMES),
+            tuple(variables[n] for n in VAR_NAMES),
+            tuple(states[n] for n in STATE_NAMES),
+        )
+        original = compile_expr(
+            expr, PARAM_NAMES, VAR_NAMES, STATE_NAMES
+        )(*args)
+        simplified = compile_expr(
+            simplify(expr), PARAM_NAMES, VAR_NAMES, STATE_NAMES
+        )(*args)
+        assert _same_value(original, simplified)
+
+
+def _same_batched_value(a: float, b: float) -> bool:
+    # The batched kernel routes through NumPy ufuncs, which may differ
+    # from libm (used by the interpreter's constant folding and the
+    # scalar kernel) by an ulp -- e.g. np.exp(22.0) != math.exp(22.0).
+    # Match the rel=1e-9 contract of the batched equivalence suite.
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return a == b or math.isclose(a, b, rel_tol=1e-9, abs_tol=0.0)
+
+
+class TestBatchedEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(expressions(), huge_bindings(), huge_bindings(), bindings())
+    def test_batched_kernel_matches_across_simplify(self, expr, b0, b1, b2):
+        columns = [b0, b1, b2]
+        params = np.array(
+            [[b[0][name] for b in columns] for name in PARAM_NAMES]
+        )
+        states = np.array(
+            [[b[2][name] for b in columns] for name in STATE_NAMES]
+        )
+        row = np.array([b0[1][name] for name in VAR_NAMES])
+        with np.errstate(all="ignore"):
+            original = compile_model_batched(
+                [strip_ext(expr)], PARAM_NAMES, VAR_NAMES, STATE_NAMES
+            )(params, row, states)
+            simplified = compile_model_batched(
+                [strip_ext(simplify(expr))],
+                PARAM_NAMES,
+                VAR_NAMES,
+                STATE_NAMES,
+            )(params, row, states)
+        for column in range(len(columns)):
+            assert _same_batched_value(
+                float(original[0, column]), float(simplified[0, column])
+            )

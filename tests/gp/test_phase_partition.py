@@ -29,11 +29,17 @@ EPSILON = 1e-9
 
 
 def assert_partition(stats) -> None:
-    phase_sum = stats.compile_time + stats.step_time + stats.batch_fill
+    phase_sum = (
+        stats.compile_time
+        + stats.step_time
+        + stats.batch_fill
+        + stats.triage_time
+    )
     assert phase_sum == stats.phase_total
     assert phase_sum <= stats.wall_time + EPSILON, (
         f"phases overlap: compile={stats.compile_time:.6f} + "
-        f"step={stats.step_time:.6f} + fill={stats.batch_fill:.6f} "
+        f"step={stats.step_time:.6f} + fill={stats.batch_fill:.6f} + "
+        f"triage={stats.triage_time:.6f} "
         f"= {phase_sum:.6f} > wall={stats.wall_time:.6f}"
     )
 
@@ -95,3 +101,18 @@ class TestPhasePartition:
         )
         evaluator.evaluate_batch(cohort)
         assert_partition(evaluator.stats)
+
+    def test_triage_phase_accounted(
+        self, toy_grammar, toy_knowledge, toy_task, small_config
+    ):
+        # With static triage on, the analysis time lands in its own
+        # phase bucket and the partition still holds on both paths.
+        config = dataclasses.replace(small_config, static_triage=True)
+        cohort = make_cohort(toy_grammar, toy_knowledge, config, seed=13)
+        evaluator = GMRFitnessEvaluator(task=toy_task, config=config)
+        for individual in copy.deepcopy(cohort[:5]):
+            evaluator.evaluate(individual)
+        evaluator.evaluate_batch(cohort)
+        stats = evaluator.stats
+        assert stats.triage_time > 0.0, "triage analysis must be timed"
+        assert_partition(stats)

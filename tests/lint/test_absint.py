@@ -1,0 +1,284 @@
+"""Interval abstract interpretation: soundness and the A rules.
+
+The load-bearing property is *soundness*: for any expression and any
+concrete binding drawn from the abstract environment's intervals, the
+concrete protected-semantics evaluation lands inside the computed
+interval (NaN results only where the interval admits NaN).  Soundness is
+what makes rule A001 safe to act on -- the engine skips a candidate only
+when NaN is *proven*, so a skip can never change a fitness value.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dynamics.integrate import ClampSpec, SimulationDiverged
+from repro.expr import ast
+from repro.expr.ast import Const, Param, State, Var, strip_ext
+from repro.expr.evaluate import DIV_EPS, EXP_MAX, evaluate
+from repro.lint.absint import (
+    ALWAYS_NAN,
+    NAN_ALWAYS,
+    NAN_MAYBE,
+    NAN_NO,
+    TOP,
+    AbstractEnv,
+    Interval,
+    check_intervals,
+    check_rhs,
+    hull,
+    iadd,
+    idiv,
+    iexp,
+    ilog,
+    imax,
+    imin,
+    imul,
+    interval_of,
+    isub,
+    point,
+)
+from tests.expr.strategies import (
+    PARAM_NAMES,
+    STATE_NAMES,
+    VAR_NAMES,
+    bindings,
+    expressions,
+)
+
+INF = math.inf
+NAN = math.nan
+
+
+class TestIntervalBasics:
+    def test_point_of_nan_is_always_nan(self):
+        assert point(NAN).nan == NAN_ALWAYS
+
+    def test_always_nan_normalises_to_empty_hull(self):
+        assert ALWAYS_NAN.lo == INF and ALWAYS_NAN.hi == -INF
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_contains(self):
+        iv = Interval(-1.0, 3.0)
+        assert iv.contains(0.0) and iv.contains(-1.0) and iv.contains(3.0)
+        assert not iv.contains(3.5)
+
+    def test_hull(self):
+        merged = hull(Interval(0.0, 1.0), Interval(5.0, 6.0))
+        assert (merged.lo, merged.hi) == (0.0, 6.0)
+        assert merged.nan == NAN_NO
+
+
+class TestTransferFunctions:
+    """Spot checks against the exact protected-operator semantics."""
+
+    def test_opposite_infinities_always_nan(self):
+        assert iadd(point(INF), point(-INF)).nan == NAN_ALWAYS
+        assert isub(point(INF), point(INF)).nan == NAN_ALWAYS
+
+    def test_zero_times_infinity_always_nan(self):
+        assert imul(point(0.0), point(INF)).nan == NAN_ALWAYS
+
+    def test_div_denominator_in_band_is_zero(self):
+        result = idiv(point(1.0), point(DIV_EPS / 2))
+        assert result.lo == result.hi == 0.0
+        assert result.nan == NAN_NO
+
+    def test_div_straddling_band_includes_zero(self):
+        result = idiv(point(1.0), Interval(-1.0, 1.0))
+        assert result.contains(0.0)
+        assert result.contains(1.0 / DIV_EPS)
+        assert result.nan == NAN_NO
+
+    def test_div_inf_over_inf_maybe_nan(self):
+        result = idiv(Interval(1.0, INF), Interval(1.0, INF))
+        assert result.nan == NAN_MAYBE
+
+    def test_nan_numerator_with_banded_denominator_is_zero(self):
+        # protected_div checks |den| < eps first: NaN/0 -> 0.0 exactly.
+        result = idiv(ALWAYS_NAN, point(0.0))
+        assert result.lo == result.hi == 0.0
+        assert result.nan == NAN_NO
+
+    def test_nan_denominator_propagates(self):
+        # abs(nan) < eps is False, so the division runs: x/NaN is NaN.
+        assert idiv(point(1.0), ALWAYS_NAN).nan == NAN_ALWAYS
+
+    def test_exp_clamps(self):
+        # Bounds are rounded outward by an ulp for soundness, so assert
+        # containment of the clamped value rather than exact equality.
+        result = iexp(Interval(EXP_MAX, EXP_MAX + 100.0))
+        assert result.contains(math.exp(EXP_MAX))
+        assert result.hi <= math.nextafter(math.exp(EXP_MAX), INF)
+        assert result.nan == NAN_NO
+
+    def test_log_protection_band(self):
+        result = ilog(Interval(-DIV_EPS / 4, DIV_EPS / 4))
+        assert result.lo == result.hi == 0.0
+
+    def test_min_max_nan_asymmetry(self):
+        # Python's min(lhs, rhs) returns lhs when either comparison
+        # involves NaN: an always-NaN lhs propagates, an always-NaN rhs
+        # yields the lhs.
+        assert imin(ALWAYS_NAN, Interval(1.0, 2.0)).nan == NAN_ALWAYS
+        kept = imin(Interval(1.0, 2.0), ALWAYS_NAN)
+        assert (kept.lo, kept.hi, kept.nan) == (1.0, 2.0, NAN_NO)
+        assert imax(ALWAYS_NAN, Interval(1.0, 2.0)).nan == NAN_ALWAYS
+
+
+def _assert_sound(expr, env, value):
+    iv = interval_of(expr, env)
+    if math.isnan(value):
+        assert iv.nan != NAN_NO, f"{expr}: concrete NaN not admitted by {iv}"
+    else:
+        assert iv.nan != NAN_ALWAYS, (
+            f"{expr}: proven-NaN but evaluates to {value}"
+        )
+        assert iv.contains(value), f"{expr}: {value} outside {iv}"
+
+
+class TestSoundness:
+    @settings(max_examples=200, deadline=None)
+    @given(expressions(), bindings())
+    def test_point_intervals_contain_concrete_value(self, expr, binding):
+        params, variables, states = binding
+        env = AbstractEnv(
+            states={k: point(v) for k, v in states.items()},
+            variables={k: point(v) for k, v in variables.items()},
+            params={k: point(v) for k, v in params.items()},
+        )
+        value = evaluate(strip_ext(expr), params, variables, states)
+        _assert_sound(strip_ext(expr), env, value)
+
+    @settings(max_examples=200, deadline=None)
+    @given(expressions(), bindings(), bindings())
+    def test_range_intervals_contain_endpoint_evaluations(
+        self, expr, b0, b1
+    ):
+        env = AbstractEnv(
+            states={
+                k: hull(point(b0[2][k]), point(b1[2][k]))
+                for k in STATE_NAMES
+            },
+            variables={
+                k: hull(point(b0[1][k]), point(b1[1][k]))
+                for k in VAR_NAMES
+            },
+            params={
+                k: hull(point(b0[0][k]), point(b1[0][k]))
+                for k in PARAM_NAMES
+            },
+        )
+        for binding in (b0, b1):
+            value = evaluate(strip_ext(expr), *binding)
+            _assert_sound(strip_ext(expr), env, value)
+
+    def test_unknown_leaves_default_to_top(self):
+        assert interval_of(Var("nowhere"), AbstractEnv()) == TOP
+
+
+def _env():
+    return AbstractEnv(
+        states={"B": Interval(1e-3, 1e4)},
+        variables={"Va": Interval(0.05, 3.0)},
+        params={"mu": Interval(0.0, 2.0)},
+    )
+
+
+class TestRules:
+    def test_a001_requires_proof(self):
+        # inf - inf over the whole range: fatal.
+        blown = ast.mul(Const(1e300), Const(1e300))
+        report = check_rhs(ast.sub(blown, blown), _env(), state="B")
+        assert [d.rule for d in report.by_rule("A001")] == ["A001"]
+        # Merely possible NaN (unknown leaf): no A001.
+        maybe = ast.sub(Var("unbounded"), Var("unbounded"))
+        report = check_rhs(maybe, _env(), state="B")
+        assert not report.by_rule("A001")
+
+    def test_a001_candidate_actually_diverges(self):
+        """The fatality proof is real: evaluating the flagged RHS yields
+        NaN, which the clamp turns into SimulationDiverged at step 1."""
+        blown = ast.mul(Const(1e300), Const(1e300))
+        expr = ast.sub(blown, blown)
+        report = check_rhs(expr, _env(), state="B")
+        assert report.by_rule("A001")
+        value = evaluate(expr, {}, {"Va": 1.0}, {"B": 1.0})
+        assert math.isnan(value)
+        clamp = ClampSpec(1e-3, 1e4)
+        with pytest.raises(SimulationDiverged):
+            clamp.apply(1.0 + 1.0 * value)
+
+    def test_a002_banded_denominator(self):
+        report = check_intervals(ast.div(Var("Va"), Const(5e-13)), _env())
+        assert len(report.by_rule("A002")) == 1
+
+    def test_a003_straddling_denominator(self):
+        env = AbstractEnv(variables={"Vd": Interval(-1.0, 1.0)})
+        report = check_intervals(ast.div(Const(1.0), Var("Vd")), env)
+        assert len(report.by_rule("A003")) == 1
+        # A clear denominator fires neither band rule.
+        env = AbstractEnv(variables={"Vd": Interval(0.5, 1.0)})
+        report = check_intervals(ast.div(Const(1.0), Var("Vd")), env)
+        assert report.ok(warnings_as_errors=True)
+
+    def test_a004_saturated_exp(self):
+        report = check_intervals(
+            ast.exp(ast.add(Var("Va"), Const(100.0))), _env()
+        )
+        assert len(report.by_rule("A004")) == 1
+
+    def test_a005_banded_log(self):
+        report = check_intervals(
+            ast.log(ast.mul(Var("Va"), Const(1e-20))), _env()
+        )
+        assert len(report.by_rule("A005")) == 1
+
+    def test_a006_one_sided_min(self):
+        report = check_intervals(
+            ast.minimum(Var("Va"), Const(10.0)), _env()
+        )
+        assert len(report.by_rule("A006")) == 1
+        # Overlapping operands: no proof, no finding.
+        report = check_intervals(ast.minimum(Var("Va"), Const(1.0)), _env())
+        assert not report.by_rule("A006")
+
+    def test_a007_dead_subexpression(self):
+        report = check_intervals(ast.mul(Var("Va"), Const(0.0)), _env())
+        assert len(report.by_rule("A007")) == 1
+        # Maximal subtree only: the report flags the product node once,
+        # not every constant node underneath.
+        wrapped = ast.add(ast.mul(Var("Va"), Const(0.0)), Var("Va"))
+        report = check_intervals(wrapped, _env())
+        assert len(report.by_rule("A007")) == 1
+
+    def test_a007_needs_varying_leaf(self):
+        report = check_intervals(ast.add(Const(1.0), Const(2.0)), _env())
+        assert not report.by_rule("A007")
+
+    def test_a008_pinned_update(self):
+        clamp = ClampSpec(1e-3, 1e4)
+        report = check_rhs(
+            Const(-1e9), _env(), state="B", clamp=clamp, dt=1.0
+        )
+        assert len(report.by_rule("A008")) == 1
+
+    def test_a008_update_actually_pins(self):
+        clamp = ClampSpec(1e-3, 1e4)
+        for state in (1e-3, 1.0, 1e4):
+            assert clamp.apply(state + 1.0 * -1e9) == clamp.minimum
+
+    def test_a008_not_fired_for_reachable_updates(self):
+        clamp = ClampSpec(1e-3, 1e4)
+        report = check_rhs(
+            ast.mul(State("B"), Param("mu")),
+            _env(),
+            state="B",
+            clamp=clamp,
+            dt=1.0,
+        )
+        assert not report.by_rule("A008")

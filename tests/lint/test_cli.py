@@ -84,3 +84,51 @@ def test_unknown_flag_exits_2():
     with pytest.raises(SystemExit) as excinfo:
         main(["--bogus"])
     assert excinfo.value.code == 2
+
+
+def test_ignore_accepts_category_prefix(tmp_path, capsys):
+    target = tmp_path / "bad.pkl"
+    target.write_bytes(pickle.dumps(_corrupt_derivation()))
+    # "D" expands to every derivation rule, covering D004 and D010.
+    assert main(["--pickle", str(target), "--ignore", "D"]) == 0
+    assert "D004" not in capsys.readouterr().out
+
+
+def test_ignore_rejects_unknown_token(capsys):
+    assert main(["--ignore", "BOGUS"]) == 2
+    captured = capsys.readouterr()
+    assert "BOGUS" in captured.out + captured.err
+
+
+def test_ignore_rejects_unknown_rule_id(capsys):
+    assert main(["--ignore", "A999"]) == 2
+
+
+def test_list_rules_marks_fatal(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    a001 = next(line for line in out.splitlines() if "A001" in line)
+    assert "[fatal]" in a001
+    u001 = next(line for line in out.splitlines() if "U001" in line)
+    assert "[fatal]" not in u001
+
+
+def test_list_rules_covers_semantic_tiers(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("A001", "A008", "U001", "U006", "C001", "C003"):
+        assert rule_id in out
+
+
+def test_sanitize_source_is_clean(capsys):
+    assert main(["--sanitize-source"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_sanitize_source_with_explicit_allowlist(tmp_path, capsys):
+    # An empty allowlist must surface the known, documented exemptions.
+    empty = tmp_path / "empty.txt"
+    empty.write_text("")
+    assert main(["--sanitize-source", "--allowlist", str(empty)]) == 1
+    out = capsys.readouterr().out
+    assert "C002" in out

@@ -138,7 +138,7 @@ class TestReport:
 class TestRegistry:
     def test_rules_have_category_prefixes(self):
         for rule in all_rules():
-            assert rule.id[0] in "GDES"
+            assert rule.id[0] in "GDESAUC"
             assert rule.id[1:].isdigit()
 
     def test_diag_uses_declared_severity(self):

@@ -1,0 +1,209 @@
+"""Determinism sanitizer (C rules): AST scan, allowlist, tree walk."""
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.lint.sanitize import (
+    DEFAULT_ALLOWLIST,
+    load_allowlist,
+    scan_source,
+    scan_tree,
+)
+
+
+def _scan(snippet, relpath="repro/example.py", allowlist=frozenset()):
+    report = scan_source(textwrap.dedent(snippet), relpath, allowlist)
+    return [d.rule for d in report.diagnostics]
+
+
+class TestC001Rng:
+    def test_module_state_call_flagged(self):
+        assert _scan(
+            """
+            import random
+            x = random.random()
+            """
+        ) == ["C001"]
+
+    def test_numpy_module_state_flagged_through_alias(self):
+        assert _scan(
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """
+        ) == ["C001"]
+
+    def test_unseeded_factory_flagged(self):
+        assert _scan(
+            """
+            import random
+            rng = random.Random()
+            """
+        ) == ["C001"]
+
+    def test_seeded_factory_passes(self):
+        assert _scan(
+            """
+            import random
+            import numpy as np
+            rng = random.Random(42)
+            gen = np.random.default_rng(seed=7)
+            """
+        ) == []
+
+    def test_from_import_alias_resolved(self):
+        assert _scan(
+            """
+            from numpy.random import default_rng as mk
+            gen = mk()
+            """
+        ) == ["C001"]
+
+
+class TestC002Clock:
+    def test_wall_clock_flagged(self):
+        assert _scan(
+            """
+            import time
+            t = time.perf_counter()
+            """
+        ) == ["C002"]
+
+    def test_from_import_resolved(self):
+        assert _scan(
+            """
+            from time import perf_counter
+            t = perf_counter()
+            """
+        ) == ["C002"]
+
+    def test_datetime_now_flagged(self):
+        assert _scan(
+            """
+            import datetime
+            stamp = datetime.datetime.now()
+            """
+        ) == ["C002"]
+
+    def test_obs_layer_exempt(self):
+        assert _scan(
+            """
+            import time
+            t = time.perf_counter()
+            """,
+            relpath="repro/obs/profile.py",
+        ) == []
+
+
+class TestC003SetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert _scan(
+            """
+            for x in {1, 2, 3}:
+                pass
+            """
+        ) == ["C003"]
+
+    def test_for_over_set_call_flagged(self):
+        assert _scan(
+            """
+            names = ["b", "a", "b"]
+            for x in set(names):
+                pass
+            """
+        ) == ["C003"]
+
+    def test_wrapped_set_still_flagged(self):
+        assert _scan(
+            """
+            for i, x in enumerate(set(["a", "b"])):
+                pass
+            """
+        ) == ["C003"]
+
+    def test_comprehension_over_set_flagged(self):
+        assert _scan(
+            """
+            out = [x for x in {1, 2}]
+            """
+        ) == ["C003"]
+
+    def test_sorted_set_passes(self):
+        assert _scan(
+            """
+            for x in sorted(set(["a", "b"])):
+                pass
+            """
+        ) == []
+
+    def test_list_iteration_passes(self):
+        assert _scan(
+            """
+            for x in [1, 2, 3]:
+                pass
+            """
+        ) == []
+
+
+class TestAllowlist:
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "allow.txt"
+        path.write_text(
+            "# header\n"
+            "\n"
+            "repro/a.py:C001  # trailing comment\n"
+            "repro/b.py:C002\n"
+        )
+        assert load_allowlist(path) == {
+            "repro/a.py:C001",
+            "repro/b.py:C002",
+        }
+
+    def test_allowlisted_finding_suppressed(self):
+        snippet = """
+            import time
+            t = time.time()
+            """
+        assert _scan(snippet) == ["C002"]
+        assert (
+            _scan(snippet, allowlist=frozenset({"repro/example.py:C002"}))
+            == []
+        )
+
+    def test_allowlist_is_per_file(self):
+        snippet = """
+            import time
+            t = time.time()
+            """
+        assert _scan(
+            snippet, allowlist=frozenset({"repro/other.py:C002"})
+        ) == ["C002"]
+
+
+class TestScanTree:
+    def test_shipped_tree_is_clean(self):
+        root = Path(repro.__file__).resolve().parent
+        report = scan_tree(root)
+        assert report.ok(warnings_as_errors=True), report.render_text()
+
+    def test_default_allowlist_entries_point_at_real_files(self):
+        root = Path(repro.__file__).resolve().parent
+        for entry in sorted(load_allowlist(DEFAULT_ALLOWLIST)):
+            relpath, _, rule = entry.rpartition(":")
+            assert rule.startswith("C"), entry
+            assert (root.parent / relpath).is_file(), (
+                f"stale allowlist entry {entry!r}"
+            )
+
+    def test_findings_carry_relpath_and_line(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("import time\nt = time.time()\n")
+        report = scan_tree(pkg, allowlist_path=None)
+        # No default allowlist passed: explicit None still consults the
+        # shipped file, which has no entry for this temp tree.
+        [finding] = report.diagnostics
+        assert finding.rule == "C002"
+        assert finding.location.obj == "repro/bad.py"
+        assert finding.location.detail == "line 2"

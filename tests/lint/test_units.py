@@ -1,0 +1,156 @@
+"""Dimensional inference: unit algebra, environments, and the U rules."""
+
+import pytest
+
+from repro.expr import ast
+from repro.expr.ast import Const, Param, State, Var
+from repro.lint.units import (
+    DIMENSIONLESS,
+    UnitEnv,
+    UnitParseError,
+    build_unit_env,
+    check_units,
+    parse_unit,
+)
+
+
+class TestParseUnit:
+    def test_empty_and_one_are_dimensionless(self):
+        assert parse_unit("") is DIMENSIONLESS or parse_unit("").dimensionless
+        assert parse_unit("1").dimensionless
+        assert parse_unit("  ").dimensionless
+
+    def test_simple_product(self):
+        unit = parse_unit("ug L^-1 day^-1")
+        assert unit.dims == (("L", -1), ("day", -1), ("ug", 1))
+
+    def test_repeated_symbols_accumulate(self):
+        assert parse_unit("m m") == parse_unit("m^2")
+
+    def test_multiplication_and_division(self):
+        conc = parse_unit("ug L^-1")
+        rate = parse_unit("day^-1")
+        assert conc * rate == parse_unit("ug L^-1 day^-1")
+        assert conc / conc == DIMENSIONLESS
+        assert (conc * rate) / rate == conc
+
+    def test_symbols_are_opaque(self):
+        # 'd' and 'day' are distinct symbols by design.
+        assert parse_unit("d^-1") != parse_unit("day^-1")
+
+    def test_str_round_trips(self):
+        unit = parse_unit("MJ m^-2 d^-1")
+        assert parse_unit(str(unit)) == unit
+        assert str(DIMENSIONLESS) == "1"
+
+    @pytest.mark.parametrize("bad", ["ug/L", "m^", "m^1.5", "3 m", "m^--1"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(UnitParseError):
+            parse_unit(bad)
+
+    def test_non_string_raises(self):
+        with pytest.raises(UnitParseError):
+            parse_unit(None)
+
+
+class TestUnitEnv:
+    def test_lookup_annotated(self):
+        env = UnitEnv({"B": parse_unit("ug L^-1")})
+        unit, annotated = env.lookup("B")
+        assert annotated and unit == parse_unit("ug L^-1")
+
+    def test_lookup_wildcard(self):
+        env = UnitEnv({"scale": None})
+        unit, annotated = env.lookup("scale")
+        assert annotated and unit is None
+
+    def test_rconsts_are_wildcards(self):
+        unit, annotated = UnitEnv().lookup("_R3")
+        assert annotated and unit is None
+
+    def test_lookup_missing(self):
+        unit, annotated = UnitEnv().lookup("Vmystery")
+        assert not annotated and unit is None
+
+    def test_build_unit_env_reports_u006(self):
+        env, report = build_unit_env({"B": "ug/L", "Va": "degC"})
+        assert [d.rule for d in report.diagnostics] == ["U006"]
+        # The bad annotation degrades to a wildcard, not a cascade.
+        unit, annotated = env.lookup("B")
+        assert annotated and unit is None
+        assert env.lookup("Va")[0] == parse_unit("degC")
+
+
+def _env():
+    return UnitEnv(
+        {
+            "B": parse_unit("ug L^-1"),
+            "Va": parse_unit("degC"),
+            "mu": parse_unit("day^-1"),
+            "scale": None,
+        }
+    )
+
+
+class TestCheckUnits:
+    def test_consistent_rhs_infers_rate(self):
+        # mu * B : day^-1 * ug L^-1
+        unit, report = check_units(
+            ast.mul(Param("mu"), State("B")), _env()
+        )
+        assert unit == parse_unit("ug L^-1 day^-1")
+        assert report.ok(warnings_as_errors=True)
+
+    def test_u001_incompatible_addition(self):
+        unit, report = check_units(ast.add(State("B"), Var("Va")), _env())
+        assert [d.rule for d in report.diagnostics] == ["U001"]
+        assert unit is None
+
+    def test_u002_incompatible_min(self):
+        _, report = check_units(ast.minimum(State("B"), Var("Va")), _env())
+        assert [d.rule for d in report.diagnostics] == ["U002"]
+
+    def test_u003_dimensioned_exp(self):
+        unit, report = check_units(ast.exp(State("B")), _env())
+        assert [d.rule for d in report.diagnostics] == ["U003"]
+        # The protected exp still yields a dimensionless result.
+        assert unit == DIMENSIONLESS
+
+    def test_u004_rhs_mismatch(self):
+        _, report = check_units(
+            State("B"),
+            _env(),
+            expected=parse_unit("ug L^-1 day^-1"),
+        )
+        assert [d.rule for d in report.diagnostics] == ["U004"]
+
+    def test_u004_silent_when_inference_is_wildcard(self):
+        _, report = check_units(
+            ast.mul(Param("scale"), State("B")),
+            _env(),
+            expected=parse_unit("ug L^-1 day^-1"),
+        )
+        assert report.ok(warnings_as_errors=True)
+
+    def test_u005_unannotated_reference_reported_once(self):
+        expr = ast.add(Var("Vmystery"), Var("Vmystery"))
+        _, report = check_units(expr, _env())
+        assert [d.rule for d in report.diagnostics] == ["U005"]
+
+    def test_constants_are_wildcards(self):
+        unit, report = check_units(
+            ast.add(State("B"), Const(3.0)), _env()
+        )
+        assert unit == parse_unit("ug L^-1")
+        assert report.ok(warnings_as_errors=True)
+
+    def test_negation_preserves_unit(self):
+        unit, report = check_units(ast.neg(State("B")), _env())
+        assert unit == parse_unit("ug L^-1")
+        assert report.ok(warnings_as_errors=True)
+
+    def test_cancellation_through_division(self):
+        # B / B is dimensionless, so exp(B / B) is clean.
+        expr = ast.exp(ast.div(State("B"), State("B")))
+        _, report = check_units(expr, _env())
+        assert report.ok(warnings_as_errors=True)
