@@ -9,6 +9,19 @@ Usage::
     python -m repro.experiments run table5 --trace-dir traces/
     python -m repro.experiments run table5 --domain sir
     python -m repro.experiments run table5 --static-triage
+    python -m repro.experiments run table5 --budget-wall-clock 3600 \
+        --checkpoint-dir ckpt/ --checkpoint-keep 3
+
+``--budget-wall-clock`` / ``--budget-evaluations`` /
+``--budget-generations`` bound the GMR campaign's resources (see
+:class:`repro.gp.governor.CampaignBudget`): the campaign stops cleanly
+at the first generation boundary past a ceiling, leaving resumable
+checkpoints, and also finishes its in-flight generation and exits
+cleanly on SIGTERM/SIGINT.  Re-running the same command with a larger
+budget (and the same ``--checkpoint-dir``) continues where it stopped,
+bit-identically with an uninterrupted run.  ``--checkpoint-keep N``
+retains the newest N snapshots per run so a corrupted snapshot falls
+back to its predecessor instead of restarting the run.
 
 ``--static-triage`` enables the GMR engine's semantic pre-evaluation
 triage (interval analysis proves candidates divergent before they are
@@ -52,6 +65,9 @@ _DOMAINAL = {"table5"}
 
 #: Experiments whose runners accept the static-triage switch.
 _TRIAGEABLE = {"table5"}
+
+#: Experiments whose runners accept resource budgets / retention knobs.
+_BUDGETABLE = {"table5"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -103,6 +119,47 @@ def main(argv: list[str] | None = None) -> int:
             "or a third-party registration; table5 only)"
         ),
     )
+    runner.add_argument(
+        "--budget-wall-clock",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "stop the GP campaign once a run's elapsed wall-clock "
+            "crosses this many seconds (table5 only)"
+        ),
+    )
+    runner.add_argument(
+        "--budget-evaluations",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stop the GP campaign once a run has spent N fitness "
+            "evaluations (table5 only)"
+        ),
+    )
+    runner.add_argument(
+        "--budget-generations",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stop the GP campaign after N generations per run "
+            "(table5 only)"
+        ),
+    )
+    runner.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "retain the newest N checkpoint snapshots per run; a "
+            "corrupted snapshot falls back to its predecessor on "
+            "resume (table5 only)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -149,6 +206,28 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 2
             kwargs["static_triage"] = True
+        budgeted = (
+            args.budget_wall_clock is not None
+            or args.budget_evaluations is not None
+            or args.budget_generations is not None
+        )
+        if budgeted or args.checkpoint_keep != 1:
+            if target not in _BUDGETABLE:
+                print(
+                    f"--budget-*/--checkpoint-keep are not supported by "
+                    f"{target!r} (only: {', '.join(sorted(_BUDGETABLE))})",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.gp import CampaignBudget
+
+            if budgeted:
+                kwargs["budget"] = CampaignBudget(
+                    max_wall_clock=args.budget_wall_clock,
+                    max_evaluations=args.budget_evaluations,
+                    max_generations=args.budget_generations,
+                )
+            kwargs["checkpoint_keep"] = args.checkpoint_keep
         if target in _SCALED:
             result = run(args.scale, **kwargs)
         else:

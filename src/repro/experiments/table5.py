@@ -37,10 +37,12 @@ from repro.experiments.scale import Scale, get_scale
 from repro.experiments.tables import render_table
 from repro.baselines.gggp import GGGPIndividual
 from repro.gp import (
+    CampaignBudget,
     FailurePolicy,
     GMRConfig,
     GMREngine,
     Individual,
+    RunGovernor,
     run_campaign,
     run_many,
 )
@@ -122,6 +124,19 @@ def _gp_config(
     )
 
 
+def _campaign_governor(budget: CampaignBudget | None) -> RunGovernor | None:
+    """The governor the experiment CLI attaches to its GMR engines.
+
+    Budgeted experiment campaigns also handle SIGTERM/SIGINT: a stopped
+    invocation leaves resumable checkpoints behind, exactly like a
+    budget stop.  Without a budget no governor is attached, preserving
+    the historical run semantics (zero per-generation overhead).
+    """
+    if budget is None:
+        return None
+    return RunGovernor(budget=budget, handle_signals=True)
+
+
 def _gmr_outcomes(
     engine: GMREngine,
     scale: Scale,
@@ -195,6 +210,8 @@ def run_gmr(
     checkpoint_dir: str | None = None,
     trace_dir: str | None = None,
     static_triage: bool = False,
+    budget: CampaignBudget | None = None,
+    checkpoint_keep: int = 1,
 ) -> tuple[MethodResult | None, Individual | None]:
     """GMR over ``scale.n_runs`` runs; returns (result_row, best individual).
 
@@ -216,9 +233,12 @@ def run_gmr(
     config = _gp_config(scale, static_triage=static_triage)
     if checkpoint_dir is not None:
         config = dataclass_replace(
-            config, checkpoint_every=max(1, scale.max_generations // 10)
+            config,
+            checkpoint_every=max(1, scale.max_generations // 10),
+            checkpoint_keep=checkpoint_keep,
         )
     engine = GMREngine(knowledge, train, config)
+    engine.governor = _campaign_governor(budget)
     outcomes = _gmr_outcomes(
         engine, scale, base_seed, checkpoint_dir, trace_dir
     )
@@ -323,6 +343,8 @@ def run_domain_table5(
     checkpoint_dir: str | None = None,
     trace_dir: str | None = None,
     static_triage: bool = False,
+    budget: CampaignBudget | None = None,
+    checkpoint_keep: int = 1,
 ) -> Table5Result:
     """Table V's method comparison on any registered domain.
 
@@ -394,9 +416,12 @@ def run_domain_table5(
     )
     if gmr_checkpoints is not None:
         config = dataclass_replace(
-            config, checkpoint_every=max(1, scale.max_generations // 10)
+            config,
+            checkpoint_every=max(1, scale.max_generations // 10),
+            checkpoint_keep=checkpoint_keep,
         )
     engine = GMREngine.for_domain(domain, config)
+    engine.governor = _campaign_governor(budget)
     gmr_outcomes = _gmr_outcomes(
         engine, scale, seed, gmr_checkpoints, trace_dir
     )
@@ -419,6 +444,8 @@ def run_table5(
     trace_dir: str | None = None,
     domain: str = "river",
     static_triage: bool = False,
+    budget: CampaignBudget | None = None,
+    checkpoint_keep: int = 1,
 ) -> Table5Result:
     """Regenerate Table V at the requested scale.
 
@@ -432,6 +459,13 @@ def run_table5(
     engine's semantic pre-evaluation triage
     (:attr:`repro.gp.config.GMRConfig.static_triage`); results are
     bit-identical either way, only the work skipped differs.
+    ``budget`` bounds the GMR campaign's resources (wall-clock,
+    evaluations, generations; see
+    :class:`repro.gp.governor.CampaignBudget`) and installs cooperative
+    SIGTERM/SIGINT handling for its duration -- a stopped invocation
+    leaves resumable checkpoints, and re-running with a larger budget
+    continues where it stopped.  ``checkpoint_keep`` sizes the
+    checkpoint retention ring (corrupted-snapshot fallback).
     """
     if domain != "river":
         return run_domain_table5(
@@ -441,6 +475,8 @@ def run_table5(
             checkpoint_dir=checkpoint_dir,
             trace_dir=trace_dir,
             static_triage=static_triage,
+            budget=budget,
+            checkpoint_keep=checkpoint_keep,
         )
     scale = get_scale(scale_name)
     started = time.perf_counter()
@@ -467,6 +503,8 @@ def run_table5(
         checkpoint_dir=gmr_checkpoints,
         trace_dir=trace_dir,
         static_triage=static_triage,
+        budget=budget,
+        checkpoint_keep=checkpoint_keep,
     )
     results.append(gmr_row)
 

@@ -5,6 +5,7 @@ from repro.gp.checkpoint import (
     CheckpointError,
     RunCheckpoint,
     load_checkpoint,
+    load_checkpoint_resilient,
     save_checkpoint,
 )
 from repro.gp.config import ConfigError, GMRConfig, OperatorProbabilities
@@ -13,6 +14,11 @@ from repro.gp.engine import (
     GMREngine,
     RunResult,
     run_many,
+)
+from repro.gp.governor import (
+    CampaignBudget,
+    GovernorConfigError,
+    RunGovernor,
 )
 from repro.gp.faults import (
     FaultInjectingEngine,
@@ -72,6 +78,7 @@ from repro.gp.selection import best_of, elites, tournament_select
 __all__ = [
     "BINARY_REVISION_OPS",
     "CacheStats",
+    "CampaignBudget",
     "CampaignError",
     "CampaignResult",
     "CheckpointError",
@@ -87,6 +94,7 @@ __all__ = [
     "GMREngine",
     "GMRFitnessEvaluator",
     "GenerationRecord",
+    "GovernorConfigError",
     "Individual",
     "InitialisationError",
     "InjectedFault",
@@ -101,6 +109,7 @@ __all__ = [
     "RetryPolicy",
     "RunCheckpoint",
     "RunFailure",
+    "RunGovernor",
     "RunResult",
     "SerialBackend",
     "TreeCache",
@@ -118,6 +127,7 @@ __all__ = [
     "insertion",
     "linear_extrapolation",
     "load_checkpoint",
+    "load_checkpoint_resilient",
     "pessimistic_extrapolation",
     "random_individual",
     "replication",

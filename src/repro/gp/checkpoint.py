@@ -19,7 +19,12 @@ precisely for the moments when processes die mid-write:
   version; readers refuse anything they do not understand;
 * **integrity-checked**: a SHA-256 digest over the payload is stored in
   the header and verified on load, so silent truncation or corruption
-  surfaces as :class:`CheckpointError`, never as a garbage resume.
+  surfaces as :class:`CheckpointError`, never as a garbage resume;
+* **ring-retained**: with ``keep > 1`` every save also lands in a
+  retention ring (``<path>.g<generation>`` siblings, pruned oldest
+  first), and :func:`load_checkpoint_resilient` falls back to the newest
+  verifiable predecessor when the canonical envelope is corrupt --
+  one flipped bit no longer bricks a campaign's resume.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -43,13 +49,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: the wrong domain -- or under a domain whose knowledge spec changed
 #: since the snapshot -- fails loudly instead of silently continuing a
 #: run over a different search space.
-CHECKPOINT_VERSION = 3
+#: v4 (PR 8): adds ``stop_reason`` so a budget- or signal-stopped run's
+#: final envelope records why it stopped.
+CHECKPOINT_VERSION = 4
 
 #: Versions this build still reads; older envelopes are migrated in
 #: memory (missing fields get their v1-era defaults, e.g. a zero trace
 #: offset; pre-domain envelopes default to the ``river`` domain with no
-#: spec hash) instead of raising.
-COMPATIBLE_VERSIONS = (1, 2, 3)
+#: spec hash; pre-governor envelopes have no stop reason) instead of
+#: raising.
+COMPATIBLE_VERSIONS = (1, 2, 3, 4)
 
 #: File magics: 7 identifying bytes plus the format version byte.
 _CHECKPOINT_MAGIC = b"GMRCKPT" + bytes([CHECKPOINT_VERSION])
@@ -92,6 +101,11 @@ class RunCheckpoint:
             changed since the snapshot: the search space is different, so
             "continuing" would silently produce a run neither spec
             describes.
+        stop_reason: Why the run stopped when this envelope was written
+            (``budget:*`` / ``signal:*``, see :mod:`repro.gp.governor`),
+            or None for an ordinary cadence snapshot.  Informational:
+            resume behaves identically either way -- the resuming
+            engine's own governor decides whether to continue.
     """
 
     seed: int
@@ -107,12 +121,45 @@ class RunCheckpoint:
     trace_seq: int = 0
     domain: str = "river"
     domain_spec_hash: str = ""
+    stop_reason: str | None = None
+
+
+def _sweep_stale_temps(
+    path: str | os.PathLike[str], keep: str | None = None
+) -> None:
+    """Remove leftover ``<path>.tmp.*`` siblings from dead writers.
+
+    A process killed between writing its temp file and the rename leaves
+    a ``*.tmp.<pid>`` orphan that no ``finally`` block will ever reach;
+    every save sweeps them so they cannot accumulate over a long
+    campaign.  Only temps of *this* path are touched (per-seed files
+    have one writer at a time, so anything matching is stale), and the
+    current writer's own temp (``keep``) is spared.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    prefix = os.path.basename(path) + ".tmp."
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:  # pragma: no cover - directory being created/removed
+        return
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        stale = os.path.join(directory, name)
+        if keep is not None and stale == keep:
+            continue
+        try:
+            os.remove(stale)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
 
 
 def _atomic_write(path: str | os.PathLike[str], blob: bytes) -> None:
     """Write ``blob`` to ``path`` via a sibling temp file and rename."""
     directory = os.path.dirname(os.fspath(path)) or "."
     temp_path = f"{os.fspath(path)}.tmp.{os.getpid()}"
+    _sweep_stale_temps(path, keep=temp_path)
     try:
         with open(temp_path, "wb") as handle:
             handle.write(blob)
@@ -142,10 +189,14 @@ def _atomic_write(path: str | os.PathLike[str], blob: bytes) -> None:
         os.close(dir_fd)
 
 
-def _dump(obj: object, path: str | os.PathLike[str], magic: bytes) -> None:
+def _encode(obj: object, magic: bytes) -> bytes:
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     digest = hashlib.sha256(payload).digest()
-    _atomic_write(path, magic + digest + payload)
+    return magic + digest + payload
+
+
+def _dump(obj: object, path: str | os.PathLike[str], magic: bytes) -> None:
+    _atomic_write(path, _encode(obj, magic))
 
 
 def _load(path: str | os.PathLike[str], magic: bytes, kind: str) -> Any:
@@ -172,11 +223,61 @@ def _load(path: str | os.PathLike[str], magic: bytes, kind: str) -> Any:
         raise CheckpointError(f"could not unpickle {kind} {path!s}: {exc}") from exc
 
 
+def _ring_file(path: str | os.PathLike[str], generation: int) -> str:
+    """Retention-ring sibling of ``path`` for ``generation``."""
+    return f"{os.fspath(path)}.g{generation:09d}"
+
+
+def ring_files(path: str | os.PathLike[str]) -> list[str]:
+    """Existing retention-ring siblings of ``path``, newest first."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    prefix = os.path.basename(path) + ".g"
+    entries: list[tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        suffix = name[len(prefix):]
+        if not suffix.isdigit():
+            continue
+        entries.append((int(suffix), os.path.join(directory, name)))
+    entries.sort(reverse=True)
+    return [ring_path for __, ring_path in entries]
+
+
+def _prune_ring(path: str | os.PathLike[str], keep: int) -> None:
+    """Deterministically drop ring entries beyond the newest ``keep``."""
+    retain = keep if keep > 1 else 0
+    for stale in ring_files(path)[retain:]:
+        try:
+            os.remove(stale)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
 def save_checkpoint(
-    checkpoint: RunCheckpoint, path: str | os.PathLike[str]
+    checkpoint: RunCheckpoint, path: str | os.PathLike[str], keep: int = 1
 ) -> None:
-    """Atomically persist a :class:`RunCheckpoint` to ``path``."""
-    _dump(checkpoint, path, _CHECKPOINT_MAGIC)
+    """Atomically persist a :class:`RunCheckpoint` to ``path``.
+
+    With ``keep > 1`` the envelope is also copied into the retention
+    ring (a ``<path>.g<generation>`` sibling), and the ring is pruned to
+    the newest ``keep`` entries -- so the newest ``keep`` *distinct*
+    generation snapshots survive on disk and
+    :func:`load_checkpoint_resilient` can fall back through them when
+    the canonical file is corrupted.  ``keep <= 1`` keeps the historical
+    single-file behaviour and prunes any ring left by a larger previous
+    setting.
+    """
+    blob = _encode(checkpoint, _CHECKPOINT_MAGIC)
+    _atomic_write(path, blob)
+    if keep > 1:
+        _atomic_write(_ring_file(path, checkpoint.generation), blob)
+    _prune_ring(path, keep)
 
 
 def load_checkpoint(path: str | os.PathLike[str]) -> RunCheckpoint:
@@ -201,8 +302,41 @@ def load_checkpoint(path: str | os.PathLike[str]) -> RunCheckpoint:
     return checkpoint
 
 
+def load_checkpoint_resilient(
+    path: str | os.PathLike[str]
+) -> RunCheckpoint:
+    """Load ``path``, falling back through its retention ring.
+
+    When the canonical envelope fails verification (magic/SHA-256
+    mismatch, truncation, unreadable file), each ring sibling is tried
+    newest first and the first verifiable one is returned with a
+    warning -- the run resumes from the newest surviving snapshot
+    instead of being bricked by one corrupt file.  When nothing
+    verifiable survives (including the ``keep <= 1`` no-ring case), the
+    canonical file's original :class:`CheckpointError` is raised, so
+    callers keep their loud-failure contract.
+    """
+    try:
+        return load_checkpoint(path)
+    except CheckpointError as primary:
+        for candidate in ring_files(path):
+            try:
+                checkpoint = load_checkpoint(candidate)
+            except CheckpointError:
+                continue
+            warnings.warn(
+                f"checkpoint {os.fspath(path)!s} failed verification "
+                f"({primary}); resuming from retention-ring snapshot "
+                f"{candidate!s} (generation {checkpoint.generation})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return checkpoint
+        raise
+
+
 def _migrate_checkpoint(checkpoint: RunCheckpoint) -> None:
-    """Upgrade an older envelope in memory (v1/v2 -> v3).
+    """Upgrade an older envelope in memory (v1/v2/v3 -> v4).
 
     v1 predates the observability layer: there was no trace offset, and
     the evaluator's compiled-cache counters were zeroed by its pickle
@@ -215,6 +349,9 @@ def _migrate_checkpoint(checkpoint: RunCheckpoint) -> None:
     empty spec hash -- resume then skips the spec comparison (there is
     no save-time hash to compare against) but still refuses to resume
     the snapshot under a non-river domain.
+
+    v1-v3 predate the resource governor; their envelopes were only ever
+    written on the cadence, so the honest ``stop_reason`` is None.
     """
     if not hasattr(checkpoint, "trace_seq"):
         checkpoint.trace_seq = 0
@@ -222,6 +359,8 @@ def _migrate_checkpoint(checkpoint: RunCheckpoint) -> None:
         checkpoint.domain = "river"
     if not hasattr(checkpoint, "domain_spec_hash"):
         checkpoint.domain_spec_hash = ""
+    if not hasattr(checkpoint, "stop_reason"):
+        checkpoint.stop_reason = None
     checkpoint.version = CHECKPOINT_VERSION
 
 

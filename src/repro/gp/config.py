@@ -149,6 +149,17 @@ class GMRConfig:
             the uninterrupted history bit-identically.  0 (default)
             disables mid-run snapshots; campaign-level result persistence
             (:func:`repro.gp.resilience.run_campaign`) works either way.
+        checkpoint_keep: How many generation snapshots the checkpoint
+            retention ring keeps on disk (see
+            :func:`repro.gp.checkpoint.save_checkpoint`).  1 (default)
+            keeps only the canonical newest envelope -- the historical
+            behaviour; N > 1 additionally retains the newest N ring
+            copies, and a corrupted canonical envelope falls back to the
+            newest verifiable one on resume instead of raising.
+            Excluded from ``repr`` (like ``domain``) so resume's
+            ``config_repr`` equality check still accepts checkpoints
+            written under a different retention setting -- retention is
+            an operational knob, not part of the search configuration.
     """
 
     population_size: int = 200
@@ -178,6 +189,7 @@ class GMRConfig:
     tree_cache_size: int = 200_000
     compiled_cache_size: int = 512
     domain: str = field(default="river", repr=False)
+    checkpoint_keep: int = field(default=1, repr=False)
 
     def __post_init__(self) -> None:
         if not self.domain or not isinstance(self.domain, str):
@@ -206,6 +218,8 @@ class GMRConfig:
             raise ConfigError("eval_batch_size must be >= 0")
         if self.checkpoint_every < 0:
             raise ConfigError("checkpoint_every must be >= 0")
+        if self.checkpoint_keep < 1:
+            raise ConfigError("checkpoint_keep must be >= 1")
         if self.kernel_batch_size < 1:
             raise ConfigError("kernel_batch_size must be positive")
         if self.gaussian_proposals < 1:

@@ -23,11 +23,12 @@ from repro.dynamics.task import ModelingTask
 from repro.gp.checkpoint import (
     CheckpointError,
     RunCheckpoint,
-    load_checkpoint,
+    load_checkpoint_resilient,
     save_checkpoint,
 )
 from repro.gp.config import GMRConfig
 from repro.gp.fitness import EvaluationStats, GMRFitnessEvaluator
+from repro.gp.governor import RunGovernor
 from repro.gp.individual import Individual
 from repro.gp.init import initial_population
 from repro.gp.knowledge import PriorKnowledge, build_grammar
@@ -67,13 +68,21 @@ class GenerationRecord:
 
 @dataclass
 class RunResult:
-    """Outcome of one GMR run."""
+    """Outcome of one GMR run.
+
+    ``stop_reason`` is None for a run that exhausted its configured
+    generations; a governed run that stopped early (budget ceiling,
+    cooperative signal shutdown) carries the machine-readable reason
+    (``budget:*`` / ``signal:*``) and its ``history``/``best``/``stats``
+    describe the partial-but-valid prefix actually executed.
+    """
 
     best: Individual
     history: list[GenerationRecord]
     stats: EvaluationStats
     seed: int
     elapsed: float
+    stop_reason: str | None = None
 
     @property
     def best_fitness(self) -> float:
@@ -109,6 +118,14 @@ class GMREngine:
     #: it survives pickling into pool workers -- campaign runs trace
     #: themselves from inside their worker processes.
     trace_dir: str | os.PathLike[str] | None = None
+    #: Optional resource governor (:mod:`repro.gp.governor`): budget
+    #: ceilings checked at generation boundaries, cooperative
+    #: SIGTERM/SIGINT shutdown, and heartbeat trace events.  Lives on
+    #: the engine (not the config) so a budget-stopped checkpoint can be
+    #: resumed under a larger budget without tripping resume's
+    #: ``config_repr`` equality check.  Picklable; the runtime stop flag
+    #: is dropped on pickling (see ``RunGovernor.__getstate__``).
+    governor: RunGovernor | None = None
 
     def __post_init__(self) -> None:
         if self.grammar is None:
@@ -130,6 +147,7 @@ class GMREngine:
         self.__dict__.update(state)
         self.__dict__.setdefault("tracer", None)
         self.__dict__.setdefault("trace_dir", None)
+        self.__dict__.setdefault("governor", None)
 
     def make_evaluator(self) -> GMRFitnessEvaluator:
         return GMRFitnessEvaluator(task=self.task, config=self.config)
@@ -258,7 +276,7 @@ class GMREngine:
             checkpoint = (
                 resume_from
                 if isinstance(resume_from, RunCheckpoint)
-                else load_checkpoint(resume_from)
+                else load_checkpoint_resilient(resume_from)
             )
             if checkpoint.config_repr != repr(config):
                 raise CheckpointError(
@@ -310,8 +328,13 @@ class GMREngine:
                 resumed=resumed,
                 start_generation=start_generation,
             )
+        governor = self.governor
+        signal_cm: ContextManager[object] = (
+            governor.install() if governor is not None else nullcontext()
+        )
+        stop_reason: str | None = None
         try:
-            with run_cm as run_span:
+            with signal_cm, run_cm as run_span:
                 if not resumed:
                     if config.strict_validate:
                         self._lint_artifacts()
@@ -343,9 +366,23 @@ class GMREngine:
                         progress(0, record)
                 assert population is not None and best is not None
 
+                # Generation boundaries are the governor's deterministic
+                # decision points.  A resumed run re-checks at its start
+                # generation (without a duplicate heartbeat) so resuming
+                # under an already-exhausted budget stops before doing a
+                # generation of over-budget work.
+                stop_reason = self._governor_tick(
+                    governor, tracer, evaluator, start_generation if resumed
+                    else 0, seed, rng, population, best, history,
+                    checkpoint_path, started, elapsed_before,
+                    heartbeat=not resumed,
+                )
+
                 for generation in range(
                     start_generation + 1, config.max_generations + 1
                 ):
+                    if stop_reason is not None:
+                        break
                     sigma_scale = config.sigma_scale(generation)
                     population = self._next_generation(
                         population, evaluator, rng, sigma_scale, profile
@@ -362,12 +399,15 @@ class GMREngine:
                     self._trace_generation(tracer, profile, record)
                     if progress is not None:
                         progress(generation, record)
+                    stop_reason = self._governor_tick(
+                        governor, tracer, evaluator, generation, seed, rng,
+                        population, best, history, checkpoint_path, started,
+                        elapsed_before,
+                    )
 
                 elapsed = elapsed_before + (time.perf_counter() - started)
                 if tracer is not None:
-                    tracer.end_span_fields(
-                        "run",
-                        run_span,
+                    end_fields: dict = dict(
                         best_fitness=(
                             best.fitness
                             if best.fitness is not None
@@ -376,6 +416,9 @@ class GMREngine:
                         generations=len(history),
                         evaluations=evaluator.stats.evaluations,
                     )
+                    if stop_reason is not None:
+                        end_fields["stop_reason"] = stop_reason
+                    tracer.end_span_fields("run", run_span, **end_fields)
         finally:
             if tracer is not None:
                 evaluator.tracer = None
@@ -387,6 +430,7 @@ class GMREngine:
             stats=evaluator.stats,
             seed=seed,
             elapsed=elapsed,
+            stop_reason=stop_reason,
         )
 
     def _resolve_tracer(self, seed: int) -> tuple[Tracer | None, bool]:
@@ -438,6 +482,65 @@ class GMREngine:
             checkpoint_time=phases.get("checkpoint", 0.0),
         )
 
+    def _governor_tick(
+        self,
+        governor: RunGovernor | None,
+        tracer: Tracer | None,
+        evaluator: GMRFitnessEvaluator,
+        generation: int,
+        seed: int,
+        rng: random.Random,
+        population: list[Individual],
+        best: Individual,
+        history: list[GenerationRecord],
+        checkpoint_path: str | os.PathLike[str] | None,
+        started: float,
+        elapsed_before: float,
+        heartbeat: bool = True,
+    ) -> str | None:
+        """One governor consultation at a generation boundary.
+
+        Emits the heartbeat, checks budgets and the cooperative stop
+        flag, and -- when stopping -- emits the ``run_stop`` event and
+        forces a final checkpoint (regardless of cadence) with the stop
+        reason stamped into the envelope.  The stop event and the forced
+        save happen *before* the envelope's ``trace_seq`` is recorded,
+        so a resumed run's stitched trace continues right after them.
+        """
+        if governor is None:
+            return None
+        elapsed_now = elapsed_before + (time.perf_counter() - started)
+        evaluations = evaluator.stats.evaluations
+        if heartbeat and tracer is not None:
+            governor.heartbeat(
+                tracer,
+                generation=generation,
+                evaluations=evaluations,
+                elapsed=elapsed_now,
+            )
+        reason = governor.check(
+            generation=generation,
+            evaluations=evaluations,
+            elapsed=elapsed_now,
+        )
+        if reason is None:
+            return None
+        if tracer is not None:
+            tracer.point(
+                "run_stop",
+                reason=reason,
+                generation=generation,
+                evaluations=evaluations,
+                elapsed=elapsed_now,
+            )
+        if checkpoint_path is not None:
+            self._write_checkpoint(
+                checkpoint_path, seed, generation, rng, population, best,
+                history, evaluator, started, elapsed_before, tracer,
+                stop_reason=reason,
+            )
+        return reason
+
     def _maybe_checkpoint(
         self,
         path: str | os.PathLike[str] | None,
@@ -456,6 +559,27 @@ class GMREngine:
         every = self.config.checkpoint_every
         if path is None or every <= 0 or generation % every != 0:
             return
+        self._write_checkpoint(
+            path, seed, generation, rng, population, best, history,
+            evaluator, started, elapsed_before, tracer,
+        )
+
+    def _write_checkpoint(
+        self,
+        path: str | os.PathLike[str],
+        seed: int,
+        generation: int,
+        rng: random.Random,
+        population: list[Individual],
+        best: Individual,
+        history: list[GenerationRecord],
+        evaluator: GMRFitnessEvaluator,
+        started: float,
+        elapsed_before: float,
+        tracer: Tracer | None = None,
+        stop_reason: str | None = None,
+    ) -> None:
+        """Write one envelope now (cadence snapshot or forced stop save)."""
         # The checkpoint event goes out *before* the save, so the stored
         # trace offset covers it and a resumed run continues the JSONL
         # trace right after it without reusing sequence numbers.
@@ -477,8 +601,10 @@ class GMREngine:
                 trace_seq=tracer.seq if tracer is not None else 0,
                 domain=self.config.domain,
                 domain_spec_hash=self._domain_spec_hash(),
+                stop_reason=stop_reason,
             ),
             path,
+            keep=self.config.checkpoint_keep,
         )
 
     def _lint_artifacts(self) -> None:

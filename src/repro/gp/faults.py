@@ -60,6 +60,12 @@ class FaultPlan:
         kill_at_evaluation: SIGKILL the evaluating process on the Nth
             evaluation (deterministically reproduces a worker dying
             mid-*batch* -- see the warning above), or None.
+        term_at_evaluation: SIGTERM the evaluating process on the Nth
+            evaluation, or None.  Unlike ``kill``, TERM is what a
+            :class:`~repro.gp.governor.RunGovernor` with
+            ``handle_signals`` turns into a cooperative stop, so this
+            deterministically exercises graceful shutdown mid-run
+            without subprocess choreography.
         fail_seed_attempts: ``{seed: j}`` -- raise at run start for the
             first ``j`` attempts of ``seed`` (a *transient* fault: the
             run succeeds from attempt ``j + 1`` on).
@@ -83,6 +89,7 @@ class FaultPlan:
     hang_at_evaluation: int | None = None
     hang_seconds: float = 2.0
     kill_at_evaluation: int | None = None
+    term_at_evaluation: int | None = None
     fail_seed_attempts: Mapping[int, int] = field(default_factory=dict)
     kill_seed_attempts: Mapping[int, int] = field(default_factory=dict)
     max_faulty_attempts: int | None = None
@@ -161,6 +168,11 @@ class FaultInjectingEvaluator(GMRFitnessEvaluator):
             ):
                 os.kill(os.getpid(), signal.SIGKILL)
             if (
+                plan.term_at_evaluation == self.evaluations_seen
+                and self._claim_fault("term")
+            ):
+                os.kill(os.getpid(), signal.SIGTERM)
+            if (
                 plan.fail_at_evaluation == self.evaluations_seen
                 and self._claim_fault("fail")
             ):
@@ -173,6 +185,33 @@ class FaultInjectingEvaluator(GMRFitnessEvaluator):
                     )
                 )
         return super().evaluate(individual)
+
+
+@dataclass
+class KernelFaultInjectingEvaluator(GMRFitnessEvaluator):
+    """An evaluator whose *batched kernel* fails on the first N groups.
+
+    Unlike :class:`FaultInjectingEvaluator` (which overrides
+    ``evaluate`` and therefore forces the engine onto the scalar cohort
+    path), this one overrides only the batched rollout's inner
+    simulation, so cohorts still plan and group through the batched
+    kernel -- and the first ``fail_first_groups`` structure groups raise
+    :class:`InjectedFault` mid-kernel.  That exercises the degradation
+    ladder's first rung: the failed group falls back to the scalar path
+    and its structure is blocklisted from future batching, with results
+    identical to a healthy run.
+    """
+
+    fail_first_groups: int = 1
+    groups_seen: int = 0
+
+    def _simulate_group_inner(self, group) -> None:
+        self.groups_seen += 1
+        if self.groups_seen <= self.fail_first_groups:
+            raise InjectedFault(
+                f"injected batched-kernel failure (group {self.groups_seen})"
+            )
+        super()._simulate_group_inner(group)
 
 
 @dataclass

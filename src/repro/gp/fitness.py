@@ -106,6 +106,13 @@ class EvaluationStats:
     triage_skips: int = 0
     #: Exclusive seconds spent in the static-triage analysis phase.
     triage_time: float = 0.0
+    #: Structures demoted from the batched kernel to the scalar path
+    #: after their batched rollout raised (degradation ladder; see
+    #: ``GMRFitnessEvaluator._simulate_group``).
+    kernel_fallbacks: int = 0
+    #: Process-pool backends that degraded to serial evaluation after
+    #: exhausting their rebuild budget (``ProcessPoolBackend``).
+    pool_fallbacks: int = 0
 
     def __setstate__(self, state: dict) -> None:
         # Checkpoints written before the static-triage fields pickle
@@ -113,6 +120,8 @@ class EvaluationStats:
         self.__dict__.update(state)
         self.__dict__.setdefault("triage_skips", 0)
         self.__dict__.setdefault("triage_time", 0.0)
+        self.__dict__.setdefault("kernel_fallbacks", 0)
+        self.__dict__.setdefault("pool_fallbacks", 0)
 
     @property
     def mean_time_per_individual(self) -> float:
@@ -150,6 +159,8 @@ class EvaluationStats:
             batch_fill=self.batch_fill + other.batch_fill,
             triage_skips=self.triage_skips + other.triage_skips,
             triage_time=self.triage_time + other.triage_time,
+            kernel_fallbacks=self.kernel_fallbacks + other.kernel_fallbacks,
+            pool_fallbacks=self.pool_fallbacks + other.pool_fallbacks,
         )
 
     @classmethod
@@ -185,6 +196,10 @@ class EvaluationStats:
             self.batched_evaluations
         )
         registry.counter(f"{prefix}.triage_skips").inc(self.triage_skips)
+        registry.counter(f"{prefix}.kernel_fallbacks").inc(
+            self.kernel_fallbacks
+        )
+        registry.counter(f"{prefix}.pool_fallbacks").inc(self.pool_fallbacks)
         registry.gauge(f"{prefix}.wall_time").add(self.wall_time)
         registry.gauge(f"{prefix}.compile_time").add(self.compile_time)
         registry.gauge(f"{prefix}.step_time").add(self.step_time)
@@ -273,6 +288,11 @@ class GMRFitnessEvaluator:
         #: Lazily built static-triage context (repro.lint.triage); not
         #: pickled -- rebuilt from task/config after resume.
         self._triage_context = None
+        #: Structure keys demoted to the scalar path after their batched
+        #: kernel raised (degradation ladder).  Because the batched path
+        #: is bit-identical with the scalar one, demotion changes only
+        #: where the work happens, never the fitness stream.
+        self._kernel_blocklist: set[str] = set()
 
     @property
     def cache(self) -> TreeCache:
@@ -346,6 +366,7 @@ class GMRFitnessEvaluator:
         # schema v1) predate these attributes.
         self.__dict__.setdefault("tracer", None)
         self.__dict__.setdefault("_triage_context", None)
+        self.__dict__.setdefault("_kernel_blocklist", set())
         if "_profile" not in self.__dict__:
             self._profile = PhaseProfile()
 
@@ -638,6 +659,10 @@ class GMRFitnessEvaluator:
                     # (that's the saving: no compile, no rollout column).
                     entry.triaged = True
                     continue
+            if entry.structure_key in self._kernel_blocklist:
+                # Structure demoted after a batched-kernel failure;
+                # finalisation evaluates it through the scalar path.
+                continue
             group_key = (entry.structure_key, model.param_order)
             group = groups.get(group_key)
             if group is None:
@@ -666,13 +691,34 @@ class GMRFitnessEvaluator:
         return entries, groups
 
     def _simulate_group(self, group: _BatchGroup) -> None:
-        """Run one structure group's batched rollouts and error curves."""
-        task = self.task
-        with self._profile.phase("compile"):
-            group.model.compiled_batched()
+        """Run one structure group's batched rollouts and error curves.
 
-        with self._profile.phase("step"):
-            self._simulate_group_inner(group)
+        First rung of the degradation ladder: if the batched kernel
+        raises (compile or rollout), the group's curves stay unset -- so
+        finalisation falls through to the scalar path for every member
+        -- and the structure is blocklisted from future batching.  The
+        batched path is bit-identical with the scalar one, so the only
+        observable differences are the ``kernel_fallbacks`` counter and
+        a ``degradation`` trace event.
+        """
+        try:
+            with self._profile.phase("compile"):
+                group.model.compiled_batched()
+            with self._profile.phase("step"):
+                self._simulate_group_inner(group)
+        except Exception as error:
+            group.curves = None
+            group.diverged_at = None
+            self._kernel_blocklist.add(group.structure_key)
+            self.stats.kernel_fallbacks += 1
+            tracer = self._active_tracer()
+            if tracer is not None:
+                tracer.point(
+                    "degradation",
+                    what="kernel_scalar_fallback",
+                    error_type=type(error).__name__,
+                    detail=str(error)[:200],
+                )
 
     def _simulate_group_inner(self, group: _BatchGroup) -> None:
         task = self.task

@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.gp.checkpoint import (
     CheckpointError,
     checkpoint_file,
-    load_checkpoint,
+    load_checkpoint_resilient,
     result_file,
     save_result,
 )
@@ -131,7 +131,7 @@ def _run_one(
     resume = None
     if os.path.exists(path):
         try:
-            resume = load_checkpoint(path)
+            resume = load_checkpoint_resilient(path)
         except CheckpointError as exc:
             warnings.warn(
                 f"restarting seed {seed} from scratch: {exc}",
@@ -237,7 +237,14 @@ def _campaign_serial(
     """
     completed: list[RunResult] = []
     failed: list[RunFailure] = []
+    stop_reason: str | None = None
+    governor = getattr(engine, "governor", None)
     for seed in seeds:
+        if governor is not None and governor.stop_requested is not None:
+            # A cooperative stop (signal) raised between runs; do not
+            # start another seed just to have it stop at generation 0.
+            stop_reason = governor.stop_requested
+            break
         started = time.monotonic()
         attempt = 0
         while True:
@@ -267,9 +274,19 @@ def _campaign_serial(
                 break
             else:
                 completed.append(result)
-                _finalize_run(checkpoint_dir, seed, result)
+                # A budget- or signal-stopped run is partial: keep its
+                # snapshot (no .result file) so re-running the campaign
+                # with a larger budget resumes it, and stop the
+                # campaign instead of burning budget on later seeds.
+                stop_reason = getattr(result, "stop_reason", None)
+                if stop_reason is None:
+                    _finalize_run(checkpoint_dir, seed, result)
                 break
-    return CampaignResult(completed=completed, failed=failed)
+        if stop_reason is not None:
+            break
+    return CampaignResult(
+        completed=completed, failed=failed, stop_reason=stop_reason
+    )
 
 
 def _campaign_pooled(
@@ -296,6 +313,8 @@ def _campaign_pooled(
     outstanding = list(seeds)
     rebuilds = 0
     timed_out = False
+    stop_reason: str | None = None
+    governor = getattr(engine, "governor", None)
     pool = ProcessPoolExecutor(max_workers=workers)
 
     def record_failure(seed: int, error: BaseException) -> None:
@@ -305,6 +324,12 @@ def _campaign_pooled(
 
     try:
         while outstanding:
+            if stop_reason is None and governor is not None:
+                # Signals land in the parent; workers run to their own
+                # budgets, so a stop between rounds is checked here.
+                stop_reason = governor.stop_requested
+            if stop_reason is not None:
+                break
             retry_later: list[int] = []
             rebuild_seeds: list[int] = []
             pool_error: BaseException | None = None
@@ -344,8 +369,34 @@ def _campaign_pooled(
                 future = futures.get(seed)
                 if future is None:
                     continue  # submission hit a broken pool
+                if timed_out:
+                    # A previous run in this round blew the watchdog;
+                    # drain the rest without blocking.  Never-started
+                    # futures are cancelled, in-flight stragglers get
+                    # their own failure record each, and runs that
+                    # finished in the meantime are still harvested.
+                    if future.cancel():
+                        handle_failure(
+                            seed,
+                            TimeoutError(
+                                f"run with seed {seed} cancelled after "
+                                f"the round exceeded the "
+                                f"{policy.timeout}s watchdog"
+                            ),
+                        )
+                        continue
+                    if not future.done():
+                        handle_failure(
+                            seed,
+                            TimeoutError(
+                                f"run with seed {seed} still running "
+                                f"after the round exceeded the "
+                                f"{policy.timeout}s watchdog"
+                            ),
+                        )
+                        continue
                 try:
-                    if policy.timeout is None:
+                    if policy.timeout is None or timed_out:
                         result = future.result()
                     else:
                         budget = max(
@@ -370,7 +421,14 @@ def _campaign_pooled(
                     handle_failure(seed, exc)
                 else:
                     completed[seed] = result
-                    _finalize_run(checkpoint_dir, seed, result)
+                    # Budget-stopped partial results keep their
+                    # snapshots and end the campaign after this round.
+                    run_stop = getattr(result, "stop_reason", None)
+                    if run_stop is not None:
+                        if stop_reason is None:
+                            stop_reason = run_stop
+                    else:
+                        _finalize_run(checkpoint_dir, seed, result)
 
             if pool_error is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -405,6 +463,7 @@ def _campaign_pooled(
     return CampaignResult(
         completed=[completed[seed] for seed in sorted(completed)],
         failed=[failed[seed] for seed in sorted(failed)],
+        stop_reason=stop_reason,
     )
 
 
@@ -517,15 +576,27 @@ class ProcessPoolBackend(EvaluationBackend):
     least as tight as the original broadcast -- within the documented
     per-batch synchronisation semantics.)
 
+    When the rebuild budget is exhausted the backend descends the
+    degradation ladder instead of aborting the campaign: with
+    ``serial_fallback`` (the default) it evaluates the unfinished chunks
+    in the parent process, counts one ``pool_fallbacks`` in the
+    evaluator's statistics, emits a ``degradation`` trace event, and
+    stays serial for the rest of its life (the sticky ``_degraded``
+    flag) -- a pool that broke ``max_pool_rebuilds + 1`` times is
+    presumed hostile to workers.  ``serial_fallback=False`` preserves
+    the historical raise-on-exhaustion contract.
+
     The backend itself stays picklable: the live pool is dropped on
     pickling and lazily rebuilt.
     """
 
     max_workers: int = 2
     max_pool_rebuilds: int = 2
+    serial_fallback: bool = True
 
     def __post_init__(self) -> None:
         self._pool: ProcessPoolExecutor | None = None
+        self._degraded = False
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
@@ -534,6 +605,8 @@ class ProcessPoolBackend(EvaluationBackend):
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("serial_fallback", True)
+        self.__dict__.setdefault("_degraded", False)
 
     @property
     def effective_workers(self) -> int:
@@ -561,6 +634,11 @@ class ProcessPoolBackend(EvaluationBackend):
     ) -> None:
         pending = list(individuals)
         if not pending:
+            return
+        if self._degraded:
+            # The ladder already engaged for this backend; everything
+            # evaluates in-process with SerialBackend semantics.
+            evaluator.evaluate_batch(pending)
             return
         trace = evaluator._active_tracer()
         chunk_size = -(-len(pending) // self.effective_workers)  # ceil division
@@ -612,10 +690,36 @@ class ProcessPoolBackend(EvaluationBackend):
             if pool_error is not None:
                 self._discard_pool()
                 if rebuilds >= self.max_pool_rebuilds:
-                    raise pool_error
+                    if not self.serial_fallback:
+                        raise pool_error
+                    # Second rung of the degradation ladder: evaluate
+                    # the chunks the broken pool never returned in the
+                    # parent process (their statistics were never
+                    # folded, so nothing double-counts), and stay
+                    # serial from here on.
+                    self._degrade(evaluator, pool_error)
+                    for chunk in unfinished:
+                        evaluator.evaluate_batch(chunk)
+                    return
                 rebuilds += 1
                 GLOBAL_METRICS.counter("pool.eval_rebuilds").inc()
             remaining = unfinished
+
+    def _degrade(
+        self, evaluator: GMRFitnessEvaluator, error: BaseException
+    ) -> None:
+        """Flip the sticky serial-fallback flag and account for it."""
+        self._degraded = True
+        evaluator.stats.pool_fallbacks += 1
+        GLOBAL_METRICS.counter("pool.serial_fallbacks").inc()
+        tracer = evaluator._active_tracer()
+        if tracer is not None:
+            tracer.point(
+                "degradation",
+                what="pool_serial_fallback",
+                error_type=type(error).__name__,
+                detail=str(error)[:200],
+            )
 
     def _discard_pool(self) -> None:
         if self._pool is not None:

@@ -248,10 +248,18 @@ class CampaignResult:
         completed: Successfully finished runs, in seed order.
         failed: Structured records of permanently failed seeds, in seed
             order (empty under ``fail_fast``, which raises instead).
+        stop_reason: Why the campaign stopped early, if it did
+            (``budget:*`` or ``signal:*``, from the first run the
+            :class:`~repro.gp.governor.RunGovernor` stopped), or None
+            for a campaign that ran to completion.  A stopped run's
+            partial result is in ``completed`` but keeps its checkpoint
+            on disk, so re-invoking the campaign with a larger budget
+            resumes it.
     """
 
     completed: list["RunResult"]
     failed: list[RunFailure]
+    stop_reason: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -370,4 +378,8 @@ def run_campaign(
     completed = sorted(
         prior + outcome.completed, key=lambda result: result.seed
     )
-    return CampaignResult(completed=completed, failed=outcome.failed)
+    return CampaignResult(
+        completed=completed,
+        failed=outcome.failed,
+        stop_reason=outcome.stop_reason,
+    )

@@ -52,6 +52,9 @@ class TraceReport:
     evaluation_batches: int
     batch_wall_time: float
     n_events: int
+    heartbeats: int = 0
+    degradations: list[dict[str, Any]] = field(default_factory=list)
+    stops: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def best_fitness_by_generation(self) -> dict[int, float]:
@@ -69,6 +72,9 @@ class TraceReport:
             "retries": self.retries,
             "evaluation_batches": self.evaluation_batches,
             "batch_wall_time": self.batch_wall_time,
+            "heartbeats": self.heartbeats,
+            "degradations": self.degradations,
+            "stops": self.stops,
             "generations": [
                 {
                     "generation": row.generation,
@@ -114,6 +120,18 @@ class TraceReport:
                 f"  retry: seed {retry.get('seed')} attempt "
                 f"{retry.get('attempt')} after {retry.get('error_type')}"
             )
+        if self.heartbeats:
+            lines.append(f"{self.heartbeats} heartbeat(s)")
+        for stop in self.stops:
+            lines.append(
+                f"  stop: {stop.get('reason')} at generation "
+                f"{stop.get('generation')}"
+            )
+        for degradation in self.degradations:
+            descriptor = f"  degradation: {degradation.get('what')}"
+            if degradation.get("error_type"):
+                descriptor += f" after {degradation['error_type']}"
+            lines.append(descriptor)
         if self.generations:
             header = (
                 "gen",
@@ -165,9 +183,12 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
     runs: dict[int, dict[str, Any]] = {}
     run_order: list[int] = []
     retries: list[dict[str, Any]] = []
+    degradations: list[dict[str, Any]] = []
+    stops: list[dict[str, Any]] = []
     checkpoints = 0
     batches = 0
     batch_wall = 0.0
+    heartbeats = 0
     for event in events:
         if event.kind == "generation":
             if event.phase == "end":
@@ -201,6 +222,12 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
         elif event.kind == "evaluation_batch":
             batches += 1
             batch_wall += event.fields.get("wall_time", 0.0)
+        elif event.kind == "heartbeat":
+            heartbeats += 1
+        elif event.kind == "degradation":
+            degradations.append(dict(event.fields))
+        elif event.kind == "run_stop":
+            stops.append(dict(event.fields))
     return TraceReport(
         generations=[generations[g] for g in sorted(generations)],
         runs=[runs[span] for span in run_order],
@@ -209,6 +236,9 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
         evaluation_batches=batches,
         batch_wall_time=batch_wall,
         n_events=len(events),
+        heartbeats=heartbeats,
+        degradations=degradations,
+        stops=stops,
     )
 
 

@@ -119,13 +119,15 @@ class EventSchema:
 #: The closed set of event kinds and their field contracts.
 EVENT_SCHEMAS: dict[str, EventSchema] = {
     # One evolutionary run (span).  ``resumed`` marks checkpoint resumes;
-    # ``start_generation`` is 0 for fresh runs.
+    # ``start_generation`` is 0 for fresh runs.  ``stop_reason`` appears
+    # on the end event of a governed run that stopped early.
     "run": EventSchema(
         required={"seed": int, "resumed": bool, "start_generation": int},
         optional={
             "best_fitness": float,
             "generations": int,
             "evaluations": int,
+            "stop_reason": str,
         },
     ),
     # One completed generation (point), emitted with its record.
@@ -176,6 +178,26 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
     "campaign_retry": EventSchema(
         required={"seed": int, "attempt": int, "error_type": str},
         optional={"delay": float},
+    ),
+    # Periodic liveness signal from a governed run (point): a stalled
+    # campaign stops emitting these, a slow one keeps emitting them.
+    "heartbeat": EventSchema(
+        required={"generation": int, "evaluations": int, "elapsed": float},
+    ),
+    # A governed run stopped early -- budget exhausted or cooperative
+    # signal shutdown (point).  ``reason`` is machine-readable, e.g.
+    # ``budget:generations`` or ``signal:SIGTERM``.
+    "run_stop": EventSchema(
+        required={"reason": str, "generation": int},
+        optional={"evaluations": int, "elapsed": float},
+    ),
+    # The degradation ladder engaged (point): a batched kernel fell back
+    # to the scalar path for one structure, or a broken process pool
+    # fell back to serial evaluation.  Results are unchanged; only the
+    # execution strategy degraded.
+    "degradation": EventSchema(
+        required={"what": str},
+        optional={"error_type": str, "detail": str},
     ),
 }
 

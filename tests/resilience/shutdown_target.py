@@ -1,0 +1,122 @@
+"""Subprocess target for the SIGTERM graceful-shutdown test.
+
+Not a test module: ``tests/resilience/test_shutdown.py`` launches this
+script in a child process, SIGTERMs it mid-run, and then resumes the
+checkpoint it left behind.  The toy problem below mirrors the shared
+``tests/gp/conftest.py`` fixtures (which are pytest fixtures and cannot
+be imported into a plain script) so the parent test can rebuild an
+identical engine in-process and assert bit-identity.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.dynamics.drivers import DriverTable
+from repro.dynamics.integrate import ClampSpec, simulate
+from repro.dynamics.system import ProcessModel
+from repro.dynamics.task import ModelingTask
+from repro.expr import ast
+from repro.expr.ast import Const, Ext, Param, State, Var
+from repro.gp.config import GMRConfig
+from repro.gp.engine import GMREngine
+from repro.gp.governor import RunGovernor
+from repro.gp.knowledge import ExtensionSpec, ParameterPrior, PriorKnowledge
+
+SEED = 5
+MAX_GENERATIONS = 5
+#: Per-generation pause in the child so the parent's SIGTERM reliably
+#: lands while generations are still outstanding.
+GENERATION_SLEEP = 0.3
+
+
+def build_engine() -> GMREngine:
+    """The toy revision problem of ``tests/gp/conftest.py``, verbatim."""
+    seed_equations = {
+        "B": Ext(
+            "Ext1",
+            ast.mul(State("B"), ast.sub(Param("mu"), Param("loss"))),
+        )
+    }
+    knowledge = PriorKnowledge(
+        seed_equations=seed_equations,
+        priors={
+            "mu": ParameterPrior("mu", 0.10, 0.0, 0.5),
+            "loss": ParameterPrior("loss", 0.12, 0.0, 0.5),
+        },
+        extensions=[ExtensionSpec("Ext1", ("Vx",))],
+        rconst_bounds=(-10.0, 10.0),
+    )
+    rng = np.random.default_rng(0)
+    n = 160
+    day = np.arange(n, dtype=float)
+    vx = 1.0 + 0.5 * np.sin(2 * np.pi * day / 40.0) + rng.normal(0, 0.05, n)
+    drivers = DriverTable.from_mapping({"Vx": vx})
+    truth = ProcessModel.from_equations(
+        {
+            "B": ast.add(
+                ast.mul(State("B"), ast.sub(Param("mu"), Param("loss"))),
+                ast.mul(Const(0.5), Var("Vx")),
+            )
+        },
+        var_order=("Vx",),
+    )
+    observed = simulate(
+        truth,
+        (0.15, 0.10),
+        drivers,
+        (2.0,),
+        clamp=ClampSpec(minimum=1e-6, maximum=1e6),
+    )[:, 0]
+    task = ModelingTask(
+        drivers=drivers,
+        observed=observed,
+        target_state="B",
+        state_names=("B",),
+        initial_state=(2.0,),
+    )
+    config = GMRConfig(
+        population_size=6,
+        max_generations=MAX_GENERATIONS,
+        max_size=8,
+        elite_size=1,
+        local_search_steps=1,
+        sigma_rampdown_generations=1,
+    )
+    return GMREngine(knowledge, task, config)
+
+
+def main(argv: list[str]) -> int:
+    checkpoint_path, out_path, ready_path = argv[1], argv[2], argv[3]
+    engine = build_engine()
+    engine.governor = RunGovernor(handle_signals=True)
+
+    def progress(generation, record) -> None:
+        if generation == 0:
+            with open(ready_path, "w", encoding="ascii") as handle:
+                handle.write("ready\n")
+        time.sleep(GENERATION_SLEEP)
+
+    result = engine.run(
+        seed=SEED, checkpoint_path=checkpoint_path, progress=progress
+    )
+    with open(out_path, "w", encoding="ascii") as handle:
+        json.dump(
+            {
+                "stop_reason": result.stop_reason,
+                "history": [
+                    record.best_fitness for record in result.history
+                ],
+                "evaluations": result.stats.evaluations,
+            },
+            handle,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -27,11 +27,16 @@ from repro.gp.faults import (
     FaultInjectingEvaluator,
     FaultPlan,
     InjectedFault,
+    KernelFaultInjectingEvaluator,
     current_attempt,
     record_attempt,
 )
 from repro.gp.init import random_individual
-from repro.gp.parallel import ProcessPoolBackend, run_many_parallel
+from repro.gp.parallel import (
+    ProcessPoolBackend,
+    SerialBackend,
+    run_many_parallel,
+)
 from repro.gp.resilience import FailurePolicy
 
 
@@ -223,7 +228,75 @@ class TestBrokenEvaluationPool:
         ]
         assert evaluator.best_prev_full == pytest.approx(min(fully))
 
-    def test_backend_gives_up_after_rebuild_budget(
+    def test_exhausted_rebuild_budget_degrades_to_serial(
+        self, toy_grammar, toy_knowledge, toy_task, tmp_path
+    ):
+        """Exhausting the rebuild budget engages the serial-fallback
+        rung of the degradation ladder: the unfinished chunks evaluate
+        in the parent, statistics stay exact, and the backend stays
+        serial for later batches."""
+        config = GMRConfig(
+            population_size=8, max_generations=1, max_size=8, es_threshold=None
+        )
+        evaluator = FaultInjectingEvaluator(
+            task=toy_task,
+            config=config,
+            plan=FaultPlan(
+                kill_at_evaluation=1, once_marker_dir=str(tmp_path)
+            ),
+        )
+        individuals = self._individuals(toy_grammar, toy_knowledge, config)
+        backend = ProcessPoolBackend(max_workers=2, max_pool_rebuilds=0)
+        try:
+            backend.evaluate_batch(evaluator, individuals)
+            assert backend._degraded
+            assert all(ind.fitness is not None for ind in individuals)
+            # Exactly one fallback, and no double-counted evaluations.
+            assert evaluator.stats.pool_fallbacks == 1
+            assert evaluator.stats.evaluations == len(individuals)
+            # Later batches stay serial without re-counting a fallback.
+            more = self._individuals(
+                toy_grammar, toy_knowledge, config, n=4
+            )
+            backend.evaluate_batch(evaluator, more)
+            assert all(ind.fitness is not None for ind in more)
+            assert evaluator.stats.pool_fallbacks == 1
+        finally:
+            backend.close()
+
+    def test_degraded_backend_matches_serial_results(
+        self, toy_grammar, toy_knowledge, toy_task, tmp_path
+    ):
+        """The fallback is bit-identical with never having pooled."""
+        config = GMRConfig(
+            population_size=8, max_generations=1, max_size=8, es_threshold=None
+        )
+        reference = FaultInjectingEvaluator(task=toy_task, config=config)
+        healthy = self._individuals(toy_grammar, toy_knowledge, config)
+        SerialBackend().evaluate_batch(reference, healthy)
+
+        evaluator = FaultInjectingEvaluator(
+            task=toy_task,
+            config=config,
+            plan=FaultPlan(
+                kill_at_evaluation=1, once_marker_dir=str(tmp_path)
+            ),
+        )
+        individuals = self._individuals(toy_grammar, toy_knowledge, config)
+        backend = ProcessPoolBackend(max_workers=1, max_pool_rebuilds=0)
+        try:
+            backend.evaluate_batch(evaluator, individuals)
+        finally:
+            backend.close()
+        assert [ind.fitness for ind in individuals] == [
+            ind.fitness for ind in healthy
+        ]
+        assert [ind.fully_evaluated for ind in individuals] == [
+            ind.fully_evaluated for ind in healthy
+        ]
+        assert evaluator.stats.evaluations == reference.stats.evaluations
+
+    def test_serial_fallback_opt_out_preserves_raise_contract(
         self, toy_grammar, toy_knowledge, toy_task
     ):
         config = GMRConfig(
@@ -238,9 +311,45 @@ class TestBrokenEvaluationPool:
         individuals = self._individuals(
             toy_grammar, toy_knowledge, config, n=4
         )
-        backend = ProcessPoolBackend(max_workers=2, max_pool_rebuilds=1)
+        backend = ProcessPoolBackend(
+            max_workers=2, max_pool_rebuilds=1, serial_fallback=False
+        )
         try:
             with pytest.raises(BrokenExecutor):
                 backend.evaluate_batch(evaluator, individuals)
         finally:
             backend.close()
+        assert not backend._degraded
+        assert evaluator.stats.pool_fallbacks == 0
+
+
+class TestKernelLadder:
+    def test_kernel_failure_falls_back_to_scalar_bit_identically(
+        self, make_engine, toy_task
+    ):
+        """First rung of the degradation ladder: a raising batched
+        kernel drops the affected structure group onto the scalar path
+        (and blocklists it) with results identical to a healthy run."""
+        healthy = make_engine(eval_batch_size=6).run(seed=7)
+
+        engine = make_engine(eval_batch_size=6)
+        evaluator = KernelFaultInjectingEvaluator(
+            task=toy_task, config=engine.config, fail_first_groups=2
+        )
+        degraded = engine.run(seed=7, evaluator=evaluator)
+
+        assert evaluator.stats.kernel_fallbacks >= 1
+        assert evaluator._kernel_blocklist
+        assert [r.best_fitness for r in degraded.history] == [
+            r.best_fitness for r in healthy.history
+        ]
+        assert degraded.best_fitness == healthy.best_fitness
+        assert degraded.stats.evaluations == healthy.stats.evaluations
+        assert (
+            degraded.stats.full_evaluations == healthy.stats.full_evaluations
+        )
+
+    def test_healthy_run_records_no_kernel_fallbacks(self, make_engine):
+        result = make_engine(eval_batch_size=6).run(seed=7)
+        assert result.stats.kernel_fallbacks == 0
+        assert result.stats.pool_fallbacks == 0

@@ -1,0 +1,191 @@
+"""Checkpoint retention ring: population, pruning, corruption fallback.
+
+One flipped bit in the newest envelope must not brick a campaign's
+resume: with ``checkpoint_keep > 1`` the loader falls back to the
+newest verifiable ring snapshot (with a warning) and the run continues
+bit-identically from there.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.gp.checkpoint import (
+    CheckpointError,
+    checkpoint_file,
+    load_checkpoint,
+    load_checkpoint_resilient,
+    ring_files,
+    save_checkpoint,
+)
+from repro.gp.config import ConfigError, GMRConfig
+from repro.gp.parallel import execute_campaign
+from repro.gp.resilience import FailurePolicy
+
+
+def histories(result):
+    return [record.best_fitness for record in result.history]
+
+
+def flip_byte(path, offset=-1):
+    """Corrupt one payload byte in place (offset from the file end)."""
+    with open(path, "r+b") as handle:
+        handle.seek(offset, os.SEEK_END)
+        byte = handle.read(1)
+        handle.seek(offset, os.SEEK_END)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def truncate(path, drop=16):
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(0, size - drop))
+
+
+class TestRing:
+    def test_keep_one_writes_no_ring(self, make_engine, tmp_path):
+        engine = make_engine(checkpoint_every=1, max_generations=3)
+        path = tmp_path / "run.ckpt"
+        engine.run(seed=2, checkpoint_path=path)
+        assert ring_files(path) == []
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["run.ckpt"]
+
+    def test_ring_retains_newest_keep_generations(self, make_engine, tmp_path):
+        engine = make_engine(
+            checkpoint_every=1, checkpoint_keep=3, max_generations=5
+        )
+        path = tmp_path / "run.ckpt"
+        engine.run(seed=2, checkpoint_path=path)
+        rings = ring_files(path)
+        assert [load_checkpoint(ring).generation for ring in rings] == [5, 4, 3]
+        assert load_checkpoint(path).generation == 5
+
+    def test_prune_is_deterministic_after_keep_shrinks(self, tmp_path, make_engine):
+        engine = make_engine(
+            checkpoint_every=1, checkpoint_keep=4, max_generations=4
+        )
+        path = tmp_path / "run.ckpt"
+        engine.run(seed=6, checkpoint_path=path)
+        assert len(ring_files(path)) == 4
+        # Re-save with keep=1: the whole ring is pruned away.
+        save_checkpoint(load_checkpoint(path), path, keep=1)
+        assert ring_files(path) == []
+
+    def test_checkpoint_keep_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            GMRConfig(checkpoint_keep=0)
+
+    def test_retention_ring_does_not_change_results(self, make_engine, tmp_path):
+        plain = make_engine(checkpoint_every=1, max_generations=3)
+        ringed = make_engine(
+            checkpoint_every=1, checkpoint_keep=3, max_generations=3
+        )
+        theirs = plain.run(seed=9, checkpoint_path=tmp_path / "a.ckpt")
+        ours = ringed.run(seed=9, checkpoint_path=tmp_path / "b.ckpt")
+        assert histories(ours) == histories(theirs)
+        assert ours.best_fitness == theirs.best_fitness
+
+
+class TestCorruptionFallback:
+    @pytest.fixture()
+    def ringed_run(self, make_engine, tmp_path):
+        engine = make_engine(
+            checkpoint_every=1, checkpoint_keep=3, max_generations=4
+        )
+        path = tmp_path / "run.ckpt"
+        full = engine.run(seed=3, checkpoint_path=path)
+        return engine, path, full
+
+    @pytest.mark.parametrize("corrupt", [flip_byte, truncate])
+    def test_corrupt_canonical_falls_back_to_ring(self, ringed_run, corrupt):
+        __, path, __ = ringed_run
+        corrupt(path)
+        with pytest.warns(RuntimeWarning, match="retention-ring"):
+            checkpoint = load_checkpoint_resilient(path)
+        # The newest ring copy is the same generation as the canonical.
+        assert checkpoint.generation == 4
+
+    @pytest.mark.parametrize("corrupt", [flip_byte, truncate])
+    def test_corrupt_newest_falls_back_to_predecessor_and_resumes(
+        self, ringed_run, corrupt
+    ):
+        engine, path, full = ringed_run
+        corrupt(path)
+        corrupt(ring_files(path)[0])
+        with pytest.warns(RuntimeWarning, match="retention-ring"):
+            checkpoint = load_checkpoint_resilient(path)
+        assert checkpoint.generation == 3
+        resumed = engine.run(resume_from=checkpoint, checkpoint_path=path)
+        assert histories(resumed) == histories(full)
+        assert resumed.best_fitness == full.best_fitness
+        assert resumed.stats.evaluations == full.stats.evaluations
+
+    def test_no_verifiable_snapshot_raises_primary_error(self, ringed_run):
+        __, path, __ = ringed_run
+        flip_byte(path)
+        for ring in ring_files(path):
+            flip_byte(ring)
+        with pytest.raises(CheckpointError, match="integrity"):
+            load_checkpoint_resilient(path)
+
+    def test_without_ring_corruption_still_raises(self, make_engine, tmp_path):
+        engine = make_engine(checkpoint_every=1, max_generations=3)
+        path = tmp_path / "run.ckpt"
+        engine.run(seed=5, checkpoint_path=path)
+        flip_byte(path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint_resilient(path)
+
+    def test_campaign_resumes_through_corrupted_canonical(
+        self, make_engine, tmp_path
+    ):
+        """End-to-end: a campaign whose newest snapshot was corrupted
+        resumes from the ring instead of restarting the seed."""
+        reference = make_engine(checkpoint_every=1, checkpoint_keep=3).run(
+            seed=0
+        )
+        engine = make_engine(checkpoint_every=1, checkpoint_keep=3)
+        ckpt_dir = tmp_path / "campaign"
+        os.makedirs(ckpt_dir)
+
+        class Crash(RuntimeError):
+            pass
+
+        def crash_late(generation, record):
+            if generation == 2:
+                raise Crash
+
+        with pytest.raises(Crash):
+            engine.run(
+                seed=0,
+                checkpoint_path=checkpoint_file(ckpt_dir, 0),
+                progress=crash_late,
+            )
+        flip_byte(checkpoint_file(ckpt_dir, 0))
+        with pytest.warns(RuntimeWarning, match="retention-ring"):
+            outcome = execute_campaign(
+                engine, [0], FailurePolicy.collect(), 1, os.fspath(ckpt_dir)
+            )
+        assert not outcome.failed
+        assert histories(outcome.completed[0]) == histories(reference)
+
+
+class TestTempSweep:
+    def test_save_sweeps_stale_temp_files(self, make_engine, tmp_path):
+        path = tmp_path / "run.ckpt"
+        stale = tmp_path / "run.ckpt.tmp.99999"
+        stale.write_bytes(b"orphan from a dead writer")
+        engine = make_engine(checkpoint_every=1, max_generations=2)
+        engine.run(seed=1, checkpoint_path=path)
+        assert not stale.exists()
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["run.ckpt"]
+
+    def test_sweep_ignores_other_paths_temps(self, make_engine, tmp_path):
+        path = tmp_path / "run.ckpt"
+        other = tmp_path / "other.ckpt.tmp.12345"
+        other.write_bytes(b"someone else's temp")
+        engine = make_engine(checkpoint_every=1, max_generations=2)
+        engine.run(seed=1, checkpoint_path=path)
+        assert other.exists()

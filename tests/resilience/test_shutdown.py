@@ -1,0 +1,119 @@
+"""Signal-safe shutdown, end to end: SIGTERM a real child process.
+
+The child (``shutdown_target.py``) runs a governed engine with
+cooperative SIGTERM handling; the parent kills it mid-run and asserts
+the contract: the in-flight generation completes, a final checkpoint
+with the stop reason lands on disk, the process exits 0 with a
+partial-but-valid result, and resuming that checkpoint reproduces the
+uninterrupted run bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.gp.checkpoint import load_checkpoint
+
+from tests.resilience import shutdown_target
+
+
+def _src_path() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+@pytest.fixture(scope="module")
+def terminated_child(tmp_path_factory):
+    """Run the child, SIGTERM it mid-run, and collect its leavings."""
+    tmp_path = tmp_path_factory.mktemp("shutdown")
+    checkpoint_path = tmp_path / "run.ckpt"
+    out_path = tmp_path / "result.json"
+    ready_path = tmp_path / "ready"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_src_path(), env.get("PYTHONPATH")) if p
+    )
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            os.path.abspath(shutdown_target.__file__),
+            os.fspath(checkpoint_path),
+            os.fspath(out_path),
+            os.fspath(ready_path),
+        ],
+        env=env,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while not ready_path.exists():
+            if child.poll() is not None:
+                pytest.fail(
+                    f"child exited with {child.returncode} before ready"
+                )
+            if time.monotonic() > deadline:
+                pytest.fail("child never reached generation 0")
+            time.sleep(0.02)
+        child.send_signal(signal.SIGTERM)
+        returncode = child.wait(timeout=60)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=10)
+    return returncode, checkpoint_path, out_path
+
+
+class TestSubprocessSigterm:
+    def test_child_exits_cleanly(self, terminated_child):
+        returncode, __, out_path = terminated_child
+        assert returncode == 0
+        assert out_path.exists()
+
+    def test_partial_result_reports_signal_stop(self, terminated_child):
+        __, __, out_path = terminated_child
+        payload = json.loads(out_path.read_text())
+        assert payload["stop_reason"] == "signal:SIGTERM"
+        # Partial but valid: at least the seed generation completed,
+        # and the run did not get to finish every generation.
+        assert 1 <= len(payload["history"]) <= shutdown_target.MAX_GENERATIONS
+        assert payload["evaluations"] > 0
+
+    def test_final_checkpoint_covers_completed_generation(
+        self, terminated_child
+    ):
+        __, checkpoint_path, out_path = terminated_child
+        payload = json.loads(out_path.read_text())
+        checkpoint = load_checkpoint(checkpoint_path)
+        assert checkpoint.stop_reason == "signal:SIGTERM"
+        # The in-flight generation finished before the stop: the
+        # snapshot is exactly the last completed generation.
+        assert checkpoint.generation == len(payload["history"]) - 1
+        assert [
+            record.best_fitness for record in checkpoint.history
+        ] == payload["history"]
+
+    def test_resume_is_bit_identical_to_uninterrupted(self, terminated_child):
+        __, checkpoint_path, out_path = terminated_child
+        payload = json.loads(out_path.read_text())
+
+        full = shutdown_target.build_engine().run(seed=shutdown_target.SEED)
+        full_history = [record.best_fitness for record in full.history]
+        # The child's partial history is a bitwise prefix of the full run.
+        assert payload["history"] == full_history[: len(payload["history"])]
+
+        resumed = shutdown_target.build_engine().run(
+            resume_from=checkpoint_path
+        )
+        assert resumed.stop_reason is None
+        assert [
+            record.best_fitness for record in resumed.history
+        ] == full_history
+        assert resumed.best_fitness == full.best_fitness
+        assert resumed.stats.evaluations == full.stats.evaluations
