@@ -1,0 +1,68 @@
+"""Cohort fusion: fused generation kernels vs. the per-structure path.
+
+Shape targets: integrating a mixed generation (>= 8 distinct structures,
+a few parameter columns each) through fused cohort kernels must beat one
+batched rollout per structure by at least 5x, cross-structure CSE must
+pool the fused kernel below the per-structure op total, and the
+end-to-end ``evaluate_batch`` pass must not be slower with fusion on.
+The run emits ``BENCH_fusion.json`` so future PRs have a recorded perf
+baseline (see ``benchmarks/baselines/``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.kernel_fusion import (
+    DEFAULT_COLUMNS,
+    DEFAULT_N_STRUCTURES,
+    run_kernel_fusion,
+)
+
+#: Minimum fused speedup over the per-structure batched path on the
+#: mixed-structure generation (the ISSUE's acceptance floor).
+SPEEDUP_TARGET = 5.0
+
+#: Distinct structures the acceptance criterion requires.
+MIN_STRUCTURES = 8
+
+#: Where the perf baseline lands (repo root when run via pytest).
+BENCH_JSON = os.environ.get("REPRO_BENCH_FUSION_JSON", "BENCH_fusion.json")
+
+
+def test_kernel_fusion_regenerates(benchmark, scale_name):
+    result = benchmark.pedantic(
+        run_kernel_fusion, args=(scale_name,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    result.write_json(BENCH_JSON)
+
+    assert result.n_structures == DEFAULT_N_STRUCTURES >= MIN_STRUCTURES
+    assert result.columns_per_structure == DEFAULT_COLUMNS
+    assert result.n_cases > 0
+    assert result.per_structure_seconds > 0
+    assert result.fused_seconds > 0
+    assert result.speedup >= SPEEDUP_TARGET, (
+        f"expected >= {SPEEDUP_TARGET}x over the per-structure batched "
+        f"path on {result.n_structures} structures, got "
+        f"{result.speedup:.2f}x"
+    )
+    # Cross-structure CSE must actually pool work: the fused kernel runs
+    # fewer NumPy assignments than the per-structure kernels combined.
+    assert 0.0 < result.cse_pooling < 1.0
+    # End-to-end through the evaluator, fusion must pay for itself even
+    # though planning and scoring are shared with the unfused path.
+    assert result.cohort_speedup > 1.0, (
+        f"evaluate_batch slower with fusion on: "
+        f"{result.cohort_speedup:.2f}x"
+    )
+    assert result.fused_cohorts > 0
+    assert result.fused_columns >= result.cohort_size
+    assert result.fusion_fallbacks == 0
+
+    with open(BENCH_JSON) as handle:
+        payload = json.load(handle)
+    assert payload["speedup"] == result.speedup
+    assert payload["scale"] == result.scale

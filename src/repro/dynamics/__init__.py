@@ -7,13 +7,19 @@ from repro.dynamics.integrate import (
     SimulationDiverged,
     batched_euler_rollout,
     euler_steps,
+    fused_euler_rollout,
     is_finite_trajectory,
     observation_error_stream,
     rk4_steps,
     safe_simulate,
     simulate,
 )
-from repro.dynamics.system import ModelError, ProcessModel
+from repro.dynamics.system import (
+    ModelError,
+    ProcessModel,
+    cohort_signature,
+    compile_cohort,
+)
 from repro.dynamics.task import BAD_FITNESS, ModelingTask
 
 __all__ = [
@@ -27,7 +33,10 @@ __all__ = [
     "ProcessModel",
     "SimulationDiverged",
     "batched_euler_rollout",
+    "cohort_signature",
+    "compile_cohort",
     "euler_steps",
+    "fused_euler_rollout",
     "is_finite_trajectory",
     "observation_error_stream",
     "rk4_steps",

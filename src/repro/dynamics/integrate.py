@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.dynamics.drivers import DriverTable
 from repro.dynamics.system import ProcessModel
+from repro.expr.compile import CompiledCohortKernel
 from repro.obs.metrics import GLOBAL_METRICS
 
 #: Element budget for hoisted driver-dependent temporaries in batched
@@ -233,16 +234,44 @@ def batched_euler_rollout(
     GLOBAL_METRICS.counter("kernel.batched_rollouts").inc()
     GLOBAL_METRICS.counter("kernel.batched_columns").inc(n_columns)
     GLOBAL_METRICS.counter("kernel.batched_steps").inc(n_steps * n_columns)
+    return _euler_rollout_core(
+        model.compiled_batched(),
+        params,
+        drivers.values,
+        initial,
+        n_states,
+        dt,
+        clamp,
+    )
+
+
+def _euler_rollout_core(
+    kernel,
+    params: np.ndarray,
+    rows: np.ndarray,
+    initial: np.ndarray,
+    n_states: int,
+    dt: float,
+    clamp: ClampSpec,
+) -> BatchedRollout:
+    """The shared per-step loop of the batched and fused rollout forms.
+
+    ``kernel`` is any two-phase step kernel (batched or cohort); its
+    column axis is opaque here -- per-column divergence masking and
+    freezing work identically whether the columns belong to one
+    structure's K candidates or to M structures' padded lanes, because
+    every operation in the loop is elementwise over that axis.
+    """
+    n_steps = len(rows)
+    n_columns = params.shape[1]
     states = np.empty((n_steps, n_states, n_columns), dtype=float)
     diverged_at = np.full(n_columns, n_steps, dtype=np.int64)
     if n_columns == 0 or n_steps == 0:
         return BatchedRollout(states=states, diverged_at=diverged_at)
-    kernel = model.compiled_batched()
     state = np.repeat(initial[:, np.newaxis], n_columns, axis=1)
     alive = np.ones(n_columns, dtype=bool)
     any_dead = False
     finished = False
-    rows = drivers.values
     # Driver-dependent temporaries are hoisted out of the step loop and
     # evaluated over whole blocks of rows at once; the block length keeps
     # the hoisted arrays within a fixed element budget.
@@ -287,6 +316,62 @@ def batched_euler_rollout(
             if finished:
                 break
     return BatchedRollout(states=states, diverged_at=diverged_at)
+
+
+def fused_euler_rollout(
+    kernel: CompiledCohortKernel,
+    params: np.ndarray,
+    drivers: DriverTable,
+    initial_state: Sequence[float],
+    var_order: Sequence[str],
+    dt: float = 1.0,
+    clamp: ClampSpec = ClampSpec(),
+) -> BatchedRollout:
+    """Integrate a fused multi-structure cohort kernel in a single pass.
+
+    The cohort twin of :func:`batched_euler_rollout`: the same per-step
+    loop advances all ``M * K`` lanes of the fused kernel at once.  Lane
+    ``m * K + k`` of the result is bit-identical to column ``k`` of a
+    :func:`batched_euler_rollout` of member ``m`` alone, because every
+    loop operation (derivative kernel included) is elementwise over the
+    lane axis; divergence is likewise masked per lane, so a padding lane
+    or another member's lane going NaN never perturbs live lanes.
+
+    Args:
+        kernel: A fused cohort kernel from
+            :func:`repro.expr.compile.compile_model_cohort`.
+        params: Padded parameter matrix of shape
+            ``(kernel.n_params, kernel.width)``; member ``m``'s rows
+            beyond its own parameter count are never read by its lanes.
+        drivers: Driver table; reordered to ``var_order`` if needed.
+        initial_state: Starting values shared by every lane.
+        var_order: Driver-variable order the kernel was compiled with
+            (shared by all cohort members).
+        dt: Step size (days).
+        clamp: Clamping band applied to every state after each step.
+    """
+    var_order = tuple(var_order)
+    if drivers.names != var_order:
+        drivers = drivers.select(var_order)
+    params = np.asarray(params, dtype=float)
+    if params.shape != (kernel.n_params, kernel.width):
+        raise ValueError(
+            f"params has shape {params.shape}, fused kernel expects "
+            f"({kernel.n_params}, {kernel.width})"
+        )
+    initial = np.asarray(initial_state, dtype=float)
+    if initial.shape != (kernel.n_states,):
+        raise ValueError(
+            f"initial state has shape {initial.shape}, cohort has "
+            f"{kernel.n_states} states"
+        )
+    n_steps = len(drivers)
+    GLOBAL_METRICS.counter("kernel.fused_rollouts").inc()
+    GLOBAL_METRICS.counter("kernel.fused_lanes").inc(kernel.width)
+    GLOBAL_METRICS.counter("kernel.fused_steps").inc(n_steps * kernel.width)
+    return _euler_rollout_core(
+        kernel, params, drivers.values, initial, kernel.n_states, dt, clamp
+    )
 
 
 def simulate(

@@ -52,7 +52,10 @@ import sys
 from repro.experiments import REGISTRY
 
 #: Experiments whose runners accept a scale argument.
-_SCALED = {"table5", "fig9", "fig10", "fig11", "scaling", "case-study", "kernel"}
+_SCALED = {
+    "table5", "fig9", "fig10", "fig11", "scaling", "case-study", "kernel",
+    "fusion",
+}
 
 #: Experiments whose runners accept a checkpoint directory.
 _RESUMABLE = {"table5", "scaling"}

@@ -15,7 +15,7 @@ The compiler and the reference interpreter in :mod:`repro.expr.evaluate`
 implement identical protected semantics; the property-based test suite
 checks them against each other on random expressions.
 
-Two kernel forms are emitted from the same lowering pass:
+Three kernel forms are emitted from the same lowering pass:
 
 * the **scalar** form (:func:`compile_model`) steps one candidate at a
   time through plain Python floats, and
@@ -24,7 +24,13 @@ Two kernel forms are emitted from the same lowering pass:
   matrix, ``S`` an ``(n_states, K)`` state matrix, and every protected
   operator is the vectorised twin of the interpreter's
   (:func:`repro.expr.evaluate.batched_protected_div` and friends), so a
-  batched step agrees with K scalar steps to float tolerance.
+  batched step agrees with K scalar steps to float tolerance, and
+* the **cohort** form (:func:`compile_model_cohort`) fuses M distinct
+  structures into one kernel over ``M * K`` padded lanes: every member's
+  subexpressions are evaluated over the full fused width through a
+  cohort-wide value-numbering table, so positionally identical
+  subexpressions of *different* structures are computed once, and each
+  member's results are written only to its own lane slice.
 
 Compilation cost is paid once per structure per process: kernels are
 memoised in a bounded process-global LRU (:data:`KERNEL_CACHE`), which
@@ -111,6 +117,46 @@ class CompiledBatchedModel:
     ) -> np.ndarray:
         table = np.asarray(driver_row, dtype=float).reshape(1, -1)
         return self._step_fn(params, self._precompute_fn(params, table), 0, states)
+
+
+class CompiledCohortKernel(CompiledBatchedModel):
+    """A fused step kernel integrating several structures side by side.
+
+    The cohort form generalises the batched kernel from one structure's
+    K parameter columns to M structures × K lanes: parameter matrix
+    ``P`` has shape ``(n_params, M * K)`` (rows follow each member's own
+    ``param_order`` within its lane block, unused rows are ignored) and
+    the state matrix ``S`` has shape ``(n_states, M * K)``.  Member
+    ``m`` owns lanes ``[m * K, (m + 1) * K)``; every subexpression is
+    evaluated over the *full* fused width, so positionally identical
+    subexpressions of different members collapse to one temp under value
+    numbering -- the lanes a member does not own carry other members'
+    values (or garbage) and are never written to its output slice.
+    """
+
+    __slots__ = ("n_members", "lanes_per_member", "n_params", "n_states")
+
+    def __init__(
+        self,
+        precompute_fn: Callable,
+        step_fn: Callable,
+        source: str,
+        n_hoisted: int,
+        n_members: int,
+        lanes_per_member: int,
+        n_params: int,
+        n_states: int,
+    ) -> None:
+        super().__init__(precompute_fn, step_fn, source, n_hoisted)
+        self.n_members = n_members
+        self.lanes_per_member = lanes_per_member
+        self.n_params = n_params
+        self.n_states = n_states
+
+    @property
+    def width(self) -> int:
+        """Total fused lane count ``n_members * lanes_per_member``."""
+        return self.n_members * self.lanes_per_member
 
 
 class CompilationError(ValueError):
@@ -333,6 +379,13 @@ class _BatchedEmitter:
         self._rows: dict[str, str] = {}
         #: Hoisted temp names in precompute-return order.
         self.hoisted: list[str] = []
+        #: Temps whose trailing axis spans the full column width.  Temps
+        #: built from constants and drivers alone stay scalar or
+        #: ``(1,)``-shaped and only *broadcast* against the K columns;
+        #: callers that slice a temp column-wise (the cohort form's
+        #: partial output writes) must consult this set, because slicing
+        #: a narrow temp would misalign it.
+        self._wide: set[str] = set()
 
     def _deps(self, expr: Expr) -> int:
         key = id(expr)
@@ -411,22 +464,30 @@ class _BatchedEmitter:
             return cached
         if isinstance(expr, Const):
             rhs = repr(expr.value)
+            wide = False
         elif isinstance(expr, Param):
             rhs = f"P[{self._lookup(self._param_index, expr.name, 'parameter')}]"
+            wide = True
         elif isinstance(expr, Var):
             index = self._lookup(self._var_index, expr.name, "variable")
             rhs = f"VT[:, {index}:{index + 1}]"
+            wide = False
         elif isinstance(expr, UnOp):
-            rhs = self._unary_rhs(expr.op, self._emit_pre(expr.operand))
+            operand = self._emit_pre(expr.operand)
+            rhs = self._unary_rhs(expr.op, operand)
+            wide = operand in self._wide
         elif isinstance(expr, BinOp):
-            rhs = self._binary_rhs(
-                expr.op, self._emit_pre(expr.lhs), self._emit_pre(expr.rhs)
-            )
+            lhs = self._emit_pre(expr.lhs)
+            rhs_operand = self._emit_pre(expr.rhs)
+            rhs = self._binary_rhs(expr.op, lhs, rhs_operand)
+            wide = lhs in self._wide or rhs_operand in self._wide
         else:
             raise CompilationError(
                 f"cannot compile node type {type(expr).__name__}"
             )
         name = self._assign(self.pre_lines, self._pre_values, rhs)
+        if wide:
+            self._wide.add(name)
         self._pre_memo[key] = name
         return name
 
@@ -439,6 +500,8 @@ class _BatchedEmitter:
             row = self._assign(
                 self.step_lines, self._step_values, f"C[{index}][t]"
             )
+            if hoisted in self._wide:
+                self._wide.add(row)
             self._rows[hoisted] = row
         return row
 
@@ -457,21 +520,29 @@ class _BatchedEmitter:
             return name
         if isinstance(expr, Const):
             rhs = repr(expr.value)
+            wide = False
         elif isinstance(expr, Param):
             rhs = f"P[{self._lookup(self._param_index, expr.name, 'parameter')}]"
+            wide = True
         elif isinstance(expr, State):
             rhs = f"S[{self._lookup(self._state_index, expr.name, 'state')}]"
+            wide = True
         elif isinstance(expr, UnOp):
-            rhs = self._unary_rhs(expr.op, self.emit(expr.operand))
+            operand = self.emit(expr.operand)
+            rhs = self._unary_rhs(expr.op, operand)
+            wide = operand in self._wide
         elif isinstance(expr, BinOp):
-            rhs = self._binary_rhs(
-                expr.op, self.emit(expr.lhs), self.emit(expr.rhs)
-            )
+            lhs = self.emit(expr.lhs)
+            rhs_operand = self.emit(expr.rhs)
+            rhs = self._binary_rhs(expr.op, lhs, rhs_operand)
+            wide = lhs in self._wide or rhs_operand in self._wide
         else:
             raise CompilationError(
                 f"cannot compile node type {type(expr).__name__}"
             )
         name = self._assign(self.step_lines, self._step_values, rhs)
+        if wide:
+            self._wide.add(name)
         self._step_memo[key] = name
         return name
 
@@ -544,14 +615,7 @@ def compile_model_batched(
     source, n_hoisted = _generate_batched(
         exprs, param_order, var_order, state_order
     )
-    namespace: dict[str, Any] = {
-        "_empty": np.empty,
-        "_pdiv": batched_protected_div,
-        "_plog": batched_protected_log,
-        "_pexp": batched_protected_exp,
-        "_pmin": batched_min,
-        "_pmax": batched_max,
-    }
+    namespace = _batched_namespace()
     code = compile(source, filename="<repro:_compiled_batched>", mode="exec")
     exec(code, namespace)  # noqa: S102 - generated from our own AST only
     return CompiledBatchedModel(
@@ -559,6 +623,168 @@ def compile_model_batched(
         step_fn=namespace["_compiled_batched"],
         source=source,
         n_hoisted=n_hoisted,
+    )
+
+
+def _batched_namespace() -> dict[str, Any]:
+    """Exec namespace shared by the batched and cohort kernel forms."""
+    return {
+        "_empty": np.empty,
+        "_pdiv": batched_protected_div,
+        "_plog": batched_protected_log,
+        "_pexp": batched_protected_exp,
+        "_pmin": batched_min,
+        "_pmax": batched_max,
+    }
+
+
+class _CohortEmitter(_BatchedEmitter):
+    """A :class:`_BatchedEmitter` whose value tables span a whole cohort.
+
+    One emitter lowers several structures in sequence into a *single*
+    pair of precompute/step streams.  The per-stream value tables, the
+    hoisted-temporary registry, and the temp counter persist across
+    members, so a subexpression that is positionally identical in two
+    members (same parameter/state/driver indices, same operators) hits
+    the value-numbering table and is computed once over the full fused
+    width.  Only the identity memos and the parameter index mapping are
+    member-local: each member's ``param_order`` maps its own names onto
+    the shared ``P`` rows, and expression objects must never inherit a
+    temp emitted under another member's parameter mapping.
+    """
+
+    def begin_member(self, param_order: Sequence[str]) -> None:
+        """Switch to the next member's parameter mapping."""
+        self._param_index = {name: i for i, name in enumerate(param_order)}
+        self._pre_memo = {}
+        self._step_memo = {}
+        self._dep_memo = {}
+
+
+def _merge_lane_runs(temps: Sequence[str]) -> list[tuple[int, int, str]]:
+    """Collapse per-member output temps into ``(start, stop, temp)`` runs.
+
+    Adjacent members whose equation for a state lowered to the *same*
+    temp (identical structure after CSE) share one slice write.
+    """
+    runs: list[tuple[int, int, str]] = []
+    for member, temp in enumerate(temps):
+        if runs and runs[-1][2] == temp and runs[-1][1] == member:
+            runs[-1] = (runs[-1][0], member + 1, temp)
+        else:
+            runs.append((member, member + 1, temp))
+    return runs
+
+
+def _generate_cohort(
+    members: Sequence[tuple[Sequence[Expr], Sequence[str]]],
+    var_order: Sequence[str],
+    state_order: Sequence[str],
+    lanes_per_member: int,
+    name: str = "_compiled_cohort",
+) -> tuple[str, int]:
+    """Fused cohort source plus its hoisted-temporary count.
+
+    ``members`` holds one ``(exprs, param_order)`` pair per structure;
+    every member must supply one expression per state of
+    ``state_order``.  The generated step function writes member ``m``'s
+    results into lanes ``[m * K, (m + 1) * K)`` of the output; temps
+    that stay narrow (constant- or driver-only) are assigned unsliced
+    and broadcast into the slice.
+    """
+    if not members:
+        raise CompilationError("a cohort needs at least one member")
+    if lanes_per_member < 1:
+        raise CompilationError("lanes_per_member must be >= 1")
+    n_states = len(state_order)
+    emitter = _CohortEmitter((), var_order, state_order)
+    results: list[list[str]] = []
+    for exprs, param_order in members:
+        if len(exprs) != n_states:
+            raise CompilationError(
+                f"cohort member has {len(exprs)} equations, "
+                f"cohort states are {n_states}"
+            )
+        emitter.begin_member(param_order)
+        results.append([emitter.emit(expr) for expr in exprs])
+    returns = ", ".join(emitter.hoisted)
+    if len(emitter.hoisted) == 1:
+        returns += ","
+    width = len(members) * lanes_per_member
+    lines = [
+        "def _precompute_batched(P, VT):",
+        *emitter.pre_lines,
+        f"    return ({returns})",
+        "",
+        f"def {name}(P, C, t, S):",
+        *emitter.step_lines,
+        f"    _out = _empty(({n_states}, S.shape[1]))",
+    ]
+    for state_index in range(n_states):
+        temps = [member_results[state_index] for member_results in results]
+        for start, stop, temp in _merge_lane_runs(temps):
+            if start == 0 and stop == len(members):
+                lines.append(f"    _out[{state_index}] = {temp}")
+                continue
+            lo = start * lanes_per_member
+            hi = stop * lanes_per_member
+            if temp in emitter._wide:
+                lines.append(
+                    f"    _out[{state_index}, {lo}:{hi}] = {temp}[{lo}:{hi}]"
+                )
+            else:
+                lines.append(f"    _out[{state_index}, {lo}:{hi}] = {temp}")
+    lines.append("    return _out")
+    return "\n".join(lines), len(emitter.hoisted)
+
+
+def generate_cohort_source(
+    members: Sequence[tuple[Sequence[Expr], Sequence[str]]],
+    var_order: Sequence[str],
+    state_order: Sequence[str],
+    lanes_per_member: int,
+    name: str = "_compiled_cohort",
+) -> str:
+    """Generate NumPy source for a fused multi-structure cohort kernel."""
+    source, __ = _generate_cohort(
+        members, var_order, state_order, lanes_per_member, name
+    )
+    return source
+
+
+def compile_model_cohort(
+    members: Sequence[tuple[Sequence[Expr], Sequence[str]]],
+    var_order: Sequence[str],
+    state_order: Sequence[str],
+    lanes_per_member: int,
+) -> CompiledCohortKernel:
+    """Compile M structures into one fused cohort step kernel.
+
+    The fused kernel agrees lane for lane with each member's own
+    batched kernel bit for bit: every emitted operation is elementwise
+    over the lane axis, so evaluating a member's subexpressions over
+    the full fused width (including lanes it does not own) changes
+    nothing about the values computed *in* its lanes, and the shared
+    temps produced by cross-member CSE hold, per lane, exactly what the
+    member's standalone emission would have computed there.  Lanes a
+    member does not own -- other members' lanes and padding -- never
+    reach its output rows.
+    """
+    source, n_hoisted = _generate_cohort(
+        members, var_order, state_order, lanes_per_member
+    )
+    namespace = _batched_namespace()
+    code = compile(source, filename="<repro:_compiled_cohort>", mode="exec")
+    exec(code, namespace)  # noqa: S102 - generated from our own AST only
+    return CompiledCohortKernel(
+        precompute_fn=namespace["_precompute_batched"],
+        step_fn=namespace["_compiled_cohort"],
+        source=source,
+        n_hoisted=n_hoisted,
+        n_members=len(members),
+        lanes_per_member=lanes_per_member,
+        n_params=max(len(param_order) for __, param_order in members),
+        n_states=len(state_order),
     )
 
 

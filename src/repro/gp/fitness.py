@@ -24,21 +24,25 @@ from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
-from repro.dynamics.integrate import SimulationDiverged, batched_euler_rollout
-from repro.dynamics.system import ProcessModel
+from repro.dynamics.integrate import (
+    SimulationDiverged,
+    batched_euler_rollout,
+    fused_euler_rollout,
+)
+from repro.dynamics.system import ProcessModel, compile_cohort
 from repro.dynamics.task import BAD_FITNESS, ModelingTask
-from repro.expr.compile import KernelCache, KernelCacheStats
+from repro.expr.compile import (
+    CompiledCohortKernel,
+    CompiledModel,
+    KernelCache,
+    KernelCacheStats,
+)
 from repro.gp.cache import CacheStats, TreeCache
-from repro.gp.config import GMRConfig
+from repro.gp.config import MIN_BATCH_COLUMNS, GMRConfig  # noqa: F401 - re-export
 from repro.gp.individual import Individual
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import PhaseProfile
 from repro.obs.trace import Tracer
-
-#: Structure groups smaller than this take the scalar path: a batched
-#: rollout always integrates the full horizon, so for a lone candidate
-#: the scalar kernel (which can still short-circuit) is the better deal.
-MIN_BATCH_COLUMNS = 2
 
 #: Extrapolates a final fitness from a partial one:
 #: ``extrapolate(partial_fitness, cases_done, total_cases)``.
@@ -113,6 +117,16 @@ class EvaluationStats:
     #: Process-pool backends that degraded to serial evaluation after
     #: exhausting their rebuild budget (``ProcessPoolBackend``).
     pool_fallbacks: int = 0
+    #: Fused multi-structure cohort kernels run to completion
+    #: (``GMRFitnessEvaluator._simulate_cohort``).
+    fused_cohorts: int = 0
+    #: Live parameter columns integrated through fused cohort kernels
+    #: (padding lanes excluded).
+    fused_columns: int = 0
+    #: Cohorts demoted from the fused kernel back to per-structure
+    #: batched rollouts after the fused kernel raised (degradation
+    #: ladder rung above ``kernel_fallbacks``).
+    fusion_fallbacks: int = 0
 
     def __setstate__(self, state: dict) -> None:
         # Checkpoints written before the static-triage fields pickle
@@ -122,6 +136,9 @@ class EvaluationStats:
         self.__dict__.setdefault("triage_time", 0.0)
         self.__dict__.setdefault("kernel_fallbacks", 0)
         self.__dict__.setdefault("pool_fallbacks", 0)
+        self.__dict__.setdefault("fused_cohorts", 0)
+        self.__dict__.setdefault("fused_columns", 0)
+        self.__dict__.setdefault("fusion_fallbacks", 0)
 
     @property
     def mean_time_per_individual(self) -> float:
@@ -161,6 +178,9 @@ class EvaluationStats:
             triage_time=self.triage_time + other.triage_time,
             kernel_fallbacks=self.kernel_fallbacks + other.kernel_fallbacks,
             pool_fallbacks=self.pool_fallbacks + other.pool_fallbacks,
+            fused_cohorts=self.fused_cohorts + other.fused_cohorts,
+            fused_columns=self.fused_columns + other.fused_columns,
+            fusion_fallbacks=self.fusion_fallbacks + other.fusion_fallbacks,
         )
 
     @classmethod
@@ -200,6 +220,11 @@ class EvaluationStats:
             self.kernel_fallbacks
         )
         registry.counter(f"{prefix}.pool_fallbacks").inc(self.pool_fallbacks)
+        registry.counter(f"{prefix}.fused_cohorts").inc(self.fused_cohorts)
+        registry.counter(f"{prefix}.fused_columns").inc(self.fused_columns)
+        registry.counter(f"{prefix}.fusion_fallbacks").inc(
+            self.fusion_fallbacks
+        )
         registry.gauge(f"{prefix}.wall_time").add(self.wall_time)
         registry.gauge(f"{prefix}.compile_time").add(self.compile_time)
         registry.gauge(f"{prefix}.step_time").add(self.step_time)
@@ -252,6 +277,28 @@ class _BatchGroup:
     diverged_at: np.ndarray | None = None
 
 
+def _pow2ceil(value: int) -> int:
+    """The smallest power of two >= ``value`` (``value`` >= 1)."""
+    return 1 << (value - 1).bit_length() if value > 1 else 1
+
+
+@dataclass
+class _FusedCohort:
+    """Several structure groups planned into one fused kernel run.
+
+    ``lanes`` is the padded per-member lane count: the largest member's
+    column count rounded up to a power of two, so a recurring member
+    set keeps hitting one compiled cohort kernel while its group sizes
+    fluctuate.  Members with fewer columns pad the remaining lanes with
+    clones of their first column -- inert work whose results are never
+    read (the member's ``curves``/``diverged_at`` views cover only its
+    live columns).
+    """
+
+    groups: list[_BatchGroup]
+    lanes: int
+
+
 @dataclass
 class GMRFitnessEvaluator:
     """Evaluates individuals on a modeling task with TC/ES/RC switches.
@@ -293,6 +340,19 @@ class GMRFitnessEvaluator:
         #: is bit-identical with the scalar one, demotion changes only
         #: where the work happens, never the fitness stream.
         self._kernel_blocklist: set[str] = set()
+        #: Structure keys excluded from cohort fusion after a fused
+        #: kernel containing them raised (the ladder rung above
+        #: ``_kernel_blocklist``: fused -> per-structure batched ->
+        #: scalar).  A fused failure cannot be attributed to one member,
+        #: so the whole cohort is demoted together.
+        self._fusion_blocklist: set[str] = set()
+        #: Pinned scalar kernels of demoted structures, keyed like the
+        #: share table.  A blocklisted structure is a permanent scalar
+        #: resident: routing it around both kernel caches keeps it from
+        #: skewing hit-rate/eviction accounting with lookups whose
+        #: answer never changes (and from being evicted into rebuild
+        #: misses).  Never pickled -- kernels are exec-generated.
+        self._demoted_scalar: dict[Hashable, CompiledModel] = {}
 
     @property
     def cache(self) -> TreeCache:
@@ -358,6 +418,7 @@ class GMRFitnessEvaluator:
         state["tracer"] = None
         state["_profile"] = PhaseProfile()
         state["_triage_context"] = None
+        state["_demoted_scalar"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -367,6 +428,8 @@ class GMRFitnessEvaluator:
         self.__dict__.setdefault("tracer", None)
         self.__dict__.setdefault("_triage_context", None)
         self.__dict__.setdefault("_kernel_blocklist", set())
+        self.__dict__.setdefault("_fusion_blocklist", set())
+        self.__dict__.setdefault("_demoted_scalar", {})
         if "_profile" not in self.__dict__:
             self._profile = PhaseProfile()
 
@@ -471,11 +534,23 @@ class GMRFitnessEvaluator:
                 # raw parameter vectors) onto one canonical key, but a
                 # compiled step function indexes parameters positionally.
                 share_key = (structure_key, model.param_order)
-                shared = self._compiled.get(share_key)
-                if shared is not None:
-                    model._compiled = shared
+                if structure_key in self._kernel_blocklist:
+                    # Demoted structures are permanent scalar residents:
+                    # serve them from the pinned dictionary instead of
+                    # the LRU caches, so they stop registering lookups
+                    # whose answer never changes -- hit-rate and eviction
+                    # counters keep describing the *live* kernel traffic.
+                    pinned = self._demoted_scalar.get(share_key)
+                    if pinned is None:
+                        pinned = model._build_scalar_kernel()
+                        self._demoted_scalar[share_key] = pinned
+                    model._compiled = pinned
                 else:
-                    self._compiled.put(share_key, model.compiled())
+                    shared = self._compiled.get(share_key)
+                    if shared is not None:
+                        model._compiled = shared
+                    else:
+                        self._compiled.put(share_key, model.compiled())
 
         self.stats.steps_possible += total_cases
         threshold = config.es_threshold
@@ -523,7 +598,12 @@ class GMRFitnessEvaluator:
 
         Groups the cohort by model structure, integrates each group's K
         distinct parameter vectors in one vectorised rollout per
-        :attr:`GMRConfig.kernel_batch_size` chunk, then finalises every
+        :attr:`GMRConfig.kernel_batch_size` chunk -- and, with
+        :attr:`GMRConfig.fuse_structures` on, fuses up to
+        :attr:`GMRConfig.fuse_cohort_size` structure groups into one
+        padded multi-structure kernel run (:meth:`_simulate_cohort`),
+        which pools shared subexpressions across structures and removes
+        the per-structure Python dispatch -- then finalises every
         member *in cohort order*, replaying exactly the decisions the
         scalar path would have made: tree-cache lookups (hits produced by
         earlier members of this very cohort included), Algorithm 1
@@ -577,7 +657,11 @@ class GMRFitnessEvaluator:
             )
         batch_started = time.perf_counter()
         entries, groups = self._plan_batch(cohort)
-        for group in groups.values():
+        with self._profile.phase("fill"):
+            fused, loose = self._plan_cohorts(groups)
+        for fused_cohort in fused:
+            self._simulate_cohort(fused_cohort)
+        for group in loose:
             self._simulate_group(group)
         results = []
         for entry in entries:
@@ -596,6 +680,7 @@ class GMRFitnessEvaluator:
                 batched=True,
                 groups=len(groups),
                 columns=sum(len(g.params) for g in groups.values()),
+                cohorts=len(fused),
                 cache_hits=self.stats.cache_hits - before[0],
                 wall_time=wall,
                 compile_time=self.stats.compile_time - before[1],
@@ -682,13 +767,186 @@ class GMRFitnessEvaluator:
             entry.column = column
         # Structure groups too small to amortise NumPy overhead fall back
         # to the scalar kernel during finalisation.
+        min_columns = self.config.kernel_min_batch
         for group_key in [
             key
             for key, group in groups.items()
-            if len(group.params) < MIN_BATCH_COLUMNS
+            if len(group.params) < min_columns
         ]:
             del groups[group_key]
         return entries, groups
+
+    def _plan_cohorts(
+        self, groups: dict[Hashable, _BatchGroup]
+    ) -> tuple[list[_FusedCohort], list[_BatchGroup]]:
+        """Pack structure groups into fused cohorts; the rest stay loose.
+
+        Groups are eligible when fusion is on, their structure is not
+        fusion-blocklisted, and their column count fits one rollout
+        chunk (fused kernels never chunk: ``K <= kernel_batch_size``).
+        Eligible groups are partitioned by the orders the kernel bakes
+        in (``var_order``/``state_names``), sorted by their group key,
+        and packed ``fuse_cohort_size`` at a time -- deterministic given
+        the group *set*, independent of cohort arrival order, so a
+        recurring set of structures re-produces the same cohort
+        signatures and keeps hitting compiled kernels across shuffled
+        generations.  A chunk of one fuses with nobody and stays loose.
+
+        Subclasses that override :meth:`_simulate_group_inner` (the
+        fault-injection harness) keep the per-structure routing: their
+        hook must fire once per structure group.
+        """
+        config = self.config
+        fused: list[_FusedCohort] = []
+        loose: list[_BatchGroup] = []
+        if (
+            not config.fuse_structures
+            or type(self)._simulate_group_inner
+            is not GMRFitnessEvaluator._simulate_group_inner
+        ):
+            return fused, list(groups.values())
+        partitions: dict[tuple, list[tuple[Hashable, _BatchGroup]]] = {}
+        for group_key, group in groups.items():
+            if (
+                group.structure_key in self._fusion_blocklist
+                or len(group.params) > config.kernel_batch_size
+            ):
+                loose.append(group)
+                continue
+            partition_key = (group.model.var_order, group.model.state_names)
+            partitions.setdefault(partition_key, []).append(
+                (group_key, group)
+            )
+        for members in partitions.values():
+            members.sort(key=lambda item: item[0])
+            for start in range(0, len(members), config.fuse_cohort_size):
+                chunk = members[start : start + config.fuse_cohort_size]
+                if len(chunk) < 2:
+                    loose.extend(group for __, group in chunk)
+                    continue
+                lanes = _pow2ceil(
+                    max(len(group.params) for __, group in chunk)
+                )
+                fused.append(
+                    _FusedCohort(
+                        groups=[group for __, group in chunk], lanes=lanes
+                    )
+                )
+        return fused, loose
+
+    def _simulate_cohort(self, cohort: _FusedCohort) -> None:
+        """Run one fused cohort's rollout and error curves.
+
+        Top rung of the degradation ladder: if the fused kernel raises
+        (compile or rollout), every member structure is blocklisted
+        from fusion and the cohort re-simulates through the
+        per-structure batched path (:meth:`_simulate_group`), which on
+        failure demotes a structure the rest of the way to scalar.  The
+        fused path is bit-identical with the per-structure one, so the
+        only observable differences are the ``fusion_fallbacks``
+        counter and a ``degradation`` trace event.
+        """
+        try:
+            with self._profile.phase("compile"):
+                kernel = compile_cohort(
+                    [group.model for group in cohort.groups], cohort.lanes
+                )
+            with self._profile.phase("step"):
+                self._simulate_cohort_inner(cohort, kernel)
+        except Exception as error:
+            for group in cohort.groups:
+                group.curves = None
+                group.diverged_at = None
+                self._fusion_blocklist.add(group.structure_key)
+            self.stats.fusion_fallbacks += 1
+            tracer = self._active_tracer()
+            if tracer is not None:
+                tracer.point(
+                    "degradation",
+                    what="cohort_structure_fallback",
+                    error_type=type(error).__name__,
+                    detail=str(error)[:200],
+                )
+            for group in cohort.groups:
+                self._simulate_group(group)
+            return
+        self.stats.fused_cohorts += 1
+        self.stats.fused_columns += sum(
+            len(group.params) for group in cohort.groups
+        )
+
+    def _simulate_cohort_inner(
+        self, cohort: _FusedCohort, kernel: CompiledCohortKernel
+    ) -> None:
+        """Integrate all member structures in one fused padded pass.
+
+        Member ``m`` owns lanes ``[m * K, m * K + len(params))`` of the
+        fused parameter matrix; its padding lanes clone its first
+        column (inert, and they diverge exactly when that column does,
+        so padding never trips the rollout's NaN fast path on its own).
+        Parameter rows beyond a member's own count are zero-filled --
+        the member's kernel never reads them.  Error curves are
+        computed over the full width with the same operations as the
+        per-structure path and handed to each group as lane-slice
+        views, so finalisation is oblivious to where the curves came
+        from.
+        """
+        task = self.task
+        lanes = cohort.lanes
+        params_matrix = np.zeros((kernel.n_params, kernel.width))
+        for member, group in enumerate(cohort.groups):
+            columns = np.array(group.params, dtype=float).T
+            lo = member * lanes
+            live = columns.shape[1]
+            params_matrix[: columns.shape[0], lo : lo + live] = columns
+            if live < lanes:
+                params_matrix[: columns.shape[0], lo + live : lo + lanes] = (
+                    columns[:, :1]
+                )
+        first_model = cohort.groups[0].model
+        rollout = fused_euler_rollout(
+            kernel,
+            params_matrix,
+            task.drivers,
+            task.initial_state,
+            first_model.var_order,
+            dt=task.dt,
+            clamp=task.clamp,
+        )
+        target_index = first_model.state_names.index(task.target_state)
+        predicted = rollout.target_series(target_index)
+        first_bad = self._first_bad_rows(predicted, rollout.diverged_at)
+        errors = predicted - task.observed[:, np.newaxis]
+        curves = np.cumsum(errors * errors, axis=0)
+        for member, group in enumerate(cohort.groups):
+            lo = member * lanes
+            live = len(group.params)
+            group.curves = curves[:, lo : lo + live]
+            group.diverged_at = first_bad[lo : lo + live]
+
+    def _first_bad_rows(
+        self, predicted: np.ndarray, diverged_at: np.ndarray
+    ) -> np.ndarray:
+        """Per-column first unusable row, folding in non-finite predictions.
+
+        The scalar error stream also refuses non-finite *predictions*
+        (possible under a clamp band with an infinite bound); treat the
+        first such row like a divergence row.
+        """
+        first_bad = diverged_at.copy()
+        with np.errstate(invalid="ignore"):
+            nonfinite = ~np.isfinite(predicted)
+        if nonfinite.any():
+            np.minimum(
+                first_bad,
+                np.where(
+                    nonfinite.any(axis=0),
+                    nonfinite.argmax(axis=0),
+                    predicted.shape[0],
+                ),
+                out=first_bad,
+            )
+        return first_bad
 
     def _simulate_group(self, group: _BatchGroup) -> None:
         """Run one structure group's batched rollouts and error curves.
@@ -741,22 +999,7 @@ class GMRFitnessEvaluator:
                 clamp=task.clamp,
             )
             predicted = rollout.target_series(target_index)
-            first_bad = rollout.diverged_at.copy()
-            # The scalar error stream also refuses non-finite *predictions*
-            # (possible under a clamp band with an infinite bound); treat
-            # the first such row like a divergence row.
-            with np.errstate(invalid="ignore"):
-                nonfinite = ~np.isfinite(predicted)
-            if nonfinite.any():
-                np.minimum(
-                    first_bad,
-                    np.where(
-                        nonfinite.any(axis=0),
-                        nonfinite.argmax(axis=0),
-                        n_cases,
-                    ),
-                    out=first_bad,
-                )
+            first_bad = self._first_bad_rows(predicted, rollout.diverged_at)
             errors = predicted - observed
             np.cumsum(errors * errors, axis=0, out=curves[:, start:stop])
             diverged_at[start:stop] = first_bad
@@ -783,7 +1026,7 @@ class GMRFitnessEvaluator:
         )
         if group is None or group.curves is None:
             # Either an anticipated cache hit whose entry was evicted
-            # mid-batch, or a structure group below MIN_BATCH_COLUMNS.
+            # mid-batch, or a structure group below kernel_min_batch.
             return self._evaluate_scalar(
                 entry.model, entry.params, entry.structure_key, entry.cache_key
             )

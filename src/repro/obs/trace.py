@@ -157,6 +157,7 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             "cache_hits": int,
             "groups": int,
             "columns": int,
+            "cohorts": int,
             "wall_time": float,
             "compile_time": float,
             "step_time": float,

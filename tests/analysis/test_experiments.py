@@ -80,6 +80,7 @@ class TestRegistry:
             "fig11",
             "scaling",
             "kernel",
+            "fusion",
             "case-study",
         }
 

@@ -108,6 +108,36 @@ class TestKernelEquivalence:
             histories(off), rel=1e-9, abs=0.0
         )
 
+    def test_fused_run_matches_unfused_run(self, spec, knowledge, mini_task):
+        """Cohort fusion (several structures in one padded kernel) must
+        be invisible next to the per-structure batched path, in every
+        registered domain.  ``kernel_min_batch=1`` admits the initial
+        population's singleton structure groups so the planner actually
+        packs multi-structure cohorts inside the mini run."""
+        seed = spec.conformance.mini_seed
+        on = GMREngine(
+            knowledge,
+            mini_task,
+            conformance_config(
+                spec, fuse_structures=True, kernel_min_batch=1
+            ),
+        ).run(seed=seed)
+        off = GMREngine(
+            knowledge,
+            mini_task,
+            conformance_config(
+                spec, fuse_structures=False, kernel_min_batch=1
+            ),
+        ).run(seed=seed)
+        assert on.best_fitness == pytest.approx(
+            off.best_fitness, rel=1e-9, abs=0.0
+        )
+        assert histories(on) == pytest.approx(
+            histories(off), rel=1e-9, abs=0.0
+        )
+        assert on.stats.fused_cohorts > 0
+        assert off.stats.fused_cohorts == 0
+
 
 class TestDeterminism:
     def test_same_seed_same_run(self, spec, knowledge, mini_task):

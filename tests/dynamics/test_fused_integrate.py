@@ -1,0 +1,267 @@
+"""Fused cohort rollouts: per-lane equivalence with per-member rollouts.
+
+:func:`repro.dynamics.integrate.fused_euler_rollout` advances every lane
+of a fused cohort kernel through the same step loop that
+:func:`batched_euler_rollout` uses for one structure's columns.  The
+contract is bitwise: lane block ``m`` of the fused rollout must equal a
+standalone batched rollout of member ``m``, divergence masking must act
+per lane, and padding lanes (including all-NaN ones) must never perturb
+live lanes.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.dynamics.drivers import DriverTable
+from repro.dynamics.integrate import (
+    ClampSpec,
+    batched_euler_rollout,
+    fused_euler_rollout,
+)
+from repro.dynamics.system import ProcessModel, compile_cohort
+from repro.expr import ast
+from repro.expr.ast import Param, State, Var
+
+HUGE = 1e308
+
+
+def logistic_model() -> ProcessModel:
+    """dB/dt = r*B - d*B*B + c*Vx."""
+    return ProcessModel.from_equations(
+        {
+            "B": ast.add(
+                ast.sub(
+                    ast.mul(Param("r"), State("B")),
+                    ast.mul(Param("d"), ast.mul(State("B"), State("B"))),
+                ),
+                ast.mul(Param("c"), Var("Vx")),
+            )
+        },
+        var_order=("Vx",),
+    )
+
+
+def decay_model() -> ProcessModel:
+    """dB/dt = -k*B + Vx: different shape, same var/state signature."""
+    return ProcessModel.from_equations(
+        {
+            "B": ast.add(
+                ast.mul(ast.mul(ast.Const(-1.0), Param("k")), State("B")),
+                Var("Vx"),
+            )
+        },
+        var_order=("Vx",),
+    )
+
+
+def poison_model() -> ProcessModel:
+    """dB/dt = p*term - q*term: NaN via inf - inf once Vx is non-zero."""
+    term = ast.mul(ast.mul(Var("Vx"), State("B")), State("B"))
+    return ProcessModel.from_equations(
+        {
+            "B": ast.sub(
+                ast.mul(Param("p"), term), ast.mul(Param("q"), term)
+            )
+        },
+        var_order=("Vx",),
+    )
+
+
+def wavy_drivers(n: int = 40) -> DriverTable:
+    day = np.arange(n, dtype=float)
+    return DriverTable.from_mapping(
+        {"Vx": 1.0 + 0.5 * np.sin(2 * np.pi * day / 17.0)}
+    )
+
+
+def padded_params(model: ProcessModel, columns, lanes: int, n_rows: int):
+    """Pack live columns + first-column pad clones into a lane block."""
+    block = np.zeros((n_rows, lanes))
+    live = np.array(columns, dtype=float).T
+    block[: live.shape[0], : live.shape[1]] = live
+    block[: live.shape[0], live.shape[1] :] = live[:, :1]
+    return block
+
+
+def random_columns(model: ProcessModel, count: int, seed: int):
+    rng = random.Random(seed)
+    return [
+        tuple(rng.uniform(0.0, 0.4) for _ in model.param_order)
+        for _ in range(count)
+    ]
+
+
+class TestLaneBlockEquivalence:
+    def test_matches_per_member_batched_bitwise(self):
+        models = [logistic_model(), decay_model()]
+        drivers = wavy_drivers()
+        lanes = 4
+        kernel = compile_cohort(models, lanes)
+        member_columns = [
+            random_columns(models[0], 3, seed=5),
+            random_columns(models[1], 4, seed=9),
+        ]
+        blocks = [
+            padded_params(model, columns, lanes, kernel.n_params)
+            for model, columns in zip(models, member_columns)
+        ]
+        params = np.hstack(blocks)
+        fused = fused_euler_rollout(
+            kernel, params, drivers, (2.0,), models[0].var_order
+        )
+        assert fused.states.shape == (len(drivers), 1, kernel.width)
+        for member, (model, columns) in enumerate(
+            zip(models, member_columns)
+        ):
+            lo = member * lanes
+            solo = batched_euler_rollout(
+                model, np.array(columns, dtype=float).T, drivers, (2.0,)
+            )
+            live = len(columns)
+            assert np.array_equal(
+                fused.states[:, :, lo : lo + live], solo.states
+            )
+            assert np.array_equal(
+                fused.diverged_at[lo : lo + live], solo.diverged_at
+            )
+
+    def test_respects_custom_clamp_and_dt(self):
+        model = logistic_model()
+        drivers = wavy_drivers(20)
+        clamp = ClampSpec(minimum=0.5, maximum=3.0)
+        kernel = compile_cohort([model, decay_model()], 2)
+        columns = [(2.0, 0.0, 0.0), (0.3, 0.01, 0.1)]
+        params = np.hstack(
+            [
+                padded_params(model, columns, 2, kernel.n_params),
+                padded_params(
+                    decay_model(), [(0.2,), (0.1,)], 2, kernel.n_params
+                ),
+            ]
+        )
+        fused = fused_euler_rollout(
+            kernel,
+            params,
+            drivers,
+            (2.0,),
+            model.var_order,
+            dt=0.5,
+            clamp=clamp,
+        )
+        solo = batched_euler_rollout(
+            model,
+            np.array(columns).T,
+            drivers,
+            (2.0,),
+            dt=0.5,
+            clamp=clamp,
+        )
+        assert np.array_equal(fused.states[:, :, :2], solo.states)
+        assert fused.states.max() <= 3.0
+
+
+class TestPadLaneIsolation:
+    def test_nan_pad_lane_never_perturbs_live_lanes(self):
+        """Poisoning the pad lanes with NaN leaves live lanes bitwise
+        unchanged: divergence masking is strictly per lane."""
+        models = [logistic_model(), decay_model()]
+        drivers = wavy_drivers(25)
+        lanes = 4
+        kernel = compile_cohort(models, lanes)
+        blocks = [
+            padded_params(
+                models[0], random_columns(models[0], 3, 11), lanes,
+                kernel.n_params,
+            ),
+            padded_params(
+                models[1], random_columns(models[1], 2, 13), lanes,
+                kernel.n_params,
+            ),
+        ]
+        params = np.hstack(blocks)
+        baseline = fused_euler_rollout(
+            kernel, params, drivers, (2.0,), models[0].var_order
+        )
+        poisoned = params.copy()
+        poisoned[:, 3] = np.nan  # member 0's pad lane
+        poisoned[:, 6:8] = np.nan  # member 1's pad lanes
+        rerun = fused_euler_rollout(
+            kernel, poisoned, drivers, (2.0,), models[0].var_order
+        )
+        live = [0, 1, 2, 4, 5]
+        assert np.array_equal(
+            rerun.states[:, :, live], baseline.states[:, :, live]
+        )
+        assert np.array_equal(
+            rerun.diverged_at[live], baseline.diverged_at[live]
+        )
+        # The poisoned lanes themselves diverge immediately and freeze.
+        assert (rerun.diverged_at[[3, 6, 7]] == 0).all()
+        assert np.isfinite(rerun.states).all()
+
+    def test_poisoned_member_does_not_spoil_other_member(self):
+        models = [poison_model(), logistic_model()]
+        vx = np.zeros(10)
+        vx[3] = 1.0
+        drivers = DriverTable.from_mapping({"Vx": vx})
+        lanes = 2
+        kernel = compile_cohort(models, lanes)
+        healthy = random_columns(models[1], 2, 17)
+        params = np.hstack(
+            [
+                padded_params(
+                    models[0], [(HUGE, HUGE), (1e-3, 1e-3)], lanes,
+                    kernel.n_params,
+                ),
+                padded_params(models[1], healthy, lanes, kernel.n_params),
+            ]
+        )
+        fused = fused_euler_rollout(
+            kernel, params, drivers, (2.0,), models[0].var_order
+        )
+        assert fused.diverged_at[0] == 3  # poisoned lane masks at row 3
+        assert fused.diverged_at[1] == len(drivers)
+        solo = batched_euler_rollout(
+            models[1], np.array(healthy).T, drivers, (2.0,)
+        )
+        assert np.array_equal(fused.states[:, :, 2:4], solo.states)
+
+    def test_all_lanes_dead_short_circuits(self):
+        """An all-pad/all-poisoned cohort freezes at row 0 and stays
+        finite -- the early-exit fill is exercised, not skipped."""
+        models = [poison_model(), poison_model()]
+        drivers = DriverTable.from_mapping({"Vx": np.ones(12)})
+        kernel = compile_cohort(models, 2)
+        params = np.full((kernel.n_params, kernel.width), HUGE)
+        fused = fused_euler_rollout(
+            kernel, params, drivers, (2.0,), models[0].var_order
+        )
+        assert (fused.diverged_at == 0).all()
+        assert fused.states.shape[0] == len(drivers)
+        assert np.isfinite(fused.states).all()
+
+
+class TestValidation:
+    def test_rejects_wrong_params_shape(self):
+        kernel = compile_cohort([logistic_model(), decay_model()], 2)
+        with pytest.raises(ValueError, match="fused kernel expects"):
+            fused_euler_rollout(
+                kernel,
+                np.zeros((kernel.n_params, kernel.width + 1)),
+                wavy_drivers(5),
+                (2.0,),
+                ("Vx",),
+            )
+
+    def test_rejects_wrong_initial_state(self):
+        kernel = compile_cohort([logistic_model()], 2)
+        with pytest.raises(ValueError, match="states"):
+            fused_euler_rollout(
+                kernel,
+                np.zeros((kernel.n_params, kernel.width)),
+                wavy_drivers(5),
+                (2.0, 1.0),
+                ("Vx",),
+            )
