@@ -30,8 +30,11 @@ precisely for the moments when processes die mid-write:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
+import socket
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -362,6 +365,217 @@ def _migrate_checkpoint(checkpoint: RunCheckpoint) -> None:
     if not hasattr(checkpoint, "stop_reason"):
         checkpoint.stop_reason = None
     checkpoint.version = CHECKPOINT_VERSION
+
+
+#: Advisory lockfile name inside a claimed checkpoint directory.
+CLAIM_FILENAME = ".claim"
+
+
+class CheckpointLockError(CheckpointError):
+    """A checkpoint directory is claimed by another live writer."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a pid on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # e.g. EPERM: someone else's live process
+        return True
+    return True
+
+
+def _read_claim(path: str) -> tuple[bytes, dict] | None:
+    """The claim file's raw bytes and parsed payload, or None if gone.
+
+    An unreadable or torn payload (a claimant died between creating the
+    file and writing it) parses to ``{}``, which the staleness rule
+    treats as stale.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError:
+        return None
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        payload = {}
+    if not isinstance(payload, dict):
+        payload = {}
+    return raw, payload
+
+
+def _claim_is_stale(payload: dict, host: str) -> bool:
+    """The stale-claim takeover rule.
+
+    A claim is stale when its payload is torn/unreadable, or when it
+    was written by a process *on this host* that is no longer alive
+    (the SIGKILLed-server case).  A claim from another host is never
+    treated as stale -- liveness cannot be verified across hosts, so
+    the conservative answer is "still owned".
+    """
+    pid = payload.get("pid")
+    if not isinstance(pid, int) or isinstance(pid, bool):
+        return True
+    if payload.get("host") != host:
+        return False
+    return not _pid_alive(pid)
+
+
+@dataclass
+class CheckpointClaim:
+    """An advisory ownership claim on one checkpoint directory.
+
+    Holding the claim means this process is the directory's only
+    writer: campaign resume, ``_atomic_write`` renames, and
+    retention-ring pruning are all safe from interleaving with a
+    second resumer.  The claim is identified by a random token, not
+    the pid, so two threads of one process still conflict (each job
+    must claim its own directory).  Release with :meth:`release`;
+    claims left behind by a killed process are taken over by the next
+    claimant via the stale rule in :func:`claim_checkpoint_dir`.
+    """
+
+    directory: str
+    token: str
+    pid: int
+    host: str
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, CLAIM_FILENAME)
+
+    def payload(self) -> bytes:
+        record = {"host": self.host, "pid": self.pid, "token": self.token}
+        return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
+    def held(self) -> bool:
+        """Whether the directory's claim file still carries our token."""
+        current = _read_claim(self.path)
+        return current is not None and current[1].get("token") == self.token
+
+    def release(self) -> None:
+        """Drop the claim if it is still ours (idempotent, best-effort)."""
+        if not self.held():
+            return
+        try:
+            os.remove(self.path)
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def _write_claim_file(fd: int, blob: bytes) -> None:
+    with os.fdopen(fd, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _try_claim(claim: CheckpointClaim) -> bool:
+    """One attempt to take the directory; False means a live owner.
+
+    The protocol is append-free and rename-safe:
+
+    1. ``O_CREAT | O_EXCL`` creates the claim file atomically; exactly
+       one racing claimant wins.
+    2. An existing claim is read and judged by the stale rule.  A live
+       owner ends the attempt.
+    3. A stale claim is removed *only if its bytes are unchanged* since
+       we judged it (so we never remove a fresh claim that replaced it
+       in between), and the loop returns to step 1 -- where, again,
+       exactly one racing taker-over wins the ``O_EXCL`` create.
+    """
+    path = claim.path
+    blob = claim.payload()
+    while True:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            current = _read_claim(path)
+            if current is None:
+                continue  # owner released between our checks; try again
+            raw, payload = current
+            if payload.get("token") == claim.token:
+                return True  # already ours (retried after a torn write)
+            if not _claim_is_stale(payload, claim.host):
+                return False
+            verify = _read_claim(path)
+            if verify is None or verify[0] != raw:
+                continue  # claim changed while we judged it; re-judge
+            try:
+                os.remove(path)
+            except FileNotFoundError:  # pragma: no cover - lost the race
+                pass
+            continue
+        _write_claim_file(fd, blob)
+        return True
+
+
+def claim_checkpoint_dir(
+    directory: str | os.PathLike[str],
+    wait: float = 0.0,
+    poll_interval: float = 0.05,
+) -> CheckpointClaim:
+    """Claim exclusive write ownership of a checkpoint directory.
+
+    Two processes resuming the same checkpoint directory -- a double
+    job submission, or a restarted server racing a still-dying worker
+    -- would interleave ``_atomic_write`` renames and retention-ring
+    pruning.  The claim is an advisory lockfile (``.claim``) holding
+    ``{host, pid, token}``; a second claimant is refused while the
+    owner is alive, and takes over when the owner is provably dead on
+    this host (or the claim file is torn) -- the stale-claim takeover
+    rule that lets a relaunched server resume the jobs its SIGKILLed
+    predecessor was running.
+
+    Args:
+        directory: Checkpoint directory (created if missing).
+        wait: Seconds to keep retrying against a live owner before
+            giving up (0 refuses immediately).  Waiting covers the
+            restarted-server-racing-a-dying-worker window: the old
+            owner's release or death is picked up on the next poll.
+        poll_interval: Delay between retries while waiting.
+
+    Returns:
+        The held :class:`CheckpointClaim`; call ``release()`` when done.
+
+    Raises:
+        CheckpointLockError: The directory is claimed by a live owner
+            (after ``wait`` seconds, if waiting).
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    claim = CheckpointClaim(
+        directory=directory,
+        token=os.urandom(16).hex(),
+        pid=os.getpid(),
+        host=socket.gethostname(),
+    )
+    deadline: float | None = None
+    while True:
+        if _try_claim(claim):
+            return claim
+        if wait <= 0:
+            break
+        if deadline is None:
+            deadline = time.monotonic() + wait
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        time.sleep(min(poll_interval, remaining))
+    current = _read_claim(claim.path)
+    owner = current[1] if current else {}
+    raise CheckpointLockError(
+        f"checkpoint directory {directory!s} is claimed by a live writer "
+        f"(host={owner.get('host')!r}, pid={owner.get('pid')!r}); "
+        "refusing to resume it concurrently -- interleaved writers "
+        "corrupt the retention ring. Stop the other process, or wait "
+        "for it to release the claim."
+    )
 
 
 def save_result(result: "RunResult", path: str | os.PathLike[str]) -> None:

@@ -126,6 +126,14 @@ class GMREngine:
     #: ``config_repr`` equality check.  Picklable; the runtime stop flag
     #: is dropped on pickling (see ``RunGovernor.__getstate__``).
     governor: RunGovernor | None = None
+    #: Default per-generation progress callback, used when ``run()`` is
+    #: not given an explicit one.  Campaign paths (``run_campaign`` ->
+    #: ``_run_one``) never thread a callback through, so this is how a
+    #: campaign owner -- e.g. the serve layer's pacing hook -- observes
+    #: generations.  Observational only; like the tracer it is dropped
+    #: on pickling (callbacks may not pickle, and worker processes must
+    #: not inherit the parent's hook).
+    progress: ProgressFn | None = None
 
     def __post_init__(self) -> None:
         if self.grammar is None:
@@ -141,6 +149,7 @@ class GMREngine:
         # own from ``trace_dir``.
         state = dict(self.__dict__)
         state["tracer"] = None
+        state["progress"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -148,6 +157,7 @@ class GMREngine:
         self.__dict__.setdefault("tracer", None)
         self.__dict__.setdefault("trace_dir", None)
         self.__dict__.setdefault("governor", None)
+        self.__dict__.setdefault("progress", None)
 
     def make_evaluator(self) -> GMRFitnessEvaluator:
         return GMRFitnessEvaluator(task=self.task, config=self.config)
@@ -246,7 +256,8 @@ class GMREngine:
             seed: RNG seed (runs are deterministic given a seed).
                 Defaults to 0 for fresh runs; a resumed run adopts its
                 checkpoint's seed, and passing a conflicting seed raises.
-            progress: Optional callback invoked after each generation.
+            progress: Optional callback invoked after each generation
+                (defaults to the engine-level :attr:`progress` hook).
             evaluator: Custom evaluator (e.g. with different ES settings);
                 a fresh one is created when omitted.  Incompatible with
                 ``resume_from`` (the checkpoint carries its evaluator).
@@ -266,6 +277,8 @@ class GMREngine:
         """
         config = self.config
         started = time.perf_counter()
+        if progress is None:
+            progress = self.progress
 
         if resume_from is not None:
             if evaluator is not None:

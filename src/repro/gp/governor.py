@@ -87,6 +87,33 @@ class CampaignBudget:
             and self.max_generations is None
         )
 
+    def to_json(self) -> dict:
+        """JSON-serialisable form (None ceilings are omitted).
+
+        The serve layer stamps this into job specs, so a job's budget
+        participates in its content-addressed id and survives server
+        restarts alongside the rest of the spec.
+        """
+        payload: dict = {}
+        if self.max_wall_clock is not None:
+            payload["max_wall_clock"] = self.max_wall_clock
+        if self.max_evaluations is not None:
+            payload["max_evaluations"] = self.max_evaluations
+        if self.max_generations is not None:
+            payload["max_generations"] = self.max_generations
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CampaignBudget":
+        """Inverse of :meth:`to_json`; unknown keys fail loudly."""
+        known = ("max_wall_clock", "max_evaluations", "max_generations")
+        unknown = sorted(key for key in payload if key not in known)
+        if unknown:
+            raise GovernorConfigError(
+                f"unknown budget field(s) {unknown}; known: {list(known)}"
+            )
+        return cls(**payload)
+
     def exceeded(
         self, *, generation: int, evaluations: int, elapsed: float
     ) -> str | None:

@@ -31,7 +31,12 @@ import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
-from repro.gp.checkpoint import CheckpointError, load_result, result_file
+from repro.gp.checkpoint import (
+    CheckpointError,
+    claim_checkpoint_dir,
+    load_result,
+    result_file,
+)
 from repro.obs.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -308,6 +313,8 @@ def run_campaign(
     policy: FailurePolicy | None = None,
     checkpoint_dir: str | os.PathLike[str] | None = None,
     tracer: Tracer | None = None,
+    lock: bool = True,
+    lock_wait: float = 0.0,
 ) -> CampaignResult:
     """Run a campaign of independent seeded runs with durable state.
 
@@ -329,6 +336,17 @@ def run_campaign(
     Unreadable result/checkpoint files are ignored with a warning and
     the affected seed is simply recomputed.
 
+    The checkpoint directory is *claimed* for the campaign's duration
+    (``lock``, on by default): a second process invoking a campaign
+    over the same directory -- a double submission, or a restarted
+    scheduler racing a still-dying predecessor -- is refused with
+    :class:`~repro.gp.checkpoint.CheckpointLockError` instead of
+    interleaving checkpoint renames and retention-ring pruning with
+    the live owner.  ``lock_wait > 0`` waits up to that many seconds
+    for the claim instead of refusing immediately; claims left by a
+    dead process are taken over automatically (see
+    :func:`~repro.gp.checkpoint.claim_checkpoint_dir`).
+
     ``tracer`` wraps the execution in a ``campaign`` span and records
     ``campaign_retry`` events (tracing is observational only: traced
     campaigns return bit-identical results).
@@ -338,43 +356,52 @@ def run_campaign(
     if policy is None:
         policy = FailurePolicy.collect()
     seeds = [base_seed + index for index in range(n_runs)]
-    prior: list["RunResult"] = []
-    pending = seeds
+    claim = None
     if checkpoint_dir is not None:
         os.makedirs(checkpoint_dir, exist_ok=True)
-        pending = []
-        for seed in seeds:
-            path = result_file(checkpoint_dir, seed)
-            if os.path.exists(path):
-                try:
-                    prior.append(load_result(path))
-                    continue
-                except CheckpointError as exc:
-                    warnings.warn(
-                        f"re-running seed {seed}: {exc}",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-            pending.append(seed)
-    if tracer is not None and not tracer.enabled:
-        tracer = None
-    if tracer is None:
-        outcome = execute_campaign(
-            engine, pending, policy, max_workers, checkpoint_dir
-        )
-    else:
-        with tracer.span(
-            "campaign", n_seeds=len(pending), mode=policy.mode
-        ) as span:
+        if lock:
+            claim = claim_checkpoint_dir(checkpoint_dir, wait=lock_wait)
+    try:
+        prior: list["RunResult"] = []
+        pending = seeds
+        if checkpoint_dir is not None:
+            pending = []
+            for seed in seeds:
+                path = result_file(checkpoint_dir, seed)
+                if os.path.exists(path):
+                    try:
+                        prior.append(load_result(path))
+                        continue
+                    except CheckpointError as exc:
+                        warnings.warn(
+                            f"re-running seed {seed}: {exc}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                pending.append(seed)
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        if tracer is None:
             outcome = execute_campaign(
-                engine, pending, policy, max_workers, checkpoint_dir, tracer
+                engine, pending, policy, max_workers, checkpoint_dir
             )
-            tracer.end_span_fields(
-                "campaign",
-                span,
-                completed=len(outcome.completed),
-                failed=len(outcome.failed),
-            )
+        else:
+            with tracer.span(
+                "campaign", n_seeds=len(pending), mode=policy.mode
+            ) as span:
+                outcome = execute_campaign(
+                    engine, pending, policy, max_workers, checkpoint_dir,
+                    tracer,
+                )
+                tracer.end_span_fields(
+                    "campaign",
+                    span,
+                    completed=len(outcome.completed),
+                    failed=len(outcome.failed),
+                )
+    finally:
+        if claim is not None:
+            claim.release()
     completed = sorted(
         prior + outcome.completed, key=lambda result: result.seed
     )

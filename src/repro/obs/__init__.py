@@ -34,10 +34,13 @@ from repro.obs.trace import (
     MemorySink,
     NullSink,
     TraceEvent,
+    TraceFollower,
     Tracer,
     TraceSchemaError,
     TraceSink,
+    iter_trace,
     read_trace,
+    scan_last_seq,
     validate_event,
 )
 
@@ -56,12 +59,15 @@ __all__ = [
     "NullSink",
     "PhaseProfile",
     "TraceEvent",
+    "TraceFollower",
     "TraceReport",
     "TraceSchemaError",
     "TraceSink",
     "Tracer",
     "build_report",
+    "iter_trace",
     "read_trace",
     "report_from_file",
+    "scan_last_seq",
     "validate_event",
 ]

@@ -306,28 +306,13 @@ class JsonlSink(TraceSink):
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        _repair_tail(self.path)
         #: Highest sequence number already in the file (-1 when empty).
         #: A tracer writing here resumes numbering after it, so appended
         #: segments keep strictly increasing seqs even for events the
         #: interrupted run emitted after its last checkpoint.
-        self.last_seq = self._scan_last_seq()
+        self.last_seq = scan_last_seq(self.path)
         self._handle = open(self.path, "a", encoding="utf-8")
-
-    def _scan_last_seq(self) -> int:
-        try:
-            with open(self.path, encoding="utf-8") as handle:
-                lines = handle.readlines()
-        except OSError:
-            return -1
-        for line in reversed(lines):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                return int(json.loads(line)["seq"])
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                continue  # torn final line from an interrupted writer
-        return -1
 
     def emit(self, event: TraceEvent) -> None:
         self._handle.write(json.dumps(event.to_json()) + "\n")
@@ -344,30 +329,213 @@ class JsonlSink(TraceSink):
         self.close()
 
 
+#: Block size for the backwards tail scan of :func:`scan_last_seq`.
+_TAIL_BLOCK = 64 * 1024
+
+
+def _repair_tail(path: str | os.PathLike[str]) -> None:
+    """Make a trace file safe to append to after an unclean death.
+
+    A killed writer can leave the file without a trailing newline.  If
+    the unterminated tail parses as JSON it is a complete event whose
+    newline never landed -- terminate it so the next append starts a
+    fresh line.  If it does not parse it is a torn fragment -- truncate
+    it, exactly as every reader already ignores it.  Appending onto the
+    tail unrepaired would weld two events into one corrupt line.
+    """
+    try:
+        handle = open(path, "r+b")
+    except OSError:
+        return
+    with handle:
+        size = handle.seek(0, os.SEEK_END)
+        if size == 0:
+            return
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return
+        # Walk back block-wise to the last newline (usually in the
+        # final block); everything after it is the unterminated tail.
+        position = size
+        newline_at = -1
+        while position > 0 and newline_at < 0:
+            step = min(_TAIL_BLOCK, position)
+            position -= step
+            handle.seek(position)
+            block = handle.read(step)
+            index = block.rfind(b"\n")
+            if index >= 0:
+                newline_at = position + index
+        handle.seek(newline_at + 1)
+        tail = handle.read()
+        try:
+            json.loads(tail.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            handle.truncate(newline_at + 1)
+            return
+        handle.seek(0, os.SEEK_END)
+        handle.write(b"\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _last_seq_in(buffer: bytes, complete: bool) -> int | None:
+    """Newest parseable ``seq`` in a tail ``buffer`` of a trace file.
+
+    ``complete`` says the buffer starts at the beginning of the file;
+    otherwise its first line fragment may be the torn tail of a line
+    whose head lies earlier in the file, so it is skipped.
+    """
+    lines = buffer.split(b"\n")
+    candidates = lines if complete else lines[1:]
+    for line in reversed(candidates):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            return int(json.loads(line.decode("utf-8"))["seq"])
+        except (
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+        ):
+            continue  # torn line from an interrupted writer
+    return None
+
+
+def scan_last_seq(path: str | os.PathLike[str]) -> int:
+    """Highest sequence number recorded in a trace file (-1 when none).
+
+    Reads fixed-size blocks backwards from the end of the file, so the
+    cost is proportional to the tail, not to the trace: a status poll
+    against a multi-gigabyte campaign trace touches a few kilobytes.
+    A torn final line from an interrupted writer is skipped, exactly as
+    :func:`read_trace` skips it.
+    """
+    try:
+        handle = open(path, "rb")
+    except OSError:
+        return -1
+    with handle:
+        handle.seek(0, os.SEEK_END)
+        position = handle.tell()
+        buffer = b""
+        while position > 0:
+            step = min(_TAIL_BLOCK, position)
+            position -= step
+            handle.seek(position)
+            buffer = handle.read(step) + buffer
+            seq = _last_seq_in(buffer, complete=position == 0)
+            if seq is not None:
+                return seq
+        return -1
+
+
+def iter_trace(
+    path: str | os.PathLike[str], start_seq: int = 0
+) -> Iterator[TraceEvent]:
+    """Stream a JSONL trace file as validated events, one at a time.
+
+    Unlike loading the whole file, this holds one line in memory at a
+    time, so following a multi-gigabyte campaign trace costs O(1)
+    memory.  Events with ``seq`` below ``start_seq`` are skipped (after
+    parsing), which is how incremental consumers -- the serve layer's
+    progress endpoint, ``watch``-style pollers -- resume from a cursor.
+
+    Torn-tail tolerance matches :func:`read_trace`: a final line that is
+    unterminated or malformed (the writer died mid-append, or is still
+    appending) ends the stream silently; a malformed line *followed by
+    more lines* raises, because that means the file is not a trace.  An
+    unterminated final line that parses cleanly is a complete event
+    whose newline has not landed yet, and is yielded.  A missing file
+    raises :class:`FileNotFoundError`, matching :func:`read_trace`;
+    pollers that may race the writer's first append should check for
+    the file (or use :class:`TraceFollower`, which tolerates it).
+    """
+    with open(path, encoding="utf-8") as handle:
+        line = handle.readline()
+        while line:
+            terminated = line.endswith("\n")
+            next_line = handle.readline() if terminated else ""
+            stripped = line.strip()
+            if stripped:
+                try:
+                    payload = json.loads(stripped)
+                except json.JSONDecodeError:
+                    if not next_line:
+                        return  # torn final line from an interrupted writer
+                    raise
+                event = TraceEvent.from_json(payload)
+                validate_event(event)
+                if event.seq >= start_seq:
+                    yield event
+            line = next_line
+
+
 def read_trace(path: str | os.PathLike[str]) -> list[TraceEvent]:
     """Load a JSONL trace file back into events (schema-checked).
 
     A trailing partial line (the process died mid-write on a filesystem
     without atomic appends) is ignored; a malformed line elsewhere
-    raises, because it means the file is not a trace.
+    raises, because it means the file is not a trace.  Built on
+    :func:`iter_trace`; prefer that for large traces.
     """
-    events: list[TraceEvent] = []
-    with open(path, encoding="utf-8") as handle:
-        lines = handle.readlines()
-    for index, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
+    return list(iter_trace(path))
+
+
+class TraceFollower:
+    """Incremental reader of a live JSONL trace (cursor + byte offset).
+
+    Each :meth:`poll` returns the events appended since the previous
+    poll.  Only newline-terminated lines are consumed: a torn tail that
+    a concurrent writer is still flushing stays unread until its
+    newline lands, so a live follower never misparses a half-written
+    record and never loses the writer's span context -- the events it
+    has already returned always form a complete, validated prefix of
+    the trace.  A missing file simply means no events yet.
+
+    The ``start_seq`` cursor additionally filters by sequence number,
+    so a follower attached to a stitched resume trace can skip the
+    segment it already consumed in a previous process lifetime.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike[str], start_seq: int = 0
+    ) -> None:
+        self.path = os.fspath(path)
+        self._offset = 0
+        self._next_seq = start_seq
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence cursor: the smallest seq a future poll may return."""
+        return self._next_seq
+
+    def poll(self) -> list[TraceEvent]:
+        """Events appended (and newline-terminated) since the last poll."""
         try:
-            payload = json.loads(line)
-        except json.JSONDecodeError:
-            if index == len(lines) - 1:
-                break  # torn final line from an interrupted writer
-            raise
-        event = TraceEvent.from_json(payload)
-        validate_event(event)
-        events.append(event)
-    return events
+            handle = open(self.path, "rb")
+        except OSError:
+            return []
+        events: list[TraceEvent] = []
+        with handle:
+            handle.seek(self._offset)
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # torn tail: the writer is mid-append
+                self._offset += len(raw)
+                stripped = raw.strip()
+                if not stripped:
+                    continue
+                payload = json.loads(stripped.decode("utf-8"))
+                event = TraceEvent.from_json(payload)
+                validate_event(event)
+                if event.seq >= self._next_seq:
+                    self._next_seq = event.seq + 1
+                    events.append(event)
+        return events
 
 
 class Tracer:

@@ -1,0 +1,77 @@
+"""GMR campaigns as a service (serve layer).
+
+A durable job store (content-addressed, idempotent submission), an
+asyncio scheduler multiplexing campaigns over a bounded worker pool
+with priorities and per-tenant quotas, and a stdlib HTTP API -- all
+over the existing checkpoint/resume machinery, so a SIGKILLed server
+restarts and finishes every in-flight job bit-identically.
+
+Entry points: ``python -m repro.serve serve`` runs a server;
+``submit``/``status``/``watch``/``report``/``stop``/``resume`` drive
+one over HTTP.  See ``docs/tutorial.md`` ("Serving campaigns").
+"""
+
+from repro.serve.jobs import (
+    CHECKPOINTED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNABLE_STATES,
+    RUNNING,
+    STOPPED,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    JobError,
+    JobNotFoundError,
+    JobRecord,
+    JobSpec,
+    JobSpecError,
+    JobStateError,
+    JobStore,
+    check_transition,
+    runnable_jobs,
+)
+from repro.serve.runner import (
+    SERVE_SHUTDOWN,
+    SERVE_STOP,
+    JobOutcome,
+    build_engine,
+    run_job,
+    summarize_campaign,
+    summarize_result,
+)
+from repro.serve.scheduler import CampaignScheduler
+from repro.serve.server import CampaignServer, HttpError
+
+__all__ = [
+    "CHECKPOINTED",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNABLE_STATES",
+    "RUNNING",
+    "SERVE_SHUTDOWN",
+    "SERVE_STOP",
+    "STOPPED",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "CampaignScheduler",
+    "CampaignServer",
+    "HttpError",
+    "JobError",
+    "JobNotFoundError",
+    "JobOutcome",
+    "JobRecord",
+    "JobSpec",
+    "JobSpecError",
+    "JobStateError",
+    "JobStore",
+    "build_engine",
+    "check_transition",
+    "run_job",
+    "runnable_jobs",
+    "summarize_campaign",
+    "summarize_result",
+]

@@ -1,0 +1,308 @@
+"""CLI for the campaign server: ``python -m repro.serve``.
+
+One subcommand runs the server; the rest are thin HTTP clients over
+``urllib.request`` so a shell (or a CI job) can drive a campaign
+service end to end without extra tooling::
+
+    python -m repro.serve serve --root /tmp/farm --port 8750 &
+    python -m repro.serve submit --url http://127.0.0.1:8750 \
+        --domain river --mini --n-runs 3
+    python -m repro.serve status --url ... <job_id>
+    python -m repro.serve watch  --url ... <job_id>
+    python -m repro.serve report --url ... <job_id>
+
+``serve`` shuts down gracefully on SIGTERM/SIGINT: running jobs park
+as ``checkpointed`` and the next start resumes them.  A SIGKILL is
+also survivable -- that is the point of the store -- it just skips
+the courtesy drain.  ``--port 0`` picks an ephemeral port; pass
+``--port-file`` to publish the bound port for test harnesses.
+
+``report`` prints the server's report payload exactly as
+``python -m repro.obs report --json <trace>`` would render the job's
+trace file (same JSON, same key order, same indentation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.serve.jobs import JobSpec, JobStore, TERMINAL_STATES
+from repro.serve.scheduler import CampaignScheduler
+from repro.serve.server import CampaignServer
+
+
+# -- HTTP client helpers ------------------------------------------------
+
+
+class ClientError(RuntimeError):
+    """A request that came back non-2xx (message carries the body)."""
+
+
+def _request(
+    url: str, method: str = "GET", payload: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, method=method, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            body = response.read()
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        raise ClientError(
+            f"{method} {url} -> {exc.code}: {detail}"
+        ) from exc
+    except urllib.error.URLError as exc:
+        raise ClientError(f"{method} {url} failed: {exc.reason}") from exc
+    return json.loads(body.decode("utf-8"))
+
+
+def _job_url(base: str, job_id: str, action: str | None = None) -> str:
+    url = f"{base.rstrip('/')}/jobs/{job_id}"
+    return f"{url}/{action}" if action else url
+
+
+# -- subcommand implementations -----------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store = JobStore(args.root)
+    scheduler = CampaignScheduler(
+        store,
+        max_workers=args.workers,
+        tenant_quota=args.tenant_quota,
+    )
+    server = CampaignServer(scheduler, host=args.host, port=args.port)
+
+    async def main() -> None:
+        await server.start()
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(root={args.root}, workers={args.workers})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("draining: checkpointing running jobs", flush=True)
+        await server.stop()
+
+    asyncio.run(main())
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> JobSpec:
+    config: dict[str, Any] = {}
+    for item in args.config or []:
+        key, _, raw = item.partition("=")
+        if not key or not raw:
+            raise SystemExit(f"--config wants key=value, got {item!r}")
+        config[key] = json.loads(raw)
+    budget: dict[str, Any] = {}
+    if args.max_generations is not None:
+        budget["max_generations"] = args.max_generations
+    if args.max_evaluations is not None:
+        budget["max_evaluations"] = args.max_evaluations
+    if args.max_wall_clock is not None:
+        budget["max_wall_clock"] = args.max_wall_clock
+    return JobSpec(
+        domain=args.domain,
+        n_runs=args.n_runs,
+        base_seed=args.base_seed,
+        mini=args.mini,
+        tenant=args.tenant,
+        priority=args.priority,
+        config=config,
+        budget=budget,
+        pace=args.pace,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    payload = _request(
+        f"{args.url.rstrip('/')}/jobs", method="POST", payload=spec.to_json()
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    payload = _request(f"{args.url.rstrip('/')}/jobs")
+    for job in payload.get("jobs", []):
+        print(f"{job['job_id']}  {job['state']}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    payload = _request(_job_url(args.url, args.job_id))
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    payload = _request(_job_url(args.url, args.job_id, "report"))
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Poll a job to completion, printing progress events as they land."""
+    cursor = 0
+    while True:
+        progress = _request(
+            _job_url(args.url, args.job_id, "progress")
+            + f"?after={cursor}"
+        )
+        for event in progress.get("events", []):
+            if event.get("kind") == "generation":
+                fields = event.get("fields", {})
+                print(
+                    f"gen {fields.get('generation')}: "
+                    f"best={fields.get('best_fitness')}",
+                    flush=True,
+                )
+        cursor = progress.get("next", cursor)
+        status = _request(_job_url(args.url, args.job_id))
+        state = status.get("state")
+        if state in TERMINAL_STATES or state == "stopped":
+            print(f"job {args.job_id}: {state}", flush=True)
+            return 0 if state == "done" else 1
+        time.sleep(args.interval)
+
+
+def _cmd_stop(args: argparse.Namespace) -> int:
+    payload = _request(
+        _job_url(args.url, args.job_id, "stop"), method="POST"
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    payload = _request(
+        _job_url(args.url, args.job_id, "resume"), method="POST"
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+# -- argument parsing ---------------------------------------------------
+
+
+def _add_url(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8750",
+        help="server base URL (default %(default)s)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run or drive the GMR campaign server.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the server")
+    serve.add_argument("--root", required=True, help="job store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8750, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent jobs"
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=0,
+        help="max concurrent jobs per tenant (0 = unlimited)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a campaign job")
+    _add_url(submit)
+    submit.add_argument("--domain", default="river")
+    submit.add_argument("--n-runs", type=int, default=1)
+    submit.add_argument("--base-seed", type=int, default=0)
+    submit.add_argument("--mini", action="store_true")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        help="seconds slept per generation (rate limiting)",
+    )
+    submit.add_argument(
+        "--config",
+        action="append",
+        metavar="KEY=JSON",
+        help="GMRConfig override, repeatable (e.g. --config "
+        "max_generations=5)",
+    )
+    submit.add_argument("--max-generations", type=int, default=None)
+    submit.add_argument("--max-evaluations", type=int, default=None)
+    submit.add_argument("--max-wall-clock", type=float, default=None)
+    submit.set_defaults(func=_cmd_submit)
+
+    list_cmd = sub.add_parser("list", help="list jobs")
+    _add_url(list_cmd)
+    list_cmd.set_defaults(func=_cmd_list)
+
+    for name, func, help_text in (
+        ("status", _cmd_status, "one job's record"),
+        ("report", _cmd_report, "obs report over the job's trace"),
+        ("watch", _cmd_watch, "follow a job to completion"),
+        ("stop", _cmd_stop, "cooperatively stop a job"),
+        ("resume", _cmd_resume, "re-queue a stopped job"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        _add_url(cmd)
+        cmd.add_argument("job_id")
+        if name == "watch":
+            cmd.add_argument(
+                "--interval", type=float, default=0.5, help="poll period"
+            )
+        cmd.set_defaults(func=func)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Execute one job's campaign (blocking; runs in a scheduler worker).
+
+The runner is the bridge between a :class:`~repro.serve.jobs.JobSpec`
+and the existing backend machinery: it builds the engine through
+:meth:`GMREngine.for_domain`, attaches the job's budget as a
+:class:`~repro.gp.governor.RunGovernor`, wires the job's JSONL trace
+(resume-stitched across server lifetimes by the sink's last-seq
+fast-forward), and calls :func:`~repro.gp.resilience.run_campaign`
+against the job's checkpoint directory -- which run_campaign *claims*
+for the duration, so a duplicate runner on the same job is refused
+instead of corrupting the retention ring.
+
+Everything durable already exists underneath: completed seeds persist
+as ``run-<seed>.result``, in-flight seeds snapshot to ``run-<seed>.ckpt``
+every generation, and a rerun of the same job resumes from those
+envelopes via ``load_checkpoint_resilient`` and completes bit-identically
+to an uninterrupted, unserved ``run_campaign`` (asserted end to end by
+``tests/serve/test_restart.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+# Imported for its side effect: registering the builtin domains in the
+# importing (main) thread, before any scheduler worker thread exists.
+# Two worker threads racing the *first* import of repro.domains can see
+# the package partially initialised (CPython exposes partial modules
+# when its per-module import locks would deadlock) and fail domain
+# lookup with an empty registry.
+import repro.domains  # noqa: F401
+from repro.gp.governor import RunGovernor
+from repro.gp.resilience import FailurePolicy, run_campaign
+from repro.obs.trace import JsonlSink, Tracer
+from repro.serve.jobs import (
+    CHECKPOINTED,
+    DONE,
+    FAILED,
+    STOPPED,
+    JobRecord,
+    JobSpec,
+    JobStore,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gp.engine import GMREngine, RunResult
+    from repro.gp.resilience import CampaignResult
+
+#: Cooperative stop reasons the serve layer injects through the
+#: governor.  ``serve:stop`` is an operator stop (job parks as
+#: ``stopped`` until explicitly resumed); ``serve:shutdown`` is a
+#: graceful server drain (job parks as ``checkpointed`` and resumes
+#: automatically on the next start).
+SERVE_STOP = "serve:stop"
+SERVE_SHUTDOWN = "serve:shutdown"
+
+
+def build_engine(spec: JobSpec) -> "GMREngine":
+    """The engine a job runs on; also the bit-identity reference.
+
+    Tests compare a served job against ``run_campaign`` over exactly
+    this engine, so the serve layer adds nothing to the search: same
+    config, same domain task, same seeds.
+    """
+    from repro.gp.engine import GMREngine
+
+    return GMREngine.for_domain(
+        spec.domain, config=spec.make_config(), mini=spec.mini
+    )
+
+
+def summarize_result(result: "RunResult") -> dict[str, Any]:
+    """Per-seed summary with bit-exact fitness encodings.
+
+    ``float.hex`` round-trips exactly, so two summaries are equal iff
+    the runs were bit-identical -- the e2e restart test compares these
+    directly against an unserved campaign.
+    """
+    history = [record.best_fitness for record in result.history]
+    return {
+        "seed": result.seed,
+        "best_fitness": result.best_fitness,
+        "best_fitness_hex": float(result.best_fitness).hex(),
+        "generations": len(history),
+        "history_hex": [float(value).hex() for value in history],
+        "evaluations": result.stats.evaluations,
+    }
+
+
+def summarize_campaign(
+    job_id: str, outcome: "CampaignResult"
+) -> dict[str, Any]:
+    return {
+        "job_id": job_id,
+        "stop_reason": outcome.stop_reason,
+        "completed": [
+            summarize_result(result) for result in outcome.completed
+        ],
+        "failed": [
+            {
+                "seed": failure.seed,
+                "attempts": failure.attempts,
+                "error_type": failure.error_type,
+                "message": failure.message,
+            }
+            for failure in outcome.failed
+        ],
+    }
+
+
+@dataclass
+class JobOutcome:
+    """What one runner invocation produced: the next state + context."""
+
+    state: str
+    detail: dict[str, Any] = field(default_factory=dict)
+    summary: dict[str, Any] | None = None
+
+
+def _outcome_state(outcome: "CampaignResult") -> tuple[str, dict[str, Any]]:
+    """Map a campaign outcome onto the job state machine."""
+    reason = outcome.stop_reason
+    if reason is not None:
+        detail = {
+            "reason": reason,
+            "completed": len(outcome.completed),
+            "failed": len(outcome.failed),
+        }
+        if reason == SERVE_STOP:
+            return STOPPED, detail
+        # Graceful server drain, or the job's own budget: resumable
+        # on-disk state stays, and the scheduler may pick it back up.
+        return CHECKPOINTED, detail
+    if outcome.failed:
+        worst = outcome.failed[0]
+        return FAILED, {
+            "completed": len(outcome.completed),
+            "failed": len(outcome.failed),
+            "error_type": worst.error_type,
+            "message": worst.message,
+        }
+    return DONE, {
+        "completed": len(outcome.completed),
+        "failed": 0,
+    }
+
+
+def run_job(
+    store: JobStore,
+    record: JobRecord,
+    governor: RunGovernor | None = None,
+) -> JobOutcome:
+    """Run (or resume) one job's campaign to its next state.
+
+    Blocking; the scheduler calls this in a worker thread.  The
+    ``governor`` is created by the scheduler *before* launch so stop
+    requests can reach the run from the event loop; omitted, a fresh
+    one is built from the spec's budget.
+    """
+    spec = record.spec
+    engine = build_engine(spec)
+    if governor is None:
+        governor = RunGovernor(budget=spec.make_budget())
+    engine.governor = governor
+    progress = None
+    if spec.pace > 0:
+
+        def progress(generation: int, _record: object) -> None:
+            time.sleep(spec.pace)
+
+    engine.progress = progress
+    tracer = Tracer(JsonlSink(store.trace_path(record.job_id)))
+    engine.tracer = tracer
+    try:
+        outcome = run_campaign(
+            engine,
+            spec.n_runs,
+            base_seed=spec.base_seed,
+            max_workers=1,
+            policy=FailurePolicy.collect(),
+            checkpoint_dir=store.checkpoint_dir(record.job_id),
+            tracer=tracer,
+        )
+    finally:
+        tracer.close()
+    state, detail = _outcome_state(outcome)
+    summary = summarize_campaign(record.job_id, outcome)
+    if state == DONE:
+        store.write_result(record.job_id, summary)
+    return JobOutcome(state=state, detail=detail, summary=summary)

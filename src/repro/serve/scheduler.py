@@ -1,0 +1,245 @@
+"""Asyncio scheduler: many campaigns multiplexed over one worker pool.
+
+The scheduler owns the serve layer's control loop.  It watches the
+:class:`~repro.serve.jobs.JobStore` for runnable jobs (``queued`` or
+``checkpointed``), launches up to ``max_workers`` of them concurrently
+-- each job's blocking :func:`~repro.serve.runner.run_job` runs in a
+thread via ``asyncio.to_thread`` -- and folds every completion back
+into the store's state machine.
+
+Scheduling policy:
+
+* **priority, then arrival** -- higher ``spec.priority`` first, FIFO
+  within a priority level (arrival order is the store's submission
+  log, so it survives restarts).
+* **per-tenant quota** -- at most ``tenant_quota`` of any one tenant's
+  jobs run concurrently (0 = unlimited).  A tenant at quota is
+  *skipped, not waited on*: the scan continues down the queue to other
+  tenants' jobs, so a quota-saturated tenant with a deep queue can
+  never starve the pool or deadlock the scheduler (asserted by
+  ``tests/serve/test_scheduler.py``).
+* **cooperative stops** -- stop requests reach a running job through
+  its :class:`~repro.gp.governor.RunGovernor`; the engine finishes the
+  in-flight generation, checkpoints, and returns, and the job parks as
+  ``stopped`` (operator stop) or ``checkpointed`` (server drain).
+
+The scheduler holds no job state of its own beyond the set of active
+tasks: a SIGKILL loses nothing, because every transition was already
+fsynced by the store and every run snapshot is on disk.  On the next
+start, :meth:`CampaignScheduler.start` replays the store, re-marks
+orphaned ``running`` jobs as ``checkpointed``, and resumes them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict
+
+from repro.gp.governor import RunGovernor
+from repro.serve.jobs import (
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STOPPED,
+    JobRecord,
+    JobSpec,
+    JobStateError,
+    JobStore,
+    runnable_jobs,
+)
+from repro.serve.runner import SERVE_SHUTDOWN, SERVE_STOP, run_job
+
+
+class CampaignScheduler:
+    """Multiplexes campaign jobs over a bounded asyncio worker pool."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        max_workers: int = 2,
+        tenant_quota: int = 0,
+        poll_interval: float = 0.25,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if tenant_quota < 0:
+            raise ValueError("tenant_quota must be >= 0 (0 = unlimited)")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.store = store
+        self.max_workers = max_workers
+        self.tenant_quota = tenant_quota
+        self.poll_interval = poll_interval
+        self._active: Dict[str, asyncio.Task] = {}
+        self._governors: Dict[str, RunGovernor] = {}
+        self._wake: asyncio.Event = asyncio.Event()
+        self._loop_task: asyncio.Task | None = None
+        self._draining = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------
+
+    async def start(self) -> list[JobRecord]:
+        """Recover the store and start the scheduling loop.
+
+        Returns the jobs that were re-marked ``checkpointed`` because a
+        previous server died while they ran -- they are first in line
+        to resume.
+        """
+        recovered = self.store.recover()
+        self._loop_task = asyncio.create_task(self._loop())
+        self._wake.set()
+        return recovered
+
+    async def drain(self, reason: str = SERVE_SHUTDOWN) -> None:
+        """Graceful shutdown: stop every running job, then the loop.
+
+        Each active job's governor gets a cooperative stop; engines
+        finish their in-flight generation, checkpoint, and return, and
+        the jobs park as ``checkpointed`` -- the next server start
+        resumes them.  Queued jobs simply stay ``queued``.
+        """
+        self._draining = True
+        for governor in self._governors.values():
+            governor.request_stop(reason)
+        if self._active:
+            await asyncio.gather(
+                *self._active.values(), return_exceptions=True
+            )
+        # Stop the loop via the flag, not task cancellation: a wake
+        # landing concurrently with cancel() can get swallowed inside
+        # wait_for (the classic lost-cancellation race) and leave the
+        # drain awaiting forever.
+        self._closed = True
+        self._wake.set()
+        if self._loop_task is not None:
+            await self._loop_task
+            self._loop_task = None
+
+    async def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until nothing is active or runnable (True), or timeout."""
+
+        async def _idle() -> None:
+            while self._active or any(
+                record.runnable for record in self.store.list_jobs()
+            ):
+                await asyncio.sleep(self.poll_interval / 2)
+
+        try:
+            await asyncio.wait_for(_idle(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    # -- submission / control ---------------------------------------
+
+    def submit(self, spec: JobSpec) -> tuple[JobRecord, bool]:
+        """Submit a job (idempotent) and nudge the loop."""
+        record, created = self.store.submit(spec)
+        self._wake.set()
+        return record, created
+
+    def request_stop(self, job_id: str) -> JobRecord:
+        """Ask a job to stop.
+
+        A running job stops cooperatively at its next generation
+        boundary (the returned record still says ``running`` until the
+        engine confirms the checkpoint).  A queued or checkpointed job
+        parks as ``stopped`` immediately.  Terminal jobs raise
+        :class:`~repro.serve.jobs.JobStateError`.
+        """
+        record = self.store.load(job_id)
+        if job_id in self._governors:
+            self._governors[job_id].request_stop(SERVE_STOP)
+            return record
+        if record.runnable:
+            return self.store.transition(
+                job_id, STOPPED, {"reason": SERVE_STOP}
+            )
+        raise JobStateError(
+            f"job {job_id} is {record.state}; nothing to stop"
+        )
+
+    def resume(self, job_id: str) -> JobRecord:
+        """Re-queue a ``stopped`` job (explicit operator resume)."""
+        self.store.load(job_id)  # raise JobNotFoundError early
+        record = self.store.transition(
+            job_id, QUEUED, {"reason": "resume"}
+        )
+        self._wake.set()
+        return record
+
+    def active_jobs(self) -> list[str]:
+        return sorted(self._active)
+
+    # -- the loop ----------------------------------------------------
+
+    async def _loop(self) -> None:
+        while not self._closed:
+            if not self._draining:
+                self._fill()
+            try:
+                await asyncio.wait_for(
+                    self._wake.wait(), timeout=self.poll_interval
+                )
+            except asyncio.TimeoutError:
+                pass  # periodic rescan: offline submitters, store edits
+            self._wake.clear()
+
+    def _running_per_tenant(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job_id in self._active:
+            try:
+                tenant = self.store.load(job_id).spec.tenant
+            except Exception:  # pragma: no cover - store raced away
+                continue
+            counts[tenant] = counts.get(tenant, 0) + 1
+        return counts
+
+    def _fill(self) -> None:
+        """Launch runnable jobs into free slots, skipping quota'd tenants."""
+        if len(self._active) >= self.max_workers:
+            return
+        tenants = self._running_per_tenant()
+        for record in runnable_jobs(self.store.list_jobs()):
+            if len(self._active) >= self.max_workers:
+                break
+            if record.job_id in self._active:
+                continue
+            if (
+                self.tenant_quota > 0
+                and tenants.get(record.spec.tenant, 0) >= self.tenant_quota
+            ):
+                continue  # skip, never wait: quota must not starve others
+            self._launch(record)
+            tenants[record.spec.tenant] = (
+                tenants.get(record.spec.tenant, 0) + 1
+            )
+
+    def _launch(self, record: JobRecord) -> None:
+        running = self.store.transition(record.job_id, RUNNING)
+        governor = RunGovernor(budget=record.spec.make_budget())
+        self._governors[record.job_id] = governor
+        task = asyncio.create_task(self._run(running, governor))
+        self._active[record.job_id] = task
+
+    async def _run(self, record: JobRecord, governor: RunGovernor) -> None:
+        job_id = record.job_id
+        try:
+            outcome = await asyncio.to_thread(
+                run_job, self.store, record, governor
+            )
+            self.store.transition(job_id, outcome.state, outcome.detail)
+        except Exception as exc:  # noqa: BLE001 - job failure, not ours
+            detail: dict[str, Any] = {
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+            }
+            try:
+                self.store.transition(job_id, FAILED, detail)
+            except JobStateError:  # pragma: no cover - already moved on
+                pass
+        finally:
+            self._active.pop(job_id, None)
+            self._governors.pop(job_id, None)
+            self._wake.set()

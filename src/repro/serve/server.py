@@ -1,0 +1,308 @@
+"""Minimal asyncio HTTP front end for the campaign scheduler.
+
+Stdlib only: an ``asyncio.start_server`` loop speaking enough
+HTTP/1.1 (request line, headers, ``Content-Length`` bodies,
+``Connection: close``) for a JSON control API.  No routing framework,
+no threads -- every handler is a small synchronous function over the
+:class:`~repro.serve.scheduler.CampaignScheduler` and its store, so
+the whole surface stays auditable.
+
+Routes::
+
+    GET  /healthz                     liveness + worker occupancy
+    GET  /jobs                        all jobs, arrival order
+    POST /jobs                        submit a JobSpec (idempotent)
+    GET  /jobs/<id>                   one job's record
+    GET  /jobs/<id>/report            obs report over the job's trace
+    GET  /jobs/<id>/progress?after=N  incremental trace events, seq >= N
+    GET  /jobs/<id>/result            the result summary (done jobs)
+    POST /jobs/<id>/stop              cooperative stop
+    POST /jobs/<id>/resume            re-queue a stopped job
+
+``/report`` returns exactly ``TraceReport.to_json()`` -- the same
+payload ``python -m repro.obs report --json`` prints for the job's
+trace file, so dashboards can switch between the file and the API
+without a translation layer.  ``/progress`` streams the trace
+incrementally: pass the ``next`` cursor from the previous response as
+``after`` and only newer events come back (torn final lines from the
+live writer are never served; see :func:`repro.obs.trace.iter_trace`).
+
+Error mapping: :class:`~repro.serve.jobs.JobSpecError` -> 400,
+:class:`~repro.serve.jobs.JobNotFoundError` -> 404,
+:class:`~repro.serve.jobs.JobStateError` -> 409.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.report import build_report, report_from_file
+from repro.obs.trace import TraceSchemaError, iter_trace
+from repro.serve.jobs import (
+    JobNotFoundError,
+    JobSpecError,
+    JobStateError,
+)
+from repro.serve.scheduler import CampaignScheduler
+
+#: Largest request body we accept (a JobSpec is tiny; anything bigger
+#: is a client bug or abuse).
+MAX_BODY_BYTES = 1 << 20
+#: Largest request head (request line + headers).
+MAX_HEAD_BYTES = 1 << 16
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """An error with a definite HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class CampaignServer:
+    """HTTP facade over one scheduler; owns the listening socket."""
+
+    def __init__(
+        self,
+        scheduler: CampaignScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ---------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the scheduler (store recovery included) and listen."""
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain jobs to checkpoints, close socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.drain()
+
+    # -- connection handling ----------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except Exception as exc:  # noqa: BLE001 - never kill the server
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}"
+            }
+        body = (
+            json.dumps(payload, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, Any]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise HttpError(413, "request head too large") from None
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request") from None
+        if len(head) > MAX_HEAD_BYTES:
+            raise HttpError(413, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise HttpError(400, f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body") from None
+        return self._route(method, target, body)
+
+    # -- routing -----------------------------------------------------
+
+    def _route(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, Any]:
+        split = urlsplit(target)
+        segments = [part for part in split.path.split("/") if part]
+        query = parse_qs(split.query)
+        try:
+            return self._dispatch(method, segments, query, body)
+        except JobSpecError as exc:
+            raise HttpError(400, str(exc)) from exc
+        except JobNotFoundError as exc:
+            raise HttpError(404, str(exc)) from exc
+        except JobStateError as exc:
+            raise HttpError(409, str(exc)) from exc
+
+    def _dispatch(
+        self,
+        method: str,
+        segments: list[str],
+        query: dict[str, list[str]],
+        body: bytes,
+    ) -> tuple[int, Any]:
+        if segments == ["healthz"]:
+            if method != "GET":
+                raise HttpError(405, "healthz is GET-only")
+            return 200, {
+                "status": "ok",
+                "active": self.scheduler.active_jobs(),
+                "max_workers": self.scheduler.max_workers,
+            }
+        if segments == ["jobs"]:
+            if method == "GET":
+                return 200, {
+                    "jobs": [
+                        record.to_json()
+                        for record in self.scheduler.store.list_jobs()
+                    ]
+                }
+            if method == "POST":
+                return self._submit(body)
+            raise HttpError(405, "jobs supports GET and POST")
+        if len(segments) >= 2 and segments[0] == "jobs":
+            job_id = segments[1]
+            action = segments[2] if len(segments) == 3 else None
+            if len(segments) > 3:
+                raise HttpError(404, f"no route for {'/'.join(segments)}")
+            return self._job_route(method, job_id, action, query)
+        raise HttpError(404, f"no route for {'/'.join(segments) or '/'}")
+
+    def _submit(self, body: bytes) -> tuple[int, Any]:
+        from repro.serve.jobs import JobSpec
+
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not JSON: {exc}")
+        spec = JobSpec.from_json(payload)
+        record, created = self.scheduler.submit(spec)
+        return 200, {
+            "job_id": record.job_id,
+            "created": created,
+            "state": record.state,
+        }
+
+    def _job_route(
+        self,
+        method: str,
+        job_id: str,
+        action: str | None,
+        query: dict[str, list[str]],
+    ) -> tuple[int, Any]:
+        store = self.scheduler.store
+        if action is None:
+            if method != "GET":
+                raise HttpError(405, "job detail is GET-only")
+            return 200, store.load(job_id).to_json()
+        if action == "report":
+            if method != "GET":
+                raise HttpError(405, "report is GET-only")
+            store.load(job_id)
+            trace = store.trace_path(job_id)
+            if not os.path.exists(trace):
+                return 200, build_report([]).to_json()
+            return 200, report_from_file(trace).to_json()
+        if action == "progress":
+            if method != "GET":
+                raise HttpError(405, "progress is GET-only")
+            store.load(job_id)
+            after_text = query.get("after", ["0"])[0]
+            try:
+                after = int(after_text)
+            except ValueError:
+                raise HttpError(400, f"bad after cursor: {after_text!r}")
+            trace = store.trace_path(job_id)
+            events: list[dict[str, Any]] = []
+            cursor = after
+            if os.path.exists(trace):
+                try:
+                    for event in iter_trace(trace, start_seq=after):
+                        events.append(event.to_json())
+                        cursor = event.seq + 1
+                except (TraceSchemaError, json.JSONDecodeError) as exc:
+                    raise HttpError(500, f"corrupt trace: {exc}") from exc
+            return 200, {"job_id": job_id, "events": events, "next": cursor}
+        if action == "result":
+            if method != "GET":
+                raise HttpError(405, "result is GET-only")
+            store.load(job_id)
+            result = store.read_result(job_id)
+            if result is None:
+                raise HttpError(404, f"job {job_id} has no result yet")
+            return 200, result
+        if action == "stop":
+            if method != "POST":
+                raise HttpError(405, "stop is POST-only")
+            record = self.scheduler.request_stop(job_id)
+            return 200, {"job_id": job_id, "state": record.state}
+        if action == "resume":
+            if method != "POST":
+                raise HttpError(405, "resume is POST-only")
+            record = self.scheduler.resume(job_id)
+            return 200, {"job_id": job_id, "state": record.state}
+        raise HttpError(404, f"no job action {action!r}")

@@ -1,0 +1,328 @@
+"""Streaming trace reads: iter_trace, scan_last_seq, TraceFollower.
+
+Covers the bugfix that replaced whole-file ``readlines()`` slurps with
+a tail scan (``scan_last_seq``) and a streaming reader
+(``iter_trace``), plus the torn-final-line contract a live follower
+depends on: a reader polling a trace that a writer is appending to
+must always see exactly the complete events -- never a torn tail,
+never a welded line -- including the real-concurrency regression test
+with a writer thread appending while a reader polls.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.report import report_from_file
+from repro.obs.trace import (
+    JsonlSink,
+    TraceFollower,
+    Tracer,
+    iter_trace,
+    read_trace,
+    scan_last_seq,
+)
+
+
+def _write_trace(path, n_points: int) -> list:
+    tracer = Tracer(JsonlSink(path))
+    with tracer.span("run", seed=1, resumed=False, start_generation=0):
+        for generation in range(n_points):
+            tracer.point(
+                "generation",
+                generation=generation,
+                best_fitness=float(generation),
+                mean_fitness=float(generation),
+                best_size=1,
+                evaluations=generation + 1,
+            )
+    tracer.close()
+    return read_trace(path)
+
+
+class TestIterTrace:
+    def test_matches_read_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 5)
+        assert list(iter_trace(path)) == events
+        assert read_trace(path) == events
+
+    def test_start_seq_filters(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 5)
+        cut = events[3].seq
+        tail = list(iter_trace(path, start_seq=cut))
+        assert tail == [e for e in events if e.seq >= cut]
+
+    def test_start_seq_past_end_is_empty(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 3)
+        assert list(iter_trace(path, start_seq=events[-1].seq + 1)) == []
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 4)
+        with open(path, "a") as handle:
+            handle.write('{"seq": 999, "kind": "generation"')  # torn
+        assert list(iter_trace(path)) == events
+        assert read_trace(path) == events
+
+    def test_unterminated_but_complete_final_line_is_yielded(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 3)
+        # Strip the final newline: the last event is complete but its
+        # newline never landed -- still a complete event.
+        raw = path.read_bytes()
+        path.write_bytes(raw.rstrip(b"\n"))
+        assert list(iter_trace(path)) == events
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path, 3)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"broken'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            list(iter_trace(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_trace(tmp_path / "nope.jsonl"))
+
+
+class TestScanLastSeq:
+    def test_empty_and_missing(self, tmp_path):
+        assert scan_last_seq(tmp_path / "missing.jsonl") == -1
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert scan_last_seq(path) == -1
+
+    def test_matches_full_read(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 7)
+        assert scan_last_seq(path) == events[-1].seq
+
+    def test_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 4)
+        with open(path, "a") as handle:
+            handle.write('{"seq": 12345, "kind"')
+        assert scan_last_seq(path) == events[-1].seq
+
+    def test_large_trace_tail_scan(self, tmp_path):
+        # A final event far beyond one tail block still resolves, and a
+        # trace whose only parseable line is the first one forces the
+        # scan all the way back.
+        path = tmp_path / "big.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"seq": 3}) + "\n")
+            handle.write("x" * (300 * 1024) + "\n")  # unparseable filler
+        assert scan_last_seq(path) == 3
+
+    def test_resumed_sink_continues_numbering(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 3)
+        sink = JsonlSink(path)
+        assert sink.last_seq == events[-1].seq
+        sink.close()
+
+
+class TestJsonlSinkTailRepair:
+    def test_append_after_torn_tail_does_not_weld_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 3)
+        with open(path, "a") as handle:
+            handle.write('{"seq": 99, "to')  # killed writer's fragment
+        tracer = Tracer(JsonlSink(path))
+        tracer.advance_to(scan_last_seq(path) + 1)
+        tracer.point(
+            "generation",
+            generation=9,
+            best_fitness=1.0,
+            mean_fitness=1.0,
+            best_size=1,
+            evaluations=9,
+        )
+        tracer.close()
+        resumed = read_trace(path)
+        assert [e.seq for e in resumed] == [e.seq for e in events] + [
+            events[-1].seq + 1
+        ]
+
+    def test_append_after_missing_newline_terminates_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 3)
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        sink = JsonlSink(path)
+        sink.close()
+        # The complete-but-unterminated event was kept, newline added.
+        assert read_trace(path) == events
+        assert path.read_bytes().endswith(b"\n")
+
+
+class TestTraceFollower:
+    def test_incremental_polls(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        follower = TraceFollower(path)
+        assert follower.poll() == []  # missing file
+
+        events = _write_trace(path, 4)
+        first = follower.poll()
+        assert first == events
+        assert follower.poll() == []  # nothing new
+
+    def test_never_serves_a_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 2)
+        with open(path, "a") as handle:
+            handle.write('{"seq": 55')  # writer mid-append
+        follower = TraceFollower(path)
+        assert follower.poll() == events
+        # The writer finishes the line: the held-back bytes complete.
+        with open(path, "a") as handle:
+            handle.write(
+                ', "kind": "heartbeat", "phase": "point", "t": 0.5,'
+                ' "span": 90, "parent": -1, "fields": {"generation": 5,'
+                ' "evaluations": 5, "elapsed": 0.1}}\n'
+            )
+        tail = follower.poll()
+        assert [e.seq for e in tail] == [55]
+
+    def test_start_seq_cursor(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _write_trace(path, 5)
+        follower = TraceFollower(path, start_seq=events[2].seq)
+        assert follower.poll() == events[2:]
+
+
+class TestLiveWriterRegression:
+    """Satellite 3: reports over a trace a live writer is appending to."""
+
+    def test_report_on_every_byte_prefix_is_complete_generations(
+        self, tmp_path
+    ):
+        # Deterministic stand-in for "reader races writer": for every
+        # byte prefix of a real trace, the report must contain exactly
+        # the fully-written generations -- the torn final line (any
+        # proper prefix of a line) never surfaces, and never breaks
+        # the reader.
+        path = tmp_path / "t.jsonl"
+        _write_trace(path, 6)
+        raw = path.read_bytes()
+        newline_positions = [
+            i for i, byte in enumerate(raw) if byte == 0x0A
+        ]
+        prefix_path = tmp_path / "prefix.jsonl"
+        for cut in range(len(raw) + 1):
+            prefix_path.write_bytes(raw[:cut])
+            report = report_from_file(prefix_path)
+            complete_lines = sum(1 for p in newline_positions if p < cut)
+            events = read_trace(prefix_path)
+            # Reading a prefix never raises, and yields exactly the
+            # events whose lines are complete within the prefix (plus
+            # possibly one complete-but-unterminated final event).
+            assert len(events) in (complete_lines, complete_lines + 1)
+            generations = {
+                e.fields["generation"]
+                for e in events
+                if e.kind == "generation"
+            }
+            assert {
+                row["generation"] for row in report.to_json()["generations"]
+            } == generations
+
+    def test_follower_against_concurrent_writer_thread(self, tmp_path):
+        # The real-concurrency regression: a writer thread appends 200
+        # events byte-by-byte (worst-case interleaving) while a reader
+        # polls; the reader must see every event exactly once, in
+        # order, with no torn reads.
+        path = tmp_path / "live.jsonl"
+        n_events = 200
+        lines = [
+            json.dumps(
+                {
+                    "seq": seq,
+                    "kind": "heartbeat",
+                    "phase": "point",
+                    "t": float(seq),
+                    "span": 1000 + seq,
+                    "parent": -1,
+                    "fields": {
+                        "generation": seq,
+                        "evaluations": seq,
+                        "elapsed": 0.0,
+                    },
+                }
+            )
+            + "\n"
+            for seq in range(n_events)
+        ]
+        done = threading.Event()
+
+        def writer():
+            with open(path, "w") as handle:
+                for line in lines:
+                    # Worst case: flush after every byte so the reader
+                    # can observe any split point.
+                    for char in line:
+                        handle.write(char)
+                        handle.flush()
+            done.set()
+
+        follower = TraceFollower(path)
+        seen: list[int] = []
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            while not done.is_set() or True:
+                for event in follower.poll():
+                    seen.append(event.seq)
+                if done.is_set():
+                    break
+        finally:
+            thread.join()
+        for event in follower.poll():  # drain the tail
+            seen.append(event.seq)
+        assert seen == list(range(n_events))
+
+    def test_report_from_file_with_concurrent_writer(self, tmp_path):
+        # report_from_file called repeatedly while a writer appends:
+        # never an exception, generation counts only grow.
+        path = tmp_path / "live.jsonl"
+        done = threading.Event()
+
+        def writer():
+            tracer = Tracer(JsonlSink(path))
+            with tracer.span(
+                "run", seed=1, resumed=False, start_generation=0
+            ):
+                for generation in range(60):
+                    tracer.point(
+                        "generation",
+                        generation=generation,
+                        best_fitness=float(generation),
+                        mean_fitness=float(generation),
+                        best_size=1,
+                        evaluations=generation + 1,
+                    )
+            tracer.close()
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        sizes = []
+        try:
+            while not done.is_set():
+                if os.path.exists(path):
+                    report = report_from_file(path)
+                    sizes.append(len(report.to_json()["generations"]))
+        finally:
+            thread.join()
+        final = report_from_file(path)
+        sizes.append(len(final.to_json()["generations"]))
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 60

@@ -1,0 +1,249 @@
+"""Advisory checkpoint-directory claims: exclusivity, staleness, campaigns.
+
+The claim protects a campaign checkpoint directory from concurrent
+writers (double submission, a restarted server racing a dying worker).
+These tests cover the lockfile protocol directly and the
+``run_campaign`` integration: refusal while a live owner holds the
+claim, waiting via ``lock_wait``, and stale-claim takeover after an
+owner dies without releasing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.gp.checkpoint import (
+    CLAIM_FILENAME,
+    CheckpointClaim,
+    CheckpointLockError,
+    claim_checkpoint_dir,
+)
+from repro.gp.resilience import FailurePolicy, run_campaign
+
+
+class TestClaimProtocol:
+    def test_claim_and_release(self, tmp_path):
+        target = tmp_path / "ckpt"
+        claim = claim_checkpoint_dir(target)
+        assert claim.held()
+        assert (target / CLAIM_FILENAME).exists()
+        payload = json.loads((target / CLAIM_FILENAME).read_text())
+        assert payload["pid"] == os.getpid()
+        assert payload["token"] == claim.token
+        claim.release()
+        assert not claim.held()
+        assert not (target / CLAIM_FILENAME).exists()
+
+    def test_release_is_idempotent(self, tmp_path):
+        claim = claim_checkpoint_dir(tmp_path / "ckpt")
+        claim.release()
+        claim.release()  # no error
+
+    def test_second_claim_against_live_owner_is_refused(self, tmp_path):
+        target = tmp_path / "ckpt"
+        first = claim_checkpoint_dir(target)
+        try:
+            with pytest.raises(CheckpointLockError, match="claimed by"):
+                claim_checkpoint_dir(target)
+        finally:
+            first.release()
+        # Released: the claim is takeable again.
+        second = claim_checkpoint_dir(target)
+        assert second.held()
+        second.release()
+
+    def test_dead_pid_claim_is_taken_over(self, tmp_path):
+        target = tmp_path / "ckpt"
+        # A child claims and exits without releasing (simulated SIGKILL
+        # leaving): its pid is provably dead on this host.
+        script = (
+            "import sys\n"
+            "from repro.gp.checkpoint import claim_checkpoint_dir\n"
+            "claim_checkpoint_dir(sys.argv[1])\n"
+        )
+        src = os.path.dirname(
+            os.path.dirname(os.path.abspath(__import__("repro").__file__))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        subprocess.run(
+            [sys.executable, "-c", script, os.fspath(target)],
+            env=env,
+            check=True,
+        )
+        assert (target / CLAIM_FILENAME).exists()
+        claim = claim_checkpoint_dir(target)  # takeover, no wait needed
+        assert claim.held()
+        assert json.loads(
+            (target / CLAIM_FILENAME).read_text()
+        )["pid"] == os.getpid()
+        claim.release()
+
+    def test_torn_claim_file_is_taken_over(self, tmp_path):
+        target = tmp_path / "ckpt"
+        target.mkdir()
+        # A claimant killed between creating and writing the file.
+        (target / CLAIM_FILENAME).write_text("")
+        claim = claim_checkpoint_dir(target)
+        assert claim.held()
+        claim.release()
+
+    def test_other_host_claim_is_never_stolen(self, tmp_path):
+        target = tmp_path / "ckpt"
+        target.mkdir()
+        (target / CLAIM_FILENAME).write_text(
+            json.dumps(
+                {"host": "elsewhere.invalid", "pid": 1, "token": "x"}
+            )
+            + "\n"
+        )
+        with pytest.raises(CheckpointLockError, match="elsewhere.invalid"):
+            claim_checkpoint_dir(target)
+
+    def test_wait_succeeds_once_owner_releases(self, tmp_path):
+        target = tmp_path / "ckpt"
+        first = claim_checkpoint_dir(target)
+        released = threading.Event()
+
+        def release_soon():
+            time.sleep(0.3)
+            first.release()
+            released.set()
+
+        thread = threading.Thread(target=release_soon)
+        thread.start()
+        try:
+            second = claim_checkpoint_dir(target, wait=10.0)
+        finally:
+            thread.join()
+        assert released.is_set()
+        assert second.held()
+        second.release()
+
+    def test_wait_times_out_against_live_owner(self, tmp_path):
+        target = tmp_path / "ckpt"
+        first = claim_checkpoint_dir(target)
+        try:
+            with pytest.raises(CheckpointLockError):
+                claim_checkpoint_dir(target, wait=0.2, poll_interval=0.05)
+        finally:
+            first.release()
+
+    def test_concurrent_stale_takeover_has_one_winner(self, tmp_path):
+        # Many threads race to take over one stale claim; exactly one
+        # may win (the others must refuse, not corrupt the file).
+        target = tmp_path / "ckpt"
+        target.mkdir()
+        (target / CLAIM_FILENAME).write_text("torn")
+        winners: list[CheckpointClaim] = []
+        errors: list[Exception] = []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            try:
+                winners.append(claim_checkpoint_dir(target))
+            except CheckpointLockError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        held = [claim for claim in winners if claim.held()]
+        assert len(held) == 1
+        assert len(winners) + len(errors) == 8
+        held[0].release()
+
+
+class TestCampaignLocking:
+    def test_run_campaign_refuses_claimed_directory(
+        self, tmp_path, make_engine
+    ):
+        checkpoint_dir = tmp_path / "campaign"
+        foreign = claim_checkpoint_dir(checkpoint_dir)
+        try:
+            with pytest.raises(CheckpointLockError):
+                run_campaign(
+                    make_engine(checkpoint_every=1),
+                    n_runs=1,
+                    checkpoint_dir=checkpoint_dir,
+                    max_workers=1,
+                )
+        finally:
+            foreign.release()
+
+    def test_run_campaign_releases_claim_on_exit(
+        self, tmp_path, make_engine
+    ):
+        checkpoint_dir = tmp_path / "campaign"
+        result = run_campaign(
+            make_engine(checkpoint_every=1),
+            n_runs=1,
+            checkpoint_dir=checkpoint_dir,
+            max_workers=1,
+        )
+        assert len(result.completed) == 1
+        assert not (checkpoint_dir / CLAIM_FILENAME).exists()
+        # And the directory is immediately claimable again.
+        again = claim_checkpoint_dir(checkpoint_dir)
+        again.release()
+
+    def test_run_campaign_lock_wait_rides_out_short_owner(
+        self, tmp_path, make_engine
+    ):
+        checkpoint_dir = tmp_path / "campaign"
+        foreign = claim_checkpoint_dir(checkpoint_dir)
+
+        def release_soon():
+            time.sleep(0.3)
+            foreign.release()
+
+        thread = threading.Thread(target=release_soon)
+        thread.start()
+        try:
+            result = run_campaign(
+                make_engine(checkpoint_every=1),
+                n_runs=1,
+                checkpoint_dir=checkpoint_dir,
+                max_workers=1,
+                lock_wait=10.0,
+            )
+        finally:
+            thread.join()
+        assert len(result.completed) == 1
+
+    def test_run_campaign_lock_false_skips_claiming(
+        self, tmp_path, make_engine
+    ):
+        checkpoint_dir = tmp_path / "campaign"
+        foreign = claim_checkpoint_dir(checkpoint_dir)
+        try:
+            result = run_campaign(
+                make_engine(checkpoint_every=1),
+                n_runs=1,
+                checkpoint_dir=checkpoint_dir,
+                max_workers=1,
+                lock=False,
+            )
+            assert len(result.completed) == 1
+            # The foreign claim was left untouched.
+            assert foreign.held()
+        finally:
+            foreign.release()
+
+    def test_no_checkpoint_dir_means_no_claiming(self, make_engine):
+        result = run_campaign(
+            make_engine(), n_runs=1, max_workers=1, lock=True
+        )
+        assert len(result.completed) == 1

@@ -1,0 +1,243 @@
+"""Restart survival, end to end: SIGKILL a real server mid-campaign.
+
+The acceptance test for the serve layer, mirroring
+``tests/resilience/test_shutdown.py`` one level up the stack: a real
+``python -m repro.serve serve`` child process takes three jobs over
+HTTP, is SIGKILLed while they run (no graceful path executes -- no
+drain, no final transitions, possibly torn JSONL tails), and a fresh
+server over the same store root must resume every job from its
+checkpoint envelopes and finish it **bit-identically** to an unserved
+``run_campaign`` over the same engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.gp.resilience import FailurePolicy, run_campaign
+from repro.serve.jobs import DONE, RUNNING, JobSpec, JobStore
+from repro.serve.runner import build_engine, summarize_result
+
+#: Paced enough that the SIGKILL lands mid-campaign, small enough to
+#: finish promptly after the restart.
+JOB_CONFIG = {"max_generations": 6, "population_size": 12}
+PACE = 0.3
+SEEDS = (101, 202, 303)
+N_RUNS = 2
+
+
+def _src_path() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_src_path(), env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+def _start_server(root, port_file) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "serve",
+            "--root",
+            os.fspath(root),
+            "--port",
+            "0",
+            "--port-file",
+            os.fspath(port_file),
+            "--workers",
+            "2",
+        ],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_port(port_file, child, timeout=60.0) -> int:
+    deadline = time.monotonic() + timeout
+    while True:
+        if child.poll() is not None:
+            pytest.fail(f"server exited early with {child.returncode}")
+        try:
+            text = port_file.read_text().strip()
+            if text:
+                port = int(text)
+                break
+        except (OSError, ValueError):
+            pass
+        if time.monotonic() > deadline:
+            pytest.fail("server never published its port")
+        time.sleep(0.05)
+    return port
+
+
+def _request(url, method="GET", payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _spec(seed: int) -> JobSpec:
+    return JobSpec(
+        domain="river",
+        mini=True,
+        n_runs=N_RUNS,
+        base_seed=seed,
+        config=dict(JOB_CONFIG),
+        pace=PACE,
+    )
+
+
+@pytest.fixture(scope="module")
+def killed_and_resumed(tmp_path_factory):
+    """Submit three jobs, SIGKILL the server mid-run, restart, finish."""
+    root = tmp_path_factory.mktemp("serve-restart")
+    store_root = root / "store"
+    port_file = root / "port"
+    first = _start_server(store_root, port_file)
+    try:
+        port = _wait_port(port_file, first)
+        base = f"http://127.0.0.1:{port}"
+        job_ids = []
+        for seed in SEEDS:
+            sub = _request(
+                f"{base}/jobs", "POST", _spec(seed).to_json()
+            )
+            assert sub["created"] is True
+            job_ids.append(sub["job_id"])
+
+        # Wait until every job has visibly made progress (at least one
+        # generation event in its trace), so the kill interrupts real
+        # in-flight work rather than queued jobs.
+        deadline = time.monotonic() + 120
+        def generations_seen(job_id: str) -> int:
+            progress = _request(f"{base}/jobs/{job_id}/progress?after=0")
+            return sum(
+                1
+                for event in progress["events"]
+                if event["kind"] == "generation"
+            )
+
+        while any(generations_seen(job_id) < 1 for job_id in job_ids[:2]):
+            if time.monotonic() > deadline:
+                pytest.fail("jobs never made visible progress")
+            time.sleep(0.1)
+
+        first.send_signal(signal.SIGKILL)
+        first.wait(timeout=30)
+    finally:
+        if first.poll() is None:
+            first.kill()
+            first.wait(timeout=10)
+
+    store = JobStore(store_root)
+    interrupted = {
+        record.job_id: record.state for record in store.list_jobs()
+    }
+
+    port_file.unlink()
+    second = _start_server(store_root, port_file)
+    try:
+        port = _wait_port(port_file, second)
+        base = f"http://127.0.0.1:{port}"
+        deadline = time.monotonic() + 300
+        while True:
+            states = {
+                job_id: _request(f"{base}/jobs/{job_id}")["state"]
+                for job_id in job_ids
+            }
+            if all(state == DONE for state in states.values()):
+                break
+            if any(state == "failed" for state in states.values()):
+                pytest.fail(f"job failed after restart: {states}")
+            if time.monotonic() > deadline:
+                pytest.fail(f"jobs never finished after restart: {states}")
+            time.sleep(0.25)
+        reports = {
+            job_id: _request(f"{base}/jobs/{job_id}/report")
+            for job_id in job_ids
+        }
+    finally:
+        second.send_signal(signal.SIGTERM)
+        try:
+            second.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            second.kill()
+            second.wait(timeout=10)
+
+    return store_root, job_ids, interrupted, reports
+
+
+class TestRestartSurvival:
+    def test_kill_left_jobs_mid_flight(self, killed_and_resumed):
+        __, job_ids, interrupted, __reports = killed_and_resumed
+        # The SIGKILL skipped every graceful transition: whatever was
+        # running still says so in the store.
+        assert set(interrupted) == set(job_ids)
+        assert RUNNING in interrupted.values()
+
+    def test_every_job_completed_after_restart(self, killed_and_resumed):
+        store_root, job_ids, __, __reports = killed_and_resumed
+        store = JobStore(store_root)
+        for job_id in job_ids:
+            record = store.load(job_id)
+            assert record.state == DONE
+            states = [t["state"] for t in record.transitions]
+            # server-restart recovery is on the record for the jobs
+            # that were mid-flight.
+            assert states[0] == "queued"
+            assert states[-1] == "done"
+
+    def test_results_bit_identical_to_unserved_campaign(
+        self, killed_and_resumed, tmp_path
+    ):
+        store_root, job_ids, __, __reports = killed_and_resumed
+        store = JobStore(store_root)
+        for index, job_id in enumerate(job_ids):
+            served = store.read_result(job_id)
+            assert served is not None
+            spec = store.load(job_id).spec
+            engine = build_engine(spec)
+            reference = run_campaign(
+                engine,
+                spec.n_runs,
+                base_seed=spec.base_seed,
+                max_workers=1,
+                policy=FailurePolicy.collect(),
+                checkpoint_dir=tmp_path / f"ref-{index}",
+            )
+            expected = [
+                summarize_result(result) for result in reference.completed
+            ]
+            assert served["completed"] == expected
+            assert served["failed"] == []
+
+    def test_report_reflects_full_history(self, killed_and_resumed):
+        __, job_ids, __, reports = killed_and_resumed
+        for job_id in job_ids:
+            report = reports[job_id]
+            generations = report["generations"]
+            assert generations, "report sees the stitched trace"
+            # Trace stitching across the kill: strictly increasing seqs
+            # mean the resumed server appended to (not clobbered) the
+            # first server's trace.
+            seqs = [row["generation"] for row in generations]
+            assert len(seqs) == len(set(seqs))
